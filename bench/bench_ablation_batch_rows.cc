@@ -1,0 +1,55 @@
+// Section 3.3.1 claim: "when q > 10, the computation cost per row is often
+// over ten times cheaper than the cost of computing a row individually."
+// Measures simulated cost per kernel-matrix row as a function of batch size.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "kernel/kernel_computer.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.datasets.empty()) {
+    args.datasets = {"Adult", "RCV1", "MNIST"};
+  }
+  std::printf("ABLATION (Sec 3.3.1): simulated cost per kernel row vs batch size\n\n");
+
+  const int batch_sizes[] = {1, 2, 4, 8, 16, 64, 256, 1024};
+  std::vector<std::string> headers = {"Dataset"};
+  for (int b : batch_sizes) headers.push_back(StrPrintf("b=%d", b));
+  headers.push_back("b=1 / b=1024");
+  TablePrinter table(headers);
+
+  for (const auto& spec : SelectSpecs(args)) {
+    Dataset data = ValueOrDie(GenerateSynthetic(spec));
+    KernelParams params;
+    params.gamma = spec.gamma;
+    KernelComputer computer(&data.features(), params);
+    std::vector<int32_t> all(static_cast<size_t>(data.size()));
+    std::iota(all.begin(), all.end(), 0);
+
+    std::vector<std::string> row = {spec.name};
+    double per_row_1 = 0, per_row_max = 0;
+    for (int b : batch_sizes) {
+      const int64_t capped = std::min<int64_t>(b, data.size());
+      std::vector<int32_t> batch(all.begin(), all.begin() + capped);
+      std::vector<double> out(static_cast<size_t>(capped * data.size()));
+      SimExecutor gpu(ExecutorModel::TeslaP100());
+      computer.ComputeBlock(batch, all, &gpu, kDefaultStream, out.data());
+      const double per_row = gpu.NowSeconds() / static_cast<double>(capped);
+      if (b == 1) per_row_1 = per_row;
+      per_row_max = per_row;
+      row.push_back(StrPrintf("%.2fus", per_row * 1e6));
+    }
+    row.push_back(Speedup(per_row_1 / per_row_max));
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nPaper claim: the rightmost ratio should exceed 10x.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Extension bench: one-vs-one (the paper's pairwise coupling) vs one-vs-all
+// decomposition — cost and accuracy. Supports the related-work discussion
+// (Section 5): pairwise problems are many but small; OVA problems are few
+// but each spans the whole training set.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "core/ova_trainer.h"
+#include "metrics/metrics.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.datasets.empty()) {
+    args.datasets = {"Connect-4", "MNIST", "News20"};
+  }
+  std::printf("EXTENSION: one-vs-one (paper) vs one-vs-all (scale %.2f)\n\n",
+              args.scale);
+
+  TablePrinter table({"Dataset", "ovo train", "ova train", "ovo pred err",
+                      "ova pred err", "ovo kernel vals", "ova kernel vals"});
+  for (const auto& spec : SelectSpecs(args, DatasetFilter::kMulticlassOnly)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
+    std::fprintf(stderr, "[ova] %s ...\n", spec.name.c_str());
+
+    SimExecutor e1 = MakeGpuExecutor(spec);
+    MpTrainReport ovo_report;
+    auto ovo_model =
+        ValueOrDie(GmpSvmTrainer(GmpOptionsFor(spec)).Train(train, &e1, &ovo_report));
+    auto ovo_pred = ValueOrDie(
+        MpSvmPredictor(&ovo_model).Predict(test.features(), &e1, PredictOptions{}));
+    const double ovo_err = ValueOrDie(ErrorRate(ovo_pred.labels, test.labels()));
+
+    SimExecutor e2 = MakeGpuExecutor(spec);
+    MpTrainReport ova_report;
+    auto ova_model =
+        ValueOrDie(OvaTrainer(GmpOptionsFor(spec)).Train(train, &e2, &ova_report));
+    auto ova_pred = ValueOrDie(OvaPredict(ova_model, test.features(), &e2));
+    const double ova_err = ValueOrDie(ErrorRate(ova_pred.labels, test.labels()));
+
+    table.AddRow({spec.name, Sec(ovo_report.sim_seconds),
+                  Sec(ova_report.sim_seconds), StrPrintf("%.2f%%", 100 * ovo_err),
+                  StrPrintf("%.2f%%", 100 * ova_err),
+                  StrPrintf("%.2e", static_cast<double>(
+                                        ovo_report.kernel_values_computed)),
+                  StrPrintf("%.2e", static_cast<double>(
+                                        ova_report.kernel_values_computed))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Shared harness for the table/figure benchmarks.
+//
+// Every bench binary accepts:
+//   --scale=<f>        multiply proxy dataset cardinalities (default 1.0)
+//   --datasets=a,b,c   restrict to named datasets
+// and prints aligned tables matching the paper's rows. Times are reported in
+// simulated seconds on the published cost models (see DESIGN.md); wall
+// seconds are shown alongside as a diagnostic.
+
+#ifndef GMPSVM_BENCH_BENCH_COMMON_H_
+#define GMPSVM_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/libsvm_ref.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "data/synthetic.h"
+#include "device/executor.h"
+#include "metrics/report.h"
+
+namespace gmpsvm::bench {
+
+struct Args {
+  double scale = 1.0;
+  std::vector<std::string> datasets;  // empty = all
+
+  bool Selected(const std::string& name) const;
+};
+
+Args ParseArgs(int argc, char** argv);
+
+// Returns the paper specs at the requested scale, filtered by `args`, and
+// optionally restricted to binary / multiclass datasets.
+enum class DatasetFilter { kAll, kBinaryOnly, kMulticlassOnly };
+std::vector<SyntheticSpec> SelectSpecs(const Args& args,
+                                       DatasetFilter filter = DatasetFilter::kAll);
+
+// Scaled-world simulation: the proxy datasets shrink the paper's data by
+// sigma = proxy_cardinality / paper_cardinality, so every resource the paper
+// fixes in absolute units must shrink with it to preserve the operating
+// regime (see DESIGN.md):
+//   * row-count capacities (working set, buffer rows)        ~ sigma
+//   * time granularity (kernel-launch / region overhead)     ~ sigma
+//   * byte capacities (kernel caches, device memory budget)  ~ sigma^2
+//     (a cached row is n values and the number of useful rows is ~n)
+// Rates (flops/s, bandwidths) are physical constants and stay fixed.
+double WorldScale(const SyntheticSpec& spec);
+
+// Applies the sigma scaling to an executor model.
+ExecutorModel ScaleModel(ExecutorModel model, double sigma);
+
+// The five compared implementations of Tables 1 and 3.
+enum class Impl {
+  kLibsvmSingle,   // LibSVM without OpenMP
+  kLibsvmOmp,      // LibSVM with OpenMP (40 threads)
+  kGpuBaseline,    // Section 3.2
+  kCmpSvm,         // GMP algorithm on the CPU model
+  kGmpSvm,         // Section 3.3
+};
+const char* ImplName(Impl impl);
+
+struct RunResult {
+  double train_sim = 0.0;
+  double predict_sim = 0.0;
+  double train_wall = 0.0;
+  double predict_wall = 0.0;
+  double train_error = 0.0;
+  double predict_error = 0.0;
+  double last_bias = 0.0;  // bias of the last binary SVM (Table 4)
+  MpTrainReport train_report;
+  PhaseTimer predict_phases;
+};
+
+// Trains and predicts with one implementation on generated train/test data.
+Result<RunResult> RunImpl(Impl impl, const SyntheticSpec& spec,
+                          const Dataset& train, const Dataset& test);
+
+// GMP-SVM training options for a spec (paper defaults: buffer 1024 rows,
+// q = 512 — scaled by sigma; clamped per problem size inside the solver).
+MpTrainOptions GmpOptionsFor(const SyntheticSpec& spec);
+
+// GPU-baseline options (classic SMO, 4 GB device kernel cache, scaled).
+MpTrainOptions BaselineOptionsFor(const SyntheticSpec& spec);
+
+// Per-spec executors with the sigma-scaled models.
+SimExecutor MakeGpuExecutor(const SyntheticSpec& spec);
+SimExecutor MakeCpuExecutor(const SyntheticSpec& spec, int num_threads);
+
+// Formats seconds with 2-3 significant digits for table cells.
+std::string Sec(double seconds);
+
+// Formats a speedup ratio, e.g. "12.4x".
+std::string Speedup(double ratio);
+
+}  // namespace gmpsvm::bench
+
+#endif  // GMPSVM_BENCH_BENCH_COMMON_H_

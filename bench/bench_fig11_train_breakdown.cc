@@ -1,0 +1,39 @@
+// Figure 11: percentage of GMP-SVM training time per component — kernel
+// value computation, solving the working-set subproblem, and everything
+// else. Paper shape: kernel values dominate, subproblem second, the rest
+// roughly 20%.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.datasets.empty()) {
+    args.datasets = {"Adult", "RCV1", "MNIST", "News20"};
+  }
+  std::printf("FIGURE 11: %% of GMP-SVM training time per component "
+              "(scale %.2f)\n\n", args.scale);
+
+  TablePrinter table({"Dataset", "kernel values", "subproblem", "other",
+                      "sigmoid"});
+  for (const auto& spec : SelectSpecs(args)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    std::fprintf(stderr, "[fig11] %s ...\n", spec.name.c_str());
+    SimExecutor gpu = MakeGpuExecutor(spec);
+    MpTrainReport report;
+    ValueOrDie(GmpSvmTrainer(GmpOptionsFor(spec)).Train(train, &gpu, &report));
+    const double total = report.phases.Total();
+    auto pct = [&](const char* phase) {
+      return StrPrintf("%.1f%%", 100.0 * report.phases.Get(phase) / total);
+    };
+    table.AddRow({spec.name, pct("kernel_values"), pct("subproblem"),
+                  pct("other"), pct("sigmoid")});
+  }
+  table.Print();
+  return 0;
+}

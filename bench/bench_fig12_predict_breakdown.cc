@@ -1,0 +1,37 @@
+// Figure 12: percentage of GMP-SVM prediction time per component —
+// decision values (Equation 11), sigmoid evaluation (Equation 12), and
+// multi-class coupling (Equation 14/15). Paper shape: decision values
+// dominate; coupling is negligible.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.datasets.empty()) {
+    args.datasets = {"CIFAR-10", "Connect-4", "MNIST", "News20"};
+  }
+  std::printf("FIGURE 12: %% of GMP-SVM prediction time per component "
+              "(scale %.2f)\n\n", args.scale);
+
+  TablePrinter table({"Dataset", "decision values", "sigmoid", "coupling"});
+  for (const auto& spec : SelectSpecs(args)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
+    std::fprintf(stderr, "[fig12] %s ...\n", spec.name.c_str());
+    RunResult r = ValueOrDie(RunImpl(Impl::kGmpSvm, spec, train, test));
+    const double total = r.predict_phases.Total();
+    auto pct = [&](const char* phase) {
+      return StrPrintf("%.1f%%", 100.0 * r.predict_phases.Get(phase) / total);
+    };
+    table.AddRow({spec.name, pct("decision_values"), pct("sigmoid"),
+                  pct("coupling")});
+  }
+  table.Print();
+  return 0;
+}

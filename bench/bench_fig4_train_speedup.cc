@@ -1,0 +1,40 @@
+// Figure 4: training-time speedup of GMP-SVM over the other MP-SVM
+// implementations, per dataset. Paper shape: 1-2 orders of magnitude over
+// LibSVM w/o OpenMP, ~10x over LibSVM w/ OpenMP, 2-5x over the GPU
+// baseline, 3-10x over CMP-SVM.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  std::printf("FIGURE 4: training speedup of GMP-SVM over other implementations "
+              "(scale %.2f)\n\n", args.scale);
+
+  TablePrinter table({"Dataset", "vs LibSVM w/o OMP", "vs LibSVM w/ OMP",
+                      "vs GPU baseline", "vs CMP-SVM"});
+  for (const auto& spec : SelectSpecs(args)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
+    std::fprintf(stderr, "[fig4] %s ...\n", spec.name.c_str());
+    const double gmp =
+        ValueOrDie(RunImpl(Impl::kGmpSvm, spec, train, test)).train_sim;
+    const double libsvm1 =
+        ValueOrDie(RunImpl(Impl::kLibsvmSingle, spec, train, test)).train_sim;
+    const double libsvm40 =
+        ValueOrDie(RunImpl(Impl::kLibsvmOmp, spec, train, test)).train_sim;
+    const double baseline =
+        ValueOrDie(RunImpl(Impl::kGpuBaseline, spec, train, test)).train_sim;
+    const double cmp =
+        ValueOrDie(RunImpl(Impl::kCmpSvm, spec, train, test)).train_sim;
+    table.AddRow({spec.name, Speedup(libsvm1 / gmp), Speedup(libsvm40 / gmp),
+                  Speedup(baseline / gmp), Speedup(cmp / gmp)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 7: effect of the number of new violating instances q at a fixed
+// buffer size (1024 rows). Paper shape: q ~ bs/2 is best — large q flushes
+// the buffer (no reuse), small q makes each kernel batch too small to
+// amortize.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.datasets.empty()) {
+    args.datasets = {"Adult", "RCV1", "MNIST", "News20"};
+  }
+  std::printf("FIGURE 7: GMP-SVM training time (sim-sec) vs q, buffer fixed at "
+              "1024 rows (scale %.2f)\n\n", args.scale);
+
+  // Paper: q in {64...1024} with the buffer fixed at 1024 rows; here q is
+  // swept as a fraction of the sigma-scaled buffer bs0.
+  const double fractions[] = {1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1.0};
+  std::vector<std::string> headers = {"Dataset", "bs0 (rows)"};
+  for (double f : fractions) headers.push_back(StrPrintf("q=bs0*%g", f));
+  TablePrinter table(headers);
+
+  for (const auto& spec : SelectSpecs(args)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    const int bs0 = GmpOptionsFor(spec).batch.working_set.ws_size;
+    std::vector<std::string> row = {spec.name, StrPrintf("%d", bs0)};
+    for (double f : fractions) {
+      const int q = std::max(2, static_cast<int>(bs0 * f + 0.5));
+      std::fprintf(stderr, "[fig7] %s q=%d ...\n", spec.name.c_str(), q);
+      MpTrainOptions options = GmpOptionsFor(spec);
+      options.batch.working_set.ws_size = bs0;
+      options.batch.working_set.q = q;
+      SimExecutor gpu = MakeGpuExecutor(spec);
+      MpTrainReport report;
+      ValueOrDie(GmpSvmTrainer(options).Train(train, &gpu, &report));
+      row.push_back(Sec(report.sim_seconds));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

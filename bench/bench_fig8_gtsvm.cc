@@ -1,0 +1,41 @@
+// Figure 8: training time of GMP-SVM vs GTSVM on all nine datasets.
+// Paper shape: GMP-SVM consistently wins, often by ~5x.
+
+#include <cstdio>
+
+#include "baselines/gtsvm_like.h"
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  std::printf("FIGURE 8: training time (sim-sec), GMP-SVM vs GTSVM-like "
+              "(scale %.2f)\n\n", args.scale);
+
+  TablePrinter table({"Dataset", "GTSVM", "GMP-SVM", "speedup"});
+  for (const auto& spec : SelectSpecs(args)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    std::fprintf(stderr, "[fig8] %s ...\n", spec.name.c_str());
+
+    GtsvmLikeOptions gt;
+    gt.c = spec.c;
+    gt.kernel.gamma = spec.gamma;
+    // Scaled-world working set (the comparator's ~128-row default).
+    gt.working_set_size = std::max(16, static_cast<int>(128 * WorldScale(spec) + 0.5));
+    SimExecutor e1 = MakeGpuExecutor(spec);
+    MpTrainReport rg;
+    ValueOrDie(GtsvmLikeTrainer(gt).Train(train, &e1, &rg));
+
+    SimExecutor e2 = MakeGpuExecutor(spec);
+    MpTrainReport rm;
+    ValueOrDie(GmpSvmTrainer(GmpOptionsFor(spec)).Train(train, &e2, &rm));
+
+    table.AddRow({spec.name, Sec(rg.sim_seconds), Sec(rm.sim_seconds),
+                  Speedup(rg.sim_seconds / rm.sim_seconds)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Section 4.1's hyper-parameter sweep: vary C in [0.01, 100] and gamma in
+// [0.03, 10] and confirm LibSVM and GMP-SVM keep producing the same
+// classifier (bias and error agreement). A sweep over a representative
+// dataset subset.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.datasets.empty()) {
+    args.datasets = {"Adult", "Connect-4"};
+  }
+  // Sweep at reduced cardinality: identity must hold everywhere, and the
+  // grid has 9 cells per dataset.
+  args.scale *= 0.25;
+  std::printf("HYPER-PARAMETER IDENTITY SWEEP: LibSVM vs GMP-SVM "
+              "(C in {0.01,1,100}, gamma in {0.03,0.5,10})\n\n");
+
+  const double cs[] = {0.01, 1.0, 100.0};
+  const double gammas[] = {0.03, 0.5, 10.0};
+  TablePrinter table({"Dataset", "C", "gamma", "bias diff", "train err diff",
+                      "pred err diff", "identical"});
+  int same_count = 0, total = 0;
+  for (auto spec : SelectSpecs(args)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
+    for (double c : cs) {
+      for (double gamma : gammas) {
+        spec.c = c;
+        spec.gamma = gamma;
+        std::fprintf(stderr, "[hyper] %s C=%g gamma=%g ...\n", spec.name.c_str(),
+                     c, gamma);
+        RunResult libsvm =
+            ValueOrDie(RunImpl(Impl::kLibsvmSingle, spec, train, test));
+        RunResult gmp = ValueOrDie(RunImpl(Impl::kGmpSvm, spec, train, test));
+        const double bias_diff = std::abs(libsvm.last_bias - gmp.last_bias);
+        const double terr_diff = std::abs(libsvm.train_error - gmp.train_error);
+        const double perr_diff = std::abs(libsvm.predict_error - gmp.predict_error);
+        const bool same = bias_diff < 5e-2 && terr_diff < 1e-2 && perr_diff < 1e-2;
+        same_count += same ? 1 : 0;
+        ++total;
+        table.AddRow({spec.name, StrPrintf("%g", c), StrPrintf("%g", gamma),
+                      StrPrintf("%.4f", bias_diff), StrPrintf("%.4f", terr_diff),
+                      StrPrintf("%.4f", perr_diff), same ? "yes" : "NO"});
+      }
+    }
+  }
+  table.Print();
+  std::printf("\n%d / %d settings produce matching classifiers\n", same_count,
+              total);
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Google-benchmark micro-benchmarks for the hot kernels of the library:
+// batched kernel rows (sparse vs dense), buffer/cache operations, sigmoid
+// fitting, and pairwise coupling. These measure host wall time of the
+// actual computation (not simulated time) and guard against performance
+// regressions in the substrate itself.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "device/executor.h"
+#include "kernel/kernel_computer.h"
+#include "prob/pairwise_coupling.h"
+#include "prob/platt.h"
+#include "solver/kernel_buffer.h"
+#include "solver/kernel_cache.h"
+
+namespace gmpsvm {
+namespace {
+
+Dataset MakeData(int64_t rows, int64_t dim, double density) {
+  SyntheticSpec spec;
+  spec.name = "micro";
+  spec.num_classes = 2;
+  spec.cardinality = rows;
+  spec.dim = dim;
+  spec.density = density;
+  spec.separation = 1.5;
+  spec.gamma = 0.5;
+  spec.seed = 7;
+  return ValueOrDie(GenerateSynthetic(spec));
+}
+
+void BM_BatchKernelRowsSparse(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  Dataset data = MakeData(2000, 512, 0.05);
+  KernelParams params;
+  params.gamma = 0.5;
+  KernelComputer computer(&data.features(), params);
+  std::vector<int32_t> all(static_cast<size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<int32_t> batch(all.begin(), all.begin() + batch_size);
+  std::vector<double> out(static_cast<size_t>(batch_size * data.size()));
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  for (auto _ : state) {
+    computer.ComputeBlock(batch, all, &gpu, kDefaultStream, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size * data.size());
+}
+BENCHMARK(BM_BatchKernelRowsSparse)->Arg(1)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_BatchKernelRowsDense(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  Dataset data = MakeData(500, 512, 0.05);
+  DenseMatrix dense(data.features().rows(), data.features().cols(),
+                    data.features().ToDense());
+  KernelParams params;
+  params.gamma = 0.5;
+  DenseKernelComputer computer(&dense, params);
+  std::vector<int32_t> all(static_cast<size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<int32_t> batch(all.begin(), all.begin() + batch_size);
+  std::vector<double> out(static_cast<size_t>(batch_size * data.size()));
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  for (auto _ : state) {
+    computer.ComputeBlock(batch, all, &gpu, kDefaultStream, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size * data.size());
+}
+BENCHMARK(BM_BatchKernelRowsDense)->Arg(16)->Arg(128);
+
+void BM_KernelBufferChurn(benchmark::State& state) {
+  KernelBuffer buffer(/*row_length=*/1024, /*capacity_rows=*/512);
+  std::vector<int32_t> present, missing;
+  int32_t next = 0;
+  for (auto _ : state) {
+    std::vector<int32_t> ws;
+    for (int i = 0; i < 256; ++i) ws.push_back((next + i) % 4096);
+    next += 128;
+    buffer.Pin(ws);
+    buffer.Partition(ws, &present, &missing);
+    if (!missing.empty()) {
+      auto slots = buffer.InsertBatch(missing);
+      benchmark::DoNotOptimize(slots.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_KernelBufferChurn);
+
+void BM_KernelCacheLru(benchmark::State& state) {
+  KernelCache cache(1024, 256 * 1024 * sizeof(double), 1024);
+  Rng rng(3);
+  for (auto _ : state) {
+    const int32_t row = static_cast<int32_t>(rng.UniformInt(1024));
+    const double* hit = cache.Lookup(row);
+    if (hit == nullptr) {
+      double* slot = cache.Insert(row);
+      benchmark::DoNotOptimize(slot);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelCacheLru);
+
+void BM_FitSigmoid(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(11);
+  std::vector<double> dec;
+  std::vector<int8_t> labels;
+  for (int64_t i = 0; i < n; ++i) {
+    const double v = rng.Uniform(-3, 3);
+    dec.push_back(v);
+    labels.push_back(rng.Bernoulli(1.0 / (1.0 + std::exp(-2 * v))) ? 1 : -1);
+  }
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  for (auto _ : state) {
+    auto params = FitSigmoid(dec, labels, PlattOptions{}, &gpu, kDefaultStream, 8);
+    benchmark::DoNotOptimize(params.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FitSigmoid)->Arg(1000)->Arg(10000);
+
+void BM_PairwiseCoupling(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<double> r(static_cast<size_t>(k) * k, 0.0);
+  for (int s = 0; s < k; ++s) {
+    for (int t = s + 1; t < k; ++t) {
+      const double v = rng.Uniform(0.1, 0.9);
+      r[static_cast<size_t>(s) * k + t] = v;
+      r[static_cast<size_t>(t) * k + s] = 1.0 - v;
+    }
+  }
+  CouplingOptions direct;
+  for (auto _ : state) {
+    auto p = CoupleProbabilities(r, k, direct);
+    benchmark::DoNotOptimize(p.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairwiseCoupling)->Arg(3)->Arg(10)->Arg(20);
+
+}  // namespace
+}  // namespace gmpsvm
+
+BENCHMARK_MAIN();

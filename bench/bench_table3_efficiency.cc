@@ -1,0 +1,47 @@
+// Tables 1 and 3: elapsed training and prediction time for the five
+// implementations across all nine datasets. Times are simulated seconds on
+// the published cost models (the absolute values are not the paper's
+// testbed seconds; the ratios between implementations are the reproduced
+// quantity — see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  std::printf(
+      "TABLE 3: elapsed time (sim-sec) comparison among LibSVM, GPU baseline,\n"
+      "CMP-SVM and GMP-SVM  (scale %.2f)\n\n",
+      args.scale);
+
+  const Impl impls[] = {Impl::kLibsvmSingle, Impl::kLibsvmOmp, Impl::kGpuBaseline,
+                        Impl::kCmpSvm, Impl::kGmpSvm};
+
+  TablePrinter table({"Dataset", "libsvm-1 train", "libsvm-1 pred",
+                      "libsvm-omp train", "libsvm-omp pred", "baseline train",
+                      "baseline pred", "cmp train", "cmp pred", "gmp train",
+                      "gmp pred"});
+  for (const auto& spec : SelectSpecs(args)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
+    std::vector<std::string> row = {spec.name};
+    std::fprintf(stderr, "[table3] %s ...\n", spec.name.c_str());
+    for (Impl impl : impls) {
+      RunResult r = ValueOrDie(RunImpl(impl, spec, train, test));
+      row.push_back(Sec(r.train_sim));
+      row.push_back(Sec(r.predict_sim));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): gmp < baseline < libsvm-omp < libsvm-1 on\n"
+      "training; gmp <= baseline << libsvm on prediction; cmp between\n"
+      "libsvm-omp and gmp.\n");
+  return 0;
+}

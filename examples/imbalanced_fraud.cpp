@@ -1,0 +1,111 @@
+// Imbalanced classification with class-weighted C and probability
+// thresholds: a fraud-detection-style scenario (4% positive class) where
+// the probabilistic output is what makes the classifier usable — the
+// operating point is chosen on P(fraud | x), not on the raw sign.
+//
+// Shows: (1) unweighted training collapses recall on the minority class;
+// (2) LibSVM-style -wi class weights recover it; (3) sweeping the decision
+// threshold on the calibrated probability trades precision for recall.
+//
+//   ./build/examples/imbalanced_fraud
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "device/executor.h"
+#include "metrics/report.h"
+
+using namespace gmpsvm;  // NOLINT: example brevity
+
+namespace {
+
+Dataset MakeTransactions(int64_t n, double fraud_rate, uint64_t seed) {
+  Rng rng(seed);
+  CsrBuilder builder(16);
+  std::vector<int32_t> labels;
+  for (int64_t i = 0; i < n; ++i) {
+    const bool fraud = rng.Bernoulli(fraud_rate);
+    std::vector<int32_t> idx(16);
+    std::vector<double> val(16);
+    for (int d = 0; d < 16; ++d) {
+      idx[static_cast<size_t>(d)] = d;
+      // Fraud shifts a few behavioural features, heavily overlapped.
+      const double center = fraud && d < 5 ? 1.1 : 0.0;
+      val[static_cast<size_t>(d)] = rng.Normal(center, 1.0);
+    }
+    builder.AddRow(idx, val);
+    labels.push_back(fraud ? 1 : 0);
+  }
+  return ValueOrDie(Dataset::Create(ValueOrDie(builder.Finish()), labels, 2,
+                                    "transactions"));
+}
+
+struct Rates {
+  double recall;
+  double precision;
+};
+
+Rates RatesAtThreshold(const PredictResult& pred, const Dataset& truth,
+                       double threshold) {
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (int64_t i = 0; i < pred.num_instances; ++i) {
+    const bool flagged = pred.Probability(i, 1) >= threshold;
+    const bool fraud = truth.labels()[static_cast<size_t>(i)] == 1;
+    if (flagged && fraud) ++tp;
+    if (flagged && !fraud) ++fp;
+    if (!flagged && fraud) ++fn;
+  }
+  return Rates{tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0,
+               tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  Dataset train = MakeTransactions(3000, 0.04, 11);
+  Dataset test = MakeTransactions(1500, 0.04, 12);
+  std::printf("transactions: %lld train / %lld test, %zu train frauds (%.1f%%)\n\n",
+              static_cast<long long>(train.size()),
+              static_cast<long long>(test.size()), train.ClassRows(1).size(),
+              100.0 * static_cast<double>(train.ClassRows(1).size()) /
+                  static_cast<double>(train.size()));
+
+  // Class weights move the decision BOUNDARY (the raw SVM sign); the Platt
+  // sigmoid is refit afterwards, so compare the sign rule here and use the
+  // calibrated probabilities for threshold tuning below.
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  TablePrinter table({"weights", "recall (sign rule)", "precision (sign rule)"});
+  MpSvmModel weighted_model;
+  PredictOptions sign_rule;
+  sign_rule.decision = PredictOptions::Decision::kVoting;
+  for (bool weighted : {false, true}) {
+    MpTrainOptions options;
+    options.c = 0.5;          // low C: the majority class dominates unweighted
+    options.kernel.gamma = 0.04;
+    if (weighted) options.class_weights = {1.0, 20.0};  // upweight fraud
+    auto model = ValueOrDie(GmpSvmTrainer(options).Train(train, &gpu, nullptr));
+    auto pred = ValueOrDie(
+        MpSvmPredictor(&model).Predict(test.features(), &gpu, sign_rule));
+    const Rates r = RatesAtThreshold(pred, test, 0.5);
+    table.AddRow({weighted ? "fraud x20" : "none",
+                  StrPrintf("%.1f%%", 100 * r.recall),
+                  StrPrintf("%.1f%%", 100 * r.precision)});
+    if (weighted) weighted_model = std::move(model);
+  }
+  table.Print();
+
+  std::printf("\noperating curve on P(fraud | x) with the weighted model:\n");
+  auto pred = ValueOrDie(MpSvmPredictor(&weighted_model)
+                             .Predict(test.features(), &gpu, PredictOptions{}));
+  TablePrinter curve({"threshold", "recall", "precision"});
+  for (double threshold : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const Rates r = RatesAtThreshold(pred, test, threshold);
+    curve.AddRow({StrPrintf("%.2f", threshold), StrPrintf("%.1f%%", 100 * r.recall),
+                  StrPrintf("%.1f%%", 100 * r.precision)});
+  }
+  curve.Print();
+  return 0;
+}

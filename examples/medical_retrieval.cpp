@@ -1,0 +1,81 @@
+// Probabilistic retrieval scenario (the paper's medical-image-retrieval
+// motivation, Rahman et al.): the point of MP-SVMs over plain multi-class
+// SVMs is the calibrated per-class probability, which lets a retrieval
+// system rank candidate categories and defer low-confidence queries to a
+// human.
+//
+// This example trains an MP-SVM over synthetic "imaging modality" classes,
+// then for each query prints the top-3 categories with probabilities and
+// flags queries whose top probability falls under a confidence threshold.
+//
+//   ./build/examples/medical_retrieval [threshold]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "data/synthetic.h"
+#include "device/executor.h"
+
+using namespace gmpsvm;  // NOLINT: example brevity
+
+namespace {
+const char* kCategories[] = {"x-ray", "ct", "mri", "ultrasound", "pet", "histology"};
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double threshold = argc > 1 ? std::atof(argv[1]) : 0.55;
+
+  SyntheticSpec spec;
+  spec.name = "medical";
+  spec.num_classes = 6;
+  spec.cardinality = 1200;
+  spec.dim = 64;
+  spec.density = 0.6;
+  spec.separation = 1.3;  // overlapping modalities: probabilities matter
+  spec.c = 10.0;
+  spec.gamma = 0.1;
+  spec.seed = 2026;
+  Dataset train = ValueOrDie(GenerateSynthetic(spec));
+  spec.test_cardinality = 12;
+  Dataset queries = ValueOrDie(GenerateSyntheticTest(spec));
+
+  MpTrainOptions options;
+  options.c = spec.c;
+  options.kernel.gamma = spec.gamma;
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  MpSvmModel model = ValueOrDie(GmpSvmTrainer(options).Train(train, &gpu, nullptr));
+  std::printf("retrieval index trained: %d categories, %lld pooled SVs\n\n",
+              model.num_classes, static_cast<long long>(model.pool_size()));
+
+  PredictResult pred = ValueOrDie(
+      MpSvmPredictor(&model).Predict(queries.features(), &gpu, PredictOptions{}));
+
+  int deferred = 0;
+  for (int64_t q = 0; q < pred.num_instances; ++q) {
+    std::vector<int> order(static_cast<size_t>(model.num_classes));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return pred.Probability(q, a) > pred.Probability(q, b);
+    });
+    const double top = pred.Probability(q, order[0]);
+    std::printf("query %2lld (truth %-10s): ", static_cast<long long>(q),
+                kCategories[queries.labels()[static_cast<size_t>(q)]]);
+    for (int r = 0; r < 3; ++r) {
+      std::printf("%s %.2f%s", kCategories[order[static_cast<size_t>(r)]],
+                  pred.Probability(q, order[static_cast<size_t>(r)]),
+                  r < 2 ? ", " : "");
+    }
+    if (top < threshold) {
+      std::printf("  -> LOW CONFIDENCE, defer to radiologist");
+      ++deferred;
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%d of %lld queries deferred at threshold %.2f\n", deferred,
+              static_cast<long long>(pred.num_instances), threshold);
+  return 0;
+}

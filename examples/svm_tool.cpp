@@ -1,0 +1,247 @@
+// Command-line tool in the spirit of LibSVM's svm-train / svm-predict,
+// backed by GMP-SVM on the simulated device. Works on LibSVM-format files.
+//
+//   svm_tool train [-c C] [-g gamma] [-e eps] [-b cv_folds] <train> <model>
+//   svm_tool predict <test.libsvm> <model.in> [predictions.out]
+//   svm_tool scale <in.libsvm> <out.libsvm>        (min-max to [-1, 1])
+//   svm_tool cv [-c C] [-g gamma] [-v folds] <train.libsvm>
+//   svm_tool grid [-v folds] <train.libsvm>          (C/gamma grid search)
+//
+// Predict prints the test error when the file has labels, and writes one
+// line per instance: "<label> <p_class0> <p_class1> ...".
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/cross_validation.h"
+#include "core/grid_search.h"
+#include "core/model_io.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "data/libsvm_io.h"
+#include "data/scale.h"
+#include "device/executor.h"
+#include "metrics/metrics.h"
+
+using namespace gmpsvm;  // NOLINT: example brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  svm_tool train [-c C] [-g gamma] [-e eps] [-b folds] <data> <model>\n"
+               "  svm_tool predict <data> <model> [out]\n"
+               "  svm_tool scale <in> <out>\n"
+               "  svm_tool cv [-c C] [-g gamma] [-v folds] <data>\n"
+               "  svm_tool grid [-v folds] <data>\n");
+  return 2;
+}
+
+int ScaleCommand(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  auto file = ReadLibsvmFile(argv[0]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  auto scaler = FeatureScaler::Fit(file->dataset.features(),
+                                   FeatureScaler::Mode::kMinMax);
+  if (!scaler.ok()) {
+    std::fprintf(stderr, "error: %s\n", scaler.status().ToString().c_str());
+    return 1;
+  }
+  auto scaled_data = Dataset::Create(scaler->Apply(file->dataset.features()),
+                                     file->dataset.labels(),
+                                     file->dataset.num_classes());
+  GMP_CHECK_OK(scaled_data.status());
+  GMP_CHECK_OK(WriteLibsvmFile(argv[1], *scaled_data, file->label_values));
+  std::printf("scaled %lld instances to [-1, 1], written to %s\n",
+              static_cast<long long>(file->dataset.size()), argv[1]);
+  return 0;
+}
+
+int CvCommand(int argc, char** argv) {
+  double c = 1.0, gamma = 0.5;
+  int folds = 5;
+  std::string data_path;
+  for (int arg = 0; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "-c") == 0 && arg + 1 < argc) {
+      c = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-g") == 0 && arg + 1 < argc) {
+      gamma = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-v") == 0 && arg + 1 < argc) {
+      folds = std::atoi(argv[++arg]);
+    } else if (data_path.empty()) {
+      data_path = argv[arg];
+    } else {
+      return Usage();
+    }
+  }
+  if (data_path.empty()) return Usage();
+  auto file = ReadLibsvmFile(data_path);
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  CrossValidationOptions options;
+  options.folds = folds;
+  options.train.c = c;
+  options.train.kernel.gamma = gamma;
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  auto cv = CrossValidate(file->dataset, options, &gpu);
+  if (!cv.ok()) {
+    std::fprintf(stderr, "error: %s\n", cv.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%d-fold CV: error %.4f%%  log-loss %.4f  brier %.4f "
+              "(%.3f sim-s)\n",
+              folds, 100.0 * cv->error_rate, cv->log_loss, cv->brier_score,
+              cv->sim_seconds);
+  return 0;
+}
+
+int GridCommand(int argc, char** argv) {
+  int folds = 3;
+  std::string data_path;
+  for (int arg = 0; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "-v") == 0 && arg + 1 < argc) {
+      folds = std::atoi(argv[++arg]);
+    } else if (data_path.empty()) {
+      data_path = argv[arg];
+    } else {
+      return Usage();
+    }
+  }
+  if (data_path.empty()) return Usage();
+  auto file = ReadLibsvmFile(data_path);
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  GridSearchOptions options;
+  options.folds = folds;
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  auto grid = GridSearch(file->dataset, options, &gpu);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "error: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& cell : grid->cells) {
+    std::printf("C=%-8g gamma=%-8g cv-error=%.4f%%  log-loss=%.4f\n", cell.c,
+                cell.gamma, 100.0 * cell.error_rate, cell.log_loss);
+  }
+  std::printf("best: C=%g gamma=%g (cv-error %.4f%%)\n", grid->best.c,
+              grid->best.gamma, 100.0 * grid->best.error_rate);
+  return 0;
+}
+
+int TrainCommand(int argc, char** argv) {
+  double c = 1.0, gamma = 0.5, eps = 1e-3;
+  int cv_folds = 0;
+  int arg = 0;
+  std::string positional[2];
+  int npos = 0;
+  while (arg < argc) {
+    if (std::strcmp(argv[arg], "-c") == 0 && arg + 1 < argc) {
+      c = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-g") == 0 && arg + 1 < argc) {
+      gamma = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-e") == 0 && arg + 1 < argc) {
+      eps = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-b") == 0 && arg + 1 < argc) {
+      cv_folds = std::atoi(argv[++arg]);
+    } else if (npos < 2) {
+      positional[npos++] = argv[arg];
+    } else {
+      return Usage();
+    }
+    ++arg;
+  }
+  if (npos != 2) return Usage();
+
+  auto file = ReadLibsvmFile(positional[0]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %lld instances, %lld features, %d classes\n",
+              static_cast<long long>(file->dataset.size()),
+              static_cast<long long>(file->dataset.dim()),
+              file->dataset.num_classes());
+
+  MpTrainOptions options;
+  options.c = c;
+  options.kernel.gamma = gamma;
+  options.batch.eps = eps;
+  options.sigmoid_cv_folds = cv_folds;
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  MpTrainReport report;
+  auto model = GmpSvmTrainer(options).Train(file->dataset, &gpu, &report);
+  if (!model.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained %d binary SVMs in %.3f sim-s (%.3f s wall), %lld SVs\n",
+              model->num_pairs(), report.sim_seconds, report.wall_seconds,
+              static_cast<long long>(model->pool_size()));
+  GMP_CHECK_OK(SaveModel(*model, positional[1]));
+  std::printf("model written to %s\n", positional[1].c_str());
+  return 0;
+}
+
+int PredictCommand(int argc, char** argv) {
+  if (argc < 2 || argc > 3) return Usage();
+  auto model = LoadModel(argv[1]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  auto file = ReadLibsvmFile(argv[0], model->support_vectors.cols());
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  auto pred = MpSvmPredictor(&*model).Predict(file->dataset.features(), &gpu,
+                                              PredictOptions{});
+  if (!pred.ok()) {
+    std::fprintf(stderr, "prediction failed: %s\n",
+                 pred.status().ToString().c_str());
+    return 1;
+  }
+  auto err = ErrorRate(pred->labels, file->dataset.labels());
+  if (err.ok()) {
+    std::printf("error rate: %.4f%% over %lld instances (%.3f sim-s)\n",
+                100.0 * *err, static_cast<long long>(pred->num_instances),
+                pred->sim_seconds);
+  }
+  if (argc == 3) {
+    std::ofstream out(argv[2]);
+    for (int64_t i = 0; i < pred->num_instances; ++i) {
+      out << pred->labels[static_cast<size_t>(i)];
+      for (int c2 = 0; c2 < model->num_classes; ++c2) {
+        out << ' ' << pred->Probability(i, c2);
+      }
+      out << '\n';
+    }
+    std::printf("probabilities written to %s\n", argv[2]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "train") == 0) return TrainCommand(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "predict") == 0) return PredictCommand(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "scale") == 0) return ScaleCommand(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "cv") == 0) return CvCommand(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "grid") == 0) return GridCommand(argc - 2, argv + 2);
+  return Usage();
+}

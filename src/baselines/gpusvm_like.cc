@@ -1,0 +1,212 @@
+#include "baselines/gpusvm_like.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+#include "kernel/kernel_computer.h"
+#include "solver/kernel_cache.h"
+#include "solver/working_set.h"
+
+namespace gmpsvm {
+namespace {
+
+constexpr double kTau = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TaskCost VectorPassCost(int64_t n, double flops_per_item, double bytes_per_item) {
+  TaskCost cost;
+  cost.parallel_items = n;
+  cost.flops = flops_per_item * static_cast<double>(n);
+  cost.bytes_read = bytes_per_item * static_cast<double>(n);
+  return cost;
+}
+
+}  // namespace
+
+Result<BinarySolution> GpuSvmLikeTrainer::Train(const Dataset& dataset,
+                                                SimExecutor* executor,
+                                                SolverStats* stats) const {
+  if (dataset.num_classes() != 2) {
+    return Status::InvalidArgument("GPUSVM supports binary problems only");
+  }
+  const int64_t n = dataset.size();
+  const double c = options_.c;
+
+  // Densify: the defining representational choice. The dense matrix (and
+  // its transfer) are charged at full O(n * dim) size.
+  DenseMatrix dense(dataset.features().rows(), dataset.features().cols(),
+                    dataset.features().ToDense());
+  GMP_ASSIGN_OR_RETURN(DeviceAllocation data_reservation,
+                       executor->Allocate(dense.ByteSize()));
+  executor->Transfer(kDefaultStream, static_cast<double>(dense.ByteSize()),
+                     TransferDirection::kHostToDevice);
+  DenseKernelComputer computer(&dense, options_.kernel);
+
+  // Labels: class 0 plays +1, as in MakePairProblem.
+  std::vector<int8_t> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    y[static_cast<size_t>(i)] =
+        dataset.labels()[static_cast<size_t>(i)] == 0 ? int8_t{1} : int8_t{-1};
+  }
+
+  size_t cache_bytes = options_.cache_bytes;
+  DeviceAllocation cache_reservation;
+  while (cache_bytes > (1u << 20)) {
+    auto reservation = executor->Allocate(cache_bytes);
+    if (reservation.ok()) {
+      cache_reservation = std::move(reservation).value();
+      break;
+    }
+    cache_bytes /= 2;
+  }
+  KernelCache cache(n, cache_bytes, /*max_rows=*/n);
+  std::vector<int32_t> batch_one(1);
+  std::vector<int32_t> all_rows(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) all_rows[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+
+  const auto get_row = [&](int32_t i) -> const double* {
+    if (const double* row = cache.Lookup(i)) {
+      executor->Charge(kDefaultStream, VectorPassCost(n, 0.0, sizeof(double)));
+      executor->counters().kernel_values_reused += n;
+      if (stats != nullptr) ++stats->kernel_rows_reused;
+      return row;
+    }
+    double* slot = cache.Insert(i);
+    batch_one[0] = i;
+    computer.ComputeBlock(batch_one, all_rows, executor, kDefaultStream, slot);
+    if (stats != nullptr) ++stats->kernel_rows_computed;
+    return slot;
+  };
+
+  std::vector<double> alpha(static_cast<size_t>(n), 0.0);
+  std::vector<double> f(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) f[static_cast<size_t>(i)] = -static_cast<double>(y[i]);
+  std::vector<double> diag(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) diag[static_cast<size_t>(i)] = computer.SelfKernel(i);
+  executor->Charge(kDefaultStream, VectorPassCost(n, 3.0, sizeof(double)));
+
+  int64_t iterations = 0;
+  for (;; ++iterations) {
+    if (iterations >= options_.max_iterations) {
+      GMP_LOG(Warning) << "GPUSVM-like hit max_iterations";
+      break;
+    }
+    // First-order selection (the original GPUSVM heuristic): most violating
+    // pair by plain optimality indicators.
+    int32_t u = -1, l = -1;
+    double f_u = kInf, f_l = -kInf;
+    for (int64_t i = 0; i < n; ++i) {
+      const double fi = f[static_cast<size_t>(i)];
+      if (InUpSet(y[i], alpha[i], c) && fi < f_u) {
+        f_u = fi;
+        u = static_cast<int32_t>(i);
+      }
+      if (InLowSet(y[i], alpha[i], c) && fi > f_l) {
+        f_l = fi;
+        l = static_cast<int32_t>(i);
+      }
+    }
+    executor->Charge(kDefaultStream, VectorPassCost(n, 2.0, 2 * sizeof(double)));
+    if (u < 0 || l < 0 || f_l - f_u < options_.eps) break;
+
+    const double* row_u = get_row(u);
+    const double* row_l = get_row(l);
+
+    // Alpha update (same box/equality algebra as SMO; first-order pairs are
+    // always feasible ascent directions).
+    const double old_au = alpha[static_cast<size_t>(u)];
+    const double old_al = alpha[static_cast<size_t>(l)];
+    double quad = diag[static_cast<size_t>(u)] + diag[static_cast<size_t>(l)] -
+                  2.0 * row_u[l];
+    if (quad <= 0) quad = kTau;
+    const double g_u = y[u] * f_u;
+    const double g_l = y[l] * f[static_cast<size_t>(l)];
+    double& a_u = alpha[static_cast<size_t>(u)];
+    double& a_l = alpha[static_cast<size_t>(l)];
+    if (y[u] != y[l]) {
+      const double delta = (-g_u - g_l) / quad;
+      const double diff = a_u - a_l;
+      a_u += delta;
+      a_l += delta;
+      if (diff > 0 && a_l < 0) {
+        a_l = 0;
+        a_u = diff;
+      } else if (diff <= 0 && a_u < 0) {
+        a_u = 0;
+        a_l = -diff;
+      }
+      if (diff > 0 && a_u > c) {
+        a_u = c;
+        a_l = c - diff;
+      } else if (diff <= 0 && a_l > c) {
+        a_l = c;
+        a_u = c + diff;
+      }
+    } else {
+      const double delta = (g_u - g_l) / quad;
+      const double sum = a_u + a_l;
+      a_u -= delta;
+      a_l += delta;
+      if (sum > c && a_u > c) {
+        a_u = c;
+        a_l = sum - c;
+      } else if (sum <= c && a_l < 0) {
+        a_l = 0;
+        a_u = sum;
+      }
+      if (sum > c && a_l > c) {
+        a_l = c;
+        a_u = sum - c;
+      } else if (sum <= c && a_u < 0) {
+        a_u = 0;
+        a_l = sum;
+      }
+    }
+    executor->Charge(kDefaultStream, VectorPassCost(1, 20.0, 0.0));
+
+    const double yu_dau = y[u] * (a_u - old_au);
+    const double yl_dal = y[l] * (a_l - old_al);
+    for (int64_t i = 0; i < n; ++i) {
+      f[static_cast<size_t>(i)] += yu_dau * row_u[i] + yl_dal * row_l[i];
+    }
+    executor->Charge(kDefaultStream, VectorPassCost(n, 4.0, 3 * sizeof(double)));
+  }
+
+  if (stats != nullptr) {
+    stats->iterations += iterations;
+    stats->outer_rounds += iterations;
+  }
+
+  // Bias and objective as in the main solvers.
+  double sum_free = 0.0;
+  int64_t num_free = 0;
+  double f_up_min = kInf, f_low_max = -kInf;
+  for (int64_t i = 0; i < n; ++i) {
+    const double a = alpha[static_cast<size_t>(i)];
+    const double fi = f[static_cast<size_t>(i)];
+    if (a > 0 && a < c) {
+      sum_free += fi;
+      ++num_free;
+    }
+    if (InUpSet(y[i], a, c)) f_up_min = std::min(f_up_min, fi);
+    if (InLowSet(y[i], a, c)) f_low_max = std::max(f_low_max, fi);
+  }
+  const double rho = num_free > 0 ? sum_free / static_cast<double>(num_free)
+                                  : (f_up_min + f_low_max) / 2.0;
+  double objective = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    objective += alpha[static_cast<size_t>(i)] *
+                 (y[i] * f[static_cast<size_t>(i)] - 1.0);
+  }
+
+  BinarySolution solution;
+  solution.alpha = std::move(alpha);
+  solution.bias = -rho;
+  solution.objective = -0.5 * objective;
+  solution.f = std::move(f);
+  return solution;
+}
+
+}  // namespace gmpsvm

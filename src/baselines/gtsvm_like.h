@@ -1,0 +1,49 @@
+// GTSVM stand-in (Cotter, Srebro & Keshet 2011) for the Figure 8 comparison.
+//
+// GTSVM is a GPU SVM trainer with sparse (CSR) data support and a large
+// fixed working set, but — as the paper notes — no multi-class probability
+// support and no cross-SVM resource sharing. The stand-in reproduces its
+// structural profile on the same substrate GMP-SVM runs on:
+//   * one-vs-one binary SVMs trained strictly sequentially, each getting the
+//     whole device (no MP-level concurrency);
+//   * a working set refreshed wholesale every round (q == ws: no keep-half
+//     reuse, so every round recomputes its full set of kernel rows);
+//   * a fixed inner-iteration budget (no delta-adaptive early termination);
+//   * no kernel-block sharing between binary SVMs;
+//   * no sigmoid fitting (GTSVM cannot produce probabilities).
+
+#ifndef GMPSVM_BASELINES_GTSVM_LIKE_H_
+#define GMPSVM_BASELINES_GTSVM_LIKE_H_
+
+#include "core/dataset.h"
+#include "core/model.h"
+#include "core/mp_trainer.h"
+#include "device/executor.h"
+
+namespace gmpsvm {
+
+struct GtsvmLikeOptions {
+  double c = 1.0;
+  KernelParams kernel;
+  double eps = 1e-3;
+  // GTSVM's working-set size (its default is in the low hundreds).
+  int working_set_size = 128;
+};
+
+class GtsvmLikeTrainer {
+ public:
+  explicit GtsvmLikeTrainer(const GtsvmLikeOptions& options) : options_(options) {}
+
+  // Trains the k(k-1)/2 binary SVMs (no sigmoids) and reports timing/stats.
+  // The returned model has probability-free entries (sigmoid = identity-ish
+  // defaults) and is meant for timing comparisons only.
+  Result<MpSvmModel> Train(const Dataset& dataset, SimExecutor* executor,
+                           MpTrainReport* report) const;
+
+ private:
+  GtsvmLikeOptions options_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_BASELINES_GTSVM_LIKE_H_

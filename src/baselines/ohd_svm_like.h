@@ -1,0 +1,42 @@
+// OHD-SVM stand-in (Vanek, Michalek & Psutka 2017) for Figure 9.
+//
+// OHD-SVM is a binary-only GPU trainer using hierarchical decomposition:
+// an outer working set optimized by an inner cached solver. Its structural
+// profile relative to GMP-SVM's binary level: a smaller working set (so the
+// batched kernel computation amortizes less), wholesale working-set refresh
+// (no keep-half, no FIFO buffer reuse across rounds), and a fixed inner
+// budget. Binary only: it appears only in the two-class benchmarks.
+
+#ifndef GMPSVM_BASELINES_OHD_SVM_LIKE_H_
+#define GMPSVM_BASELINES_OHD_SVM_LIKE_H_
+
+#include "core/dataset.h"
+#include "device/executor.h"
+#include "solver/batch_smo_solver.h"
+
+namespace gmpsvm {
+
+struct OhdSvmLikeOptions {
+  double c = 1.0;
+  KernelParams kernel;
+  double eps = 1e-3;
+  // The hierarchical inner working set is small (tens of instances).
+  int working_set_size = 64;
+};
+
+class OhdSvmLikeTrainer {
+ public:
+  explicit OhdSvmLikeTrainer(const OhdSvmLikeOptions& options)
+      : options_(options) {}
+
+  // Trains the single binary SVM of a 2-class dataset.
+  Result<BinarySolution> Train(const Dataset& dataset, SimExecutor* executor,
+                               SolverStats* stats) const;
+
+ private:
+  OhdSvmLikeOptions options_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_BASELINES_OHD_SVM_LIKE_H_

@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmpsvm {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel() && level != LogLevel::kOff) {
+  if (enabled_) {
+    // Strip the directory part for compact output.
+    const char* base = file;
+    for (const char* p = file; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+}  // namespace internal
+}  // namespace gmpsvm

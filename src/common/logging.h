@@ -1,0 +1,62 @@
+// Minimal leveled logging. Off by default for Info and below so benchmarks
+// stay quiet; the level is process-global and settable from tests/tools.
+
+#ifndef GMPSVM_COMMON_LOGGING_H_
+#define GMPSVM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gmpsvm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Sets / reads the process-global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GMP_LOG(level)                                                \
+  ::gmpsvm::internal::LogMessage(::gmpsvm::LogLevel::k##level, __FILE__, __LINE__)
+
+// GMP_DCHECK: assertion that logs and aborts; compiled out in NDEBUG builds.
+#ifndef NDEBUG
+#define GMP_DCHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      GMP_LOG(Error) << "DCHECK failed: " #cond;                             \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+#else
+#define GMP_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#endif
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_COMMON_LOGGING_H_

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmpsvm {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kOutOfMemory:
+      return "out-of-memory";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kNotImplemented:
+      return "not-implemented";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+namespace internal {
+
+void DieOfStatus(const Status& status, const char* file, int line) {
+  std::fprintf(stderr, "FATAL %s:%d: %s\n", file, line, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace gmpsvm

@@ -1,0 +1,59 @@
+// A small fixed-size thread pool with a blocking ParallelFor. Used by the
+// CPU executor (CMP-SVM / LibSVM-with-OpenMP models) for actual host
+// parallelism; the simulated-time accounting lives in the executor layer,
+// not here.
+
+#ifndef GMPSVM_COMMON_THREAD_POOL_H_
+#define GMPSVM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gmpsvm {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers (>= 1). A pool of one thread executes
+  // tasks inline from Run()/ParallelFor() callers' perspective but still on
+  // a worker, preserving identical behaviour regardless of size.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task. Tasks must not throw.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until all scheduled tasks have completed.
+  void Wait();
+
+  // Partitions [0, n) into contiguous chunks, runs `body(begin, end)` on the
+  // workers, and blocks until done. Chunk granularity targets ~4 chunks per
+  // thread for load balance; `min_chunk` bounds scheduling overhead on tiny
+  // ranges.
+  void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& body,
+                   int64_t min_chunk = 1024);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;        // signals workers: work available / stop
+  std::condition_variable idle_cv_;   // signals Wait(): all work drained
+  int active_ = 0;                    // tasks currently executing
+  bool stop_ = false;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_COMMON_THREAD_POOL_H_

@@ -1,0 +1,78 @@
+#include "core/cross_validation.h"
+
+#include <algorithm>
+
+#include "data/split.h"
+#include "metrics/calibration.h"
+#include "metrics/metrics.h"
+
+namespace gmpsvm {
+
+Result<CrossValidationResult> CrossValidate(const Dataset& dataset,
+                                            const CrossValidationOptions& options,
+                                            SimExecutor* executor) {
+  GMP_ASSIGN_OR_RETURN(std::vector<std::vector<int32_t>> folds,
+                       StratifiedFolds(dataset, options.folds, options.seed));
+
+  executor->SynchronizeAll();
+  const double sim_base = executor->NowSeconds();
+
+  CrossValidationResult result;
+  result.folds = options.folds;
+
+  // Pooled held-out predictions in dataset-row order.
+  std::vector<int32_t> pooled_pred(static_cast<size_t>(dataset.size()), -1);
+  std::vector<double> pooled_prob(
+      static_cast<size_t>(dataset.size()) * dataset.num_classes(), 0.0);
+
+  for (int f = 0; f < options.folds; ++f) {
+    std::vector<int32_t> train_rows;
+    for (int g = 0; g < options.folds; ++g) {
+      if (g == f) continue;
+      train_rows.insert(train_rows.end(), folds[static_cast<size_t>(g)].begin(),
+                        folds[static_cast<size_t>(g)].end());
+    }
+    std::sort(train_rows.begin(), train_rows.end());
+    const std::vector<int32_t>& test_rows = folds[static_cast<size_t>(f)];
+    if (test_rows.empty()) continue;
+
+    GMP_ASSIGN_OR_RETURN(Dataset train, SubsetDataset(dataset, train_rows));
+    GMP_ASSIGN_OR_RETURN(Dataset test, SubsetDataset(dataset, test_rows));
+    if (train.num_classes() != dataset.num_classes()) {
+      return Status::FailedPrecondition("a fold lost a whole class");
+    }
+
+    GmpSvmTrainer trainer(options.train);
+    GMP_ASSIGN_OR_RETURN(MpSvmModel model, trainer.Train(train, executor, nullptr));
+    MpSvmPredictor predictor(&model);
+    GMP_ASSIGN_OR_RETURN(
+        PredictResult pred,
+        predictor.Predict(test.features(), executor, options.predict));
+
+    GMP_ASSIGN_OR_RETURN(double fold_error, ErrorRate(pred.labels, test.labels()));
+    result.fold_errors.push_back(fold_error);
+    for (size_t i = 0; i < test_rows.size(); ++i) {
+      const size_t row = static_cast<size_t>(test_rows[i]);
+      pooled_pred[row] = pred.labels[i];
+      std::copy(pred.probabilities.begin() +
+                    static_cast<int64_t>(i) * dataset.num_classes(),
+                pred.probabilities.begin() +
+                    static_cast<int64_t>(i + 1) * dataset.num_classes(),
+                pooled_prob.begin() +
+                    static_cast<int64_t>(row) * dataset.num_classes());
+    }
+  }
+
+  GMP_ASSIGN_OR_RETURN(result.error_rate, ErrorRate(pooled_pred, dataset.labels()));
+  GMP_ASSIGN_OR_RETURN(
+      result.log_loss,
+      LogLoss(pooled_prob, dataset.labels(), dataset.num_classes()));
+  GMP_ASSIGN_OR_RETURN(
+      result.brier_score,
+      BrierScore(pooled_prob, dataset.labels(), dataset.num_classes()));
+  executor->SynchronizeAll();
+  result.sim_seconds = executor->NowSeconds() - sim_base;
+  return result;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,44 @@
+// Stratified k-fold cross-validation for MP-SVMs, equivalent to LibSVM's
+// svm-train -v. Each fold is held out once; the model trained on the other
+// folds predicts it. Reports accuracy and probability quality, which is how
+// practitioners choose C and gamma.
+
+#ifndef GMPSVM_CORE_CROSS_VALIDATION_H_
+#define GMPSVM_CORE_CROSS_VALIDATION_H_
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "device/executor.h"
+
+namespace gmpsvm {
+
+struct CrossValidationOptions {
+  int folds = 5;
+  uint64_t seed = 1;
+  MpTrainOptions train;
+  PredictOptions predict;
+};
+
+struct CrossValidationResult {
+  int folds = 0;
+  // Pooled over all held-out predictions.
+  double error_rate = 0.0;
+  double log_loss = 0.0;
+  double brier_score = 0.0;
+  // Per-fold held-out error rates.
+  std::vector<double> fold_errors;
+  // Total simulated seconds across all folds (train + predict).
+  double sim_seconds = 0.0;
+};
+
+// Runs k-fold CV with the GMP-SVM trainer on `executor`.
+Result<CrossValidationResult> CrossValidate(const Dataset& dataset,
+                                            const CrossValidationOptions& options,
+                                            SimExecutor* executor);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_CORE_CROSS_VALIDATION_H_

@@ -1,0 +1,68 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace gmpsvm {
+
+Result<Dataset> Dataset::Create(CsrMatrix features, std::vector<int32_t> labels,
+                                int num_classes, std::string name) {
+  if (static_cast<int64_t>(labels.size()) != features.rows()) {
+    return Status::InvalidArgument(
+        StrPrintf("label count %zu != row count %lld", labels.size(),
+                  static_cast<long long>(features.rows())));
+  }
+  int max_label = -1;
+  for (int32_t label : labels) {
+    if (label < 0) return Status::InvalidArgument("negative class label");
+    max_label = std::max(max_label, label);
+  }
+  if (num_classes == 0) num_classes = max_label + 1;
+  if (max_label >= num_classes) {
+    return Status::InvalidArgument(
+        StrPrintf("label %d out of range for %d classes", max_label, num_classes));
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("dataset needs at least 2 classes");
+  }
+
+  Dataset d;
+  d.features_ = std::move(features);
+  d.labels_ = std::move(labels);
+  d.num_classes_ = num_classes;
+  d.name_ = std::move(name);
+  d.class_rows_.resize(static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < d.labels_.size(); ++i) {
+    d.class_rows_[static_cast<size_t>(d.labels_[i])].push_back(
+        static_cast<int32_t>(i));
+  }
+  return d;
+}
+
+BinaryProblem Dataset::MakePairProblem(int s, int t, double c,
+                                       const KernelParams& kernel) const {
+  BinaryProblem p;
+  p.data = &features_;
+  const auto& rows_s = ClassRows(s);
+  const auto& rows_t = ClassRows(t);
+  p.rows.reserve(rows_s.size() + rows_t.size());
+  p.rows.insert(p.rows.end(), rows_s.begin(), rows_s.end());
+  p.rows.insert(p.rows.end(), rows_t.begin(), rows_t.end());
+  p.y.assign(rows_s.size(), int8_t{1});
+  p.y.insert(p.y.end(), rows_t.size(), int8_t{-1});
+  p.C = c;
+  p.kernel = kernel;
+  return p;
+}
+
+std::vector<std::pair<int, int>> Dataset::ClassPairs() const {
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(num_pairs()));
+  for (int s = 0; s < num_classes_; ++s) {
+    for (int t = s + 1; t < num_classes_; ++t) pairs.emplace_back(s, t);
+  }
+  return pairs;
+}
+
+}  // namespace gmpsvm

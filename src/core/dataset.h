@@ -1,0 +1,64 @@
+// Multi-class dataset: CSR features plus integer class labels in [0, k).
+// Provides the per-class row lists and pairwise binary problem views that
+// MP-SVM training decomposes into (Figure 1 of the paper).
+
+#ifndef GMPSVM_CORE_DATASET_H_
+#define GMPSVM_CORE_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kernel/kernel_function.h"
+#include "solver/svm_problem.h"
+#include "sparse/csr_matrix.h"
+
+namespace gmpsvm {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Validates labels against [0, num_classes) and row counts. num_classes of
+  // 0 means "infer as max(label)+1".
+  static Result<Dataset> Create(CsrMatrix features, std::vector<int32_t> labels,
+                                int num_classes = 0, std::string name = "");
+
+  const CsrMatrix& features() const { return features_; }
+  const std::vector<int32_t>& labels() const { return labels_; }
+  int num_classes() const { return num_classes_; }
+  int64_t size() const { return features_.rows(); }
+  int64_t dim() const { return features_.cols(); }
+  const std::string& name() const { return name_; }
+
+  // Number of pairwise binary SVMs: k(k-1)/2.
+  int num_pairs() const { return num_classes_ * (num_classes_ - 1) / 2; }
+
+  // Global row ids of one class, in dataset order (the canonical order every
+  // pairwise problem uses, which is what makes kernel-block sharing a
+  // straight segment copy).
+  const std::vector<int32_t>& ClassRows(int cls) const {
+    return class_rows_[static_cast<size_t>(cls)];
+  }
+
+  // Builds the binary problem for the class pair (s, t), s < t: class-s
+  // instances (label +1) followed by class-t instances (label -1), matching
+  // LibSVM's convention.
+  BinaryProblem MakePairProblem(int s, int t, double c,
+                                const KernelParams& kernel) const;
+
+  // Enumerates pairs in LibSVM order: (0,1), (0,2), ..., (0,k-1), (1,2), ...
+  std::vector<std::pair<int, int>> ClassPairs() const;
+
+ private:
+  CsrMatrix features_;
+  std::vector<int32_t> labels_;
+  int num_classes_ = 0;
+  std::string name_;
+  std::vector<std::vector<int32_t>> class_rows_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_CORE_DATASET_H_

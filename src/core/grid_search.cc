@@ -1,0 +1,52 @@
+#include "core/grid_search.h"
+
+#include <limits>
+
+namespace gmpsvm {
+
+Result<GridSearchResult> GridSearch(const Dataset& dataset,
+                                    const GridSearchOptions& options,
+                                    SimExecutor* executor) {
+  if (options.c_values.empty() || options.gamma_values.empty()) {
+    return Status::InvalidArgument("empty hyper-parameter grid");
+  }
+  executor->SynchronizeAll();
+  const double sim_base = executor->NowSeconds();
+
+  GridSearchResult result;
+  result.best.error_rate = std::numeric_limits<double>::infinity();
+  result.best.log_loss = std::numeric_limits<double>::infinity();
+
+  for (double c : options.c_values) {
+    for (double gamma : options.gamma_values) {
+      CrossValidationOptions cv_options;
+      cv_options.folds = options.folds;
+      cv_options.seed = options.seed;
+      cv_options.train = options.train;
+      cv_options.train.c = c;
+      cv_options.train.kernel.gamma = gamma;
+      cv_options.predict = options.predict;
+      GMP_ASSIGN_OR_RETURN(CrossValidationResult cv,
+                           CrossValidate(dataset, cv_options, executor));
+
+      GridCellResult cell;
+      cell.c = c;
+      cell.gamma = gamma;
+      cell.error_rate = cv.error_rate;
+      cell.log_loss = cv.log_loss;
+      cell.brier_score = cv.brier_score;
+      result.cells.push_back(cell);
+
+      const bool better =
+          cell.error_rate < result.best.error_rate ||
+          (cell.error_rate == result.best.error_rate &&
+           cell.log_loss < result.best.log_loss);
+      if (better) result.best = cell;
+    }
+  }
+  executor->SynchronizeAll();
+  result.sim_seconds = executor->NowSeconds() - sim_base;
+  return result;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,50 @@
+// Hyper-parameter grid search over (C, gamma) with stratified k-fold
+// cross-validation per cell — the LibSVM grid.py workflow as a library API.
+// Cells run sequentially on the executor (each cell's internal training
+// already exploits the MP-SVM-level stream concurrency).
+
+#ifndef GMPSVM_CORE_GRID_SEARCH_H_
+#define GMPSVM_CORE_GRID_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cross_validation.h"
+#include "core/dataset.h"
+#include "device/executor.h"
+
+namespace gmpsvm {
+
+struct GridSearchOptions {
+  std::vector<double> c_values = {0.1, 1.0, 10.0, 100.0};
+  std::vector<double> gamma_values = {0.01, 0.1, 1.0};
+  int folds = 5;
+  uint64_t seed = 1;
+
+  // Base training configuration; c and kernel.gamma are overwritten per cell.
+  MpTrainOptions train;
+  PredictOptions predict;
+};
+
+struct GridCellResult {
+  double c = 0.0;
+  double gamma = 0.0;
+  double error_rate = 0.0;
+  double log_loss = 0.0;
+  double brier_score = 0.0;
+};
+
+struct GridSearchResult {
+  std::vector<GridCellResult> cells;  // row-major over (c, gamma)
+  GridCellResult best;                // lowest CV error (ties: lowest log loss)
+  double sim_seconds = 0.0;
+};
+
+// Evaluates the full grid; all work is charged to `executor`.
+Result<GridSearchResult> GridSearch(const Dataset& dataset,
+                                    const GridSearchOptions& options,
+                                    SimExecutor* executor);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_CORE_GRID_SEARCH_H_

@@ -1,0 +1,90 @@
+// The trained MP-SVM model: k(k-1)/2 binary SVMs with Platt sigmoids over a
+// shared support-vector pool.
+//
+// Support-vector sharing (Section 3.3.3): a training instance can be a
+// support vector in up to k-1 binary SVMs; the pool stores its features once
+// and each binary SVM references it by pool index. This cuts model memory by
+// up to a factor of (k-1) and — because prediction computes kernel values
+// between test instances and *pool entries* — lets those kernel values be
+// computed once and shared by every SVM that references the entry.
+
+#ifndef GMPSVM_CORE_MODEL_H_
+#define GMPSVM_CORE_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kernel/kernel_function.h"
+#include "prob/platt.h"
+#include "sparse/csr_matrix.h"
+
+namespace gmpsvm {
+
+// One trained binary SVM (pair (class_s, class_t), s < t; class s plays the
+// +1 role as in LibSVM).
+struct BinarySvmEntry {
+  int class_s = 0;
+  int class_t = 0;
+
+  // Indices into the model's support-vector pool.
+  std::vector<int32_t> sv_pool_index;
+
+  // Dual coefficient y_i * alpha_i for each support vector.
+  std::vector<double> sv_coef;
+
+  // Bias b of the decision function (Equation 11).
+  double bias = 0.0;
+
+  // Platt sigmoid mapping decision values to P(class_s | {s,t}).
+  SigmoidParams sigmoid;
+
+  int64_t num_svs() const { return static_cast<int64_t>(sv_pool_index.size()); }
+};
+
+struct MpSvmModel {
+  int num_classes = 0;
+  double c = 1.0;
+  KernelParams kernel;
+
+  // Shared support-vector pool. When sharing is disabled (ablation), each
+  // SVM's vectors are appended without deduplication.
+  CsrMatrix support_vectors;
+
+  // Global dataset row id each pool entry came from (bookkeeping/tests).
+  std::vector<int32_t> pool_source_rows;
+
+  // Binary SVMs in pair order (0,1), (0,2), ..., (1,2), ...
+  std::vector<BinarySvmEntry> svms;
+
+  int num_pairs() const { return static_cast<int>(svms.size()); }
+  int64_t pool_size() const { return support_vectors.rows(); }
+
+  // Total support-vector references across SVMs (>= pool_size when shared).
+  int64_t total_sv_references() const {
+    int64_t total = 0;
+    for (const auto& svm : svms) total += svm.num_svs();
+    return total;
+  }
+
+  // Model memory footprint (pool features + coefficients + indices).
+  size_t ByteSize() const {
+    size_t bytes = support_vectors.ByteSize();
+    for (const auto& svm : svms) {
+      bytes += svm.sv_pool_index.size() * sizeof(int32_t) +
+               svm.sv_coef.size() * sizeof(double);
+    }
+    return bytes;
+  }
+
+  // Index of the pair (s, t), s < t, in `svms`.
+  int PairIndex(int s, int t) const {
+    // Pairs are enumerated (0,1)...(0,k-1),(1,2)...: offset(s) = s*k - s(s+3)/2 - 1.
+    return s * num_classes - s * (s + 3) / 2 + t - 1;
+  }
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_CORE_MODEL_H_

@@ -1,0 +1,155 @@
+#include "core/model_io.h"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "sparse/csr_matrix.h"
+
+namespace gmpsvm {
+namespace {
+
+constexpr char kMagic[] = "gmpsvm_model_v1";
+
+}  // namespace
+
+std::string SerializeModel(const MpSvmModel& model) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << "\n";
+  out << "num_classes " << model.num_classes << "\n";
+  out << "c " << model.c << "\n";
+  out << "kernel " << KernelTypeToString(model.kernel.type) << " "
+      << model.kernel.gamma << " " << model.kernel.coef0 << " "
+      << model.kernel.degree << "\n";
+  out << "pool " << model.support_vectors.rows() << " "
+      << model.support_vectors.cols() << "\n";
+  out << "svms " << model.svms.size() << "\n";
+  for (const auto& svm : model.svms) {
+    out << "svm " << svm.class_s << " " << svm.class_t << " " << svm.bias << " "
+        << svm.sigmoid.a << " " << svm.sigmoid.b << " " << svm.num_svs() << "\n";
+    for (int64_t m = 0; m < svm.num_svs(); ++m) {
+      out << svm.sv_pool_index[static_cast<size_t>(m)] << ":"
+          << svm.sv_coef[static_cast<size_t>(m)]
+          << (m + 1 < svm.num_svs() ? " " : "");
+    }
+    out << "\n";
+  }
+  out << "pool_rows";
+  for (int32_t row : model.pool_source_rows) out << " " << row;
+  out << "\n";
+  const CsrMatrix& sv = model.support_vectors;
+  for (int64_t r = 0; r < sv.rows(); ++r) {
+    const auto idx = sv.RowIndices(r);
+    const auto val = sv.RowValues(r);
+    for (size_t p = 0; p < idx.size(); ++p) {
+      out << (p > 0 ? " " : "") << idx[p] << ":" << val[p];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<MpSvmModel> DeserializeModel(const std::string& text) {
+  std::istringstream in(text);
+  std::string line, word;
+
+  auto fail = [](const std::string& what) {
+    return Status::IoError("model parse error: " + what);
+  };
+
+  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+    return fail("bad magic");
+  }
+  MpSvmModel model;
+  int64_t pool_rows = 0, pool_cols = 0;
+  size_t num_svms = 0;
+
+  {
+    std::string kernel_name;
+    if (!(in >> word >> model.num_classes) || word != "num_classes") {
+      return fail("num_classes");
+    }
+    if (!(in >> word >> model.c) || word != "c") return fail("c");
+    if (!(in >> word >> kernel_name >> model.kernel.gamma >> model.kernel.coef0 >>
+          model.kernel.degree) ||
+        word != "kernel") {
+      return fail("kernel");
+    }
+    GMP_ASSIGN_OR_RETURN(model.kernel.type, KernelTypeFromString(kernel_name));
+    if (!(in >> word >> pool_rows >> pool_cols) || word != "pool") {
+      return fail("pool");
+    }
+    if (!(in >> word >> num_svms) || word != "svms") return fail("svms");
+  }
+  if (model.num_classes < 2 || pool_rows < 0 || pool_cols < 0) {
+    return fail("bad header values");
+  }
+
+  model.svms.reserve(num_svms);
+  for (size_t s = 0; s < num_svms; ++s) {
+    BinarySvmEntry entry;
+    int64_t nsv = 0;
+    if (!(in >> word >> entry.class_s >> entry.class_t >> entry.bias >>
+          entry.sigmoid.a >> entry.sigmoid.b >> nsv) ||
+        word != "svm" || nsv < 0) {
+      return fail(StrPrintf("svm header %zu", s));
+    }
+    entry.sv_pool_index.reserve(static_cast<size_t>(nsv));
+    entry.sv_coef.reserve(static_cast<size_t>(nsv));
+    for (int64_t m = 0; m < nsv; ++m) {
+      std::string token;
+      if (!(in >> token)) return fail("sv coefficient");
+      const auto kv = SplitTokens(token, ":");
+      if (kv.size() != 2) return fail("sv coefficient format");
+      const int32_t index = static_cast<int32_t>(std::stol(std::string(kv[0])));
+      if (index < 0 || index >= pool_rows) return fail("sv index out of range");
+      entry.sv_pool_index.push_back(index);
+      entry.sv_coef.push_back(std::stod(std::string(kv[1])));
+    }
+    model.svms.push_back(std::move(entry));
+  }
+
+  if (!(in >> word) || word != "pool_rows") return fail("pool_rows");
+  model.pool_source_rows.resize(static_cast<size_t>(pool_rows));
+  for (int64_t r = 0; r < pool_rows; ++r) {
+    if (!(in >> model.pool_source_rows[static_cast<size_t>(r)])) {
+      return fail("pool_rows entries");
+    }
+  }
+  std::getline(in, line);  // consume rest of pool_rows line
+
+  CsrBuilder builder(pool_cols);
+  for (int64_t r = 0; r < pool_rows; ++r) {
+    if (!std::getline(in, line)) return fail("missing pool row");
+    std::vector<std::pair<int32_t, double>> entries;
+    for (const auto token : SplitTokens(StripWhitespace(line), " ")) {
+      const auto kv = SplitTokens(token, ":");
+      if (kv.size() != 2) return fail("pool row token");
+      entries.emplace_back(static_cast<int32_t>(std::stol(std::string(kv[0]))),
+                           std::stod(std::string(kv[1])));
+    }
+    builder.AddRowUnsorted(std::move(entries));
+  }
+  GMP_ASSIGN_OR_RETURN(model.support_vectors, builder.Finish());
+  return model;
+}
+
+Status SaveModel(const MpSvmModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << SerializeModel(model);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<MpSvmModel> LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeModel(buffer.str());
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,27 @@
+// Text serialization for MpSvmModel, in the spirit of LibSVM model files
+// but with the shared support-vector pool stored once and referenced by
+// index from each binary SVM.
+
+#ifndef GMPSVM_CORE_MODEL_IO_H_
+#define GMPSVM_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace gmpsvm {
+
+// Serializes the model to its text format.
+std::string SerializeModel(const MpSvmModel& model);
+
+// Parses a model from text; validates structure and index ranges.
+Result<MpSvmModel> DeserializeModel(const std::string& text);
+
+// File wrappers.
+Status SaveModel(const MpSvmModel& model, const std::string& path);
+Result<MpSvmModel> LoadModel(const std::string& path);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_CORE_MODEL_IO_H_

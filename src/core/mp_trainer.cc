@@ -1,0 +1,288 @@
+#include "core/mp_trainer.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "core/shared_blocks.h"
+#include "core/sigmoid_cv.h"
+#include "prob/pairwise_coupling.h"
+
+namespace gmpsvm {
+namespace {
+
+// Accumulates trained binary SVMs into a model with (optionally deduplicated)
+// support-vector pool.
+class ModelBuilder {
+ public:
+  ModelBuilder(const Dataset* dataset, const MpTrainOptions& options)
+      : dataset_(dataset), options_(options) {
+    model_.num_classes = dataset->num_classes();
+    model_.c = options.c;
+    model_.kernel = options.kernel;
+  }
+
+  void AddBinarySvm(int s, int t, const BinaryProblem& problem,
+                    const BinarySolution& solution, const SigmoidParams& sigmoid) {
+    BinarySvmEntry entry;
+    entry.class_s = s;
+    entry.class_t = t;
+    entry.bias = solution.bias;
+    entry.sigmoid = sigmoid;
+    for (int64_t i = 0; i < problem.n(); ++i) {
+      const double a = solution.alpha[static_cast<size_t>(i)];
+      if (a <= 0.0) continue;
+      const int32_t global_row = problem.rows[static_cast<size_t>(i)];
+      entry.sv_pool_index.push_back(PoolIndex(global_row));
+      entry.sv_coef.push_back(a * problem.y[static_cast<size_t>(i)]);
+    }
+    model_.svms.push_back(std::move(entry));
+  }
+
+  MpSvmModel Finish() {
+    model_.support_vectors = dataset_->features().SelectRows(pool_rows_);
+    model_.pool_source_rows = std::move(pool_rows_);
+    return std::move(model_);
+  }
+
+ private:
+  int32_t PoolIndex(int32_t global_row) {
+    if (options_.share_support_vectors) {
+      auto [it, inserted] =
+          pool_map_.try_emplace(global_row, static_cast<int32_t>(pool_rows_.size()));
+      if (inserted) pool_rows_.push_back(global_row);
+      return it->second;
+    }
+    pool_rows_.push_back(global_row);
+    return static_cast<int32_t>(pool_rows_.size() - 1);
+  }
+
+  const Dataset* dataset_;
+  const MpTrainOptions& options_;
+  MpSvmModel model_;
+  std::vector<int32_t> pool_rows_;
+  std::unordered_map<int32_t, int32_t> pool_map_;
+};
+
+// Decision values on the training instances come for free from the final
+// optimality indicators: v_i = f_i + y_i + b (Equation 3 vs Equation 11).
+std::vector<double> TrainingDecisionValues(const BinaryProblem& problem,
+                                           const BinarySolution& solution) {
+  std::vector<double> v(solution.f.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = solution.f[i] + static_cast<double>(problem.y[i]) + solution.bias;
+  }
+  return v;
+}
+
+void FillReport(SimExecutor* executor, double sim_base,
+                const ExecutorCounters& counters_base, const Stopwatch& wall,
+                MpTrainReport* report) {
+  if (report == nullptr) return;
+  report->sim_seconds = executor->NowSeconds() - sim_base;
+  report->wall_seconds = wall.ElapsedSeconds();
+  report->kernel_values_computed =
+      executor->counters().kernel_values_computed - counters_base.kernel_values_computed;
+  report->kernel_values_reused =
+      executor->counters().kernel_values_reused - counters_base.kernel_values_reused;
+  report->peak_device_bytes = executor->counters().peak_bytes_in_use;
+}
+
+}  // namespace
+
+Result<MpSvmModel> SequentialMpTrainer::Train(const Dataset& dataset,
+                                              SimExecutor* executor,
+                                              MpTrainReport* report) const {
+  if (!options_.class_weights.empty() &&
+      options_.class_weights.size() != static_cast<size_t>(dataset.num_classes())) {
+    return Status::InvalidArgument("class_weights size must equal num_classes");
+  }
+  Stopwatch wall;
+  executor->SynchronizeAll();
+  const double sim_base = executor->NowSeconds();
+  const ExecutorCounters counters_base = executor->counters();
+
+  // Ship the training data to the device once.
+  executor->Transfer(kDefaultStream, static_cast<double>(dataset.features().ByteSize()),
+                     TransferDirection::kHostToDevice);
+
+  KernelComputer computer(&dataset.features(), options_.kernel);
+  SmoSolver solver(options_.smo);
+  ModelBuilder builder(&dataset, options_);
+
+  for (const auto& [s, t] : dataset.ClassPairs()) {
+    BinaryProblem problem = dataset.MakePairProblem(s, t, options_.c, options_.kernel);
+    if (!options_.class_weights.empty()) {
+      problem.weight_pos = options_.class_weights[static_cast<size_t>(s)];
+      problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
+    }
+    SolverStats stats;
+    GMP_ASSIGN_OR_RETURN(
+        BinarySolution solution,
+        solver.Solve(problem, computer, executor, kDefaultStream, &stats));
+
+    std::vector<double> v;
+    if (options_.sigmoid_cv_folds >= 2) {
+      SmoSolver cv_solver(options_.smo);
+      GMP_ASSIGN_OR_RETURN(
+          v, CrossValidatedDecisionValues(
+                 problem, computer,
+                 [&](const BinaryProblem& sub, SimExecutor* exec, StreamId str) {
+                   return cv_solver.Solve(sub, computer, exec, str, nullptr);
+                 },
+                 options_.sigmoid_cv_folds, /*seed=*/1u, executor,
+                 kDefaultStream));
+    } else {
+      v = TrainingDecisionValues(problem, solution);
+    }
+    const double sigmoid_t0 = executor->StreamTime(kDefaultStream);
+    GMP_ASSIGN_OR_RETURN(
+        SigmoidParams sigmoid,
+        FitSigmoid(v, problem.y, options_.platt, executor, kDefaultStream,
+                   /*parallel_candidates=*/1));
+    if (report != nullptr) {
+      report->phases.Add("sigmoid",
+                         executor->StreamTime(kDefaultStream) - sigmoid_t0);
+      report->solver.Merge(stats);
+      report->phases.Merge(stats.phases);
+    }
+    builder.AddBinarySvm(s, t, problem, solution, sigmoid);
+  }
+
+  executor->SynchronizeAll();
+  FillReport(executor, sim_base, counters_base, wall, report);
+  return builder.Finish();
+}
+
+Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
+                                        SimExecutor* executor,
+                                        MpTrainReport* report) const {
+  if (!options_.class_weights.empty() &&
+      options_.class_weights.size() != static_cast<size_t>(dataset.num_classes())) {
+    return Status::InvalidArgument("class_weights size must equal num_classes");
+  }
+  Stopwatch wall;
+  executor->SynchronizeAll();
+  const double sim_base = executor->NowSeconds();
+  const ExecutorCounters counters_base = executor->counters();
+
+  executor->Transfer(kDefaultStream, static_cast<double>(dataset.features().ByteSize()),
+                     TransferDirection::kHostToDevice);
+
+  KernelComputer computer(&dataset.features(), options_.kernel);
+  BatchSmoSolver solver(options_.batch);
+  ModelBuilder builder(&dataset, options_);
+
+  // Shared block cache lives across the whole run so later pairs reuse
+  // earlier pairs' class segments.
+  std::unique_ptr<SharedBlockCache> cache;
+  if (options_.share_kernel_blocks) {
+    cache = std::make_unique<SharedBlockCache>(&dataset, &computer,
+                                               options_.shared_cache_bytes, executor);
+  }
+
+  const auto pairs = dataset.ClassPairs();
+
+  // Greedily pack pairs into concurrent groups under the memory budget:
+  // each pair needs its kernel buffer (ws * n_pair doubles) on the device.
+  const int64_t ws_rows = std::max(2, options_.batch.working_set.ws_size);
+  const size_t budget = executor->memory_budget();
+  std::vector<std::vector<size_t>> groups;  // indices into `pairs`
+  {
+    std::vector<size_t> current;
+    size_t current_bytes = 0;
+    const size_t usable = budget > executor->bytes_in_use()
+                              ? (budget - executor->bytes_in_use()) * 6 / 10
+                              : 0;
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const auto& [s, t] = pairs[p];
+      const int64_t n_pair =
+          static_cast<int64_t>(dataset.ClassRows(s).size() +
+                               dataset.ClassRows(t).size());
+      const size_t need = static_cast<size_t>(std::min<int64_t>(ws_rows, n_pair) *
+                                              n_pair) *
+                          sizeof(double);
+      const bool full = !current.empty() &&
+                        (static_cast<int>(current.size()) >=
+                             std::max(1, options_.max_concurrent_svms) ||
+                         current_bytes + need > usable);
+      if (full) {
+        groups.push_back(std::move(current));
+        current.clear();
+        current_bytes = 0;
+      }
+      current.push_back(p);
+      current_bytes += need;
+    }
+    if (!current.empty()) groups.push_back(std::move(current));
+  }
+
+  for (const auto& group : groups) {
+    // One stream per pair in the group, each owning an equal share of SMs
+    // (the paper caps SMs per binary SVM to enable concurrency).
+    const double share = 1.0 / static_cast<double>(group.size());
+    std::vector<StreamId> streams;
+    streams.reserve(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      streams.push_back(executor->CreateStream(share));
+    }
+
+    for (size_t gi = 0; gi < group.size(); ++gi) {
+      const auto& [s, t] = pairs[group[gi]];
+      const StreamId stream = streams[gi];
+      BinaryProblem problem =
+          dataset.MakePairProblem(s, t, options_.c, options_.kernel);
+      if (!options_.class_weights.empty()) {
+        problem.weight_pos = options_.class_weights[static_cast<size_t>(s)];
+        problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
+      }
+
+      SolverStats stats;
+      BinarySolution solution;
+      if (cache != nullptr) {
+        SharedRowSource source(&problem, s, t, cache.get(), &computer);
+        GMP_ASSIGN_OR_RETURN(
+            solution,
+            solver.Solve(problem, computer, &source, executor, stream, &stats));
+      } else {
+        GMP_ASSIGN_OR_RETURN(
+            solution, solver.Solve(problem, computer, executor, stream, &stats));
+      }
+
+      // Concurrent sigmoid fitting on the pair's own stream, with parallel
+      // candidate evaluation (Section 3.3.2).
+      std::vector<double> v;
+      if (options_.sigmoid_cv_folds >= 2) {
+        GMP_ASSIGN_OR_RETURN(
+            v, CrossValidatedDecisionValues(
+                   problem, computer,
+                   [&](const BinaryProblem& sub, SimExecutor* exec, StreamId str) {
+                     return solver.Solve(sub, computer, exec, str, nullptr);
+                   },
+                   options_.sigmoid_cv_folds, /*seed=*/1u, executor, stream));
+      } else {
+        v = TrainingDecisionValues(problem, solution);
+      }
+      const double sigmoid_t0 = executor->StreamTime(stream);
+      GMP_ASSIGN_OR_RETURN(
+          SigmoidParams sigmoid,
+          FitSigmoid(v, problem.y, options_.platt, executor, stream,
+                     options_.platt_parallel_candidates));
+      if (report != nullptr) {
+        report->phases.Add("sigmoid", executor->StreamTime(stream) - sigmoid_t0);
+        report->solver.Merge(stats);
+        report->phases.Merge(stats.phases);
+      }
+      builder.AddBinarySvm(s, t, problem, solution, sigmoid);
+    }
+    // Barrier between groups: buffers are reclaimed before the next group.
+    executor->SynchronizeAll();
+  }
+
+  executor->SynchronizeAll();
+  FillReport(executor, sim_base, counters_base, wall, report);
+  return builder.Finish();
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,246 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "kernel/kernel_computer.h"
+
+namespace gmpsvm {
+namespace {
+
+// r-matrix layout helper: one k*k block per instance in the tile.
+inline double& RAt(std::vector<double>& r, int k, int64_t i, int s, int t) {
+  return r[(static_cast<size_t>(i) * k + s) * k + t];
+}
+
+}  // namespace
+
+Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
+                                              SimExecutor* executor,
+                                              const PredictOptions& options) const {
+  const MpSvmModel& model = *model_;
+  const int k = model.num_classes;
+  const int64_t n = test.rows();
+  const int64_t pool = model.pool_size();
+  if (k < 2 || model.svms.empty()) {
+    return Status::FailedPrecondition("model is empty");
+  }
+  if (test.cols() != model.support_vectors.cols()) {
+    return Status::InvalidArgument("test dimensionality mismatch with model");
+  }
+
+  Stopwatch wall;
+  executor->SynchronizeAll();
+  const double sim_base = executor->NowSeconds();
+
+  PredictResult result;
+  result.num_instances = n;
+  result.num_classes = k;
+  result.probabilities.assign(static_cast<size_t>(n) * k, 0.0);
+  result.labels.assign(static_cast<size_t>(n), 0);
+  if (n == 0) return result;
+
+  // Ship test data and model to the device.
+  executor->Transfer(kDefaultStream,
+                     static_cast<double>(test.ByteSize() + model.ByteSize()),
+                     TransferDirection::kHostToDevice);
+
+  KernelComputer computer(&test, &model.support_vectors, model.kernel);
+
+  // Tile size: the shared kernel block (tile x pool doubles) should use at
+  // most ~1/4 of the remaining device memory.
+  int64_t tile_rows = options.tile_rows;
+  if (tile_rows <= 0) {
+    const size_t free_bytes = executor->memory_budget() > executor->bytes_in_use()
+                                  ? executor->memory_budget() - executor->bytes_in_use()
+                                  : 0;
+    tile_rows = static_cast<int64_t>(
+        free_bytes / 4 / (sizeof(double) * std::max<int64_t>(1, pool)));
+    tile_rows = std::clamp<int64_t>(tile_rows, 1, n);
+  }
+
+  std::vector<int32_t> pool_rows(static_cast<size_t>(pool));
+  std::iota(pool_rows.begin(), pool_rows.end(), 0);
+
+  const bool voting = options.decision == PredictOptions::Decision::kVoting;
+
+  // Streams for concurrent binary-SVM evaluation, created once and reused
+  // across tiles (SynchronizeAll at each tile boundary keeps them ordered).
+  const int group = options.concurrent_svms
+                        ? std::clamp(options.max_concurrent_svms, 1, model.num_pairs())
+                        : 1;
+  std::vector<StreamId> streams;
+  streams.reserve(static_cast<size_t>(group));
+  for (int gi = 0; gi < group; ++gi) {
+    streams.push_back(executor->CreateStream(1.0 / group));
+  }
+
+  std::vector<double> kblock;    // tile x pool (shared path)
+  std::vector<double> kpair;     // tile x max_svs (per-SVM path)
+  std::vector<double> r;         // tile x k x k local probabilities
+  std::vector<double> p;         // tile x k coupled probabilities
+  std::vector<double> votes;     // tile x k (voting mode)
+  std::vector<int32_t> tile_ids;
+
+  for (int64_t tile_begin = 0; tile_begin < n; tile_begin += tile_rows) {
+    const int64_t tile_end = std::min(tile_begin + tile_rows, n);
+    const int64_t tile = tile_end - tile_begin;
+    tile_ids.resize(static_cast<size_t>(tile));
+    std::iota(tile_ids.begin(), tile_ids.end(), static_cast<int32_t>(tile_begin));
+
+    r.assign(static_cast<size_t>(tile) * k * k, 0.0);
+    if (voting) votes.assign(static_cast<size_t>(tile) * k, 0.0);
+    // Diagonal-free r: set r_st + r_ts = 1 with r_ss unused.
+
+    DeviceAllocation block_reservation;
+    if (options.share_kernel_values) {
+      // One batched product for the whole tile against the shared SV pool.
+      GMP_ASSIGN_OR_RETURN(
+          block_reservation,
+          executor->Allocate(static_cast<size_t>(tile * pool) * sizeof(double)));
+      kblock.resize(static_cast<size_t>(tile * pool));
+      const double t0 = executor->StreamTime(kDefaultStream);
+      computer.ComputeBlock(tile_ids, pool_rows, executor, kDefaultStream,
+                            kblock.data());
+      result.phases.Add("decision_values",
+                        executor->StreamTime(kDefaultStream) - t0);
+      // Every further SV reference reuses these values.
+      executor->counters().kernel_values_reused +=
+          model.total_sv_references() * tile - static_cast<int64_t>(pool) * tile;
+    }
+
+    // Decision values + sigmoid per binary SVM, optionally concurrent; each
+    // stream waits for this tile's shared kernel block.
+    for (StreamId stream : streams) {
+      executor->StreamWait(stream, kDefaultStream);
+    }
+
+    for (size_t pi = 0; pi < model.svms.size(); ++pi) {
+      const BinarySvmEntry& svm = model.svms[pi];
+      const StreamId stream = streams[pi % static_cast<size_t>(group)];
+      const int64_t nsv = svm.num_svs();
+
+      const double t0 = executor->StreamTime(stream);
+      std::vector<double> v(static_cast<size_t>(tile), svm.bias);
+      if (options.share_kernel_values) {
+        // Gather from the shared block.
+        for (int64_t i = 0; i < tile; ++i) {
+          const double* krow = kblock.data() + i * pool;
+          double acc = 0.0;
+          for (int64_t m = 0; m < nsv; ++m) {
+            acc += svm.sv_coef[static_cast<size_t>(m)] *
+                   krow[svm.sv_pool_index[static_cast<size_t>(m)]];
+          }
+          v[static_cast<size_t>(i)] += acc;
+        }
+        TaskCost cost;
+        cost.parallel_items = tile;
+        cost.flops = 2.0 * static_cast<double>(tile * nsv);
+        cost.bytes_read = static_cast<double>(tile * nsv) *
+                          (sizeof(double) + sizeof(int32_t));
+        executor->Charge(stream, cost);
+      } else {
+        // Per-SVM kernel computation: recompute K(test_tile, its SVs).
+        kpair.resize(static_cast<size_t>(tile * std::max<int64_t>(1, nsv)));
+        if (nsv > 0) {
+          computer.ComputeBlock(tile_ids, svm.sv_pool_index, executor, stream,
+                                kpair.data());
+          for (int64_t i = 0; i < tile; ++i) {
+            const double* krow = kpair.data() + i * nsv;
+            double acc = 0.0;
+            for (int64_t m = 0; m < nsv; ++m) {
+              acc += svm.sv_coef[static_cast<size_t>(m)] * krow[m];
+            }
+            v[static_cast<size_t>(i)] += acc;
+          }
+          TaskCost cost;
+          cost.parallel_items = tile;
+          cost.flops = 2.0 * static_cast<double>(tile * nsv);
+          cost.bytes_read = static_cast<double>(tile * nsv) * sizeof(double);
+          executor->Charge(stream, cost);
+        }
+      }
+      result.phases.Add("decision_values", executor->StreamTime(stream) - t0);
+
+      if (voting) {
+        // LibSVM's plain multi-class rule: sign of the decision value votes.
+        for (int64_t i = 0; i < tile; ++i) {
+          const int winner =
+              v[static_cast<size_t>(i)] >= 0 ? svm.class_s : svm.class_t;
+          votes[static_cast<size_t>(i) * k + winner] += 1.0;
+        }
+        TaskCost vote_cost;
+        vote_cost.parallel_items = tile;
+        vote_cost.flops = 2.0 * static_cast<double>(tile);
+        executor->Charge(stream, vote_cost);
+      } else {
+        // Local probabilities (Equation 12).
+        const double t1 = executor->StreamTime(stream);
+        for (int64_t i = 0; i < tile; ++i) {
+          const double prob_s = svm.sigmoid.Probability(v[static_cast<size_t>(i)]);
+          RAt(r, k, i, svm.class_s, svm.class_t) = prob_s;
+          RAt(r, k, i, svm.class_t, svm.class_s) = 1.0 - prob_s;
+        }
+        TaskCost sigmoid_cost;
+        sigmoid_cost.parallel_items = tile;
+        sigmoid_cost.flops = 10.0 * static_cast<double>(tile);
+        sigmoid_cost.bytes_read = static_cast<double>(tile) * sizeof(double);
+        executor->Charge(stream, sigmoid_cost);
+        result.phases.Add("sigmoid", executor->StreamTime(stream) - t1);
+      }
+    }
+
+    // Coupling (or vote counting) waits for all SVM streams.
+    for (StreamId s : streams) executor->StreamWait(kDefaultStream, s);
+    if (voting) {
+      const int num_pairs = model.num_pairs();
+      for (int64_t i = 0; i < tile; ++i) {
+        const double* vi = votes.data() + i * k;
+        double* out_row = result.probabilities.data() + (tile_begin + i) * k;
+        for (int c2 = 0; c2 < k; ++c2) out_row[c2] = vi[c2] / num_pairs;
+        result.labels[static_cast<size_t>(tile_begin + i)] =
+            static_cast<int32_t>(std::max_element(vi, vi + k) - vi);
+      }
+    } else {
+      const double t2 = executor->StreamTime(kDefaultStream);
+      p.resize(static_cast<size_t>(tile) * k);
+      GMP_RETURN_NOT_OK(CoupleBatch(r, k, tile, options.coupling, executor,
+                                    kDefaultStream, p.data()));
+      result.phases.Add("coupling", executor->StreamTime(kDefaultStream) - t2);
+
+      for (int64_t i = 0; i < tile; ++i) {
+        const double* pi_row = p.data() + i * k;
+        double* out_row = result.probabilities.data() + (tile_begin + i) * k;
+        std::copy(pi_row, pi_row + k, out_row);
+        result.labels[static_cast<size_t>(tile_begin + i)] = static_cast<int32_t>(
+            std::max_element(pi_row, pi_row + k) - pi_row);
+      }
+    }
+    executor->SynchronizeAll();
+  }
+
+  result.sim_seconds = executor->NowSeconds() - sim_base;
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+
+Result<std::vector<double>> MpSvmPredictor::PredictOne(
+    std::span<const int32_t> indices, std::span<const double> values,
+    SimExecutor* executor) const {
+  if (indices.size() != values.size()) {
+    return Status::InvalidArgument("indices/values size mismatch");
+  }
+  CsrBuilder builder(model_->support_vectors.cols());
+  builder.AddRow(indices, values);
+  GMP_ASSIGN_OR_RETURN(CsrMatrix one, builder.Finish());
+  PredictOptions options;
+  options.concurrent_svms = false;  // one instance cannot feed many streams
+  GMP_ASSIGN_OR_RETURN(PredictResult result, Predict(one, executor, options));
+  std::vector<double> p(result.probabilities.begin(),
+                        result.probabilities.begin() + model_->num_classes);
+  return p;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,103 @@
+// MP-SVM probability prediction (Sections 3.2 Phase (iii) and 3.3.3).
+//
+// Pipeline per tile of test instances:
+//   1. decision values v = sum_m coef_m K(x, sv_m) + b for every binary SVM
+//      (Equation 11);
+//   2. local probabilities r_st = sigmoid_st(v) (Equation 12);
+//   3. multi-class coupling (Equation 14/15).
+//
+// Two kernel-value strategies:
+//   * shared (GMP-SVM): compute K(test_tile, SV_pool) ONCE; every binary SVM
+//     gathers the values of its support vectors from that block. A support
+//     vector referenced by k-1 SVMs costs one kernel evaluation instead of
+//     k-1 (support-vector + kernel-value sharing).
+//   * per-SVM (GPU baseline): each binary SVM recomputes kernel values for
+//     its own support-vector list, one SVM at a time.
+// Tiles are sized so the kernel block fits the device-memory budget.
+
+#ifndef GMPSVM_CORE_PREDICTOR_H_
+#define GMPSVM_CORE_PREDICTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/model.h"
+#include "device/executor.h"
+#include "prob/pairwise_coupling.h"
+#include "sparse/csr_matrix.h"
+
+namespace gmpsvm {
+
+struct PredictOptions {
+  // How the final label is produced:
+  //   kProbability — sigmoid + pairwise coupling, label = argmax p (the
+  //                  MP-SVM path; probabilities are calibrated);
+  //   kVoting      — LibSVM's plain multi-class rule: each binary SVM votes
+  //                  by the sign of its decision value; probabilities are
+  //                  reported as vote fractions (NOT calibrated).
+  enum class Decision { kProbability, kVoting };
+  Decision decision = Decision::kProbability;
+
+  // Shared kernel-value strategy (GMP-SVM) vs per-SVM recomputation
+  // (GPU baseline / ablation).
+  bool share_kernel_values = true;
+
+  // Evaluate the binary SVMs' decision values concurrently on SM-capped
+  // streams (GMP) or sequentially (baseline).
+  bool concurrent_svms = true;
+  int max_concurrent_svms = 8;
+
+  // Test instances per tile; 0 sizes tiles from the memory budget.
+  int64_t tile_rows = 0;
+
+  CouplingOptions coupling;
+};
+
+struct PredictResult {
+  int64_t num_instances = 0;
+  int num_classes = 0;
+
+  // Row-major num_instances x num_classes coupled probabilities.
+  std::vector<double> probabilities;
+
+  // argmax-probability class per instance.
+  std::vector<int32_t> labels;
+
+  // Simulated seconds for the whole prediction.
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  // Attribution: "decision_values", "sigmoid", "coupling" (Figure 12).
+  PhaseTimer phases;
+
+  double Probability(int64_t instance, int cls) const {
+    return probabilities[static_cast<size_t>(instance) * num_classes + cls];
+  }
+};
+
+class MpSvmPredictor {
+ public:
+  // The model must outlive the predictor.
+  explicit MpSvmPredictor(const MpSvmModel* model) : model_(model) {}
+
+  // Predicts coupled probabilities for every row of `test`.
+  Result<PredictResult> Predict(const CsrMatrix& test, SimExecutor* executor,
+                                const PredictOptions& options) const;
+
+  // Convenience single-instance path: `indices`/`values` are the sparse
+  // features (0-based, strictly increasing). Returns the k coupled
+  // probabilities. Batch Predict() amortizes far better; use this for
+  // interactive/online settings.
+  Result<std::vector<double>> PredictOne(std::span<const int32_t> indices,
+                                         std::span<const double> values,
+                                         SimExecutor* executor) const;
+
+ private:
+  const MpSvmModel* model_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_CORE_PREDICTOR_H_

@@ -1,0 +1,156 @@
+#include "core/shared_blocks.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gmpsvm {
+
+SharedBlockCache::SharedBlockCache(const Dataset* dataset,
+                                   const KernelComputer* computer,
+                                   size_t budget_bytes, SimExecutor* executor)
+    : dataset_(dataset), computer_(computer), budget_bytes_(budget_bytes),
+      executor_(executor) {
+  // Reserve the cache region on the device up front, like the baseline's
+  // fixed cache slice; halve until it fits alongside other reservations.
+  while (budget_bytes_ > (1u << 20)) {
+    auto reservation = executor_->Allocate(budget_bytes_);
+    if (reservation.ok()) {
+      reservation_ = std::move(reservation).value();
+      return;
+    }
+    budget_bytes_ /= 2;
+  }
+}
+
+std::span<const double> SharedBlockCache::Lookup(int32_t global_row, int cls) {
+  auto it = index_.find(Key{global_row, cls});
+  if (it == index_.end()) return {};
+  return it->second;
+}
+
+void SharedBlockCache::PinPairs(std::span<const int32_t> global_rows, int cls_a,
+                                int cls_b) {
+  pinned_.clear();
+  for (int32_t g : global_rows) {
+    pinned_.insert(PackKey(Key{g, cls_a}));
+    pinned_.insert(PackKey(Key{g, cls_b}));
+  }
+}
+
+void SharedBlockCache::EvictUntilFits(size_t incoming_bytes) {
+  size_t scanned = 0;
+  while (bytes_used_ + incoming_bytes > budget_bytes_ && !fifo_.empty() &&
+         scanned < fifo_.size() + 1) {
+    Key victim = fifo_.front();
+    fifo_.pop_front();
+    ++scanned;
+    if (pinned_.count(PackKey(victim)) != 0) {
+      fifo_.push_back(victim);
+      continue;
+    }
+    auto it = index_.find(victim);
+    if (it == index_.end()) continue;  // already gone
+    bytes_used_ -= it->second.size() * sizeof(double);
+    index_.erase(it);
+    scanned = 0;  // progress made; rescan allowance resets
+  }
+}
+
+Status SharedBlockCache::Ensure(std::span<const int32_t> global_rows, int cls,
+                                SimExecutor* executor, StreamId stream) {
+  const auto& class_rows = dataset_->ClassRows(cls);
+  const size_t seg_len = class_rows.size();
+  if (seg_len == 0) return Status::OK();
+
+  std::vector<int32_t> missing;
+  for (int32_t g : global_rows) {
+    const Key key{g, cls};
+    if (index_.count(key) != 0) {
+      ++hits_;
+      executor->counters().kernel_values_reused += static_cast<int64_t>(seg_len);
+    } else {
+      ++misses_;
+      missing.push_back(g);
+    }
+  }
+  if (missing.empty()) return Status::OK();
+
+  const size_t incoming = missing.size() * seg_len * sizeof(double);
+  if (incoming > budget_bytes_) {
+    return Status::FailedPrecondition(
+        "shared block cache budget too small for one batch");
+  }
+  EvictUntilFits(incoming);
+  if (bytes_used_ + incoming > budget_bytes_) {
+    return Status::FailedPrecondition(
+        "shared block cache cannot fit batch: too many pinned segments");
+  }
+
+  // One batched product for all missing segments of this class.
+  std::vector<double> scratch(missing.size() * seg_len);
+  computer_->ComputeBlock(missing, class_rows, executor, stream, scratch.data());
+  for (size_t m = 0; m < missing.size(); ++m) {
+    const Key key{missing[m], cls};
+    std::vector<double> seg(scratch.begin() + static_cast<int64_t>(m * seg_len),
+                            scratch.begin() + static_cast<int64_t>((m + 1) * seg_len));
+    bytes_used_ += seg.size() * sizeof(double);
+    index_.emplace(key, std::move(seg));
+    fifo_.push_back(key);
+  }
+  return Status::OK();
+}
+
+void SharedRowSource::ComputeRows(std::span<const int32_t> local_rows,
+                                  std::span<double* const> dest,
+                                  SimExecutor* executor, StreamId stream) {
+  if (local_rows.empty()) return;
+  globals_.resize(local_rows.size());
+  for (size_t k = 0; k < local_rows.size(); ++k) {
+    globals_[k] = problem_->rows[static_cast<size_t>(local_rows[k])];
+  }
+
+  // Pin this round's segments of BOTH classes, then make them resident: the
+  // class-t insertions must not evict class-s hits that were cached long ago
+  // (and so sit near the FIFO front). Falls back to an unshared direct
+  // computation when the budget cannot hold one round.
+  cache_->PinPairs(globals_, class_s_, class_t_);
+  Status st = cache_->Ensure(globals_, class_s_, executor, stream);
+  if (st.ok()) st = cache_->Ensure(globals_, class_t_, executor, stream);
+  if (!st.ok()) {
+    GMP_LOG(Warning) << "shared block cache fallback: " << st.ToString();
+    fallback_.ComputeRows(local_rows, dest, executor, stream);
+    return;
+  }
+
+  // The second Ensure can, under a tight budget, evict segments the first
+  // one just stored (it only pins its own class). Verify everything is still
+  // resident before assembling; otherwise compute the batch directly.
+  for (size_t k = 0; k < local_rows.size(); ++k) {
+    if (cache_->Lookup(globals_[k], class_s_).size() != class_s_count_ ||
+        cache_->Lookup(globals_[k], class_t_).size() !=
+            static_cast<size_t>(problem_->n()) - class_s_count_) {
+      GMP_LOG(Warning) << "shared block cache thrashing; computing batch directly";
+      fallback_.ComputeRows(local_rows, dest, executor, stream);
+      return;
+    }
+  }
+
+  // Assemble: dest row = [K(g, X_s) | K(g, X_t)] in problem-local order
+  // (the problem's first class_s_count_ instances are class s, the rest t).
+  double copied = 0.0;
+  for (size_t k = 0; k < local_rows.size(); ++k) {
+    auto seg_s = cache_->Lookup(globals_[k], class_s_);
+    auto seg_t = cache_->Lookup(globals_[k], class_t_);
+    std::memcpy(dest[k], seg_s.data(), seg_s.size() * sizeof(double));
+    std::memcpy(dest[k] + seg_s.size(), seg_t.data(), seg_t.size() * sizeof(double));
+    copied += static_cast<double>(seg_s.size() + seg_t.size());
+  }
+  TaskCost copy_cost;
+  copy_cost.parallel_items = static_cast<int64_t>(copied);
+  copy_cost.bytes_read = copied * sizeof(double);
+  copy_cost.bytes_written = copied * sizeof(double);
+  executor->Charge(stream, copy_cost);
+}
+
+}  // namespace gmpsvm

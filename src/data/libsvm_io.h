@@ -1,0 +1,39 @@
+// Reader/writer for the LibSVM sparse text format:
+//   <label> <index>:<value> <index>:<value> ...
+// with 1-based, strictly increasing feature indices. The reader remaps
+// arbitrary integer labels onto [0, k) and records the mapping so models can
+// report the original labels.
+
+#ifndef GMPSVM_DATA_LIBSVM_IO_H_
+#define GMPSVM_DATA_LIBSVM_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace gmpsvm {
+
+struct LibsvmFile {
+  Dataset dataset;
+  // Original label value for each class id (class id = position).
+  std::vector<int32_t> label_values;
+};
+
+// Parses a LibSVM-format file. `min_dim` pads the feature space (useful when
+// train/test files disagree on the max index).
+Result<LibsvmFile> ReadLibsvmFile(const std::string& path, int64_t min_dim = 0);
+
+// Parses LibSVM-format text from a string (testing and embedding).
+Result<LibsvmFile> ParseLibsvm(const std::string& content, int64_t min_dim = 0,
+                               const std::string& name = "");
+
+// Writes a dataset in LibSVM format; labels are written as the dataset's
+// class ids unless `label_values` supplies originals.
+Status WriteLibsvmFile(const std::string& path, const Dataset& dataset,
+                       const std::vector<int32_t>& label_values = {});
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_DATA_LIBSVM_IO_H_

@@ -1,0 +1,88 @@
+#include "data/scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gmpsvm {
+
+Result<FeatureScaler> FeatureScaler::Fit(const CsrMatrix& data, Mode mode,
+                                         double lo, double hi) {
+  if (data.rows() == 0) return Status::InvalidArgument("empty matrix");
+  if (mode == Mode::kMinMax && lo >= hi) {
+    return Status::InvalidArgument("lo must be < hi");
+  }
+  const size_t dim = static_cast<size_t>(data.cols());
+
+  FeatureScaler scaler;
+  scaler.mode_ = mode;
+  scaler.offset_.assign(dim, 0.0);
+  scaler.factor_.assign(dim, 1.0);
+
+  if (mode == Mode::kMinMax) {
+    std::vector<double> fmin(dim, std::numeric_limits<double>::infinity());
+    std::vector<double> fmax(dim, -std::numeric_limits<double>::infinity());
+    for (int64_t r = 0; r < data.rows(); ++r) {
+      const auto idx = data.RowIndices(r);
+      const auto val = data.RowValues(r);
+      for (size_t p = 0; p < idx.size(); ++p) {
+        fmin[static_cast<size_t>(idx[p])] =
+            std::min(fmin[static_cast<size_t>(idx[p])], val[p]);
+        fmax[static_cast<size_t>(idx[p])] =
+            std::max(fmax[static_cast<size_t>(idx[p])], val[p]);
+      }
+    }
+    for (size_t f = 0; f < dim; ++f) {
+      if (!std::isfinite(fmin[f]) || fmax[f] == fmin[f]) continue;  // unseen/const
+      scaler.offset_[f] = fmin[f] - lo * (fmax[f] - fmin[f]) / (hi - lo);
+      scaler.factor_[f] = (hi - lo) / (fmax[f] - fmin[f]);
+    }
+  } else {
+    std::vector<double> sum(dim, 0.0), sumsq(dim, 0.0);
+    std::vector<int64_t> count(dim, 0);
+    for (int64_t r = 0; r < data.rows(); ++r) {
+      const auto idx = data.RowIndices(r);
+      const auto val = data.RowValues(r);
+      for (size_t p = 0; p < idx.size(); ++p) {
+        const size_t f = static_cast<size_t>(idx[p]);
+        sum[f] += val[p];
+        sumsq[f] += val[p] * val[p];
+        ++count[f];
+      }
+    }
+    for (size_t f = 0; f < dim; ++f) {
+      if (count[f] < 2) continue;
+      const double mean = sum[f] / static_cast<double>(count[f]);
+      const double var =
+          std::max(0.0, sumsq[f] / static_cast<double>(count[f]) - mean * mean);
+      if (var <= 0) continue;
+      scaler.offset_[f] = mean;
+      scaler.factor_[f] = 1.0 / std::sqrt(var);
+    }
+  }
+  return scaler;
+}
+
+CsrMatrix FeatureScaler::Apply(const CsrMatrix& data) const {
+  CsrBuilder builder(data.cols());
+  std::vector<int32_t> idx;
+  std::vector<double> val;
+  for (int64_t r = 0; r < data.rows(); ++r) {
+    const auto row_idx = data.RowIndices(r);
+    const auto row_val = data.RowValues(r);
+    idx.clear();
+    val.clear();
+    for (size_t p = 0; p < row_idx.size(); ++p) {
+      const size_t f = static_cast<size_t>(row_idx[p]);
+      double v = row_val[p];
+      if (f < offset_.size()) v = (v - offset_[f]) * factor_[f];
+      if (v == 0.0) continue;  // preserve sparsity after mapping
+      idx.push_back(row_idx[p]);
+      val.push_back(v);
+    }
+    builder.AddRow(idx, val);
+  }
+  return ValueOrDie(builder.Finish());
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,45 @@
+// Feature scaling, equivalent to LibSVM's svm-scale: fit a per-feature
+// linear map on the training set, apply the same map to test data. RBF-kernel
+// SVMs are sensitive to feature ranges, so this is part of any real SVM
+// workflow.
+
+#ifndef GMPSVM_DATA_SCALE_H_
+#define GMPSVM_DATA_SCALE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sparse/csr_matrix.h"
+
+namespace gmpsvm {
+
+// Per-feature linear transform x' = (x - offset) * factor. Features never
+// seen during Fit pass through unchanged. Zero entries stay zero (sparse
+// semantics, matching svm-scale's treatment of missing features).
+class FeatureScaler {
+ public:
+  enum class Mode {
+    kMinMax,   // map observed [min, max] to [lo, hi] (svm-scale default)
+    kStdDev,   // zero-mean-of-nonzeros, unit variance
+  };
+
+  // Fits scaling parameters on `data`'s nonzero entries.
+  static Result<FeatureScaler> Fit(const CsrMatrix& data, Mode mode,
+                                   double lo = -1.0, double hi = 1.0);
+
+  // Applies the fitted transform (nonzero entries only).
+  CsrMatrix Apply(const CsrMatrix& data) const;
+
+  Mode mode() const { return mode_; }
+  int64_t dim() const { return static_cast<int64_t>(offset_.size()); }
+
+ private:
+  Mode mode_ = Mode::kMinMax;
+  std::vector<double> offset_;
+  std::vector<double> factor_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_DATA_SCALE_H_

@@ -1,0 +1,167 @@
+#include "device/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gmpsvm {
+
+std::string ExecutorCounters::ToString() const {
+  std::string out;
+  out += StrPrintf("launches:               %lld\n", static_cast<long long>(launches));
+  out += StrPrintf("flops:                  %.3e\n", flops);
+  out += StrPrintf("bytes read/written:     %s / %s\n", HumanBytes(bytes_read).c_str(),
+                   HumanBytes(bytes_written).c_str());
+  out += StrPrintf("bytes h2d/d2h:          %s / %s\n", HumanBytes(bytes_h2d).c_str(),
+                   HumanBytes(bytes_d2h).c_str());
+  out += StrPrintf("kernel values computed: %lld\n",
+                   static_cast<long long>(kernel_values_computed));
+  out += StrPrintf("kernel values reused:   %lld\n",
+                   static_cast<long long>(kernel_values_reused));
+  out += StrPrintf("peak device memory:     %s\n",
+                   HumanBytes(static_cast<double>(peak_bytes_in_use)).c_str());
+  out += StrPrintf("allocation failures:    %lld\n",
+                   static_cast<long long>(allocation_failures));
+  return out;
+}
+
+DeviceAllocation& DeviceAllocation::operator=(DeviceAllocation&& other) noexcept {
+  if (this != &other) {
+    Release();
+    executor_ = other.executor_;
+    bytes_ = other.bytes_;
+    other.executor_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+DeviceAllocation::~DeviceAllocation() { Release(); }
+
+void DeviceAllocation::Release() {
+  if (executor_ != nullptr) {
+    executor_->ReleaseBytes(bytes_);
+    executor_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+SimExecutor::SimExecutor(ExecutorModel model) : model_(std::move(model)) {
+  streams_.push_back(Stream{/*unit_share=*/1.0, /*ready_at=*/0.0});
+}
+
+StreamId SimExecutor::CreateStream(double unit_share) {
+  unit_share = std::clamp(unit_share, 1.0 / model_.compute_units, 1.0);
+  // New streams start at the current makespan so work submitted to them
+  // cannot begin "in the past" relative to already-submitted work.
+  streams_.push_back(Stream{unit_share, NowSeconds()});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+double SimExecutor::TaskDuration(const TaskCost& cost, double unit_share) const {
+  const double allocated_units = std::max(1.0, model_.compute_units * unit_share);
+  // A task with few independent items cannot occupy all allocated units.
+  const double waves =
+      std::ceil(static_cast<double>(std::max<int64_t>(1, cost.parallel_items)) /
+                static_cast<double>(model_.block_size));
+  const double usable_units = std::min(allocated_units, waves);
+
+  const double compute_time =
+      cost.flops / (model_.flops_per_unit * usable_units);
+  const double bw_share = std::max(model_.min_bw_fraction,
+                                   usable_units / model_.compute_units);
+  const double mem_time =
+      (cost.bytes_read + cost.bytes_written) / (model_.mem_bandwidth * bw_share);
+  // Roofline: the task is bound by the slower of compute and memory.
+  return model_.launch_overhead_sec + std::max(compute_time, mem_time);
+}
+
+void SimExecutor::Submit(StreamId stream, const TaskCost& cost,
+                         const std::function<void()>& fn) {
+  if (fn) fn();
+  Charge(stream, cost);
+}
+
+void SimExecutor::Charge(StreamId stream, const TaskCost& cost) {
+  GMP_DCHECK(stream >= 0 && stream < num_streams());
+  Stream& s = streams_[static_cast<size_t>(stream)];
+  const double start = s.ready_at;
+  s.ready_at += TaskDuration(cost, s.unit_share);
+  ++counters_.launches;
+  counters_.flops += cost.flops;
+  counters_.bytes_read += cost.bytes_read;
+  counters_.bytes_written += cost.bytes_written;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{stream, start, s.ready_at, cost.flops,
+                              cost.bytes_read + cost.bytes_written, false});
+  }
+}
+
+void SimExecutor::Transfer(StreamId stream, double bytes, TransferDirection dir) {
+  GMP_DCHECK(stream >= 0 && stream < num_streams());
+  if (dir == TransferDirection::kHostToDevice) {
+    counters_.bytes_h2d += bytes;
+  } else {
+    counters_.bytes_d2h += bytes;
+  }
+  if (model_.transfers_are_free) return;
+  Stream& s = streams_[static_cast<size_t>(stream)];
+  const double start = s.ready_at;
+  s.ready_at += bytes / model_.transfer_bandwidth;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{stream, start, s.ready_at, 0.0, bytes, true});
+  }
+}
+
+void SimExecutor::StreamWait(StreamId stream, StreamId other) {
+  GMP_DCHECK(stream >= 0 && stream < num_streams());
+  GMP_DCHECK(other >= 0 && other < num_streams());
+  Stream& s = streams_[static_cast<size_t>(stream)];
+  s.ready_at = std::max(s.ready_at, streams_[static_cast<size_t>(other)].ready_at);
+}
+
+void SimExecutor::SynchronizeAll() {
+  const double makespan = NowSeconds();
+  for (Stream& s : streams_) s.ready_at = makespan;
+}
+
+double SimExecutor::NowSeconds() const {
+  double makespan = 0.0;
+  for (const Stream& s : streams_) makespan = std::max(makespan, s.ready_at);
+  return makespan;
+}
+
+Result<DeviceAllocation> SimExecutor::Allocate(size_t bytes) {
+  if (counters_.bytes_in_use + bytes > model_.memory_budget_bytes) {
+    ++counters_.allocation_failures;
+    return Status::OutOfMemory(StrPrintf(
+        "allocation of %s exceeds device budget (%s in use of %s)",
+        HumanBytes(static_cast<double>(bytes)).c_str(),
+        HumanBytes(static_cast<double>(counters_.bytes_in_use)).c_str(),
+        HumanBytes(static_cast<double>(model_.memory_budget_bytes)).c_str()));
+  }
+  counters_.bytes_in_use += bytes;
+  counters_.peak_bytes_in_use =
+      std::max(counters_.peak_bytes_in_use, counters_.bytes_in_use);
+  return DeviceAllocation(this, bytes);
+}
+
+void SimExecutor::ReleaseBytes(size_t bytes) {
+  GMP_DCHECK(counters_.bytes_in_use >= bytes);
+  counters_.bytes_in_use -= bytes;
+}
+
+void SubmitParallelFor(SimExecutor* executor, StreamId stream, int64_t n,
+                       double flops_per_item, double bytes_per_item,
+                       const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  TaskCost cost;
+  cost.parallel_items = n;
+  cost.flops = flops_per_item * static_cast<double>(n);
+  cost.bytes_read = bytes_per_item * static_cast<double>(n);
+  executor->Submit(stream, cost, [&body, n] { body(0, n); });
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,170 @@
+// SimExecutor: the simulated execution substrate shared by every compared
+// implementation (GMP-SVM, GPU baseline, CMP-SVM, LibSVM reference, and the
+// third-party-library stand-ins).
+//
+// Usage model, mirroring CUDA:
+//   * CreateStream(sm_share) creates a logical stream that owns a static
+//     fraction of the device's compute units (the paper's MP-SVM level caps
+//     the SMs each concurrently-trained binary SVM may use; this models that
+//     directly).
+//   * Submit(stream, cost, fn) runs `fn` on the host immediately (results are
+//     real), and advances the stream's simulated timeline by a duration
+//     derived from `cost` under the executor's ExecutorModel. Tasks on
+//     different streams overlap in simulated time; tasks on one stream are
+//     ordered.
+//   * Transfer(stream, bytes, dir) charges PCIe time (free on CPU models).
+//   * Allocate(bytes) returns an RAII token counted against the device-memory
+//     budget; exceeding the budget fails, which is what forces the tiled /
+//     batched designs of Section 3.
+//   * SynchronizeAll() joins every stream: simulated now() becomes the
+//     makespan. ElapsedSeconds() between two sync points is what benchmarks
+//     report as "sim-sec".
+//
+// Determinism: no wall clocks, no host threads — everything executes inline
+// in submission order, so repeated runs are bit-identical.
+
+#ifndef GMPSVM_DEVICE_EXECUTOR_H_
+#define GMPSVM_DEVICE_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "device/counters.h"
+#include "device/sim_model.h"
+#include "device/trace.h"
+
+namespace gmpsvm {
+
+// Cost of one submitted task, in units of actual work performed by the task
+// body. Callers compute these from the real data they process.
+struct TaskCost {
+  double flops = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+  // Number of independent work items (e.g. output elements). Determines how
+  // many compute units the task can occupy.
+  int64_t parallel_items = 1;
+};
+
+enum class TransferDirection { kHostToDevice, kDeviceToHost };
+
+class SimExecutor;
+
+// RAII token for simulated device memory. Releases its reservation when
+// destroyed. Movable, not copyable. The executor must outlive the allocation.
+class DeviceAllocation {
+ public:
+  DeviceAllocation() = default;
+  DeviceAllocation(DeviceAllocation&& other) noexcept { *this = std::move(other); }
+  DeviceAllocation& operator=(DeviceAllocation&& other) noexcept;
+  ~DeviceAllocation();
+
+  DeviceAllocation(const DeviceAllocation&) = delete;
+  DeviceAllocation& operator=(const DeviceAllocation&) = delete;
+
+  size_t bytes() const { return bytes_; }
+  bool valid() const { return executor_ != nullptr; }
+
+  // Releases the reservation early.
+  void Release();
+
+ private:
+  friend class SimExecutor;
+  DeviceAllocation(SimExecutor* executor, size_t bytes)
+      : executor_(executor), bytes_(bytes) {}
+
+  SimExecutor* executor_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+// Identifies a stream created on a SimExecutor. Stream 0 (kDefaultStream)
+// always exists and owns the whole device.
+using StreamId = int;
+inline constexpr StreamId kDefaultStream = 0;
+
+class SimExecutor {
+ public:
+  explicit SimExecutor(ExecutorModel model);
+
+  const ExecutorModel& model() const { return model_; }
+
+  // Creates a stream owning `unit_share` of the compute units (clamped to
+  // (0, 1]). Streams are never destroyed; executors are per-experiment.
+  StreamId CreateStream(double unit_share);
+
+  // Number of streams including the default stream.
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+
+  // Runs `fn` now and charges `cost` to `stream`'s simulated timeline.
+  void Submit(StreamId stream, const TaskCost& cost, const std::function<void()>& fn);
+
+  // Charges `cost` without a body (for work already performed by the caller).
+  void Charge(StreamId stream, const TaskCost& cost);
+
+  // Charges a host<->device transfer on `stream`.
+  void Transfer(StreamId stream, double bytes, TransferDirection dir);
+
+  // Makes `stream` wait (in simulated time) until `other` has drained, i.e.
+  // a cross-stream event dependency.
+  void StreamWait(StreamId stream, StreamId other);
+
+  // Joins all streams: after this, NowSeconds() is the makespan.
+  void SynchronizeAll();
+
+  // Simulated time: max over stream timelines.
+  double NowSeconds() const;
+
+  // Simulated time at which `stream` drains. Deltas of this around a section
+  // attribute simulated time to pipeline phases (Figures 11/12).
+  double StreamTime(StreamId stream) const {
+    return streams_[static_cast<size_t>(stream)].ready_at;
+  }
+
+  // Reserves simulated device memory. Fails with kOutOfMemory past budget.
+  Result<DeviceAllocation> Allocate(size_t bytes);
+
+  // Bytes currently reserved / high-water mark.
+  size_t bytes_in_use() const { return counters_.bytes_in_use; }
+  size_t memory_budget() const { return model_.memory_budget_bytes; }
+
+  ExecutorCounters& counters() { return counters_; }
+  const ExecutorCounters& counters() const { return counters_; }
+
+  // Attaches (or detaches, with nullptr) a trace sink recording every charged
+  // task and transfer. The trace must outlive its attachment.
+  void SetTrace(ExecutionTrace* trace) { trace_ = trace; }
+
+  // Computes the simulated duration of a task under this executor's model
+  // given a static compute-unit share. Exposed for tests and the ablation
+  // benches.
+  double TaskDuration(const TaskCost& cost, double unit_share) const;
+
+ private:
+  friend class DeviceAllocation;
+  void ReleaseBytes(size_t bytes);
+
+  struct Stream {
+    double unit_share = 1.0;
+    double ready_at = 0.0;  // simulated time when the stream drains
+  };
+
+  ExecutorModel model_;
+  std::vector<Stream> streams_;
+  ExecutorCounters counters_;
+  ExecutionTrace* trace_ = nullptr;
+};
+
+// Convenience: submits a task that processes `n` items with `flops_per_item`
+// and `bytes_per_item` average cost, executing `body(begin, end)` once over
+// the full range (the simulated parallelism is in the cost model, not in host
+// threads).
+void SubmitParallelFor(SimExecutor* executor, StreamId stream, int64_t n,
+                       double flops_per_item, double bytes_per_item,
+                       const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_DEVICE_EXECUTOR_H_

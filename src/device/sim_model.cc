@@ -1,0 +1,41 @@
+#include "device/sim_model.h"
+
+#include <algorithm>
+
+namespace gmpsvm {
+
+ExecutorModel ExecutorModel::TeslaP100() {
+  ExecutorModel m;
+  m.name = "tesla-p100";
+  m.compute_units = 56;           // SMs
+  m.flops_per_unit = 2.6e9;       // sustained per SM on sparse SVM kernels
+  m.mem_bandwidth = 5.0e11;       // 732 GB/s peak HBM2, ~68% sustained
+  m.min_bw_fraction = 0.05;
+  m.launch_overhead_sec = 5.0e-6;
+  m.transfer_bandwidth = 1.2e10;  // PCIe 3.0 x16 sustained
+  m.transfers_are_free = false;
+  m.memory_budget_bytes = 12ull << 30;
+  m.block_size = 256;
+  return m;
+}
+
+ExecutorModel ExecutorModel::XeonCpu(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  ExecutorModel m;
+  m.name = "xeon-e5-2640v4-t" + std::to_string(num_threads);
+  // 20 physical cores; hyper-threads beyond that add nothing for this
+  // workload. Multi-threaded runs pay synchronization/imbalance overhead.
+  const double capped = std::min(num_threads, 20);
+  m.compute_units = (num_threads == 1) ? 1.0 : std::max(1.0, capped * 0.5);
+  m.flops_per_unit = 2.4e9;       // scalar-ish sparse code at ~2.4 GHz
+  m.mem_bandwidth = 6.0e10;       // dual-socket DDR4 sustained
+  m.min_bw_fraction = 0.2;
+  m.launch_overhead_sec = 2.0e-7; // entering an OpenMP region
+  m.transfer_bandwidth = 0.0;     // unused
+  m.transfers_are_free = true;
+  m.memory_budget_bytes = 256ull << 30;
+  m.block_size = 1;
+  return m;
+}
+
+}  // namespace gmpsvm

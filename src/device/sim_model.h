@@ -1,0 +1,77 @@
+// Cost models for the simulated execution substrate.
+//
+// The paper runs on an NVIDIA Tesla P100 (56 SMs, 12 GB) and a dual Xeon
+// E5-2640 v4 (2x10 cores) host. This repository has neither, so — per the
+// substitution policy in DESIGN.md — algorithms execute on the host through a
+// SimExecutor that (a) runs the real computation, (b) counts the resources it
+// actually consumed (flops, bytes, launches, resident bytes), and (c) converts
+// those counts into simulated seconds with the calibrated linear model below.
+//
+// The calibration constants are derived from the public P100/Xeon datasheets
+// de-rated to the sustained throughput sparse SVM workloads achieve (SVM
+// kernels are memory-bound and irregular, so peak numbers are irrelevant):
+// they are fixed, published here, and shared by every compared implementation.
+// Relative orderings between algorithms therefore come from the measured
+// resource counts, not from per-algorithm fudge factors.
+
+#ifndef GMPSVM_DEVICE_SIM_MODEL_H_
+#define GMPSVM_DEVICE_SIM_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gmpsvm {
+
+// Describes one execution substrate (a GPU or a CPU configuration).
+struct ExecutorModel {
+  std::string name;
+
+  // Number of independent compute units: SMs on the GPU, effective cores on
+  // the CPU (thread count de-rated by parallel efficiency).
+  double compute_units = 1.0;
+
+  // Sustained arithmetic throughput of one unit (flops/sec).
+  double flops_per_unit = 3.0e9;
+
+  // Aggregate sustained memory bandwidth (bytes/sec) across all units.
+  double mem_bandwidth = 6.0e10;
+
+  // Fraction of aggregate bandwidth a single unit can pull on its own.
+  double min_bw_fraction = 0.15;
+
+  // Fixed cost charged per submitted task (kernel-launch overhead on the
+  // GPU, parallel-region fork/join on the CPU).
+  double launch_overhead_sec = 5.0e-6;
+
+  // Host<->device transfer bandwidth (PCIe). Transfers on the CPU substrate
+  // are free (data is already in host memory).
+  double transfer_bandwidth = 1.2e10;
+  bool transfers_are_free = false;
+
+  // Device-memory budget; Allocate() fails beyond this, which is what forces
+  // the batched/tiled designs in the paper. (12 GB on the P100.)
+  size_t memory_budget_bytes = 12ull << 30;
+
+  // Work items that one unit processes per "wave" (GPU thread-block size; 1
+  // for a CPU core). A task with fewer than compute_units * block_size items
+  // cannot occupy the whole device — this is the underutilization effect the
+  // paper's MP-SVM-level concurrency exploits.
+  int64_t block_size = 256;
+
+  // --- Presets -------------------------------------------------------------
+
+  // Tesla P100-like device. 56 SMs; sustained (not peak) throughput for
+  // sparse, irregular SVM kernels.
+  static ExecutorModel TeslaP100();
+
+  // Xeon E5-2640 v4 (2 sockets x 10 cores) with `num_threads` OpenMP-style
+  // threads. Parallel efficiency de-rates threads to effective cores:
+  // 40 threads on 20 physical cores behave like ~10 dedicated cores for
+  // LibSVM-style workloads (matching the 5-10x OpenMP speedups in Table 3).
+  static ExecutorModel XeonCpu(int num_threads);
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_DEVICE_SIM_MODEL_H_

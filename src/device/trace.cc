@@ -1,0 +1,34 @@
+#include "device/trace.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace gmpsvm {
+
+std::vector<double> ExecutionTrace::BusyTimePerStream() const {
+  int max_stream = -1;
+  for (const TraceEvent& e : events_) max_stream = std::max(max_stream, e.stream);
+  std::vector<double> busy(static_cast<size_t>(max_stream + 1), 0.0);
+  for (const TraceEvent& e : events_) {
+    busy[static_cast<size_t>(e.stream)] += e.end_seconds - e.start_seconds;
+  }
+  return busy;
+}
+
+std::string ExecutionTrace::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out += StrPrintf(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"flops\":%.3e,\"bytes\":%.3e}}",
+        e.is_transfer ? "transfer" : "kernel", e.stream, e.start_seconds * 1e6,
+        (e.end_seconds - e.start_seconds) * 1e6, e.flops, e.bytes);
+    if (i + 1 < events_.size()) out += ",";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gmpsvm

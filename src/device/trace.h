@@ -1,0 +1,45 @@
+// Execution tracing for the simulated device: records every charged task
+// (stream, simulated start/end, work) and exports Chrome trace-event JSON
+// (load chrome://tracing or https://ui.perfetto.dev) so stream overlap and
+// the makespan effects of MP-level concurrency can be inspected visually.
+
+#ifndef GMPSVM_DEVICE_TRACE_H_
+#define GMPSVM_DEVICE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmpsvm {
+
+struct TraceEvent {
+  int stream = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;
+  bool is_transfer = false;
+};
+
+class ExecutionTrace {
+ public:
+  void Record(TraceEvent event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Total busy simulated time per stream.
+  std::vector<double> BusyTimePerStream() const;
+
+  // Chrome trace-event format ("traceEvents" array of X events; one row per
+  // stream, microsecond timestamps).
+  std::string ToChromeJson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_DEVICE_TRACE_H_

@@ -1,0 +1,107 @@
+#include "kernel/kernel_computer.h"
+
+namespace gmpsvm {
+namespace {
+
+// Applies the dot->kernel transform in place and returns the flops charged.
+double TransformBlock(const KernelFunction& fn, std::span<const double> norms_a,
+                      std::span<const int32_t> batch,
+                      std::span<const double> norms_b,
+                      std::span<const int32_t> targets, double* out) {
+  const size_t num_targets = targets.size();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const double norm_i = norms_a[static_cast<size_t>(batch[i])];
+    double* row = out + i * num_targets;
+    for (size_t j = 0; j < num_targets; ++j) {
+      row[j] = fn.FromDot(row[j], norm_i, norms_b[static_cast<size_t>(targets[j])]);
+    }
+  }
+  return fn.FlopsPerValue() * static_cast<double>(batch.size() * num_targets);
+}
+
+}  // namespace
+
+KernelComputer::KernelComputer(const CsrMatrix* a, const CsrMatrix* b,
+                               KernelParams params)
+    : a_(a), b_(b), function_(params), symmetric_(a == b) {
+  norms_a_ = a_->AllRowSquaredNorms();
+  norms_b_ = symmetric_ ? norms_a_ : b_->AllRowSquaredNorms();
+}
+
+void KernelComputer::ComputeBlock(std::span<const int32_t> batch,
+                                  std::span<const int32_t> targets,
+                                  SimExecutor* executor, StreamId stream,
+                                  double* out) const {
+  if (batch.empty() || targets.empty()) return;
+  OpStats stats = BatchRowDots2(*a_, batch, *b_, targets, out);
+  stats.flops += TransformBlock(function_, norms_a_, batch, norms_b_, targets, out);
+
+  TaskCost cost;
+  cost.flops = stats.flops;
+  cost.bytes_read = stats.bytes_read;
+  cost.bytes_written = stats.bytes_written;
+  cost.parallel_items = static_cast<int64_t>(batch.size() * targets.size());
+  executor->Charge(stream, cost);
+  executor->counters().kernel_values_computed +=
+      static_cast<int64_t>(batch.size() * targets.size());
+}
+
+double KernelComputer::Compute(int64_t row_a, int64_t row_b) const {
+  double dot;
+  if (symmetric_) {
+    dot = a_->RowDot(row_a, row_b);
+  } else {
+    // Merge-join over the two sorted rows.
+    const auto ia = a_->RowIndices(row_a), ib = b_->RowIndices(row_b);
+    const auto va = a_->RowValues(row_a), vb = b_->RowValues(row_b);
+    dot = 0.0;
+    size_t pa = 0, pb = 0;
+    while (pa < ia.size() && pb < ib.size()) {
+      if (ia[pa] == ib[pb]) {
+        dot += va[pa] * vb[pb];
+        ++pa;
+        ++pb;
+      } else if (ia[pa] < ib[pb]) {
+        ++pa;
+      } else {
+        ++pb;
+      }
+    }
+  }
+  return function_.FromDot(dot, norms_a_[static_cast<size_t>(row_a)],
+                           norms_b_[static_cast<size_t>(row_b)]);
+}
+
+DenseKernelComputer::DenseKernelComputer(const DenseMatrix* x, KernelParams params)
+    : x_(x), function_(params) {
+  norms_.resize(static_cast<size_t>(x_->rows()));
+  for (int64_t r = 0; r < x_->rows(); ++r) {
+    norms_[static_cast<size_t>(r)] = x_->RowSquaredNorm(r);
+  }
+}
+
+void DenseKernelComputer::ComputeBlock(std::span<const int32_t> batch,
+                                       std::span<const int32_t> targets,
+                                       SimExecutor* executor, StreamId stream,
+                                       double* out) const {
+  if (batch.empty() || targets.empty()) return;
+  OpStats stats = DenseBatchRowDots(*x_, batch, targets, out);
+  stats.flops += TransformBlock(function_, norms_, batch, norms_, targets, out);
+
+  TaskCost cost;
+  cost.flops = stats.flops;
+  cost.bytes_read = stats.bytes_read;
+  cost.bytes_written = stats.bytes_written;
+  cost.parallel_items = static_cast<int64_t>(batch.size() * targets.size());
+  executor->Charge(stream, cost);
+  executor->counters().kernel_values_computed +=
+      static_cast<int64_t>(batch.size() * targets.size());
+}
+
+double DenseKernelComputer::Compute(int64_t row_a, int64_t row_b) const {
+  return function_.FromDot(x_->RowDot(row_a, row_b),
+                           norms_[static_cast<size_t>(row_a)],
+                           norms_[static_cast<size_t>(row_b)]);
+}
+
+}  // namespace gmpsvm

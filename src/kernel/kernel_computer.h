@@ -1,0 +1,85 @@
+// Batched kernel-row computation on the simulated device.
+//
+// A KernelComputer owns references to the row matrices and their precomputed
+// squared norms and produces blocks K(batch, targets) — the q-rows-at-a-time
+// computation of Section 3.3.1. All work is charged to the executor, and
+// every produced value increments the executor's kernel_values_computed
+// counter (the quantity the buffer/sharing techniques exist to reduce).
+
+#ifndef GMPSVM_KERNEL_KERNEL_COMPUTER_H_
+#define GMPSVM_KERNEL_KERNEL_COMPUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/executor.h"
+#include "kernel/kernel_function.h"
+#include "sparse/dense_matrix.h"
+#include "sparse/ops.h"
+
+namespace gmpsvm {
+
+class KernelComputer {
+ public:
+  // Kernel values between rows of `a` and rows of `b`. The matrices must
+  // outlive the computer. `a` and `b` may be the same object (training).
+  KernelComputer(const CsrMatrix* a, const CsrMatrix* b, KernelParams params);
+
+  // Convenience for the symmetric (training) case.
+  KernelComputer(const CsrMatrix* x, KernelParams params)
+      : KernelComputer(x, x, params) {}
+
+  const KernelFunction& function() const { return function_; }
+
+  // Computes out[i * targets.size() + j] = K(a.row(batch[i]), b.row(targets[j]))
+  // as one batched product, charging `executor` on `stream`.
+  void ComputeBlock(std::span<const int32_t> batch, std::span<const int32_t> targets,
+                    SimExecutor* executor, StreamId stream, double* out) const;
+
+  // Single kernel value (host-side, uncharged). For tests and reference code.
+  double Compute(int64_t row_a, int64_t row_b) const;
+
+  // K(x_i, x_i) for a row of `a`.
+  double SelfKernelA(int64_t row) const {
+    return function_.SelfKernel(norms_a_[static_cast<size_t>(row)]);
+  }
+  // K(x_j, x_j) for a row of `b`.
+  double SelfKernelB(int64_t row) const {
+    return function_.SelfKernel(norms_b_[static_cast<size_t>(row)]);
+  }
+
+ private:
+  const CsrMatrix* a_;
+  const CsrMatrix* b_;
+  KernelFunction function_;
+  std::vector<double> norms_a_;
+  std::vector<double> norms_b_;
+  bool symmetric_;
+};
+
+// Dense-representation counterpart used by the GPUSVM-like baseline. Same
+// contract as KernelComputer but dot products cost O(dim) regardless of
+// sparsity.
+class DenseKernelComputer {
+ public:
+  DenseKernelComputer(const DenseMatrix* x, KernelParams params);
+
+  void ComputeBlock(std::span<const int32_t> batch, std::span<const int32_t> targets,
+                    SimExecutor* executor, StreamId stream, double* out) const;
+
+  double Compute(int64_t row_a, int64_t row_b) const;
+
+  double SelfKernel(int64_t row) const {
+    return function_.SelfKernel(norms_[static_cast<size_t>(row)]);
+  }
+
+ private:
+  const DenseMatrix* x_;
+  KernelFunction function_;
+  std::vector<double> norms_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_KERNEL_KERNEL_COMPUTER_H_

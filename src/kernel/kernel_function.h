@@ -1,0 +1,77 @@
+// Kernel functions (Section 2.1 of the paper): Gaussian, Linear, Polynomial,
+// Sigmoid. Each is expressed as a transform of the dot product x_i·x_j (plus
+// the squared row norms for the Gaussian), which is what lets batched kernel
+// rows be computed as one sparse matrix product followed by an elementwise
+// map — the schedule GMP-SVM uses on the GPU.
+
+#ifndef GMPSVM_KERNEL_KERNEL_FUNCTION_H_
+#define GMPSVM_KERNEL_KERNEL_FUNCTION_H_
+
+#include <cmath>
+#include <string>
+
+#include "common/status.h"
+
+namespace gmpsvm {
+
+enum class KernelType { kGaussian, kLinear, kPolynomial, kSigmoid };
+
+const char* KernelTypeToString(KernelType type);
+Result<KernelType> KernelTypeFromString(const std::string& name);
+
+struct KernelParams {
+  KernelType type = KernelType::kGaussian;
+  double gamma = 1.0;   // γ for Gaussian; `a` for polynomial/sigmoid
+  double coef0 = 0.0;   // `r` for polynomial/sigmoid
+  int degree = 3;       // `d` for polynomial
+
+  std::string ToString() const;
+};
+
+// Stateless evaluator mapping (dot, ||x_i||², ||x_j||²) -> K(x_i, x_j).
+class KernelFunction {
+ public:
+  explicit KernelFunction(const KernelParams& params) : params_(params) {}
+
+  const KernelParams& params() const { return params_; }
+
+  double FromDot(double dot, double norm_i, double norm_j) const {
+    switch (params_.type) {
+      case KernelType::kGaussian:
+        return std::exp(-params_.gamma * (norm_i + norm_j - 2.0 * dot));
+      case KernelType::kLinear:
+        return dot;
+      case KernelType::kPolynomial:
+        return std::pow(params_.gamma * dot + params_.coef0, params_.degree);
+      case KernelType::kSigmoid:
+        return std::tanh(params_.gamma * dot + params_.coef0);
+    }
+    return 0.0;
+  }
+
+  // K(x, x) given ||x||².
+  double SelfKernel(double norm) const { return FromDot(norm, norm, norm); }
+
+  // Arithmetic ops per transformed value, for cost accounting (exp/tanh count
+  // as several flops on both substrates).
+  double FlopsPerValue() const {
+    switch (params_.type) {
+      case KernelType::kGaussian:
+        return 8.0;
+      case KernelType::kLinear:
+        return 0.0;
+      case KernelType::kPolynomial:
+        return 2.0 + static_cast<double>(params_.degree);
+      case KernelType::kSigmoid:
+        return 10.0;
+    }
+    return 0.0;
+  }
+
+ private:
+  KernelParams params_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_KERNEL_KERNEL_FUNCTION_H_

@@ -1,0 +1,89 @@
+#include "metrics/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmpsvm {
+namespace {
+
+Status ValidateShape(std::span<const double> probabilities,
+                     std::span<const int32_t> truth, int num_classes) {
+  if (num_classes < 2) return Status::InvalidArgument("need >= 2 classes");
+  if (truth.empty() ||
+      probabilities.size() != truth.size() * static_cast<size_t>(num_classes)) {
+    return Status::InvalidArgument("probabilities/truth shape mismatch");
+  }
+  for (int32_t y : truth) {
+    if (y < 0 || y >= num_classes) {
+      return Status::InvalidArgument("truth label out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> LogLoss(std::span<const double> probabilities,
+                       std::span<const int32_t> truth, int num_classes) {
+  GMP_RETURN_NOT_OK(ValidateShape(probabilities, truth, num_classes));
+  constexpr double kFloor = 1e-15;
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double p = probabilities[i * static_cast<size_t>(num_classes) +
+                                   static_cast<size_t>(truth[i])];
+    total -= std::log(std::max(p, kFloor));
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+Result<double> BrierScore(std::span<const double> probabilities,
+                          std::span<const int32_t> truth, int num_classes) {
+  GMP_RETURN_NOT_OK(ValidateShape(probabilities, truth, num_classes));
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double* row = probabilities.data() + i * static_cast<size_t>(num_classes);
+    for (int c = 0; c < num_classes; ++c) {
+      const double target = (c == truth[i]) ? 1.0 : 0.0;
+      const double diff = row[c] - target;
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+Result<CalibrationReport> ComputeCalibration(std::span<const double> probabilities,
+                                             std::span<const int32_t> truth,
+                                             int num_classes, int bins) {
+  GMP_RETURN_NOT_OK(ValidateShape(probabilities, truth, num_classes));
+  if (bins < 1) return Status::InvalidArgument("need >= 1 bin");
+
+  CalibrationReport report;
+  report.bin_counts.assign(static_cast<size_t>(bins), 0);
+  report.bin_confidence.assign(static_cast<size_t>(bins), 0.0);
+  report.bin_accuracy.assign(static_cast<size_t>(bins), 0.0);
+
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double* row = probabilities.data() + i * static_cast<size_t>(num_classes);
+    const int top = static_cast<int>(std::max_element(row, row + num_classes) - row);
+    const double confidence = row[top];
+    int bin = static_cast<int>(confidence * bins);
+    bin = std::clamp(bin, 0, bins - 1);
+    report.bin_counts[static_cast<size_t>(bin)] += 1;
+    report.bin_confidence[static_cast<size_t>(bin)] += confidence;
+    report.bin_accuracy[static_cast<size_t>(bin)] += (top == truth[i]) ? 1.0 : 0.0;
+  }
+
+  const double n = static_cast<double>(truth.size());
+  for (int b = 0; b < bins; ++b) {
+    const int64_t count = report.bin_counts[static_cast<size_t>(b)];
+    if (count == 0) continue;
+    report.bin_confidence[static_cast<size_t>(b)] /= static_cast<double>(count);
+    report.bin_accuracy[static_cast<size_t>(b)] /= static_cast<double>(count);
+    report.ece += (static_cast<double>(count) / n) *
+                  std::abs(report.bin_accuracy[static_cast<size_t>(b)] -
+                           report.bin_confidence[static_cast<size_t>(b)]);
+  }
+  return report;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,44 @@
+// Probability-quality metrics for the MP-SVM's calibrated outputs: log loss,
+// Brier score, and expected calibration error (ECE). These quantify what the
+// probabilistic output adds over a plain multi-class SVM — the reason
+// MP-SVMs exist (Section 1 of the paper).
+
+#ifndef GMPSVM_METRICS_CALIBRATION_H_
+#define GMPSVM_METRICS_CALIBRATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gmpsvm {
+
+// Multi-class negative log likelihood: mean over instances of
+// -log(p[truth]). Probabilities are clamped away from 0 for stability.
+Result<double> LogLoss(std::span<const double> probabilities,
+                       std::span<const int32_t> truth, int num_classes);
+
+// Multi-class Brier score: mean over instances of sum_c (p_c - 1[c=y])^2.
+// Ranges [0, 2]; 0 is perfect.
+Result<double> BrierScore(std::span<const double> probabilities,
+                          std::span<const int32_t> truth, int num_classes);
+
+struct CalibrationReport {
+  // Expected calibration error over top-class confidence, `bins` equal-width
+  // confidence bins: sum_b (n_b / n) * |accuracy_b - confidence_b|.
+  double ece = 0.0;
+
+  // Per-bin diagnostics (reliability diagram data).
+  std::vector<int64_t> bin_counts;
+  std::vector<double> bin_confidence;  // mean top-class probability
+  std::vector<double> bin_accuracy;    // fraction where top class == truth
+};
+
+Result<CalibrationReport> ComputeCalibration(std::span<const double> probabilities,
+                                             std::span<const int32_t> truth,
+                                             int num_classes, int bins = 10);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_METRICS_CALIBRATION_H_

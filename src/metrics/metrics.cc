@@ -1,0 +1,63 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gmpsvm {
+
+Result<double> ErrorRate(std::span<const int32_t> predicted,
+                         std::span<const int32_t> truth) {
+  if (predicted.size() != truth.size() || predicted.empty()) {
+    return Status::InvalidArgument("prediction/truth size mismatch or empty");
+  }
+  int64_t errors = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] != truth[i]) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(predicted.size());
+}
+
+Result<std::vector<int64_t>> ConfusionMatrix(std::span<const int32_t> predicted,
+                                             std::span<const int32_t> truth,
+                                             int k) {
+  if (predicted.size() != truth.size()) {
+    return Status::InvalidArgument("prediction/truth size mismatch");
+  }
+  std::vector<int64_t> confusion(static_cast<size_t>(k) * k, 0);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (truth[i] < 0 || truth[i] >= k || predicted[i] < 0 || predicted[i] >= k) {
+      return Status::InvalidArgument("label out of range for confusion matrix");
+    }
+    ++confusion[static_cast<size_t>(truth[i]) * k + predicted[i]];
+  }
+  return confusion;
+}
+
+Result<ModelAgreement> CompareModels(const MpSvmModel& a, const MpSvmModel& b) {
+  if (a.num_pairs() != b.num_pairs() || a.num_classes != b.num_classes) {
+    return Status::InvalidArgument("models have different shapes");
+  }
+  if (a.svms.empty()) return Status::InvalidArgument("empty models");
+
+  ModelAgreement agreement;
+  agreement.bias_a = a.svms.back().bias;
+  agreement.bias_b = b.svms.back().bias;
+  for (int p = 0; p < a.num_pairs(); ++p) {
+    const auto& sa = a.svms[static_cast<size_t>(p)];
+    const auto& sb = b.svms[static_cast<size_t>(p)];
+    agreement.max_bias_diff =
+        std::max(agreement.max_bias_diff, std::abs(sa.bias - sb.bias));
+    const double coef_a =
+        std::accumulate(sa.sv_coef.begin(), sa.sv_coef.end(), 0.0,
+                        [](double acc, double v) { return acc + std::abs(v); });
+    const double coef_b =
+        std::accumulate(sb.sv_coef.begin(), sb.sv_coef.end(), 0.0,
+                        [](double acc, double v) { return acc + std::abs(v); });
+    agreement.max_coef_sum_diff =
+        std::max(agreement.max_coef_sum_diff, std::abs(coef_a - coef_b));
+  }
+  return agreement;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,43 @@
+// Evaluation metrics: error rates, classifier-agreement checks (Table 4),
+// and the speedup arithmetic used by the figure benches.
+
+#ifndef GMPSVM_METRICS_METRICS_H_
+#define GMPSVM_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace gmpsvm {
+
+// Fraction of mismatched labels in [0, 1].
+Result<double> ErrorRate(std::span<const int32_t> predicted,
+                         std::span<const int32_t> truth);
+
+// k x k confusion matrix, row = truth, column = predicted.
+Result<std::vector<int64_t>> ConfusionMatrix(std::span<const int32_t> predicted,
+                                             std::span<const int32_t> truth, int k);
+
+// Comparison between two trained MP-SVM models over the same dataset
+// (the Table 4 "classifier comparison" columns).
+struct ModelAgreement {
+  // Bias of the last binary SVM in each model (the paper's reported bias).
+  double bias_a = 0.0;
+  double bias_b = 0.0;
+
+  // Largest |bias difference| across all pairs.
+  double max_bias_diff = 0.0;
+
+  // Largest |sv-coefficient-sum difference| across pairs (a cheap proxy for
+  // alpha-vector agreement that is invariant to SV ordering).
+  double max_coef_sum_diff = 0.0;
+};
+
+Result<ModelAgreement> CompareModels(const MpSvmModel& a, const MpSvmModel& b);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_METRICS_METRICS_H_

@@ -1,0 +1,33 @@
+// Aligned-column table printer used by every benchmark binary to print the
+// paper's tables and figure series.
+
+#ifndef GMPSVM_METRICS_REPORT_H_
+#define GMPSVM_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace gmpsvm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  // Adds a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a header separator.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_METRICS_REPORT_H_

@@ -1,0 +1,191 @@
+#include "prob/pairwise_coupling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gmpsvm {
+namespace {
+
+// Builds the Q matrix of Equation (15):
+//   Q_ss = sum_{u != s} r_us^2,   Q_st = -r_st * r_ts (s != t).
+void BuildQ(std::span<const double> r, int k, std::vector<double>* q) {
+  q->assign(static_cast<size_t>(k) * k, 0.0);
+  for (int s = 0; s < k; ++s) {
+    double diag = 0.0;
+    for (int u = 0; u < k; ++u) {
+      if (u == s) continue;
+      const double r_us = r[static_cast<size_t>(u) * k + s];
+      diag += r_us * r_us;
+      (*q)[static_cast<size_t>(s) * k + u] =
+          -r[static_cast<size_t>(s) * k + u] * r[static_cast<size_t>(u) * k + s];
+    }
+    (*q)[static_cast<size_t>(s) * k + s] = diag;
+  }
+}
+
+// Solves Q x = e by Gaussian elimination with partial pivoting, adding a
+// ridge and retrying if a pivot vanishes ("a small value is added to Q when
+// its inversion does not exist"). Returns p = x / sum(x), clamped
+// nonnegative.
+Result<std::vector<double>> SolveDirect(std::span<const double> r, int k) {
+  std::vector<double> q;
+  BuildQ(r, k, &q);
+  const double kRidge0 = 0.0;
+  for (double ridge = kRidge0;; ridge = (ridge == 0.0 ? 1e-10 : ridge * 100)) {
+    std::vector<double> m = q;
+    for (int s = 0; s < k; ++s) m[static_cast<size_t>(s) * k + s] += ridge;
+    std::vector<double> x(static_cast<size_t>(k), 1.0);  // rhs e
+
+    bool singular = false;
+    std::vector<int> perm(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) perm[static_cast<size_t>(i)] = i;
+    for (int col = 0; col < k && !singular; ++col) {
+      // Partial pivot.
+      int pivot = col;
+      double best = std::abs(m[static_cast<size_t>(perm[col]) * k + col]);
+      for (int row = col + 1; row < k; ++row) {
+        const double v = std::abs(m[static_cast<size_t>(perm[row]) * k + col]);
+        if (v > best) {
+          best = v;
+          pivot = row;
+        }
+      }
+      if (best < 1e-12) {
+        singular = true;
+        break;
+      }
+      std::swap(perm[static_cast<size_t>(col)], perm[static_cast<size_t>(pivot)]);
+      const size_t prow = static_cast<size_t>(perm[col]);
+      const double inv_pivot = 1.0 / m[prow * k + col];
+      for (int row = col + 1; row < k; ++row) {
+        const size_t rrow = static_cast<size_t>(perm[row]);
+        const double factor = m[rrow * k + col] * inv_pivot;
+        if (factor == 0.0) continue;
+        for (int c2 = col; c2 < k; ++c2) m[rrow * k + c2] -= factor * m[prow * k + c2];
+        x[rrow] -= factor * x[prow];
+      }
+    }
+    if (singular) {
+      if (ridge > 1.0) {
+        return Status::Internal("pairwise coupling: Q remained singular");
+      }
+      continue;  // retry with a larger ridge
+    }
+    // Back substitution.
+    std::vector<double> sol(static_cast<size_t>(k));
+    for (int col = k - 1; col >= 0; --col) {
+      const size_t prow = static_cast<size_t>(perm[col]);
+      double v = x[prow];
+      for (int c2 = col + 1; c2 < k; ++c2) {
+        v -= m[prow * k + c2] * sol[static_cast<size_t>(c2)];
+      }
+      sol[static_cast<size_t>(col)] = v / m[prow * k + col];
+    }
+    // Normalize; clamp tiny negatives from finite precision.
+    double sum = 0.0;
+    for (double& v : sol) {
+      v = std::max(v, 0.0);
+      sum += v;
+    }
+    if (sum <= 0.0) {
+      if (ridge > 1.0) {
+        return Status::Internal("pairwise coupling produced a zero vector");
+      }
+      continue;
+    }
+    for (double& v : sol) v /= sum;
+    return sol;
+  }
+}
+
+// LibSVM's multiclass_probability fixed-point iteration.
+Result<std::vector<double>> SolveIterative(std::span<const double> r, int k,
+                                           const CouplingOptions& options) {
+  std::vector<double> q;
+  BuildQ(r, k, &q);
+  std::vector<double> p(static_cast<size_t>(k), 1.0 / k);
+  std::vector<double> qp(static_cast<size_t>(k), 0.0);
+  const double eps = options.eps / k;
+
+  int iter = 0;
+  for (; iter < std::max(100, options.max_iterations); ++iter) {
+    double pqp = 0.0;
+    for (int t = 0; t < k; ++t) {
+      double v = 0.0;
+      for (int j = 0; j < k; ++j) {
+        v += q[static_cast<size_t>(t) * k + j] * p[static_cast<size_t>(j)];
+      }
+      qp[static_cast<size_t>(t)] = v;
+      pqp += p[static_cast<size_t>(t)] * v;
+    }
+    double max_error = 0.0;
+    for (int t = 0; t < k; ++t) {
+      max_error = std::max(max_error, std::abs(qp[static_cast<size_t>(t)] - pqp));
+    }
+    if (max_error < eps) break;
+
+    for (int t = 0; t < k; ++t) {
+      const double diff = (-qp[static_cast<size_t>(t)] + pqp) /
+                          q[static_cast<size_t>(t) * k + t];
+      p[static_cast<size_t>(t)] += diff;
+      pqp = (pqp + diff * (diff * q[static_cast<size_t>(t) * k + t] +
+                           2.0 * qp[static_cast<size_t>(t)])) /
+            ((1.0 + diff) * (1.0 + diff));
+      for (int j = 0; j < k; ++j) {
+        qp[static_cast<size_t>(j)] =
+            (qp[static_cast<size_t>(j)] + diff * q[static_cast<size_t>(t) * k + j]) /
+            (1.0 + diff);
+        p[static_cast<size_t>(j)] /= (1.0 + diff);
+      }
+    }
+  }
+  if (iter >= std::max(100, options.max_iterations)) {
+    GMP_LOG(Warning) << "pairwise coupling iteration limit reached";
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<std::vector<double>> CoupleProbabilities(std::span<const double> r, int k,
+                                                const CouplingOptions& options) {
+  if (k < 2) return Status::InvalidArgument("coupling needs k >= 2 classes");
+  if (r.size() != static_cast<size_t>(k) * k) {
+    return Status::InvalidArgument(
+        StrPrintf("r has %zu entries; expected %d", r.size(), k * k));
+  }
+  if (options.method == CouplingMethod::kGaussianElimination) {
+    return SolveDirect(r, k);
+  }
+  return SolveIterative(r, k, options);
+}
+
+Status CoupleBatch(std::span<const double> r, int k, int64_t count,
+                   const CouplingOptions& options, SimExecutor* executor,
+                   StreamId stream, double* out) {
+  if (count < 0 || r.size() != static_cast<size_t>(count) * k * k) {
+    return Status::InvalidArgument("coupling batch size mismatch");
+  }
+  for (int64_t i = 0; i < count; ++i) {
+    GMP_ASSIGN_OR_RETURN(
+        std::vector<double> p,
+        CoupleProbabilities(r.subspan(static_cast<size_t>(i) * k * k,
+                                      static_cast<size_t>(k) * k),
+                            k, options));
+    std::copy(p.begin(), p.end(), out + i * k);
+  }
+  // One Gaussian elimination is O(k^3); instances are independent.
+  TaskCost cost;
+  cost.parallel_items = count;
+  cost.flops = static_cast<double>(count) * (2.0 / 3.0) *
+               static_cast<double>(k) * k * k;
+  cost.bytes_read = static_cast<double>(r.size()) * sizeof(double);
+  cost.bytes_written = static_cast<double>(count * k) * sizeof(double);
+  executor->Charge(stream, cost);
+  return Status::OK();
+}
+
+}  // namespace gmpsvm

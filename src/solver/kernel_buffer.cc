@@ -1,0 +1,104 @@
+#include "solver/kernel_buffer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace gmpsvm {
+
+KernelBuffer::KernelBuffer(int64_t row_length, int64_t capacity_rows,
+                           Policy policy)
+    : row_length_(std::max<int64_t>(1, row_length)),
+      capacity_rows_(std::max<int64_t>(1, capacity_rows)),
+      policy_(policy) {
+  storage_.resize(static_cast<size_t>(row_length_ * capacity_rows_));
+  free_slots_.reserve(static_cast<size_t>(capacity_rows_));
+  for (int64_t s = capacity_rows_ - 1; s >= 0; --s) free_slots_.push_back(s);
+}
+
+const double* KernelBuffer::Lookup(int32_t row) {
+  auto it = index_.find(row);
+  if (it == index_.end()) return nullptr;
+  if (policy_ == Policy::kLru) Refresh(row);
+  return storage_.data() + it->second * row_length_;
+}
+
+void KernelBuffer::Refresh(int32_t row) {
+  // O(queue) scan; the queue is at most capacity_rows_ entries and this is
+  // the ablation-only policy, so simplicity wins over an intrusive list.
+  for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+    if (*it == row) {
+      fifo_.erase(it);
+      fifo_.push_back(row);
+      return;
+    }
+  }
+}
+
+void KernelBuffer::Partition(std::span<const int32_t> rows,
+                             std::vector<int32_t>* present,
+                             std::vector<int32_t>* missing) {
+  present->clear();
+  missing->clear();
+  for (int32_t row : rows) {
+    if (index_.count(row) != 0) {
+      present->push_back(row);
+      ++hits_;
+      if (policy_ == Policy::kLru) Refresh(row);
+    } else {
+      missing->push_back(row);
+      ++misses_;
+    }
+  }
+}
+
+void KernelBuffer::Pin(std::span<const int32_t> rows) {
+  pinned_.clear();
+  pinned_.insert(rows.begin(), rows.end());
+}
+
+Result<std::vector<double*>> KernelBuffer::InsertBatch(
+    std::span<const int32_t> rows) {
+  std::vector<double*> out;
+  out.reserve(rows.size());
+  for (int32_t row : rows) {
+    GMP_DCHECK(index_.find(row) == index_.end());
+    int64_t slot = -1;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      // FIFO eviction skipping pinned rows: rotate pinned victims to the
+      // back of the queue (they stay buffered, just deferred).
+      size_t scanned = 0;
+      const size_t fifo_size = fifo_.size();
+      while (scanned < fifo_size) {
+        int32_t victim = fifo_.front();
+        fifo_.pop_front();
+        ++scanned;
+        if (pinned_.count(victim) != 0) {
+          fifo_.push_back(victim);
+          continue;
+        }
+        auto vit = index_.find(victim);
+        GMP_DCHECK(vit != index_.end());
+        slot = vit->second;
+        index_.erase(vit);
+        ++evictions_;
+        break;
+      }
+      if (slot < 0) {
+        return Status::FailedPrecondition(StrPrintf(
+            "kernel buffer exhausted: all %lld rows pinned, cannot insert row %d",
+            static_cast<long long>(capacity_rows_), row));
+      }
+    }
+    index_[row] = slot;
+    fifo_.push_back(row);
+    out.push_back(storage_.data() + slot * row_length_);
+  }
+  return out;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,358 @@
+#include "solver/smo_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "solver/kernel_cache.h"
+#include "solver/working_set.h"
+
+namespace gmpsvm {
+namespace {
+
+constexpr double kTau = 1e-12;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Cost of a parallel reduction / elementwise pass over n values.
+TaskCost VectorPassCost(int64_t n, double flops_per_item, double bytes_per_item) {
+  TaskCost cost;
+  cost.parallel_items = n;
+  cost.flops = flops_per_item * static_cast<double>(n);
+  cost.bytes_read = bytes_per_item * static_cast<double>(n);
+  return cost;
+}
+
+}  // namespace
+
+Result<BinarySolution> SmoSolver::Solve(const BinaryProblem& problem,
+                                        const KernelComputer& computer,
+                                        SimExecutor* executor, StreamId stream,
+                                        SolverStats* stats) const {
+  const int64_t n = problem.n();
+  if (n < 2) {
+    return Status::InvalidArgument("binary problem needs at least 2 instances");
+  }
+  if (problem.C <= 0) {
+    return Status::InvalidArgument("C must be positive");
+  }
+  const auto& y = problem.y;
+  // Per-instance box constraints (class-weighted C).
+  std::vector<double> cvec(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    cvec[static_cast<size_t>(i)] = problem.CFor(y[static_cast<size_t>(i)]);
+  }
+
+  // Kernel-row cache; on the GPU baseline it occupies device memory, halving
+  // until it fits the budget.
+  size_t cache_bytes = options_.cache_bytes;
+  DeviceAllocation cache_reservation;
+  if (options_.cache_on_device) {
+    while (cache_bytes > (1u << 20)) {
+      auto reservation = executor->Allocate(cache_bytes);
+      if (reservation.ok()) {
+        cache_reservation = std::move(reservation).value();
+        break;
+      }
+      cache_bytes /= 2;
+    }
+  }
+  KernelCache cache(n, cache_bytes, /*max_rows=*/n);
+
+  // Fetches the local kernel row for `i`, serving from cache when possible.
+  std::vector<int32_t> batch_one(1);
+  const auto get_row = [&](int32_t i) -> const double* {
+    if (const double* row = cache.Lookup(i)) {
+      // Re-reading a cached row still touches memory on the device.
+      executor->Charge(stream, VectorPassCost(n, 0.0, sizeof(double)));
+      executor->counters().kernel_values_reused += n;
+      if (stats != nullptr) ++stats->kernel_rows_reused;
+      return row;
+    }
+    double* slot = cache.Insert(i);
+    batch_one[0] = problem.rows[static_cast<size_t>(i)];
+    computer.ComputeBlock(batch_one, problem.rows, executor, stream, slot);
+    if (stats != nullptr) ++stats->kernel_rows_computed;
+    return slot;
+  };
+
+  // State: alpha, optimality indicators f_i = sum_j alpha_j y_j K_ij - y_i.
+  std::vector<double> alpha(static_cast<size_t>(n), 0.0);
+  std::vector<double> f(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) f[static_cast<size_t>(i)] = -static_cast<double>(y[i]);
+  executor->Charge(stream, VectorPassCost(n, 1.0, sizeof(double)));
+
+  // Diagonal K_ii (from precomputed norms; one elementwise pass).
+  std::vector<double> diag(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    diag[static_cast<size_t>(i)] =
+        computer.SelfKernelA(problem.rows[static_cast<size_t>(i)]);
+  }
+  executor->Charge(stream, VectorPassCost(n, 2.0, sizeof(double)));
+
+  const double time_base = executor->StreamTime(stream);
+  double kernel_time = 0.0;
+
+  // Active set for the shrinking heuristic; initially every instance.
+  std::vector<int32_t> active(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) active[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  const int64_t shrink_interval =
+      std::max<int64_t>(1, std::min<int64_t>(options_.shrink_interval, n));
+  int64_t next_shrink_check = shrink_interval;
+
+  // Reconstructs exact optimality indicators for every instance from alpha
+  // (used before unshrinking; one batched kernel product against the SVs).
+  const auto reconstruct_f = [&]() {
+    std::vector<int32_t> sv_locals;
+    for (int64_t j = 0; j < n; ++j) {
+      if (alpha[static_cast<size_t>(j)] > 0.0) sv_locals.push_back(static_cast<int32_t>(j));
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      f[static_cast<size_t>(i)] = -static_cast<double>(y[i]);
+    }
+    if (sv_locals.empty()) return;
+    std::vector<int32_t> sv_globals(sv_locals.size());
+    for (size_t m = 0; m < sv_locals.size(); ++m) {
+      sv_globals[m] = problem.rows[static_cast<size_t>(sv_locals[m])];
+    }
+    std::vector<double> block(sv_locals.size() * static_cast<size_t>(n));
+    computer.ComputeBlock(sv_globals, problem.rows, executor, stream, block.data());
+    for (size_t m = 0; m < sv_locals.size(); ++m) {
+      const double coef = alpha[static_cast<size_t>(sv_locals[m])] *
+                          static_cast<double>(y[sv_locals[m]]);
+      const double* row = block.data() + m * static_cast<size_t>(n);
+      for (int64_t i = 0; i < n; ++i) f[static_cast<size_t>(i)] += coef * row[i];
+    }
+    executor->Charge(stream,
+                     VectorPassCost(n, 2.0 * static_cast<double>(sv_locals.size()),
+                                    2 * sizeof(double)));
+  };
+
+  int64_t iterations = 0;
+  for (;; ++iterations) {
+    if (iterations >= options_.max_iterations) {
+      GMP_LOG(Warning) << "SMO hit max_iterations=" << options_.max_iterations;
+      break;
+    }
+    const int64_t n_active = static_cast<int64_t>(active.size());
+
+    // Step 1a: u = argmin f over I_up (parallel reduction over active set).
+    int32_t u = -1;
+    double f_u = kInf;
+    for (int32_t i : active) {
+      if (InUpSet(y[i], alpha[i], cvec[static_cast<size_t>(i)]) && f[static_cast<size_t>(i)] < f_u) {
+        f_u = f[static_cast<size_t>(i)];
+        u = i;
+      }
+    }
+    executor->Charge(stream, VectorPassCost(n_active, 1.0, 2 * sizeof(double)));
+    if (u < 0) {
+      // I_up empty on the active set: optimal there; unshrink if needed.
+      if (options_.shrinking && n_active < n) {
+        reconstruct_f();
+        active.resize(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) active[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+        continue;
+      }
+      break;
+    }
+
+    // Kernel row of u.
+    double t0 = executor->StreamTime(stream);
+    const double* row_u = get_row(u);
+    kernel_time += executor->StreamTime(stream) - t0;
+
+    // Step 1b: second-order choice of l plus the stopping-condition value
+    // f_max = max f over I_low, in one pass (Equations (5) and (10)).
+    int32_t l = -1;
+    double best_gain = 0.0;
+    double f_low_max = -kInf;
+    const double k_uu = diag[static_cast<size_t>(u)];
+    const bool second_order =
+        options_.selection == SmoOptions::Selection::kSecondOrder;
+    for (int32_t t : active) {
+      if (!InLowSet(y[t], alpha[t], cvec[static_cast<size_t>(t)])) continue;
+      const double f_t = f[static_cast<size_t>(t)];
+      f_low_max = std::max(f_low_max, f_t);
+      const double grad_diff = f_t - f_u;
+      if (grad_diff > 0) {
+        double gain;
+        if (second_order) {
+          double eta = k_uu + diag[static_cast<size_t>(t)] - 2.0 * row_u[t];
+          if (eta <= 0) eta = kTau;
+          gain = grad_diff * grad_diff / eta;
+        } else {
+          gain = grad_diff;  // maximal violating pair
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          l = t;
+        }
+      }
+    }
+    executor->Charge(stream, VectorPassCost(n_active, 6.0, 3 * sizeof(double)));
+
+    // Optimality (Constraint (9)) on the active set; with shrinking on,
+    // reconstruct and unshrink once before declaring global convergence.
+    if (l < 0 || f_low_max - f_u < options_.eps) {
+      if (options_.shrinking && n_active < n) {
+        reconstruct_f();
+        active.resize(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) active[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+        next_shrink_check = iterations + shrink_interval;
+        continue;
+      }
+      break;
+    }
+
+    t0 = executor->StreamTime(stream);
+    const double* row_l = get_row(l);
+    kernel_time += executor->StreamTime(stream) - t0;
+
+    // Step 2: update alpha_u and alpha_l with LibSVM's clipping.
+    const double old_au = alpha[static_cast<size_t>(u)];
+    const double old_al = alpha[static_cast<size_t>(l)];
+    const double g_u = y[u] * f_u;  // LibSVM gradient G_i = y_i f_i
+    const double g_l = y[l] * f[static_cast<size_t>(l)];
+    double& a_u = alpha[static_cast<size_t>(u)];
+    double& a_l = alpha[static_cast<size_t>(l)];
+    const double c_u = cvec[static_cast<size_t>(u)];
+    const double c_l = cvec[static_cast<size_t>(l)];
+    if (y[u] != y[l]) {
+      // LibSVM's QD[i]+QD[j]+2*Q_i[j] with Q_i[j] = y_i y_j K_ij = -K_ul here,
+      // i.e. eta = K_uu + K_ll - 2 K_ul in both branches. Clipping follows
+      // LibSVM's unequal-C form (C_u and C_l may differ under -wi weights).
+      double quad = k_uu + diag[static_cast<size_t>(l)] - 2.0 * row_u[l];
+      if (quad <= 0) quad = kTau;
+      const double delta = (-g_u - g_l) / quad;
+      const double diff = a_u - a_l;
+      a_u += delta;
+      a_l += delta;
+      if (diff > 0) {
+        if (a_l < 0) {
+          a_l = 0;
+          a_u = diff;
+        }
+      } else {
+        if (a_u < 0) {
+          a_u = 0;
+          a_l = -diff;
+        }
+      }
+      if (diff > c_u - c_l) {
+        if (a_u > c_u) {
+          a_u = c_u;
+          a_l = c_u - diff;
+        }
+      } else {
+        if (a_l > c_l) {
+          a_l = c_l;
+          a_u = c_l + diff;
+        }
+      }
+    } else {
+      double quad = k_uu + diag[static_cast<size_t>(l)] - 2.0 * row_u[l];
+      if (quad <= 0) quad = kTau;
+      const double delta = (g_u - g_l) / quad;
+      const double sum = a_u + a_l;
+      a_u -= delta;
+      a_l += delta;
+      if (sum > c_u) {
+        if (a_u > c_u) {
+          a_u = c_u;
+          a_l = sum - c_u;
+        }
+      } else {
+        if (a_l < 0) {
+          a_l = 0;
+          a_u = sum;
+        }
+      }
+      if (sum > c_l) {
+        if (a_l > c_l) {
+          a_l = c_l;
+          a_u = sum - c_l;
+        }
+      } else {
+        if (a_u < 0) {
+          a_u = 0;
+          a_l = sum;
+        }
+      }
+    }
+    executor->Charge(stream, VectorPassCost(1, 20.0, 0.0));
+
+    // Step 3: update all optimality indicators (Equation (8)).
+    const double d_au = a_u - old_au;
+    const double d_al = a_l - old_al;
+    const double yu_dau = y[u] * d_au;
+    const double yl_dal = y[l] * d_al;
+    for (int32_t i : active) {
+      f[static_cast<size_t>(i)] += yu_dau * row_u[i] + yl_dal * row_l[i];
+    }
+    executor->Charge(stream, VectorPassCost(n_active, 4.0, 3 * sizeof(double)));
+
+    // Shrinking: drop active instances pinned at a bound that cannot be
+    // selected (only-up with f above the low extreme, only-low with f below
+    // the up extreme).
+    if (options_.shrinking && iterations >= next_shrink_check) {
+      next_shrink_check = iterations + shrink_interval;
+      std::vector<int32_t> kept;
+      kept.reserve(active.size());
+      for (int32_t i : active) {
+        const bool in_up = InUpSet(y[i], alpha[i], cvec[static_cast<size_t>(i)]);
+        const bool in_low = InLowSet(y[i], alpha[i], cvec[static_cast<size_t>(i)]);
+        const double f_i = f[static_cast<size_t>(i)];
+        const bool shrink = (in_up && !in_low && f_i > f_low_max) ||
+                            (in_low && !in_up && f_i < f_u);
+        if (!shrink) kept.push_back(i);
+      }
+      if (kept.size() >= 2 && kept.size() < active.size()) active = std::move(kept);
+      executor->Charge(stream, VectorPassCost(n_active, 2.0, 2 * sizeof(double)));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->iterations += iterations;
+    stats->outer_rounds += iterations;
+    stats->phases.Add("kernel_values", kernel_time);
+    stats->phases.Add("other", executor->StreamTime(stream) - time_base - kernel_time);
+  }
+
+  // Bias (Equation (11)): b = -rho; rho is the mean f over free support
+  // vectors, or the midpoint of the violation interval when none are free.
+  double sum_free = 0.0;
+  int64_t num_free = 0;
+  double f_up_min = kInf, f_low_max = -kInf;
+  for (int64_t i = 0; i < n; ++i) {
+    const double a = alpha[static_cast<size_t>(i)];
+    if (a > 0 && a < cvec[static_cast<size_t>(i)]) {
+      sum_free += f[static_cast<size_t>(i)];
+      ++num_free;
+    }
+    if (InUpSet(y[i], a, cvec[static_cast<size_t>(i)])) f_up_min = std::min(f_up_min, f[static_cast<size_t>(i)]);
+    if (InLowSet(y[i], a, cvec[static_cast<size_t>(i)])) f_low_max = std::max(f_low_max, f[static_cast<size_t>(i)]);
+  }
+  const double rho =
+      num_free > 0 ? sum_free / static_cast<double>(num_free) : (f_up_min + f_low_max) / 2.0;
+
+  // Dual objective of the maximization form of problem (2):
+  // sum(alpha) - 0.5*alpha'Q alpha = -0.5 * sum_i alpha_i * (G_i - 1).
+  double objective = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double g_i = y[i] * f[static_cast<size_t>(i)];
+    objective += alpha[static_cast<size_t>(i)] * (g_i - 1.0);
+  }
+  objective *= -0.5;
+
+  BinarySolution solution;
+  solution.alpha = std::move(alpha);
+  solution.bias = -rho;
+  solution.objective = objective;
+  solution.f = std::move(f);
+  return solution;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,42 @@
+// Per-solve statistics reported by the binary SVM solvers. The figures in
+// the paper's sensitivity study (buffer size, q, component breakdown) are
+// regenerated from these.
+
+#ifndef GMPSVM_SOLVER_SOLVER_STATS_H_
+#define GMPSVM_SOLVER_SOLVER_STATS_H_
+
+#include <cstdint>
+
+#include "common/stopwatch.h"
+
+namespace gmpsvm {
+
+struct SolverStats {
+  // SMO subproblems solved (pairs of alphas updated).
+  int64_t iterations = 0;
+
+  // Outer working-set refreshes (1 per SMO iteration for the classic solver).
+  int64_t outer_rounds = 0;
+
+  // Kernel row traffic.
+  int64_t kernel_rows_computed = 0;
+  int64_t kernel_rows_reused = 0;
+
+  // Simulated seconds attributed to pipeline phases:
+  //   "kernel_values" — computing kernel rows (Fig. 11's dominant component)
+  //   "subproblem"    — inner SMO updates on the working set
+  //   "other"         — selection, sorting, f updates, reductions
+  PhaseTimer phases;
+
+  void Merge(const SolverStats& other) {
+    iterations += other.iterations;
+    outer_rounds += other.outer_rounds;
+    kernel_rows_computed += other.kernel_rows_computed;
+    kernel_rows_reused += other.kernel_rows_reused;
+    phases.Merge(other.phases);
+  }
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SOLVER_SOLVER_STATS_H_

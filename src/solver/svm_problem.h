@@ -1,0 +1,70 @@
+// Binary SVM problem description shared by all solvers.
+//
+// A BinaryProblem is a *view* over the full dataset: it lists the global row
+// ids that participate (for a pairwise problem (s,t), all instances of class
+// s followed by all instances of class t) plus their ±1 labels. Solvers work
+// in local indices [0, n) and translate through `rows` when touching feature
+// data, which is what makes cross-SVM kernel sharing possible (two problems
+// referencing the same global row can share kernel values).
+
+#ifndef GMPSVM_SOLVER_SVM_PROBLEM_H_
+#define GMPSVM_SOLVER_SVM_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/kernel_function.h"
+#include "sparse/csr_matrix.h"
+
+namespace gmpsvm {
+
+struct BinaryProblem {
+  // Full dataset feature matrix; not owned.
+  const CsrMatrix* data = nullptr;
+
+  // Global row ids of the participating instances, in local-index order.
+  std::vector<int32_t> rows;
+
+  // Labels (+1 / -1), parallel to `rows`.
+  std::vector<int8_t> y;
+
+  // Penalty parameter C of problem (1)/(2).
+  double C = 1.0;
+
+  // Optional per-class penalty multipliers (LibSVM's -wi): the effective
+  // penalty of instance i is C * (y_i > 0 ? weight_pos : weight_neg).
+  // Weighting the minority class up is the standard recipe for imbalanced
+  // data.
+  double weight_pos = 1.0;
+  double weight_neg = 1.0;
+
+  KernelParams kernel;
+
+  int64_t n() const { return static_cast<int64_t>(rows.size()); }
+
+  // Effective box constraint of an instance with label `y`.
+  double CFor(int8_t y) const { return C * (y > 0 ? weight_pos : weight_neg); }
+};
+
+// The trained weights and bias of one binary SVM in local index space.
+struct BinarySolution {
+  // Dual weights alpha_i in [0, C], local index space.
+  std::vector<double> alpha;
+
+  // Bias b of the decision function (Equation 11); b = -rho in LibSVM terms.
+  double bias = 0.0;
+
+  // Dual objective value at termination (the maximization form of
+  // problem (2); higher is better).
+  double objective = 0.0;
+
+  // Final optimality indicators f_i (Equation 3). Exposed because the
+  // training-set decision values fall out for free: v_i = f_i + y_i + bias,
+  // which is what the sigmoid-fitting stage consumes (Algorithm 2 line 13)
+  // without recomputing any kernel values.
+  std::vector<double> f;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SOLVER_SVM_PROBLEM_H_

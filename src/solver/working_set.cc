@@ -1,0 +1,133 @@
+#include "solver/working_set.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gmpsvm {
+
+WorkingSetSelector::WorkingSetSelector(const WorkingSetConfig& config, int64_t n)
+    : drop_policy_(config.drop_policy), n_(n) {
+  ws_size_ = static_cast<int>(std::min<int64_t>(std::max(2, config.ws_size), n));
+  q_ = std::clamp(config.q, 2, ws_size_);
+  sorted_.resize(static_cast<size_t>(n));
+  std::iota(sorted_.begin(), sorted_.end(), 0);
+}
+
+const std::vector<int32_t>& WorkingSetSelector::Update(std::span<const double> f,
+                                                       std::span<const double> alpha,
+                                                       std::span<const int8_t> y,
+                                                       std::span<const double> c) {
+  // Sort all instances by optimality indicator ascending (the paper sorts f
+  // and picks from both ends).
+  std::sort(sorted_.begin(), sorted_.end(),
+            [&f](int32_t a, int32_t b) { return f[a] < f[b]; });
+
+  if (members_.empty()) {
+    Admit(ws_size_, f, alpha, y, c);
+    return members_;
+  }
+
+  const int refresh = std::min<int>(q_, static_cast<int>(members_.size()));
+  Drop(refresh, f, alpha, y, c);
+  const int added = Admit(ws_size_ - static_cast<int>(members_.size()), f, alpha, y, c);
+  (void)added;
+  return members_;
+}
+
+void WorkingSetSelector::Drop(int count, std::span<const double> f,
+                              std::span<const double> alpha,
+                              std::span<const int8_t> y, std::span<const double> c) {
+  count = std::min<int>(count, static_cast<int>(members_.size()));
+  if (count <= 0) return;
+
+  std::unordered_set<int32_t> to_drop;
+  if (drop_policy_ == WorkingSetConfig::DropPolicy::kOldest) {
+    while (static_cast<int>(to_drop.size()) < count && !insertion_order_.empty()) {
+      int32_t oldest = insertion_order_.front();
+      insertion_order_.pop_front();
+      if (member_set_.count(oldest) != 0) to_drop.insert(oldest);
+    }
+  } else {
+    // Violation score: how far the member sticks out past the opposite
+    // extreme; non-violating members score lowest and leave first.
+    double f_up_min = std::numeric_limits<double>::infinity();
+    double f_low_max = -std::numeric_limits<double>::infinity();
+    for (int64_t i = 0; i < n_; ++i) {
+      if (InUpSet(y[i], alpha[i], c[i])) f_up_min = std::min(f_up_min, f[i]);
+      if (InLowSet(y[i], alpha[i], c[i])) f_low_max = std::max(f_low_max, f[i]);
+    }
+    std::vector<std::pair<double, int32_t>> scored;
+    scored.reserve(members_.size());
+    for (int32_t m : members_) {
+      double score = -std::numeric_limits<double>::infinity();
+      if (InUpSet(y[m], alpha[m], c[m])) score = std::max(score, f_low_max - f[m]);
+      if (InLowSet(y[m], alpha[m], c[m])) score = std::max(score, f[m] - f_up_min);
+      scored.emplace_back(score, m);
+    }
+    std::nth_element(scored.begin(), scored.begin() + count - 1, scored.end());
+    for (int i = 0; i < count; ++i) to_drop.insert(scored[static_cast<size_t>(i)].second);
+  }
+
+  std::vector<int32_t> kept;
+  kept.reserve(members_.size() - to_drop.size());
+  for (int32_t m : members_) {
+    if (to_drop.count(m) == 0) kept.push_back(m);
+  }
+  members_ = std::move(kept);
+  for (int32_t d : to_drop) member_set_.erase(d);
+}
+
+int WorkingSetSelector::Admit(int count, std::span<const double> f,
+                              std::span<const double> alpha,
+                              std::span<const int8_t> y, std::span<const double> c) {
+  (void)f;  // ordering already captured in sorted_
+  if (count <= 0) return 0;
+  const int half = count / 2;
+  int added = 0;
+
+  // Up side: smallest f whose y*alpha can increase.
+  int up_added = 0;
+  for (size_t k = 0; k < sorted_.size() && up_added < half; ++k) {
+    const int32_t i = sorted_[k];
+    if (member_set_.count(i) != 0) continue;
+    if (!InUpSet(y[i], alpha[i], c[i])) continue;
+    members_.push_back(i);
+    member_set_.insert(i);
+    insertion_order_.push_back(i);
+    ++up_added;
+    ++added;
+  }
+
+  // Low side: largest f whose y*alpha can decrease; fill any up-side deficit.
+  const int low_target = count - up_added;
+  int low_added = 0;
+  for (size_t k = sorted_.size(); k-- > 0 && low_added < low_target;) {
+    const int32_t i = sorted_[k];
+    if (member_set_.count(i) != 0) continue;
+    if (!InLowSet(y[i], alpha[i], c[i])) continue;
+    members_.push_back(i);
+    member_set_.insert(i);
+    insertion_order_.push_back(i);
+    ++low_added;
+    ++added;
+  }
+
+  // If the low side ran dry, top up from the up side.
+  if (added < count) {
+    for (size_t k = 0; k < sorted_.size() && added < count; ++k) {
+      const int32_t i = sorted_[k];
+      if (member_set_.count(i) != 0) continue;
+      if (!InUpSet(y[i], alpha[i], c[i])) continue;
+      members_.push_back(i);
+      member_set_.insert(i);
+      insertion_order_.push_back(i);
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,128 @@
+#include "sparse/csr_matrix.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace gmpsvm {
+
+Result<CsrMatrix> CsrMatrix::Create(int64_t rows, int64_t cols,
+                                    std::vector<int64_t> row_ptr,
+                                    std::vector<int32_t> col_idx,
+                                    std::vector<double> values) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument("negative matrix dimensions");
+  }
+  if (static_cast<int64_t>(row_ptr.size()) != rows + 1) {
+    return Status::InvalidArgument(
+        StrPrintf("row_ptr size %zu != rows+1 (%lld)", row_ptr.size(),
+                  static_cast<long long>(rows + 1)));
+  }
+  if (row_ptr.front() != 0 ||
+      row_ptr.back() != static_cast<int64_t>(values.size()) ||
+      col_idx.size() != values.size()) {
+    return Status::InvalidArgument("inconsistent CSR array lengths");
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      return Status::InvalidArgument("row_ptr not non-decreasing");
+    }
+    int32_t prev = -1;
+    for (int64_t p = row_ptr[r]; p < row_ptr[r + 1]; ++p) {
+      if (col_idx[p] <= prev || col_idx[p] >= cols) {
+        return Status::InvalidArgument(StrPrintf(
+            "row %lld: column index %d out of order or out of range",
+            static_cast<long long>(r), col_idx[p]));
+      }
+      prev = col_idx[p];
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+double CsrMatrix::RowDot(int64_t a, int64_t b) const {
+  const auto ia = RowIndices(a), ib = RowIndices(b);
+  const auto va = RowValues(a), vb = RowValues(b);
+  double dot = 0.0;
+  size_t pa = 0, pb = 0;
+  while (pa < ia.size() && pb < ib.size()) {
+    if (ia[pa] == ib[pb]) {
+      dot += va[pa] * vb[pb];
+      ++pa;
+      ++pb;
+    } else if (ia[pa] < ib[pb]) {
+      ++pa;
+    } else {
+      ++pb;
+    }
+  }
+  return dot;
+}
+
+double CsrMatrix::RowSquaredNorm(int64_t row) const {
+  double sum = 0.0;
+  for (double v : RowValues(row)) sum += v * v;
+  return sum;
+}
+
+std::vector<double> CsrMatrix::AllRowSquaredNorms() const {
+  std::vector<double> norms(static_cast<size_t>(rows_));
+  for (int64_t r = 0; r < rows_; ++r) norms[static_cast<size_t>(r)] = RowSquaredNorm(r);
+  return norms;
+}
+
+CsrMatrix CsrMatrix::SelectRows(std::span<const int32_t> rows) const {
+  CsrBuilder builder(cols_);
+  for (int32_t r : rows) {
+    builder.AddRow(RowIndices(r), RowValues(r));
+  }
+  // Rows of a valid matrix remain valid, so Finish cannot fail.
+  return ValueOrDie(builder.Finish());
+}
+
+std::vector<double> CsrMatrix::ToDense() const {
+  std::vector<double> dense(static_cast<size_t>(rows_ * cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const auto idx = RowIndices(r);
+    const auto val = RowValues(r);
+    for (size_t p = 0; p < idx.size(); ++p) {
+      dense[static_cast<size_t>(r * cols_ + idx[p])] = val[p];
+    }
+  }
+  return dense;
+}
+
+void CsrBuilder::AddRow(std::span<const int32_t> indices,
+                        std::span<const double> values) {
+  col_idx_.insert(col_idx_.end(), indices.begin(), indices.end());
+  values_.insert(values_.end(), values.begin(), values.end());
+  row_ptr_.push_back(static_cast<int64_t>(col_idx_.size()));
+}
+
+void CsrBuilder::AddRowUnsorted(std::vector<std::pair<int32_t, double>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [idx, val] : entries) {
+    col_idx_.push_back(idx);
+    values_.push_back(val);
+  }
+  row_ptr_.push_back(static_cast<int64_t>(col_idx_.size()));
+}
+
+Result<CsrMatrix> CsrBuilder::Finish() {
+  const int64_t num_rows = rows();  // before row_ptr_ is moved out
+  auto result = CsrMatrix::Create(num_rows, cols_, std::move(row_ptr_),
+                                  std::move(col_idx_), std::move(values_));
+  row_ptr_ = {0};
+  col_idx_.clear();
+  values_.clear();
+  return result;
+}
+
+}  // namespace gmpsvm

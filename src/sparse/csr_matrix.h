@@ -1,0 +1,105 @@
+// Compressed Sparse Row matrix — the instance representation used throughout
+// the library (the paper, like GTSVM and ThunderSVM, stores training data in
+// CSR to handle large sparse datasets; the dense representation is what sinks
+// GPUSVM on RCV1 in Figure 10).
+
+#ifndef GMPSVM_SPARSE_CSR_MATRIX_H_
+#define GMPSVM_SPARSE_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gmpsvm {
+
+// Immutable CSR matrix of doubles. Column indices within each row are
+// strictly increasing (validated on construction).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  // Validates and adopts the arrays. row_ptr has rows+1 entries; col_idx and
+  // values have row_ptr.back() entries; all column indices are in [0, cols)
+  // and strictly increasing within a row.
+  static Result<CsrMatrix> Create(int64_t rows, int64_t cols,
+                                  std::vector<int64_t> row_ptr,
+                                  std::vector<int32_t> col_idx,
+                                  std::vector<double> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  int64_t RowNnz(int64_t row) const { return row_ptr_[row + 1] - row_ptr_[row]; }
+
+  std::span<const int32_t> RowIndices(int64_t row) const {
+    return {col_idx_.data() + row_ptr_[row],
+            static_cast<size_t>(RowNnz(row))};
+  }
+  std::span<const double> RowValues(int64_t row) const {
+    return {values_.data() + row_ptr_[row], static_cast<size_t>(RowNnz(row))};
+  }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  // Bytes of the CSR arrays (used for device-memory accounting).
+  size_t ByteSize() const {
+    return row_ptr_.size() * sizeof(int64_t) + col_idx_.size() * sizeof(int32_t) +
+           values_.size() * sizeof(double);
+  }
+
+  // Dot product of two rows of this matrix (sorted-index merge).
+  double RowDot(int64_t a, int64_t b) const;
+
+  // Squared L2 norm of one row.
+  double RowSquaredNorm(int64_t row) const;
+
+  // Squared L2 norms of all rows.
+  std::vector<double> AllRowSquaredNorms() const;
+
+  // Returns the submatrix consisting of `rows` (in the given order).
+  CsrMatrix SelectRows(std::span<const int32_t> rows) const;
+
+  // Dense row-major copy (rows x cols). Intended for small matrices and the
+  // dense-representation baseline.
+  std::vector<double> ToDense() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_{0};
+  std::vector<int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+// Incremental row-by-row builder.
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(int64_t cols) : cols_(cols) {}
+
+  // Appends one row given parallel index/value arrays. Indices must be
+  // strictly increasing; invalid input surfaces at Finish().
+  void AddRow(std::span<const int32_t> indices, std::span<const double> values);
+
+  // Appends one row from (index, value) pairs; sorts them first.
+  void AddRowUnsorted(std::vector<std::pair<int32_t, double>> entries);
+
+  int64_t rows() const { return static_cast<int64_t>(row_ptr_.size()) - 1; }
+
+  // Validates and produces the matrix; the builder is left empty.
+  Result<CsrMatrix> Finish();
+
+ private:
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_{0};
+  std::vector<int32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SPARSE_CSR_MATRIX_H_

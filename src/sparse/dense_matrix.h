@@ -1,0 +1,61 @@
+// Row-major dense matrix. Used by the GPUSVM-like baseline (which stores
+// instances densely — the representation choice the paper identifies as that
+// system's weakness on sparse data) and for small dense intermediates.
+
+#ifndef GMPSVM_SPARSE_DENSE_MATRIX_H_
+#define GMPSVM_SPARSE_DENSE_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gmpsvm {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0) {}
+  DenseMatrix(int64_t rows, int64_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {}
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double At(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double& At(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * cols_ + c)]; }
+
+  std::span<const double> Row(int64_t r) const {
+    return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+  }
+  std::span<double> MutableRow(int64_t r) {
+    return {data_.data() + r * cols_, static_cast<size_t>(cols_)};
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  size_t ByteSize() const { return data_.size() * sizeof(double); }
+
+  // Dense dot product of rows a and b — O(cols) regardless of sparsity,
+  // which is exactly the inefficiency of the dense representation.
+  double RowDot(int64_t a, int64_t b) const {
+    const double* pa = data_.data() + a * cols_;
+    const double* pb = data_.data() + b * cols_;
+    double dot = 0.0;
+    for (int64_t c = 0; c < cols_; ++c) dot += pa[c] * pb[c];
+    return dot;
+  }
+
+  double RowSquaredNorm(int64_t r) const { return RowDot(r, r); }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SPARSE_DENSE_MATRIX_H_

@@ -1,0 +1,105 @@
+#include "sparse/ops.h"
+
+#include <cstring>
+
+namespace gmpsvm {
+namespace {
+
+// Scatter/gather core shared by the two CSR batch-dot variants.
+OpStats BatchRowDotsImpl(const CsrMatrix& a, std::span<const int32_t> batch,
+                         const CsrMatrix& b, std::span<const int32_t> targets,
+                         double* out) {
+  OpStats stats;
+  std::vector<double> workspace(static_cast<size_t>(a.cols()), 0.0);
+  const size_t num_targets = targets.size();
+  double nnz_targets_once = 0.0;
+  for (size_t bi = 0; bi < batch.size(); ++bi) {
+    const int64_t row = batch[bi];
+    const auto idx = a.RowIndices(row);
+    const auto val = a.RowValues(row);
+    for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = val[p];
+
+    double* out_row = out + bi * num_targets;
+    double nnz_streamed = 0.0;
+    for (size_t tj = 0; tj < num_targets; ++tj) {
+      const int64_t trow = targets[tj];
+      const auto tidx = b.RowIndices(trow);
+      const auto tval = b.RowValues(trow);
+      double dot = 0.0;
+      for (size_t p = 0; p < tidx.size(); ++p) dot += workspace[tidx[p]] * tval[p];
+      out_row[tj] = dot;
+      nnz_streamed += static_cast<double>(tidx.size());
+    }
+
+    for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = 0.0;
+
+    stats.flops += 2.0 * nnz_streamed;
+    // Per-row traffic: the batch row itself; the target matrix is tiled
+    // through on-chip memory and read from DRAM once per *batch*, not once
+    // per row — this amortization is why computing q rows together is far
+    // cheaper per row than computing them one by one (Section 3.3.1's
+    // ">10x cheaper when q > 10" claim; see bench_ablation_batch_rows).
+    stats.bytes_read +=
+        static_cast<double>(idx.size()) * (sizeof(double) + sizeof(int32_t));
+    stats.bytes_written += static_cast<double>(num_targets) * sizeof(double);
+    nnz_targets_once = nnz_streamed;
+  }
+  stats.bytes_read += nnz_targets_once * (sizeof(double) + sizeof(int32_t));
+  return stats;
+}
+
+}  // namespace
+
+OpStats BatchRowDots(const CsrMatrix& x, std::span<const int32_t> batch,
+                     std::span<const int32_t> targets, double* out) {
+  return BatchRowDotsImpl(x, batch, x, targets, out);
+}
+
+OpStats BatchRowDots2(const CsrMatrix& a, std::span<const int32_t> batch,
+                      const CsrMatrix& b, std::span<const int32_t> targets,
+                      double* out) {
+  return BatchRowDotsImpl(a, batch, b, targets, out);
+}
+
+OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
+                          std::span<const int32_t> targets, double* out) {
+  OpStats stats;
+  const size_t num_targets = targets.size();
+  for (size_t bi = 0; bi < batch.size(); ++bi) {
+    double* out_row = out + bi * num_targets;
+    for (size_t tj = 0; tj < num_targets; ++tj) {
+      out_row[tj] = x.RowDot(batch[bi], targets[tj]);
+    }
+  }
+  const double cols = static_cast<double>(x.cols());
+  const double pairs = static_cast<double>(batch.size() * num_targets);
+  stats.flops = 2.0 * pairs * cols;
+  // Same tiling amortization as the sparse path: batch rows read per row,
+  // target matrix read once per batch.
+  stats.bytes_read = (static_cast<double>(batch.size()) * cols +
+                      static_cast<double>(num_targets) * cols) *
+                     sizeof(double);
+  stats.bytes_written = pairs * sizeof(double);
+  return stats;
+}
+
+OpStats SpMV(const CsrMatrix& x, std::span<const int32_t> rows,
+             std::span<const double> v, double* out) {
+  OpStats stats;
+  double nnz_streamed = 0.0;
+  for (size_t j = 0; j < rows.size(); ++j) {
+    const int64_t row = rows[j];
+    const auto idx = x.RowIndices(row);
+    const auto val = x.RowValues(row);
+    double dot = 0.0;
+    for (size_t p = 0; p < idx.size(); ++p) dot += val[p] * v[idx[p]];
+    out[j] = dot;
+    nnz_streamed += static_cast<double>(idx.size());
+  }
+  stats.flops = 2.0 * nnz_streamed;
+  stats.bytes_read = nnz_streamed * (sizeof(double) + sizeof(int32_t));
+  stats.bytes_written = static_cast<double>(rows.size()) * sizeof(double);
+  return stats;
+}
+
+}  // namespace gmpsvm

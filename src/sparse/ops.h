@@ -1,0 +1,62 @@
+// Sparse linear-algebra kernels (the cuSPARSE-equivalent substrate).
+//
+// The routines are pure host computation; each returns an OpStats describing
+// the work actually performed, which callers charge to a SimExecutor stream.
+// Keeping compute and accounting separate lets the same math back every
+// substrate model.
+
+#ifndef GMPSVM_SPARSE_OPS_H_
+#define GMPSVM_SPARSE_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr_matrix.h"
+#include "sparse/dense_matrix.h"
+
+namespace gmpsvm {
+
+// Work performed by one sparse op.
+struct OpStats {
+  double flops = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+
+  OpStats& operator+=(const OpStats& o) {
+    flops += o.flops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+};
+
+// Batched sparse row-dot products (the SpMM X_B · X_Tᵀ used to compute kernel
+// rows in one shot, Section 3.3.1):
+//   out[b * targets.size() + j] = X.row(batch[b]) · X.row(targets[j])
+// Implemented by scattering each batch row into a dense workspace and
+// streaming the target rows through it — O(|batch| * nnz(targets) +
+// |batch| * dim), the standard row-wise SpGEMM schedule.
+//
+// `out` must have batch.size() * targets.size() entries.
+OpStats BatchRowDots(const CsrMatrix& x, std::span<const int32_t> batch,
+                     std::span<const int32_t> targets, double* out);
+
+// As above but dotting rows of `a` (by index `batch`) against rows of `b`
+// (by index `targets`); used for test-instances x support-vectors products.
+OpStats BatchRowDots2(const CsrMatrix& a, std::span<const int32_t> batch,
+                      const CsrMatrix& b, std::span<const int32_t> targets,
+                      double* out);
+
+// Dense counterpart over DenseMatrix rows; O(|batch| * |targets| * dim).
+OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
+                          std::span<const int32_t> targets, double* out);
+
+// y = alpha * A.row-dots(v): sparse matrix (selected rows) times dense
+// vector; out[j] = X.row(rows[j]) · v. Used by decision-value computation.
+OpStats SpMV(const CsrMatrix& x, std::span<const int32_t> rows,
+             std::span<const double> v, double* out);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SPARSE_OPS_H_

@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gmpsvm {
+namespace {
+
+TEST(ThreadPoolTest, RunsScheduledTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCount) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool2(-3);
+  EXPECT_EQ(pool2.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(10000);
+  pool.ParallelFor(
+      10000,
+      [&touched](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) touched[static_cast<size_t>(i)]++;
+      },
+      /*min_chunk=*/16);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeRunsInline) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(
+      10,
+      [&sum](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+      },
+      /*min_chunk=*/1024);
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, TasksScheduledFromTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 5; ++i) {
+    pool.Schedule([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.Schedule([&counter] { counter.fetch_add(10); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 55);
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,79 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gmpsvm {
+namespace {
+
+CsrMatrix TinyMatrix(int rows, int cols = 4) {
+  CsrBuilder b(cols);
+  for (int r = 0; r < rows; ++r) {
+    b.AddRow(std::vector<int32_t>{r % cols}, std::vector<double>{1.0 + r});
+  }
+  return ValueOrDie(b.Finish());
+}
+
+TEST(DatasetTest, CreateValidatesLabelCount) {
+  auto result = Dataset::Create(TinyMatrix(3), {0, 1});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DatasetTest, CreateValidatesLabelRange) {
+  EXPECT_FALSE(Dataset::Create(TinyMatrix(3), {0, 1, -1}).ok());
+  EXPECT_FALSE(Dataset::Create(TinyMatrix(3), {0, 1, 5}, 3).ok());
+}
+
+TEST(DatasetTest, CreateRejectsSingleClass) {
+  EXPECT_FALSE(Dataset::Create(TinyMatrix(3), {0, 0, 0}).ok());
+}
+
+TEST(DatasetTest, InfersNumClasses) {
+  auto d = ValueOrDie(Dataset::Create(TinyMatrix(6), {0, 2, 1, 2, 0, 1}));
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_EQ(d.num_pairs(), 3);
+  EXPECT_EQ(d.size(), 6);
+}
+
+TEST(DatasetTest, ClassRowsPreserveDatasetOrder) {
+  auto d = ValueOrDie(Dataset::Create(TinyMatrix(6), {1, 0, 1, 0, 1, 0}, 2));
+  EXPECT_EQ(d.ClassRows(0), (std::vector<int32_t>{1, 3, 5}));
+  EXPECT_EQ(d.ClassRows(1), (std::vector<int32_t>{0, 2, 4}));
+}
+
+TEST(DatasetTest, MakePairProblemLayout) {
+  auto d = ValueOrDie(Dataset::Create(TinyMatrix(7), {0, 1, 2, 0, 1, 2, 0}, 3));
+  KernelParams kernel;
+  BinaryProblem p = d.MakePairProblem(0, 2, 3.5, kernel);
+  // Class 0 rows (+1) first, class 2 rows (-1) after, in dataset order.
+  EXPECT_EQ(p.rows, (std::vector<int32_t>{0, 3, 6, 2, 5}));
+  EXPECT_EQ(p.y, (std::vector<int8_t>{1, 1, 1, -1, -1}));
+  EXPECT_DOUBLE_EQ(p.C, 3.5);
+  EXPECT_EQ(p.data, &d.features());
+}
+
+TEST(DatasetTest, ClassPairsEnumeration) {
+  auto d = ValueOrDie(
+      Dataset::Create(TinyMatrix(4), {0, 1, 2, 3}, 4));
+  const auto pairs = d.ClassPairs();
+  ASSERT_EQ(pairs.size(), 6u);
+  EXPECT_EQ(pairs[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<int, int>{0, 2}));
+  EXPECT_EQ(pairs[2], (std::pair<int, int>{0, 3}));
+  EXPECT_EQ(pairs[3], (std::pair<int, int>{1, 2}));
+  EXPECT_EQ(pairs[5], (std::pair<int, int>{2, 3}));
+}
+
+TEST(DatasetTest, NumPairsFormula) {
+  for (int k = 2; k <= 20; ++k) {
+    std::vector<int32_t> labels;
+    for (int i = 0; i < 2 * k; ++i) labels.push_back(i % k);
+    auto d = ValueOrDie(Dataset::Create(TinyMatrix(2 * k), labels, k));
+    EXPECT_EQ(d.num_pairs(), k * (k - 1) / 2);
+    EXPECT_EQ(static_cast<int>(d.ClassPairs().size()), d.num_pairs());
+  }
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,113 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../test_util.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+MpSvmModel TrainSmallModel(uint64_t seed) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 20, 5, 2.5, seed));
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 16;
+  options.batch.working_set.q = 8;
+  options.shared_cache_bytes = 16ull << 20;
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  return ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr));
+}
+
+void ExpectModelsEqual(const MpSvmModel& a, const MpSvmModel& b) {
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  EXPECT_DOUBLE_EQ(a.c, b.c);
+  EXPECT_EQ(a.kernel.type, b.kernel.type);
+  EXPECT_DOUBLE_EQ(a.kernel.gamma, b.kernel.gamma);
+  ASSERT_EQ(a.svms.size(), b.svms.size());
+  for (size_t s = 0; s < a.svms.size(); ++s) {
+    EXPECT_EQ(a.svms[s].class_s, b.svms[s].class_s);
+    EXPECT_EQ(a.svms[s].class_t, b.svms[s].class_t);
+    EXPECT_DOUBLE_EQ(a.svms[s].bias, b.svms[s].bias);
+    EXPECT_DOUBLE_EQ(a.svms[s].sigmoid.a, b.svms[s].sigmoid.a);
+    EXPECT_DOUBLE_EQ(a.svms[s].sigmoid.b, b.svms[s].sigmoid.b);
+    EXPECT_EQ(a.svms[s].sv_pool_index, b.svms[s].sv_pool_index);
+    ASSERT_EQ(a.svms[s].sv_coef.size(), b.svms[s].sv_coef.size());
+    for (size_t m = 0; m < a.svms[s].sv_coef.size(); ++m) {
+      EXPECT_DOUBLE_EQ(a.svms[s].sv_coef[m], b.svms[s].sv_coef[m]);
+    }
+  }
+  EXPECT_EQ(a.pool_source_rows, b.pool_source_rows);
+  ASSERT_EQ(a.support_vectors.rows(), b.support_vectors.rows());
+  EXPECT_EQ(a.support_vectors.col_idx(), b.support_vectors.col_idx());
+  ASSERT_EQ(a.support_vectors.values().size(), b.support_vectors.values().size());
+  for (size_t v = 0; v < a.support_vectors.values().size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.support_vectors.values()[v], b.support_vectors.values()[v]);
+  }
+}
+
+TEST(ModelIoTest, SerializeDeserializeRoundTrip) {
+  MpSvmModel model = TrainSmallModel(42);
+  const std::string text = SerializeModel(model);
+  auto restored = ValueOrDie(DeserializeModel(text));
+  ExpectModelsEqual(model, restored);
+}
+
+TEST(ModelIoTest, RestoredModelPredictsIdentically) {
+  MpSvmModel model = TrainSmallModel(7);
+  auto restored = ValueOrDie(DeserializeModel(SerializeModel(model)));
+  auto test = ValueOrDie(MakeMulticlassBlobs(3, 10, 5, 2.5, 999));
+  SimExecutor e1(ExecutorModel::TeslaP100()), e2(ExecutorModel::TeslaP100());
+  auto r1 = ValueOrDie(
+      MpSvmPredictor(&model).Predict(test.features(), &e1, PredictOptions{}));
+  auto r2 = ValueOrDie(
+      MpSvmPredictor(&restored).Predict(test.features(), &e2, PredictOptions{}));
+  EXPECT_EQ(r1.probabilities, r2.probabilities);
+  EXPECT_EQ(r1.labels, r2.labels);
+}
+
+TEST(ModelIoTest, SaveAndLoadFile) {
+  MpSvmModel model = TrainSmallModel(11);
+  const std::string path = ::testing::TempDir() + "/gmpsvm_model_test.txt";
+  GMP_CHECK_OK(SaveModel(model, path));
+  auto loaded = ValueOrDie(LoadModel(path));
+  ExpectModelsEqual(model, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsBadMagic) {
+  EXPECT_FALSE(DeserializeModel("not_a_model\nfoo").ok());
+  EXPECT_FALSE(DeserializeModel("").ok());
+}
+
+TEST(ModelIoTest, RejectsTruncatedModel) {
+  MpSvmModel model = TrainSmallModel(13);
+  std::string text = SerializeModel(model);
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(DeserializeModel(text).ok());
+}
+
+TEST(ModelIoTest, RejectsOutOfRangeSvIndex) {
+  MpSvmModel model = TrainSmallModel(17);
+  std::string text = SerializeModel(model);
+  // Corrupt: the pool index "0:" of the first SV becomes huge.
+  const size_t pos = text.find("\nsvm ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t line_end = text.find('\n', pos + 1);
+  text.insert(line_end + 1, "999999:1.0 ");
+  EXPECT_FALSE(DeserializeModel(text).ok());
+}
+
+TEST(ModelIoTest, LoadMissingFileFails) {
+  auto result = LoadModel("/nonexistent/path/model.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace gmpsvm

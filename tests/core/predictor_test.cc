@@ -1,0 +1,197 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.h"
+#include "core/mp_trainer.h"
+#include "metrics/metrics.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+KernelParams Gaussian(double gamma) {
+  KernelParams p;
+  p.gamma = gamma;
+  return p;
+}
+
+MpTrainOptions SmallGmpOptions() {
+  MpTrainOptions options;
+  options.c = 1.0;
+  options.kernel = Gaussian(0.3);
+  options.batch.working_set.ws_size = 32;
+  options.batch.working_set.q = 16;
+  options.shared_cache_bytes = 64ull << 20;
+  return options;
+}
+
+SimExecutor Gpu() { return SimExecutor(ExecutorModel::TeslaP100()); }
+
+struct TrainedFixture {
+  Dataset train;
+  Dataset test;
+  MpSvmModel model;
+};
+
+TrainedFixture MakeFixture(int k, uint64_t seed, double separation = 2.5) {
+  TrainedFixture fx{
+      ValueOrDie(MakeMulticlassBlobs(k, 30, 6, separation, seed)),
+      ValueOrDie(MakeMulticlassBlobs(k, 10, 6, separation, seed + 1000)),
+      MpSvmModel{},
+  };
+  SimExecutor exec = Gpu();
+  fx.model = ValueOrDie(GmpSvmTrainer(SmallGmpOptions()).Train(fx.train, &exec,
+                                                               nullptr));
+  return fx;
+}
+
+TEST(MpSvmPredictorTest, ProbabilitiesAreDistributions) {
+  TrainedFixture fx = MakeFixture(4, 42);
+  SimExecutor exec = Gpu();
+  auto result = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &exec, PredictOptions{}));
+  ASSERT_EQ(result.num_instances, fx.test.size());
+  for (int64_t i = 0; i < result.num_instances; ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      const double p = result.Probability(i, c);
+      EXPECT_GE(p, -1e-12);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(MpSvmPredictorTest, LabelsAreArgmax) {
+  TrainedFixture fx = MakeFixture(3, 7);
+  SimExecutor exec = Gpu();
+  auto result = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &exec, PredictOptions{}));
+  for (int64_t i = 0; i < result.num_instances; ++i) {
+    int best = 0;
+    for (int c = 1; c < 3; ++c) {
+      if (result.Probability(i, c) > result.Probability(i, best)) best = c;
+    }
+    EXPECT_EQ(result.labels[static_cast<size_t>(i)], best);
+  }
+}
+
+TEST(MpSvmPredictorTest, SeparableDataPredictsAccurately) {
+  TrainedFixture fx = MakeFixture(4, 11, /*separation=*/4.0);
+  SimExecutor exec = Gpu();
+  auto result = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &exec, PredictOptions{}));
+  const double err = ValueOrDie(ErrorRate(result.labels, fx.test.labels()));
+  EXPECT_LT(err, 0.1);
+}
+
+TEST(MpSvmPredictorTest, SharedAndPerSvmPathsAgree) {
+  TrainedFixture fx = MakeFixture(4, 13);
+  SimExecutor e1 = Gpu(), e2 = Gpu();
+  PredictOptions shared;
+  shared.share_kernel_values = true;
+  PredictOptions per_svm;
+  per_svm.share_kernel_values = false;
+  per_svm.concurrent_svms = false;
+  auto rs = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, shared));
+  auto rp = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e2, per_svm));
+  ASSERT_EQ(rs.probabilities.size(), rp.probabilities.size());
+  for (size_t i = 0; i < rs.probabilities.size(); ++i) {
+    EXPECT_NEAR(rs.probabilities[i], rp.probabilities[i], 1e-9);
+  }
+  EXPECT_EQ(rs.labels, rp.labels);
+}
+
+TEST(MpSvmPredictorTest, SharingComputesFewerKernelValues) {
+  TrainedFixture fx = MakeFixture(5, 17);
+  SimExecutor e1 = Gpu(), e2 = Gpu();
+  PredictOptions shared;
+  PredictOptions per_svm;
+  per_svm.share_kernel_values = false;
+  per_svm.concurrent_svms = false;
+  ValueOrDie(MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, shared));
+  ValueOrDie(MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e2, per_svm));
+  EXPECT_LT(e1.counters().kernel_values_computed,
+            e2.counters().kernel_values_computed);
+  // And it is faster in simulated time (the Figure 5 multi-class effect).
+  EXPECT_LT(e1.NowSeconds(), e2.NowSeconds());
+}
+
+TEST(MpSvmPredictorTest, TilingDoesNotChangeResults) {
+  TrainedFixture fx = MakeFixture(3, 19);
+  SimExecutor e1 = Gpu(), e2 = Gpu();
+  PredictOptions one_tile;
+  one_tile.tile_rows = fx.test.size();
+  PredictOptions tiny_tiles;
+  tiny_tiles.tile_rows = 3;
+  auto r1 = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, one_tile));
+  auto r2 = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e2, tiny_tiles));
+  for (size_t i = 0; i < r1.probabilities.size(); ++i) {
+    EXPECT_NEAR(r1.probabilities[i], r2.probabilities[i], 1e-12);
+  }
+}
+
+TEST(MpSvmPredictorTest, PhaseBreakdownDominatedByDecisionValues) {
+  TrainedFixture fx = MakeFixture(4, 23);
+  SimExecutor exec = Gpu();
+  auto result = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &exec, PredictOptions{}));
+  // Figure 12's shape: decision values dominate; coupling is negligible.
+  EXPECT_GT(result.phases.Get("decision_values"), result.phases.Get("coupling"));
+  EXPECT_GT(result.phases.Get("decision_values"), 0.0);
+  EXPECT_GT(result.phases.Get("sigmoid"), 0.0);
+}
+
+TEST(MpSvmPredictorTest, RejectsDimensionMismatch) {
+  TrainedFixture fx = MakeFixture(3, 29);
+  CsrBuilder b(99);
+  b.AddRow(std::vector<int32_t>{0}, std::vector<double>{1.0});
+  CsrMatrix bad = ValueOrDie(b.Finish());
+  SimExecutor exec = Gpu();
+  auto result = MpSvmPredictor(&fx.model).Predict(bad, &exec, PredictOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(MpSvmPredictorTest, EmptyTestSetYieldsEmptyResult) {
+  TrainedFixture fx = MakeFixture(3, 31);
+  CsrBuilder b(fx.test.dim());
+  CsrMatrix empty = ValueOrDie(b.Finish());
+  SimExecutor exec = Gpu();
+  auto result =
+      ValueOrDie(MpSvmPredictor(&fx.model).Predict(empty, &exec, PredictOptions{}));
+  EXPECT_EQ(result.num_instances, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(MpSvmPredictorTest, DeterministicAcrossRuns) {
+  TrainedFixture fx = MakeFixture(3, 37);
+  SimExecutor e1 = Gpu(), e2 = Gpu();
+  auto r1 = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, PredictOptions{}));
+  auto r2 = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e2, PredictOptions{}));
+  EXPECT_EQ(r1.probabilities, r2.probabilities);
+  EXPECT_DOUBLE_EQ(r1.sim_seconds, r2.sim_seconds);
+}
+
+TEST(MpSvmPredictorTest, TrainingErrorLowOnSeparableData) {
+  TrainedFixture fx = MakeFixture(4, 41, 4.0);
+  SimExecutor exec = Gpu();
+  auto result = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.train.features(), &exec, PredictOptions{}));
+  const double err = ValueOrDie(ErrorRate(result.labels, fx.train.labels()));
+  EXPECT_LT(err, 0.05);
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,151 @@
+#include "core/shared_blocks.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+KernelParams Gaussian(double gamma) {
+  KernelParams p;
+  p.gamma = gamma;
+  return p;
+}
+
+struct Fixture {
+  Dataset data;
+  KernelComputer computer;
+  SimExecutor exec;
+
+  explicit Fixture(uint64_t seed, int k = 3)
+      : data(ValueOrDie(MakeMulticlassBlobs(k, 12, 5, 2.0, seed))),
+        computer(&data.features(), Gaussian(0.4)),
+        exec(ExecutorModel::TeslaP100()) {}
+};
+
+TEST(SharedBlockCacheTest, EnsureThenLookup) {
+  Fixture fx(42);
+  SharedBlockCache cache(&fx.data, &fx.computer, 16ull << 20, &fx.exec);
+  std::vector<int32_t> rows = {0, 5};
+  GMP_CHECK_OK(cache.Ensure(rows, /*cls=*/1, &fx.exec, kDefaultStream));
+  auto seg = cache.Lookup(0, 1);
+  ASSERT_EQ(seg.size(), fx.data.ClassRows(1).size());
+  // Segment values equal pointwise kernel evaluations.
+  for (size_t j = 0; j < seg.size(); ++j) {
+    EXPECT_NEAR(seg[j], fx.computer.Compute(0, fx.data.ClassRows(1)[j]), 1e-12);
+  }
+  EXPECT_EQ(cache.segments_cached(), 2);
+}
+
+TEST(SharedBlockCacheTest, SecondEnsureIsAllHits) {
+  Fixture fx(7);
+  SharedBlockCache cache(&fx.data, &fx.computer, 16ull << 20, &fx.exec);
+  std::vector<int32_t> rows = {1, 2, 3};
+  GMP_CHECK_OK(cache.Ensure(rows, 0, &fx.exec, kDefaultStream));
+  const int64_t computed_after_first = fx.exec.counters().kernel_values_computed;
+  GMP_CHECK_OK(cache.Ensure(rows, 0, &fx.exec, kDefaultStream));
+  EXPECT_EQ(fx.exec.counters().kernel_values_computed, computed_after_first);
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_GT(fx.exec.counters().kernel_values_reused, 0);
+}
+
+TEST(SharedBlockCacheTest, EvictsUnderPressure) {
+  Fixture fx(11);
+  const size_t seg_bytes = fx.data.ClassRows(0).size() * sizeof(double);
+  // Budget for ~4 segments of class 0.
+  SharedBlockCache cache(&fx.data, &fx.computer, 4 * seg_bytes, &fx.exec);
+  for (int32_t r = 0; r < 8; ++r) {
+    std::vector<int32_t> rows = {r};
+    GMP_CHECK_OK(cache.Ensure(rows, 0, &fx.exec, kDefaultStream));
+  }
+  EXPECT_LE(cache.bytes_used(), 4 * seg_bytes);
+  EXPECT_LE(cache.segments_cached(), 4);
+  // The most recent segment survives; the oldest was evicted.
+  EXPECT_FALSE(cache.Lookup(7, 0).empty());
+  EXPECT_TRUE(cache.Lookup(0, 0).empty());
+}
+
+TEST(SharedBlockCacheTest, BatchLargerThanBudgetFails) {
+  Fixture fx(13);
+  SharedBlockCache cache(&fx.data, &fx.computer, /*budget=*/8, &fx.exec);
+  std::vector<int32_t> rows = {0, 1, 2, 3};
+  auto status = cache.Ensure(rows, 0, &fx.exec, kDefaultStream);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsFailedPrecondition());
+}
+
+TEST(SharedRowSourceTest, RowsMatchDirectComputation) {
+  Fixture fx(17);
+  SharedBlockCache cache(&fx.data, &fx.computer, 32ull << 20, &fx.exec);
+  BinaryProblem problem = fx.data.MakePairProblem(0, 2, 1.0, Gaussian(0.4));
+  SharedRowSource shared(&problem, 0, 2, &cache, &fx.computer);
+  DirectRowSource direct(&problem, &fx.computer);
+
+  const int64_t n = problem.n();
+  std::vector<int32_t> locals = {0, static_cast<int32_t>(n / 2),
+                                 static_cast<int32_t>(n - 1)};
+  std::vector<double> shared_rows(locals.size() * n);
+  std::vector<double> direct_rows(locals.size() * n);
+  std::vector<double*> shared_ptrs, direct_ptrs;
+  for (size_t i = 0; i < locals.size(); ++i) {
+    shared_ptrs.push_back(shared_rows.data() + i * n);
+    direct_ptrs.push_back(direct_rows.data() + i * n);
+  }
+  shared.ComputeRows(locals, shared_ptrs, &fx.exec, kDefaultStream);
+  direct.ComputeRows(locals, direct_ptrs, &fx.exec, kDefaultStream);
+  for (size_t i = 0; i < shared_rows.size(); ++i) {
+    EXPECT_NEAR(shared_rows[i], direct_rows[i], 1e-12) << "entry " << i;
+  }
+}
+
+TEST(SharedRowSourceTest, CrossPairSharingSavesComputation) {
+  // Pairs (0,1) and (0,2) share class 0: rows of class-0 instances computed
+  // by the first pair are reused by the second.
+  Fixture fx(19);
+  SharedBlockCache cache(&fx.data, &fx.computer, 64ull << 20, &fx.exec);
+
+  BinaryProblem p01 = fx.data.MakePairProblem(0, 1, 1.0, Gaussian(0.4));
+  BinaryProblem p02 = fx.data.MakePairProblem(0, 2, 1.0, Gaussian(0.4));
+  SharedRowSource s01(&p01, 0, 1, &cache, &fx.computer);
+  SharedRowSource s02(&p02, 0, 2, &cache, &fx.computer);
+
+  // Same class-0 instance is local row 0 in both problems.
+  std::vector<int32_t> locals = {0};
+  std::vector<double> row01(static_cast<size_t>(p01.n()));
+  std::vector<double> row02(static_cast<size_t>(p02.n()));
+  std::vector<double*> ptr01 = {row01.data()};
+  std::vector<double*> ptr02 = {row02.data()};
+
+  s01.ComputeRows(locals, ptr01, &fx.exec, kDefaultStream);
+  const int64_t computed_mid = fx.exec.counters().kernel_values_computed;
+  s02.ComputeRows(locals, ptr02, &fx.exec, kDefaultStream);
+  const int64_t computed_by_second =
+      fx.exec.counters().kernel_values_computed - computed_mid;
+  // The second pair only computed the class-2 segment, not class-0 again.
+  EXPECT_EQ(computed_by_second,
+            static_cast<int64_t>(fx.data.ClassRows(2).size()));
+  EXPECT_GT(cache.hits(), 0);
+}
+
+TEST(SharedRowSourceTest, FallsBackWhenBudgetTooSmall) {
+  Fixture fx(23);
+  SharedBlockCache cache(&fx.data, &fx.computer, /*budget=*/8, &fx.exec);
+  BinaryProblem problem = fx.data.MakePairProblem(0, 1, 1.0, Gaussian(0.4));
+  SharedRowSource shared(&problem, 0, 1, &cache, &fx.computer);
+  DirectRowSource direct(&problem, &fx.computer);
+
+  const int64_t n = problem.n();
+  std::vector<int32_t> locals = {0, 1};
+  std::vector<double> got(2 * n), want(2 * n);
+  std::vector<double*> got_ptrs = {got.data(), got.data() + n};
+  std::vector<double*> want_ptrs = {want.data(), want.data() + n};
+  shared.ComputeRows(locals, got_ptrs, &fx.exec, kDefaultStream);  // fallback
+  direct.ComputeRows(locals, want_ptrs, &fx.exec, kDefaultStream);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,118 @@
+#include "data/scale.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gmpsvm {
+namespace {
+
+CsrMatrix DenseMatrixOf(const std::vector<std::vector<double>>& rows) {
+  const int64_t dim = static_cast<int64_t>(rows[0].size());
+  CsrBuilder b(dim);
+  for (const auto& row : rows) {
+    std::vector<int32_t> idx;
+    std::vector<double> val;
+    for (int64_t f = 0; f < dim; ++f) {
+      if (row[static_cast<size_t>(f)] != 0.0) {
+        idx.push_back(static_cast<int32_t>(f));
+        val.push_back(row[static_cast<size_t>(f)]);
+      }
+    }
+    b.AddRow(idx, val);
+  }
+  return ValueOrDie(b.Finish());
+}
+
+TEST(FeatureScalerTest, MinMaxMapsToRange) {
+  CsrMatrix data = DenseMatrixOf({{2.0, 10.0}, {4.0, 20.0}, {6.0, 30.0}});
+  auto scaler = ValueOrDie(FeatureScaler::Fit(data, FeatureScaler::Mode::kMinMax,
+                                              -1.0, 1.0));
+  CsrMatrix scaled = scaler.Apply(data);
+  // Feature 0: [2,6] -> [-1,1]; middle value 4 -> 0 (dropped as sparse zero).
+  EXPECT_DOUBLE_EQ(scaled.RowValues(0)[0], -1.0);
+  EXPECT_DOUBLE_EQ(scaled.RowValues(2)[0], 1.0);
+  // Feature 1: [10,30] -> [-1,1].
+  EXPECT_DOUBLE_EQ(scaled.RowValues(0)[1], -1.0);
+  EXPECT_DOUBLE_EQ(scaled.RowValues(2)[1], 1.0);
+}
+
+TEST(FeatureScalerTest, MinMaxCustomRange) {
+  CsrMatrix data = DenseMatrixOf({{1.0}, {3.0}});
+  auto scaler =
+      ValueOrDie(FeatureScaler::Fit(data, FeatureScaler::Mode::kMinMax, 0.0, 1.0));
+  CsrMatrix scaled = scaler.Apply(data);
+  EXPECT_EQ(scaled.RowNnz(0), 0);  // min maps to exactly 0 -> stays sparse
+  EXPECT_DOUBLE_EQ(scaled.RowValues(1)[0], 1.0);
+}
+
+TEST(FeatureScalerTest, ConstantFeaturePassesThrough) {
+  CsrMatrix data = DenseMatrixOf({{5.0, 1.0}, {5.0, 2.0}});
+  auto scaler = ValueOrDie(FeatureScaler::Fit(data, FeatureScaler::Mode::kMinMax));
+  CsrMatrix scaled = scaler.Apply(data);
+  EXPECT_DOUBLE_EQ(scaled.RowValues(0)[0], 5.0);
+  EXPECT_DOUBLE_EQ(scaled.RowValues(1)[0], 5.0);
+}
+
+TEST(FeatureScalerTest, StdDevNormalizesMoments) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 500; ++i) rows.push_back({rng.Normal(10.0, 4.0)});
+  CsrMatrix data = DenseMatrixOf(rows);
+  auto scaler = ValueOrDie(FeatureScaler::Fit(data, FeatureScaler::Mode::kStdDev));
+  CsrMatrix scaled = scaler.Apply(data);
+  double sum = 0, sumsq = 0;
+  int64_t count = 0;
+  for (int64_t r = 0; r < scaled.rows(); ++r) {
+    for (double v : scaled.RowValues(r)) {
+      sum += v;
+      sumsq += v * v;
+      ++count;
+    }
+  }
+  const double mean = sum / static_cast<double>(count);
+  const double var = sumsq / static_cast<double>(count) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(FeatureScalerTest, ApplyToUnseenDataUsesTrainParameters) {
+  // (Zeros are sparse non-entries, so the observed range of feature 0 is
+  // [1, 11].)
+  CsrMatrix train = DenseMatrixOf({{1.0, 2.0}, {11.0, 4.0}});
+  auto scaler =
+      ValueOrDie(FeatureScaler::Fit(train, FeatureScaler::Mode::kMinMax, 0.0, 1.0));
+  // Test value outside the train range extrapolates linearly.
+  CsrMatrix test = DenseMatrixOf({{21.0, 3.0}});
+  CsrMatrix scaled = scaler.Apply(test);
+  EXPECT_DOUBLE_EQ(scaled.RowValues(0)[0], 2.0);   // (21-1)/10
+  EXPECT_DOUBLE_EQ(scaled.RowValues(0)[1], 0.5);   // (3-2)/2
+}
+
+TEST(FeatureScalerTest, SparseZerosStayZero) {
+  CsrBuilder b(3);
+  b.AddRow(std::vector<int32_t>{0}, std::vector<double>{4.0});
+  b.AddRow(std::vector<int32_t>{2}, std::vector<double>{8.0});
+  b.AddRow(std::vector<int32_t>{0, 2}, std::vector<double>{2.0, 6.0});
+  CsrMatrix data = ValueOrDie(b.Finish());
+  auto scaler = ValueOrDie(FeatureScaler::Fit(data, FeatureScaler::Mode::kMinMax));
+  CsrMatrix scaled = scaler.Apply(data);
+  // Rows keep (at most) their original support.
+  EXPECT_LE(scaled.RowNnz(0), 1);
+  EXPECT_LE(scaled.RowNnz(1), 1);
+  EXPECT_EQ(scaled.rows(), 3);
+}
+
+TEST(FeatureScalerTest, RejectsBadInput) {
+  CsrBuilder b(2);
+  CsrMatrix empty = ValueOrDie(b.Finish());
+  EXPECT_FALSE(FeatureScaler::Fit(empty, FeatureScaler::Mode::kMinMax).ok());
+  CsrMatrix data = DenseMatrixOf({{1.0}});
+  EXPECT_FALSE(
+      FeatureScaler::Fit(data, FeatureScaler::Mode::kMinMax, 1.0, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace gmpsvm

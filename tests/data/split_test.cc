@@ -1,0 +1,101 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "../test_util.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+TEST(SubsetDatasetTest, SelectsRowsAndLabels) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 10, 4, 2.0, 42));
+  std::vector<int32_t> rows = {0, 5, 10, 29};
+  auto subset = ValueOrDie(SubsetDataset(data, rows));
+  EXPECT_EQ(subset.size(), 4);
+  EXPECT_EQ(subset.num_classes(), 3);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(subset.labels()[i], data.labels()[static_cast<size_t>(rows[i])]);
+    EXPECT_DOUBLE_EQ(subset.features().RowValues(static_cast<int64_t>(i))[0],
+                     data.features().RowValues(rows[i])[0]);
+  }
+}
+
+TEST(SubsetDatasetTest, RejectsBadRows) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(2, 5, 3, 2.0, 1));
+  EXPECT_FALSE(SubsetDataset(data, {}).ok());
+  EXPECT_FALSE(SubsetDataset(data, {100}).ok());
+  EXPECT_FALSE(SubsetDataset(data, {-1}).ok());
+}
+
+TEST(StratifiedSplitTest, PartitionIsCompleteAndDisjoint) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(4, 25, 4, 2.0, 7));
+  auto split = ValueOrDie(StratifiedSplit(data, 0.2, 11));
+  EXPECT_EQ(split.train.size() + split.test.size(), data.size());
+  std::set<int32_t> seen(split.train_rows.begin(), split.train_rows.end());
+  for (int32_t r : split.test_rows) {
+    EXPECT_TRUE(seen.insert(r).second) << "row " << r << " in both parts";
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), data.size());
+}
+
+TEST(StratifiedSplitTest, PreservesClassBalance) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(5, 40, 4, 2.0, 13));
+  auto split = ValueOrDie(StratifiedSplit(data, 0.25, 3));
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_EQ(split.test.ClassRows(c).size(), 10u) << "class " << c;
+    EXPECT_EQ(split.train.ClassRows(c).size(), 30u) << "class " << c;
+  }
+}
+
+TEST(StratifiedSplitTest, DeterministicPerSeed) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 20, 4, 2.0, 17));
+  auto a = ValueOrDie(StratifiedSplit(data, 0.3, 5));
+  auto b = ValueOrDie(StratifiedSplit(data, 0.3, 5));
+  EXPECT_EQ(a.test_rows, b.test_rows);
+  auto c = ValueOrDie(StratifiedSplit(data, 0.3, 6));
+  EXPECT_NE(a.test_rows, c.test_rows);
+}
+
+TEST(StratifiedSplitTest, RejectsBadFraction) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(2, 10, 3, 2.0, 19));
+  EXPECT_FALSE(StratifiedSplit(data, 0.0, 1).ok());
+  EXPECT_FALSE(StratifiedSplit(data, 1.0, 1).ok());
+}
+
+TEST(StratifiedFoldsTest, FoldsPartitionAllRows) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 21, 4, 2.0, 23));
+  auto folds = ValueOrDie(StratifiedFolds(data, 5, 29));
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<int32_t> seen;
+  for (const auto& fold : folds) {
+    for (int32_t r : fold) EXPECT_TRUE(seen.insert(r).second);
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), data.size());
+}
+
+TEST(StratifiedFoldsTest, FoldsAreStratified) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(2, 50, 4, 2.0, 31));
+  auto folds = ValueOrDie(StratifiedFolds(data, 5, 37));
+  for (const auto& fold : folds) {
+    int c0 = 0, c1 = 0;
+    for (int32_t r : fold) {
+      (data.labels()[static_cast<size_t>(r)] == 0 ? c0 : c1)++;
+    }
+    EXPECT_EQ(c0, 10);
+    EXPECT_EQ(c1, 10);
+  }
+}
+
+TEST(StratifiedFoldsTest, RejectsBadFoldCounts) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(2, 3, 3, 2.0, 41));
+  EXPECT_FALSE(StratifiedFolds(data, 1, 1).ok());
+  EXPECT_FALSE(StratifiedFolds(data, 100, 1).ok());
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,167 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "kernel/kernel_computer.h"
+
+namespace gmpsvm {
+namespace {
+
+TEST(PaperDatasetSpecsTest, AllNineDatasetsPresent) {
+  auto specs = PaperDatasetSpecs();
+  ASSERT_EQ(specs.size(), 9u);
+  const std::vector<std::string> expected = {
+      "Adult", "RCV1", "Real-sim", "Webdata", "CIFAR-10",
+      "Connect-4", "MNIST", "MNIST8M", "News20"};
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].name, expected[i]);
+  }
+}
+
+TEST(PaperDatasetSpecsTest, ClassCountsMatchTable2) {
+  auto specs = PaperDatasetSpecs();
+  std::map<std::string, int> classes;
+  for (const auto& s : specs) classes[s.name] = s.num_classes;
+  EXPECT_EQ(classes["Adult"], 2);
+  EXPECT_EQ(classes["RCV1"], 2);
+  EXPECT_EQ(classes["Real-sim"], 2);
+  EXPECT_EQ(classes["Webdata"], 2);
+  EXPECT_EQ(classes["CIFAR-10"], 10);
+  EXPECT_EQ(classes["Connect-4"], 3);
+  EXPECT_EQ(classes["MNIST"], 10);
+  EXPECT_EQ(classes["MNIST8M"], 10);
+  EXPECT_EQ(classes["News20"], 20);
+}
+
+TEST(PaperDatasetSpecsTest, HyperparametersMatchTable2) {
+  auto adult = ValueOrDie(FindPaperSpec("Adult"));
+  EXPECT_DOUBLE_EQ(adult.c, 100.0);
+  EXPECT_DOUBLE_EQ(adult.gamma, 0.5);
+  auto mnist8m = ValueOrDie(FindPaperSpec("MNIST8M"));
+  EXPECT_DOUBLE_EQ(mnist8m.c, 1000.0);
+  EXPECT_DOUBLE_EQ(mnist8m.gamma, 0.006);
+  auto news20 = ValueOrDie(FindPaperSpec("News20"));
+  EXPECT_DOUBLE_EQ(news20.c, 4.0);
+  EXPECT_DOUBLE_EQ(news20.gamma, 0.5);
+}
+
+TEST(PaperDatasetSpecsTest, ScaleMultipliesCardinality) {
+  auto full = ValueOrDie(FindPaperSpec("MNIST", 1.0));
+  auto half = ValueOrDie(FindPaperSpec("MNIST", 0.5));
+  EXPECT_EQ(half.cardinality, full.cardinality / 2);
+}
+
+TEST(PaperDatasetSpecsTest, UnknownNameFails) {
+  EXPECT_FALSE(FindPaperSpec("NotADataset").ok());
+}
+
+TEST(GenerateSyntheticTest, ShapeMatchesSpec) {
+  auto spec = ValueOrDie(FindPaperSpec("Connect-4", 0.1));
+  auto data = ValueOrDie(GenerateSynthetic(spec));
+  EXPECT_EQ(data.size(), spec.cardinality);
+  EXPECT_EQ(data.dim(), spec.dim);
+  EXPECT_EQ(data.num_classes(), spec.num_classes);
+  EXPECT_EQ(data.name(), "Connect-4");
+}
+
+TEST(GenerateSyntheticTest, ClassesRoughlyBalanced) {
+  auto spec = ValueOrDie(FindPaperSpec("MNIST", 0.2));
+  auto data = ValueOrDie(GenerateSynthetic(spec));
+  const int64_t expect = data.size() / data.num_classes();
+  for (int c = 0; c < data.num_classes(); ++c) {
+    const int64_t count = static_cast<int64_t>(data.ClassRows(c).size());
+    EXPECT_GE(count, expect - 1);
+    EXPECT_LE(count, expect + 1);
+  }
+}
+
+TEST(GenerateSyntheticTest, DensityApproximatelyRespected) {
+  auto spec = ValueOrDie(FindPaperSpec("RCV1", 0.2));
+  auto data = ValueOrDie(GenerateSynthetic(spec));
+  const double actual_density =
+      static_cast<double>(data.features().nnz()) /
+      (static_cast<double>(data.size()) * static_cast<double>(data.dim()));
+  EXPECT_NEAR(actual_density, spec.density, spec.density * 0.3);
+}
+
+TEST(GenerateSyntheticTest, DenseSpecIsDense) {
+  auto spec = ValueOrDie(FindPaperSpec("CIFAR-10", 0.05));
+  auto data = ValueOrDie(GenerateSynthetic(spec));
+  const double actual_density =
+      static_cast<double>(data.features().nnz()) /
+      (static_cast<double>(data.size()) * static_cast<double>(data.dim()));
+  EXPECT_GT(actual_density, 0.95);
+}
+
+TEST(GenerateSyntheticTest, Deterministic) {
+  auto spec = ValueOrDie(FindPaperSpec("Webdata", 0.1));
+  auto a = ValueOrDie(GenerateSynthetic(spec));
+  auto b = ValueOrDie(GenerateSynthetic(spec));
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.features().col_idx(), b.features().col_idx());
+  EXPECT_EQ(a.features().values(), b.features().values());
+}
+
+TEST(GenerateSyntheticTest, TrainAndTestDiffer) {
+  auto spec = ValueOrDie(FindPaperSpec("Adult", 0.1));
+  auto train = ValueOrDie(GenerateSynthetic(spec));
+  auto test = ValueOrDie(GenerateSyntheticTest(spec));
+  EXPECT_EQ(test.size(), spec.cardinality / 5);
+  // Same feature space, different draws.
+  EXPECT_EQ(test.dim(), train.dim());
+  EXPECT_NE(train.features().values(), test.features().values());
+}
+
+TEST(GenerateSyntheticTest, GammaCalibration) {
+  // The rescaling puts gamma * E||x_i - x_j||^2 near 1, so Gaussian kernel
+  // values are spread over (0, 1) rather than collapsing to 0 or 1.
+  for (const char* name : {"Adult", "RCV1", "CIFAR-10", "MNIST8M"}) {
+    auto spec = ValueOrDie(FindPaperSpec(name, 0.05));
+    auto data = ValueOrDie(GenerateSynthetic(spec));
+    KernelParams params;
+    params.gamma = spec.gamma;
+    KernelComputer kc(&data.features(), params);
+    Rng rng(5);
+    double sum = 0.0;
+    const int kSamples = 200;
+    for (int s = 0; s < kSamples; ++s) {
+      const int64_t i = static_cast<int64_t>(rng.UniformInt(
+          static_cast<uint64_t>(data.size())));
+      const int64_t j = static_cast<int64_t>(rng.UniformInt(
+          static_cast<uint64_t>(data.size())));
+      sum += kc.Compute(i, j);
+    }
+    const double mean_k = sum / kSamples;
+    EXPECT_GT(mean_k, 0.05) << name;
+    EXPECT_LT(mean_k, 0.95) << name;
+  }
+}
+
+TEST(GenerateSyntheticTest, EveryRowHasAtLeastOneFeature) {
+  auto spec = ValueOrDie(FindPaperSpec("News20", 0.1));
+  auto data = ValueOrDie(GenerateSynthetic(spec));
+  for (int64_t r = 0; r < data.size(); ++r) {
+    EXPECT_GT(data.features().RowNnz(r), 0) << "row " << r;
+  }
+}
+
+TEST(GenerateSyntheticTest, RejectsBadSpecs) {
+  SyntheticSpec bad;
+  bad.name = "bad";
+  bad.num_classes = 1;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+  bad.num_classes = 2;
+  bad.cardinality = 100;
+  bad.dim = 10;
+  bad.density = 0.0;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+  bad.density = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(bad).ok());
+}
+
+}  // namespace
+}  // namespace gmpsvm

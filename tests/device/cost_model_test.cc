@@ -1,0 +1,140 @@
+// Property tests on the simulated cost model: duration must respond to each
+// input the way a physical device does (monotonicity, saturation, roofline
+// switching), across both executor presets. These are the assumptions the
+// whole benchmark suite leans on.
+
+#include <gtest/gtest.h>
+
+#include "device/executor.h"
+#include "device/sim_model.h"
+
+namespace gmpsvm {
+namespace {
+
+class CostModelTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  ExecutorModel Model() const {
+    if (std::string(GetParam()) == "gpu") return ExecutorModel::TeslaP100();
+    return ExecutorModel::XeonCpu(40);
+  }
+};
+
+TEST_P(CostModelTest, DurationMonotoneInFlops) {
+  SimExecutor exec(Model());
+  TaskCost cost;
+  cost.parallel_items = 1 << 20;
+  double prev = 0.0;
+  for (double flops = 1e6; flops <= 1e12; flops *= 10) {
+    cost.flops = flops;
+    const double d = exec.TaskDuration(cost, 1.0);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST_P(CostModelTest, DurationMonotoneInBytes) {
+  SimExecutor exec(Model());
+  TaskCost cost;
+  cost.parallel_items = 1 << 20;
+  double prev = 0.0;
+  for (double bytes = 1e3; bytes <= 1e12; bytes *= 10) {
+    cost.bytes_read = bytes;
+    const double d = exec.TaskDuration(cost, 1.0);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST_P(CostModelTest, MoreUnitsNeverSlower) {
+  SimExecutor exec(Model());
+  TaskCost cost;
+  cost.flops = 1e9;
+  cost.bytes_read = 1e8;
+  cost.parallel_items = 1 << 20;
+  double prev = exec.TaskDuration(cost, 0.05);
+  for (double share : {0.1, 0.25, 0.5, 1.0}) {
+    const double d = exec.TaskDuration(cost, share);
+    EXPECT_LE(d, prev + 1e-15);
+    prev = d;
+  }
+}
+
+TEST_P(CostModelTest, ParallelismSaturates) {
+  // Past full occupancy, more items at fixed total work do not speed up.
+  SimExecutor exec(Model());
+  TaskCost cost;
+  cost.flops = 1e9;
+  const int64_t saturating =
+      static_cast<int64_t>(Model().compute_units) * Model().block_size * 4;
+  cost.parallel_items = saturating;
+  const double at_saturation = exec.TaskDuration(cost, 1.0);
+  cost.parallel_items = saturating * 64;
+  EXPECT_DOUBLE_EQ(exec.TaskDuration(cost, 1.0), at_saturation);
+}
+
+TEST_P(CostModelTest, LaunchOverheadIsTheFloor) {
+  SimExecutor exec(Model());
+  TaskCost nothing;
+  EXPECT_DOUBLE_EQ(exec.TaskDuration(nothing, 1.0), Model().launch_overhead_sec);
+}
+
+TEST_P(CostModelTest, RooflineSwitchesBetweenComputeAndMemory) {
+  SimExecutor exec(Model());
+  // Compute-bound: huge flops, tiny bytes.
+  TaskCost compute_bound;
+  compute_bound.flops = 1e12;
+  compute_bound.bytes_read = 8;
+  compute_bound.parallel_items = 1 << 22;
+  // Memory-bound: tiny flops, huge bytes.
+  TaskCost memory_bound;
+  memory_bound.flops = 8;
+  memory_bound.bytes_read = 1e12;
+  memory_bound.parallel_items = 1 << 22;
+
+  const ExecutorModel model = Model();
+  const double compute_time = exec.TaskDuration(compute_bound, 1.0);
+  const double memory_time = exec.TaskDuration(memory_bound, 1.0);
+  EXPECT_NEAR(compute_time,
+              model.launch_overhead_sec +
+                  1e12 / (model.flops_per_unit * model.compute_units),
+              compute_time * 0.01);
+  EXPECT_NEAR(memory_time, model.launch_overhead_sec + 1e12 / model.mem_bandwidth,
+              memory_time * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPresets, CostModelTest,
+                         ::testing::Values("gpu", "cpu"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(CostModelCrossTest, GpuBeatsCpuOnLargeParallelWork) {
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  SimExecutor cpu(ExecutorModel::XeonCpu(40));
+  TaskCost big;
+  big.flops = 1e12;
+  big.bytes_read = 1e10;
+  big.parallel_items = 1 << 22;
+  EXPECT_LT(gpu.TaskDuration(big, 1.0), cpu.TaskDuration(big, 1.0));
+}
+
+TEST(CostModelCrossTest, CpuBeatsGpuOnTinySerialWork) {
+  // Launch overhead makes the GPU lose on micro-tasks — the effect behind
+  // the News20 baseline anomaly (Table 3, both here and in the paper).
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  SimExecutor cpu(ExecutorModel::XeonCpu(1));
+  TaskCost tiny;
+  tiny.flops = 100.0;
+  tiny.parallel_items = 1;
+  EXPECT_GT(gpu.TaskDuration(tiny, 1.0), cpu.TaskDuration(tiny, 1.0));
+}
+
+TEST(CostModelCrossTest, XeonThreadScalingIsSublinear) {
+  // 40 threads on 20 cores must help, but by less than 40x (the paper's
+  // LibSVM-with-OpenMP speedups are 4-10x).
+  const ExecutorModel t1 = ExecutorModel::XeonCpu(1);
+  const ExecutorModel t40 = ExecutorModel::XeonCpu(40);
+  EXPECT_GT(t40.compute_units, 4.0 * t1.compute_units);
+  EXPECT_LT(t40.compute_units, 20.0 * t1.compute_units);
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "device/executor.h"
+#include "kernel/kernel_computer.h"
+#include "kernel/kernel_function.h"
+
+namespace gmpsvm {
+namespace {
+
+CsrMatrix RandomSparse(int64_t rows, int64_t cols, double density, uint64_t seed) {
+  Rng rng(seed);
+  CsrBuilder b(cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<int32_t> idx;
+    std::vector<double> val;
+    for (int32_t c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(density)) {
+        idx.push_back(c);
+        val.push_back(rng.Normal());
+      }
+    }
+    b.AddRow(idx, val);
+  }
+  return ValueOrDie(b.Finish());
+}
+
+SimExecutor MakeExecutor() { return SimExecutor(ExecutorModel::TeslaP100()); }
+
+TEST(KernelFunctionTest, GaussianBasics) {
+  KernelParams p;
+  p.type = KernelType::kGaussian;
+  p.gamma = 0.5;
+  KernelFunction fn(p);
+  // K(x, x) = 1 for Gaussian.
+  EXPECT_DOUBLE_EQ(fn.SelfKernel(3.7), 1.0);
+  // ||xi - xj||^2 = 1+1-0 = 2 for orthonormal vectors.
+  EXPECT_DOUBLE_EQ(fn.FromDot(0.0, 1.0, 1.0), std::exp(-1.0));
+}
+
+TEST(KernelFunctionTest, GaussianSymmetricAndBounded) {
+  KernelParams p;
+  p.gamma = 0.3;
+  KernelFunction fn(p);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    double ni = rng.Uniform(0, 5), nj = rng.Uniform(0, 5);
+    double dot = rng.Uniform(-1, 1) * std::sqrt(ni * nj);
+    double kij = fn.FromDot(dot, ni, nj);
+    double kji = fn.FromDot(dot, nj, ni);
+    EXPECT_DOUBLE_EQ(kij, kji);
+    EXPECT_GT(kij, 0.0);
+    EXPECT_LE(kij, 1.0 + 1e-12);
+  }
+}
+
+TEST(KernelFunctionTest, Linear) {
+  KernelParams p;
+  p.type = KernelType::kLinear;
+  KernelFunction fn(p);
+  EXPECT_DOUBLE_EQ(fn.FromDot(2.5, 1, 1), 2.5);
+  EXPECT_DOUBLE_EQ(fn.SelfKernel(4.0), 4.0);
+}
+
+TEST(KernelFunctionTest, Polynomial) {
+  KernelParams p;
+  p.type = KernelType::kPolynomial;
+  p.gamma = 2.0;
+  p.coef0 = 1.0;
+  p.degree = 3;
+  KernelFunction fn(p);
+  EXPECT_DOUBLE_EQ(fn.FromDot(0.5, 1, 1), std::pow(2.0 * 0.5 + 1.0, 3));
+}
+
+TEST(KernelFunctionTest, Sigmoid) {
+  KernelParams p;
+  p.type = KernelType::kSigmoid;
+  p.gamma = 0.5;
+  p.coef0 = -1.0;
+  KernelFunction fn(p);
+  EXPECT_DOUBLE_EQ(fn.FromDot(2.0, 1, 1), std::tanh(0.0));
+}
+
+TEST(KernelTypeStringTest, RoundTrip) {
+  for (KernelType t : {KernelType::kGaussian, KernelType::kLinear,
+                       KernelType::kPolynomial, KernelType::kSigmoid}) {
+    auto back = KernelTypeFromString(KernelTypeToString(t));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_TRUE(KernelTypeFromString("rbf").ok());
+  EXPECT_FALSE(KernelTypeFromString("bogus").ok());
+}
+
+TEST(KernelComputerTest, BlockMatchesPointwise) {
+  CsrMatrix x = RandomSparse(25, 10, 0.4, 5);
+  KernelParams p;
+  p.gamma = 0.25;
+  KernelComputer kc(&x, p);
+  SimExecutor exec = MakeExecutor();
+
+  std::vector<int32_t> batch = {0, 10, 24};
+  std::vector<int32_t> targets = {1, 2, 3, 4, 5};
+  std::vector<double> out(batch.size() * targets.size());
+  kc.ComputeBlock(batch, targets, &exec, kDefaultStream, out.data());
+
+  for (size_t bi = 0; bi < batch.size(); ++bi) {
+    for (size_t tj = 0; tj < targets.size(); ++tj) {
+      EXPECT_NEAR(out[bi * targets.size() + tj], kc.Compute(batch[bi], targets[tj]),
+                  1e-12);
+    }
+  }
+}
+
+TEST(KernelComputerTest, CountsKernelValuesAndAdvancesClock) {
+  CsrMatrix x = RandomSparse(25, 10, 0.4, 5);
+  KernelParams p;
+  KernelComputer kc(&x, p);
+  SimExecutor exec = MakeExecutor();
+  std::vector<int32_t> batch = {0, 1};
+  std::vector<int32_t> targets = {2, 3, 4};
+  std::vector<double> out(6);
+  kc.ComputeBlock(batch, targets, &exec, kDefaultStream, out.data());
+  EXPECT_EQ(exec.counters().kernel_values_computed, 6);
+  EXPECT_GT(exec.NowSeconds(), 0.0);
+  EXPECT_EQ(exec.counters().launches, 1);
+}
+
+TEST(KernelComputerTest, CrossMatrixBlocks) {
+  CsrMatrix train = RandomSparse(15, 12, 0.4, 1);
+  CsrMatrix test = RandomSparse(6, 12, 0.4, 2);
+  KernelParams p;
+  p.gamma = 0.1;
+  KernelComputer kc(&test, &train, p);
+  SimExecutor exec = MakeExecutor();
+  std::vector<int32_t> batch = {0, 5};
+  std::vector<int32_t> targets = {0, 7, 14};
+  std::vector<double> out(6);
+  kc.ComputeBlock(batch, targets, &exec, kDefaultStream, out.data());
+  for (size_t bi = 0; bi < batch.size(); ++bi) {
+    for (size_t tj = 0; tj < targets.size(); ++tj) {
+      EXPECT_NEAR(out[bi * targets.size() + tj], kc.Compute(batch[bi], targets[tj]),
+                  1e-12);
+    }
+  }
+}
+
+TEST(KernelComputerTest, GaussianDiagonalIsOne) {
+  CsrMatrix x = RandomSparse(10, 8, 0.6, 9);
+  KernelParams p;
+  p.gamma = 0.7;
+  KernelComputer kc(&x, p);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(kc.Compute(i, i), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(kc.SelfKernelA(i), 1.0);
+  }
+}
+
+TEST(KernelComputerTest, MercerSymmetry) {
+  CsrMatrix x = RandomSparse(12, 6, 0.5, 17);
+  for (KernelType t : {KernelType::kGaussian, KernelType::kLinear,
+                       KernelType::kPolynomial, KernelType::kSigmoid}) {
+    KernelParams p;
+    p.type = t;
+    p.gamma = 0.4;
+    p.coef0 = 0.5;
+    KernelComputer kc(&x, p);
+    for (int64_t i = 0; i < 12; ++i) {
+      for (int64_t j = i + 1; j < 12; ++j) {
+        EXPECT_NEAR(kc.Compute(i, j), kc.Compute(j, i), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(DenseKernelComputerTest, AgreesWithSparse) {
+  CsrMatrix x = RandomSparse(14, 9, 0.5, 23);
+  DenseMatrix d(x.rows(), x.cols(), x.ToDense());
+  KernelParams p;
+  p.gamma = 0.2;
+  KernelComputer sparse_kc(&x, p);
+  DenseKernelComputer dense_kc(&d, p);
+  SimExecutor exec = MakeExecutor();
+
+  std::vector<int32_t> batch = {0, 7};
+  std::vector<int32_t> targets = {1, 3, 13};
+  std::vector<double> sparse_out(6), dense_out(6);
+  sparse_kc.ComputeBlock(batch, targets, &exec, kDefaultStream, sparse_out.data());
+  dense_kc.ComputeBlock(batch, targets, &exec, kDefaultStream, dense_out.data());
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(sparse_out[i], dense_out[i], 1e-12);
+}
+
+TEST(DenseKernelComputerTest, ChargesMoreThanSparseOnSparseData) {
+  CsrMatrix x = RandomSparse(40, 300, 0.03, 31);
+  DenseMatrix d(x.rows(), x.cols(), x.ToDense());
+  KernelParams p;
+  KernelComputer sparse_kc(&x, p);
+  DenseKernelComputer dense_kc(&d, p);
+
+  std::vector<int32_t> batch = {0, 1, 2, 3};
+  std::vector<int32_t> targets;
+  for (int32_t t = 4; t < 40; ++t) targets.push_back(t);
+  std::vector<double> out(batch.size() * targets.size());
+
+  SimExecutor sparse_exec = MakeExecutor();
+  sparse_kc.ComputeBlock(batch, targets, &sparse_exec, kDefaultStream, out.data());
+  SimExecutor dense_exec = MakeExecutor();
+  dense_kc.ComputeBlock(batch, targets, &dense_exec, kDefaultStream, out.data());
+
+  EXPECT_GT(dense_exec.counters().flops, 3.0 * sparse_exec.counters().flops);
+}
+
+// Property sweep: batched block equals pointwise evaluation for every kernel
+// type at several hyper-parameter settings.
+class KernelBlockParamTest
+    : public ::testing::TestWithParam<std::tuple<KernelType, double>> {};
+
+TEST_P(KernelBlockParamTest, BlockEqualsPointwise) {
+  auto [type, gamma] = GetParam();
+  CsrMatrix x = RandomSparse(18, 7, 0.5, 77);
+  KernelParams p;
+  p.type = type;
+  p.gamma = gamma;
+  p.coef0 = 0.25;
+  p.degree = 2;
+  KernelComputer kc(&x, p);
+  SimExecutor exec = MakeExecutor();
+
+  std::vector<int32_t> batch = {2, 9, 17};
+  std::vector<int32_t> targets = {0, 1, 5, 8, 16};
+  std::vector<double> out(batch.size() * targets.size());
+  kc.ComputeBlock(batch, targets, &exec, kDefaultStream, out.data());
+  for (size_t bi = 0; bi < batch.size(); ++bi) {
+    for (size_t tj = 0; tj < targets.size(); ++tj) {
+      EXPECT_NEAR(out[bi * targets.size() + tj], kc.Compute(batch[bi], targets[tj]),
+                  1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelBlockParamTest,
+    ::testing::Combine(::testing::Values(KernelType::kGaussian, KernelType::kLinear,
+                                         KernelType::kPolynomial,
+                                         KernelType::kSigmoid),
+                       ::testing::Values(0.03, 0.5, 2.0)));
+
+}  // namespace
+}  // namespace gmpsvm

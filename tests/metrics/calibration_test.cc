@@ -1,0 +1,105 @@
+#include "metrics/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gmpsvm {
+namespace {
+
+TEST(LogLossTest, PerfectPredictionsScoreZero) {
+  std::vector<double> p = {1.0, 0.0, 0.0, 1.0};
+  std::vector<int32_t> y = {0, 1};
+  EXPECT_NEAR(ValueOrDie(LogLoss(p, y, 2)), 0.0, 1e-9);
+}
+
+TEST(LogLossTest, UniformPredictionsScoreLogK) {
+  std::vector<double> p(12, 1.0 / 3.0);
+  std::vector<int32_t> y = {0, 1, 2, 0};
+  EXPECT_NEAR(ValueOrDie(LogLoss(p, y, 3)), std::log(3.0), 1e-9);
+}
+
+TEST(LogLossTest, ZeroProbabilityIsClampedFinite) {
+  std::vector<double> p = {0.0, 1.0};
+  std::vector<int32_t> y = {0};
+  const double loss = ValueOrDie(LogLoss(p, y, 2));
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 10.0);
+}
+
+TEST(LogLossTest, RejectsBadShapes) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<int32_t> y = {0, 1};
+  EXPECT_FALSE(LogLoss(p, y, 2).ok());              // shape mismatch
+  std::vector<int32_t> bad = {5};
+  EXPECT_FALSE(LogLoss(p, bad, 2).ok());            // label out of range
+  EXPECT_FALSE(LogLoss(p, std::vector<int32_t>{0}, 1).ok());  // k < 2
+}
+
+TEST(BrierScoreTest, PerfectIsZeroWorstIsTwo) {
+  std::vector<double> perfect = {1.0, 0.0};
+  std::vector<int32_t> y = {0};
+  EXPECT_NEAR(ValueOrDie(BrierScore(perfect, y, 2)), 0.0, 1e-12);
+  std::vector<double> worst = {0.0, 1.0};
+  EXPECT_NEAR(ValueOrDie(BrierScore(worst, y, 2)), 2.0, 1e-12);
+}
+
+TEST(BrierScoreTest, UniformValue) {
+  std::vector<double> p(4, 0.5);
+  std::vector<int32_t> y = {0, 1};
+  // Each instance: (0.5-1)^2 + (0.5-0)^2 = 0.5.
+  EXPECT_NEAR(ValueOrDie(BrierScore(p, y, 2)), 0.5, 1e-12);
+}
+
+TEST(CalibrationTest, PerfectlyCalibratedHasLowEce) {
+  // Confidence c on the top class and accuracy c, by construction.
+  Rng rng(5);
+  std::vector<double> p;
+  std::vector<int32_t> y;
+  for (int i = 0; i < 20000; ++i) {
+    const double conf = rng.Uniform(0.5, 1.0);
+    p.push_back(conf);
+    p.push_back(1.0 - conf);
+    y.push_back(rng.Bernoulli(conf) ? 0 : 1);
+  }
+  auto report = ValueOrDie(ComputeCalibration(p, y, 2, 10));
+  EXPECT_LT(report.ece, 0.03);
+}
+
+TEST(CalibrationTest, OverconfidentModelHasHighEce) {
+  // Always 99% confident, right only half the time.
+  Rng rng(7);
+  std::vector<double> p;
+  std::vector<int32_t> y;
+  for (int i = 0; i < 5000; ++i) {
+    p.push_back(0.99);
+    p.push_back(0.01);
+    y.push_back(rng.Bernoulli(0.5) ? 0 : 1);
+  }
+  auto report = ValueOrDie(ComputeCalibration(p, y, 2, 10));
+  EXPECT_GT(report.ece, 0.4);
+}
+
+TEST(CalibrationTest, BinDiagnosticsConsistent) {
+  std::vector<double> p = {0.95, 0.05, 0.55, 0.45, 0.52, 0.48};
+  std::vector<int32_t> y = {0, 1, 0};
+  auto report = ValueOrDie(ComputeCalibration(p, y, 2, 10));
+  int64_t total = 0;
+  for (int64_t c : report.bin_counts) total += c;
+  EXPECT_EQ(total, 3);
+  // Bin 9 ([0.9, 1.0)) holds the 0.95-confidence instance, which was right.
+  EXPECT_EQ(report.bin_counts[9], 1);
+  EXPECT_DOUBLE_EQ(report.bin_accuracy[9], 1.0);
+  EXPECT_NEAR(report.bin_confidence[9], 0.95, 1e-12);
+}
+
+TEST(CalibrationTest, RejectsBadBins) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<int32_t> y = {0};
+  EXPECT_FALSE(ComputeCalibration(p, y, 2, 0).ok());
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,112 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/report.h"
+
+namespace gmpsvm {
+namespace {
+
+TEST(ErrorRateTest, Basic) {
+  std::vector<int32_t> pred = {0, 1, 2, 1};
+  std::vector<int32_t> truth = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(ValueOrDie(ErrorRate(pred, truth)), 0.25);
+}
+
+TEST(ErrorRateTest, PerfectAndWorst) {
+  std::vector<int32_t> a = {1, 2, 3};
+  std::vector<int32_t> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(ValueOrDie(ErrorRate(a, a)), 0.0);
+  EXPECT_DOUBLE_EQ(ValueOrDie(ErrorRate(a, b)), 1.0);
+}
+
+TEST(ErrorRateTest, RejectsMismatchOrEmpty) {
+  std::vector<int32_t> a = {1};
+  std::vector<int32_t> b = {1, 2};
+  EXPECT_FALSE(ErrorRate(a, b).ok());
+  EXPECT_FALSE(ErrorRate(std::vector<int32_t>{}, std::vector<int32_t>{}).ok());
+}
+
+TEST(ConfusionMatrixTest, CountsByTruthRow) {
+  std::vector<int32_t> pred = {0, 1, 1, 2, 0};
+  std::vector<int32_t> truth = {0, 0, 1, 2, 2};
+  auto m = ValueOrDie(ConfusionMatrix(pred, truth, 3));
+  EXPECT_EQ(m[0 * 3 + 0], 1);
+  EXPECT_EQ(m[0 * 3 + 1], 1);
+  EXPECT_EQ(m[1 * 3 + 1], 1);
+  EXPECT_EQ(m[2 * 3 + 2], 1);
+  EXPECT_EQ(m[2 * 3 + 0], 1);
+  int64_t total = 0;
+  for (int64_t v : m) total += v;
+  EXPECT_EQ(total, 5);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRange) {
+  std::vector<int32_t> pred = {5};
+  std::vector<int32_t> truth = {0};
+  EXPECT_FALSE(ConfusionMatrix(pred, truth, 3).ok());
+}
+
+MpSvmModel TinyModel(double bias_last, double coef) {
+  MpSvmModel m;
+  m.num_classes = 3;
+  for (int s = 0; s < 3; ++s) {
+    for (int t = s + 1; t < 3; ++t) {
+      BinarySvmEntry e;
+      e.class_s = s;
+      e.class_t = t;
+      e.bias = (s == 1 && t == 2) ? bias_last : 0.1;
+      e.sv_pool_index = {0};
+      e.sv_coef = {coef};
+      m.svms.push_back(e);
+    }
+  }
+  return m;
+}
+
+TEST(CompareModelsTest, ReportsLastBiasAndDiffs) {
+  MpSvmModel a = TinyModel(0.5, 1.0);
+  MpSvmModel b = TinyModel(0.75, 1.5);
+  auto agreement = ValueOrDie(CompareModels(a, b));
+  EXPECT_DOUBLE_EQ(agreement.bias_a, 0.5);
+  EXPECT_DOUBLE_EQ(agreement.bias_b, 0.75);
+  EXPECT_DOUBLE_EQ(agreement.max_bias_diff, 0.25);
+  EXPECT_DOUBLE_EQ(agreement.max_coef_sum_diff, 0.5);
+}
+
+TEST(CompareModelsTest, IdenticalModelsAgree) {
+  MpSvmModel a = TinyModel(0.5, 1.0);
+  auto agreement = ValueOrDie(CompareModels(a, a));
+  EXPECT_DOUBLE_EQ(agreement.max_bias_diff, 0.0);
+  EXPECT_DOUBLE_EQ(agreement.max_coef_sum_diff, 0.0);
+}
+
+TEST(CompareModelsTest, RejectsShapeMismatch) {
+  MpSvmModel a = TinyModel(0.5, 1.0);
+  MpSvmModel b;
+  b.num_classes = 2;
+  BinarySvmEntry e;
+  b.svms.push_back(e);
+  EXPECT_FALSE(CompareModels(a, b).ok());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Dataset", "train", "predict"});
+  table.AddRow({"MNIST", "34.10", "4.62"});
+  table.AddRow({"Adult-long-name", "2.43", "0.29"});
+  const std::string out = table.ToString();
+  // Header present, separator line present, rows aligned on column starts.
+  EXPECT_NE(out.find("Dataset"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  const size_t header_train = out.find("train");
+  const size_t row2 = out.find("Adult-long-name");
+  ASSERT_NE(row2, std::string::npos);
+  const size_t row2_val = out.find("2.43", row2);
+  const size_t line_start_header = out.rfind('\n', header_train);
+  const size_t line_start_row2 = out.rfind('\n', row2_val);
+  EXPECT_EQ(header_train - (line_start_header + 1),
+            row2_val - (line_start_row2 + 1));
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,128 @@
+#include "solver/kernel_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace gmpsvm {
+namespace {
+
+TEST(KernelBufferTest, InsertAndLookup) {
+  KernelBuffer buf(/*row_length=*/3, /*capacity_rows=*/4);
+  std::vector<int32_t> rows = {7, 9};
+  auto slots = ValueOrDie(buf.InsertBatch(rows));
+  ASSERT_EQ(slots.size(), 2u);
+  slots[0][0] = 70;
+  slots[1][0] = 90;
+  EXPECT_DOUBLE_EQ(buf.Lookup(7)[0], 70);
+  EXPECT_DOUBLE_EQ(buf.Lookup(9)[0], 90);
+  EXPECT_EQ(buf.Lookup(8), nullptr);
+  EXPECT_EQ(buf.rows_buffered(), 2);
+}
+
+TEST(KernelBufferTest, PartitionSplitsPresentAndMissing) {
+  KernelBuffer buf(2, 4);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{1, 2}));
+  std::vector<int32_t> present, missing;
+  std::vector<int32_t> want = {1, 3, 2, 4};
+  buf.Partition(want, &present, &missing);
+  EXPECT_EQ(present, (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(missing, (std::vector<int32_t>{3, 4}));
+  EXPECT_EQ(buf.hits(), 2);
+  EXPECT_EQ(buf.misses(), 2);
+}
+
+TEST(KernelBufferTest, FifoEviction) {
+  KernelBuffer buf(1, 2);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{1}))[0][0] = 1;
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{2}))[0][0] = 2;
+  // Lookup does not refresh order (FIFO, not LRU).
+  ASSERT_NE(buf.Lookup(1), nullptr);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{3}));
+  EXPECT_EQ(buf.Lookup(1), nullptr);  // oldest evicted despite recent lookup
+  EXPECT_NE(buf.Lookup(2), nullptr);
+  EXPECT_NE(buf.Lookup(3), nullptr);
+  EXPECT_EQ(buf.evictions(), 1);
+}
+
+TEST(KernelBufferTest, PinnedRowsSurviveEviction) {
+  KernelBuffer buf(1, 3);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{1, 2, 3}));
+  std::vector<int32_t> pins = {1};
+  buf.Pin(pins);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{4}));
+  EXPECT_NE(buf.Lookup(1), nullptr);  // pinned: skipped
+  EXPECT_EQ(buf.Lookup(2), nullptr);  // next-oldest evicted instead
+  EXPECT_NE(buf.Lookup(4), nullptr);
+}
+
+TEST(KernelBufferTest, FailsWhenEverythingPinned) {
+  KernelBuffer buf(1, 2);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{1, 2}));
+  std::vector<int32_t> pins = {1, 2};
+  buf.Pin(pins);
+  auto result = buf.InsertBatch(std::vector<int32_t>{3});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(KernelBufferTest, PinReplacesPreviousPinSet) {
+  KernelBuffer buf(1, 2);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{1, 2}));
+  std::vector<int32_t> pins1 = {1, 2};
+  buf.Pin(pins1);
+  std::vector<int32_t> pins2 = {2};
+  buf.Pin(pins2);  // 1 is unpinned now
+  auto result = buf.InsertBatch(std::vector<int32_t>{3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(buf.Lookup(1), nullptr);
+  EXPECT_NE(buf.Lookup(2), nullptr);
+}
+
+TEST(KernelBufferTest, WorkingSetChurnScenario) {
+  // Simulates the solver's use: ws of 4 rows, q=2 replaced each round with a
+  // buffer of 4 rows — reuse hits should be exactly the kept half.
+  KernelBuffer buf(8, 4);
+  std::vector<int32_t> ws = {0, 1, 2, 3};
+  buf.Pin(ws);
+  std::vector<int32_t> present, missing;
+  buf.Partition(ws, &present, &missing);
+  EXPECT_EQ(missing.size(), 4u);
+  ValueOrDie(buf.InsertBatch(missing));
+
+  // Next round: 2 kept (2, 3), 2 new (4, 5).
+  std::vector<int32_t> ws2 = {2, 3, 4, 5};
+  buf.Pin(ws2);
+  buf.Partition(ws2, &present, &missing);
+  EXPECT_EQ(present, (std::vector<int32_t>{2, 3}));
+  EXPECT_EQ(missing, (std::vector<int32_t>{4, 5}));
+  auto slots = ValueOrDie(buf.InsertBatch(missing));
+  ASSERT_EQ(slots.size(), 2u);
+  for (int32_t r : ws2) EXPECT_NE(buf.Lookup(r), nullptr);
+  EXPECT_EQ(buf.Lookup(0), nullptr);
+  EXPECT_EQ(buf.Lookup(1), nullptr);
+}
+
+TEST(KernelBufferTest, ByteSizeMatchesCapacity) {
+  KernelBuffer buf(100, 10);
+  EXPECT_EQ(buf.ByteSize(), 100u * 10u * sizeof(double));
+}
+
+TEST(KernelBufferTest, LargerBufferRetainsDepartedRows) {
+  // Buffer capacity > working set: rows that leave the ws stay buffered and
+  // produce hits when they re-enter — the Figure 6 effect.
+  KernelBuffer small(1, 2);
+  KernelBuffer large(1, 6);
+  for (KernelBuffer* buf : {&small, &large}) {
+    std::vector<int32_t> present, missing;
+    // Rounds with ws {0,1}, {2,3}, {0,1}: re-entry of 0 and 1.
+    for (auto& ws : std::vector<std::vector<int32_t>>{{0, 1}, {2, 3}, {0, 1}}) {
+      buf->Pin(ws);
+      buf->Partition(ws, &present, &missing);
+      if (!missing.empty()) ValueOrDie(buf->InsertBatch(missing));
+    }
+  }
+  EXPECT_EQ(small.hits(), 0);
+  EXPECT_EQ(large.hits(), 2);  // 0 and 1 were still buffered on re-entry
+}
+
+}  // namespace
+}  // namespace gmpsvm

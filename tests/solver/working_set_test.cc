@@ -1,0 +1,224 @@
+#include "solver/working_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gmpsvm {
+namespace {
+
+TEST(EligibilitySetsTest, MatchPaperDefinitions) {
+  const double c = 1.0;
+  // I_1: free SVs are in both sets.
+  EXPECT_TRUE(InUpSet(+1, 0.5, c));
+  EXPECT_TRUE(InLowSet(+1, 0.5, c));
+  EXPECT_TRUE(InUpSet(-1, 0.5, c));
+  EXPECT_TRUE(InLowSet(-1, 0.5, c));
+  // I_2: y=+1, alpha=0 -> up only.
+  EXPECT_TRUE(InUpSet(+1, 0.0, c));
+  EXPECT_FALSE(InLowSet(+1, 0.0, c));
+  // I_3: y=-1, alpha=C -> up only.
+  EXPECT_TRUE(InUpSet(-1, c, c));
+  EXPECT_FALSE(InLowSet(-1, c, c));
+  // I_4: y=+1, alpha=C -> low only.
+  EXPECT_FALSE(InUpSet(+1, c, c));
+  EXPECT_TRUE(InLowSet(+1, c, c));
+  // I_5: y=-1, alpha=0 -> low only.
+  EXPECT_FALSE(InUpSet(-1, 0.0, c));
+  EXPECT_TRUE(InLowSet(-1, 0.0, c));
+}
+
+struct State {
+  std::vector<double> f;
+  std::vector<double> alpha;
+  std::vector<int8_t> y;
+  std::vector<double> c;  // per-instance box constraint
+
+  void FinishC(double value = 1.0) { c.assign(y.size(), value); }
+};
+
+// All-zero-alpha state (start of training): every +1 is up-eligible with
+// f=-1; every -1 is low-eligible with f=+1.
+State FreshState(int n) {
+  State s;
+  for (int i = 0; i < n; ++i) {
+    const int8_t label = (i % 2 == 0) ? int8_t{1} : int8_t{-1};
+    s.y.push_back(label);
+    s.alpha.push_back(0.0);
+    s.f.push_back(-static_cast<double>(label));
+  }
+  s.FinishC();
+  return s;
+}
+
+TEST(WorkingSetSelectorTest, FirstCallFillsWholeSet) {
+  WorkingSetConfig cfg;
+  cfg.ws_size = 8;
+  cfg.q = 4;
+  State s = FreshState(20);
+  WorkingSetSelector sel(cfg, 20);
+  const auto& ws = sel.Update(s.f, s.alpha, s.y, s.c);
+  EXPECT_EQ(ws.size(), 8u);
+  std::unordered_set<int32_t> uniq(ws.begin(), ws.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(WorkingSetSelectorTest, ClampsToProblemSize) {
+  WorkingSetConfig cfg;
+  cfg.ws_size = 1024;
+  cfg.q = 512;
+  WorkingSetSelector sel(cfg, 6);
+  EXPECT_EQ(sel.ws_size(), 6);
+  EXPECT_LE(sel.q(), 6);
+  State s = FreshState(6);
+  const auto& ws = sel.Update(s.f, s.alpha, s.y, s.c);
+  EXPECT_EQ(ws.size(), 6u);
+}
+
+TEST(WorkingSetSelectorTest, PicksMostViolatingFromBothEnds) {
+  // f values: up-eligible (y=+1, alpha=0) instances at indexes 0..9 with
+  // f = index; low-eligible (y=-1, alpha=0) at 10..19 with f = index.
+  State s;
+  for (int i = 0; i < 20; ++i) {
+    const bool up = i < 10;
+    s.y.push_back(up ? int8_t{1} : int8_t{-1});
+    s.alpha.push_back(0.0);
+    s.f.push_back(static_cast<double>(i));
+  }
+  s.FinishC();
+  WorkingSetConfig cfg;
+  cfg.ws_size = 4;
+  cfg.q = 4;
+  WorkingSetSelector sel(cfg, 20);
+  const auto& ws = sel.Update(s.f, s.alpha, s.y, s.c);
+  std::unordered_set<int32_t> got(ws.begin(), ws.end());
+  // Up side: smallest f among up-eligible = {0, 1}; low side: largest f
+  // among low-eligible = {19, 18}.
+  EXPECT_TRUE(got.count(0));
+  EXPECT_TRUE(got.count(1));
+  EXPECT_TRUE(got.count(19));
+  EXPECT_TRUE(got.count(18));
+}
+
+TEST(WorkingSetSelectorTest, KeepsHalfOnRefresh) {
+  WorkingSetConfig cfg;
+  cfg.ws_size = 8;
+  cfg.q = 4;
+  State s = FreshState(40);
+  WorkingSetSelector sel(cfg, 40);
+  const auto first = sel.Update(s.f, s.alpha, s.y, s.c);
+  std::unordered_set<int32_t> first_set(first.begin(), first.end());
+
+  const auto& second = sel.Update(s.f, s.alpha, s.y, s.c);
+  EXPECT_EQ(second.size(), 8u);
+  int kept = 0;
+  for (int32_t m : second) kept += first_set.count(m) ? 1 : 0;
+  // At least ws_size - q members survive the refresh (the keep-half rule).
+  // With unchanged f, dropped members may also be re-admitted as still-most-
+  // violating, so this is a lower bound, not an equality.
+  EXPECT_GE(kept, 4);
+}
+
+TEST(WorkingSetSelectorTest, FifoDropsOldestMembers) {
+  WorkingSetConfig cfg;
+  cfg.ws_size = 4;
+  cfg.q = 2;
+  cfg.drop_policy = WorkingSetConfig::DropPolicy::kOldest;
+  State s = FreshState(30);
+  WorkingSetSelector sel(cfg, 30);
+  auto ws1 = sel.Update(s.f, s.alpha, s.y, s.c);
+  auto ws2 = sel.Update(s.f, s.alpha, s.y, s.c);
+  auto ws3 = sel.Update(s.f, s.alpha, s.y, s.c);
+  // After two refreshes of q=2 each, none of ws1's first-admitted members
+  // need have survived, but the set size stays ws_size and stays unique.
+  EXPECT_EQ(ws3.size(), 4u);
+  std::unordered_set<int32_t> uniq(ws3.begin(), ws3.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  (void)ws2;
+}
+
+TEST(WorkingSetSelectorTest, LeastViolatingDropPolicy) {
+  WorkingSetConfig cfg;
+  cfg.ws_size = 4;
+  cfg.q = 2;
+  cfg.drop_policy = WorkingSetConfig::DropPolicy::kLeastViolating;
+  State s = FreshState(30);
+  WorkingSetSelector sel(cfg, 30);
+  sel.Update(s.f, s.alpha, s.y, s.c);
+  const auto& ws = sel.Update(s.f, s.alpha, s.y, s.c);
+  EXPECT_EQ(ws.size(), 4u);
+  std::unordered_set<int32_t> uniq(ws.begin(), ws.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(WorkingSetSelectorTest, HandlesOneSidedEligibility) {
+  // Everyone is up-eligible only (all y=+1, alpha=0): selector fills from
+  // one side rather than failing.
+  State s;
+  for (int i = 0; i < 10; ++i) {
+    s.y.push_back(1);
+    s.alpha.push_back(0.0);
+    s.f.push_back(static_cast<double>(i));
+  }
+  s.FinishC();
+  WorkingSetConfig cfg;
+  cfg.ws_size = 6;
+  cfg.q = 6;
+  WorkingSetSelector sel(cfg, 10);
+  const auto& ws = sel.Update(s.f, s.alpha, s.y, s.c);
+  EXPECT_EQ(ws.size(), 6u);
+  for (int32_t m : ws) EXPECT_TRUE(InUpSet(s.y[m], s.alpha[m], s.c[m]));
+}
+
+TEST(WorkingSetSelectorTest, MembersAlwaysUnique) {
+  // Free SVs are in both eligibility sets; make sure nobody is admitted
+  // twice.
+  State s;
+  for (int i = 0; i < 12; ++i) {
+    s.y.push_back(i % 2 == 0 ? int8_t{1} : int8_t{-1});
+    s.alpha.push_back(0.5);  // free: both up and low eligible
+    s.f.push_back(static_cast<double>(i % 5));
+  }
+  s.FinishC();
+  WorkingSetConfig cfg;
+  cfg.ws_size = 10;
+  cfg.q = 10;
+  WorkingSetSelector sel(cfg, 12);
+  const auto& ws = sel.Update(s.f, s.alpha, s.y, s.c);
+  std::unordered_set<int32_t> uniq(ws.begin(), ws.end());
+  EXPECT_EQ(uniq.size(), ws.size());
+}
+
+// Parameterized sweep over (ws_size, q) combinations: set size invariants
+// hold for every configuration.
+class WorkingSetSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WorkingSetSweepTest, SizeAndUniquenessInvariants) {
+  auto [ws_size, q] = GetParam();
+  WorkingSetConfig cfg;
+  cfg.ws_size = ws_size;
+  cfg.q = q;
+  const int n = 64;
+  State s = FreshState(n);
+  WorkingSetSelector sel(cfg, n);
+  for (int round = 0; round < 5; ++round) {
+    const auto& ws = sel.Update(s.f, s.alpha, s.y, s.c);
+    EXPECT_LE(static_cast<int>(ws.size()), sel.ws_size());
+    EXPECT_GE(static_cast<int>(ws.size()), 2);
+    std::unordered_set<int32_t> uniq(ws.begin(), ws.end());
+    EXPECT_EQ(uniq.size(), ws.size());
+    for (int32_t m : ws) {
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WorkingSetSweepTest,
+                         ::testing::Combine(::testing::Values(4, 16, 32, 64, 128),
+                                            ::testing::Values(2, 8, 16, 64)));
+
+}  // namespace
+}  // namespace gmpsvm

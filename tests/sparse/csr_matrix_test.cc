@@ -1,0 +1,156 @@
+#include "sparse/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gmpsvm {
+namespace {
+
+// 3x4 matrix:
+//   [1 0 2 0]
+//   [0 3 0 0]
+//   [4 0 0 5]
+CsrMatrix MakeTestMatrix() {
+  CsrBuilder b(4);
+  b.AddRow(std::vector<int32_t>{0, 2}, std::vector<double>{1, 2});
+  b.AddRow(std::vector<int32_t>{1}, std::vector<double>{3});
+  b.AddRow(std::vector<int32_t>{0, 3}, std::vector<double>{4, 5});
+  return ValueOrDie(b.Finish());
+}
+
+TEST(CsrMatrixTest, BasicProperties) {
+  CsrMatrix m = MakeTestMatrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 5);
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 1);
+}
+
+TEST(CsrMatrixTest, RowViews) {
+  CsrMatrix m = MakeTestMatrix();
+  auto idx = m.RowIndices(2);
+  auto val = m.RowValues(2);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 3);
+  EXPECT_DOUBLE_EQ(val[0], 4.0);
+  EXPECT_DOUBLE_EQ(val[1], 5.0);
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrBuilder b(10);
+  CsrMatrix m = ValueOrDie(b.Finish());
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(CsrMatrixTest, EmptyRowsAllowed) {
+  CsrBuilder b(4);
+  b.AddRow(std::vector<int32_t>{}, std::vector<double>{});
+  b.AddRow(std::vector<int32_t>{2}, std::vector<double>{7});
+  CsrMatrix m = ValueOrDie(b.Finish());
+  EXPECT_EQ(m.RowNnz(0), 0);
+  EXPECT_DOUBLE_EQ(m.RowDot(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.RowSquaredNorm(0), 0.0);
+}
+
+TEST(CsrMatrixTest, RowDot) {
+  CsrMatrix m = MakeTestMatrix();
+  EXPECT_DOUBLE_EQ(m.RowDot(0, 0), 1 * 1 + 2 * 2);
+  EXPECT_DOUBLE_EQ(m.RowDot(0, 1), 0.0);   // disjoint support
+  EXPECT_DOUBLE_EQ(m.RowDot(0, 2), 4.0);   // shared column 0
+  EXPECT_DOUBLE_EQ(m.RowDot(2, 0), 4.0);   // symmetric
+}
+
+TEST(CsrMatrixTest, RowSquaredNorms) {
+  CsrMatrix m = MakeTestMatrix();
+  EXPECT_DOUBLE_EQ(m.RowSquaredNorm(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.RowSquaredNorm(1), 9.0);
+  auto norms = m.AllRowSquaredNorms();
+  ASSERT_EQ(norms.size(), 3u);
+  EXPECT_DOUBLE_EQ(norms[2], 41.0);
+}
+
+TEST(CsrMatrixTest, SelectRowsPreservesContentAndOrder) {
+  CsrMatrix m = MakeTestMatrix();
+  std::vector<int32_t> pick = {2, 0};
+  CsrMatrix sub = m.SelectRows(pick);
+  EXPECT_EQ(sub.rows(), 2);
+  EXPECT_EQ(sub.cols(), 4);
+  EXPECT_DOUBLE_EQ(sub.RowValues(0)[0], 4.0);  // old row 2 first
+  EXPECT_DOUBLE_EQ(sub.RowValues(1)[0], 1.0);
+}
+
+TEST(CsrMatrixTest, ToDense) {
+  CsrMatrix m = MakeTestMatrix();
+  auto dense = m.ToDense();
+  ASSERT_EQ(dense.size(), 12u);
+  EXPECT_DOUBLE_EQ(dense[0 * 4 + 0], 1.0);
+  EXPECT_DOUBLE_EQ(dense[0 * 4 + 1], 0.0);
+  EXPECT_DOUBLE_EQ(dense[1 * 4 + 1], 3.0);
+  EXPECT_DOUBLE_EQ(dense[2 * 4 + 3], 5.0);
+}
+
+TEST(CsrMatrixTest, ByteSizeCountsArrays) {
+  CsrMatrix m = MakeTestMatrix();
+  EXPECT_EQ(m.ByteSize(), 4 * sizeof(int64_t) + 5 * sizeof(int32_t) + 5 * sizeof(double));
+}
+
+TEST(CsrMatrixCreateTest, RejectsBadRowPtrSize) {
+  auto r = CsrMatrix::Create(2, 3, {0, 1}, {0}, {1.0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CsrMatrixCreateTest, RejectsInconsistentLengths) {
+  auto r = CsrMatrix::Create(1, 3, {0, 2}, {0}, {1.0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsrMatrixCreateTest, RejectsOutOfRangeColumn) {
+  auto r = CsrMatrix::Create(1, 3, {0, 1}, {5}, {1.0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsrMatrixCreateTest, RejectsUnsortedColumns) {
+  auto r = CsrMatrix::Create(1, 5, {0, 2}, {3, 1}, {1.0, 2.0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsrMatrixCreateTest, RejectsDuplicateColumns) {
+  auto r = CsrMatrix::Create(1, 5, {0, 2}, {3, 3}, {1.0, 2.0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsrMatrixCreateTest, RejectsDecreasingRowPtr) {
+  auto r = CsrMatrix::Create(2, 3, {0, 2, 1}, {0, 1}, {1.0, 2.0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsrBuilderTest, AddRowUnsortedSorts) {
+  CsrBuilder b(10);
+  b.AddRowUnsorted({{7, 1.0}, {2, 2.0}, {5, 3.0}});
+  CsrMatrix m = ValueOrDie(b.Finish());
+  auto idx = m.RowIndices(0);
+  EXPECT_EQ(idx[0], 2);
+  EXPECT_EQ(idx[1], 5);
+  EXPECT_EQ(idx[2], 7);
+  EXPECT_DOUBLE_EQ(m.RowValues(0)[0], 2.0);
+}
+
+TEST(CsrBuilderTest, FinishResetsBuilder) {
+  CsrBuilder b(3);
+  b.AddRow(std::vector<int32_t>{0}, std::vector<double>{1});
+  CsrMatrix first = ValueOrDie(b.Finish());
+  EXPECT_EQ(first.rows(), 1);
+  EXPECT_EQ(b.rows(), 0);
+  b.AddRow(std::vector<int32_t>{1, 2}, std::vector<double>{4, 5});
+  CsrMatrix second = ValueOrDie(b.Finish());
+  EXPECT_EQ(second.rows(), 1);
+  EXPECT_EQ(second.nnz(), 2);
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,142 @@
+#include "sparse/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace gmpsvm {
+namespace {
+
+CsrMatrix RandomSparse(int64_t rows, int64_t cols, double density, uint64_t seed) {
+  Rng rng(seed);
+  CsrBuilder b(cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<int32_t> idx;
+    std::vector<double> val;
+    for (int32_t c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(density)) {
+        idx.push_back(c);
+        val.push_back(rng.Normal());
+      }
+    }
+    b.AddRow(idx, val);
+  }
+  return ValueOrDie(b.Finish());
+}
+
+double NaiveDot(const CsrMatrix& a, int64_t i, const CsrMatrix& bm, int64_t j) {
+  auto da = a.ToDense();
+  auto db = bm.ToDense();
+  double dot = 0.0;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    dot += da[i * a.cols() + c] * db[j * bm.cols() + c];
+  }
+  return dot;
+}
+
+TEST(BatchRowDotsTest, MatchesNaiveDense) {
+  CsrMatrix x = RandomSparse(20, 15, 0.3, 42);
+  std::vector<int32_t> batch = {0, 5, 19};
+  std::vector<int32_t> targets = {1, 2, 3, 10, 19};
+  std::vector<double> out(batch.size() * targets.size());
+  BatchRowDots(x, batch, targets, out.data());
+  for (size_t bi = 0; bi < batch.size(); ++bi) {
+    for (size_t tj = 0; tj < targets.size(); ++tj) {
+      EXPECT_NEAR(out[bi * targets.size() + tj],
+                  NaiveDot(x, batch[bi], x, targets[tj]), 1e-12)
+          << "batch " << bi << " target " << tj;
+    }
+  }
+}
+
+TEST(BatchRowDotsTest, StatsReflectWork) {
+  CsrMatrix x = RandomSparse(10, 8, 0.5, 7);
+  std::vector<int32_t> batch = {0, 1};
+  std::vector<int32_t> targets = {2, 3, 4};
+  std::vector<double> out(6);
+  OpStats stats = BatchRowDots(x, batch, targets, out.data());
+  // 2 flops per streamed nonzero of each target row, per batch row.
+  double nnz_targets = 0;
+  for (int32_t t : targets) nnz_targets += static_cast<double>(x.RowNnz(t));
+  EXPECT_DOUBLE_EQ(stats.flops, 2.0 * 2.0 * nnz_targets);
+  EXPECT_GT(stats.bytes_read, 0.0);
+  EXPECT_DOUBLE_EQ(stats.bytes_written, 6.0 * sizeof(double));
+}
+
+TEST(BatchRowDotsTest, EmptyBatch) {
+  CsrMatrix x = RandomSparse(5, 5, 0.5, 3);
+  std::vector<double> out;
+  OpStats stats = BatchRowDots(x, {}, {}, out.data());
+  EXPECT_DOUBLE_EQ(stats.flops, 0.0);
+}
+
+TEST(BatchRowDots2Test, CrossMatrixMatchesNaive) {
+  CsrMatrix a = RandomSparse(8, 12, 0.4, 1);
+  CsrMatrix b = RandomSparse(10, 12, 0.4, 2);
+  std::vector<int32_t> batch = {0, 7};
+  std::vector<int32_t> targets = {0, 4, 9};
+  std::vector<double> out(6);
+  BatchRowDots2(a, batch, b, targets, out.data());
+  for (size_t bi = 0; bi < batch.size(); ++bi) {
+    for (size_t tj = 0; tj < targets.size(); ++tj) {
+      EXPECT_NEAR(out[bi * targets.size() + tj],
+                  NaiveDot(a, batch[bi], b, targets[tj]), 1e-12);
+    }
+  }
+}
+
+TEST(DenseBatchRowDotsTest, MatchesSparsePath) {
+  CsrMatrix x = RandomSparse(12, 9, 0.5, 11);
+  DenseMatrix d(x.rows(), x.cols(), x.ToDense());
+  std::vector<int32_t> batch = {0, 3, 11};
+  std::vector<int32_t> targets = {1, 2, 3, 4};
+  std::vector<double> sparse_out(12), dense_out(12);
+  BatchRowDots(x, batch, targets, sparse_out.data());
+  DenseBatchRowDots(d, batch, targets, dense_out.data());
+  for (size_t i = 0; i < sparse_out.size(); ++i) {
+    EXPECT_NEAR(sparse_out[i], dense_out[i], 1e-12);
+  }
+}
+
+TEST(DenseBatchRowDotsTest, DenseCostsMoreFlopsOnSparseData) {
+  // The representational point behind Figure 10: on sparse data the dense
+  // path performs ~1/density times more arithmetic.
+  CsrMatrix x = RandomSparse(30, 200, 0.05, 21);
+  DenseMatrix d(x.rows(), x.cols(), x.ToDense());
+  std::vector<int32_t> batch = {0, 1, 2};
+  std::vector<int32_t> targets;
+  for (int32_t t = 3; t < 30; ++t) targets.push_back(t);
+  std::vector<double> out(batch.size() * targets.size());
+  OpStats sparse_stats = BatchRowDots(x, batch, targets, out.data());
+  OpStats dense_stats = DenseBatchRowDots(d, batch, targets, out.data());
+  EXPECT_GT(dense_stats.flops, 5.0 * sparse_stats.flops);
+}
+
+TEST(SpMVTest, MatchesNaive) {
+  CsrMatrix x = RandomSparse(10, 6, 0.5, 9);
+  std::vector<double> v = {1, -1, 2, 0.5, 0, 3};
+  std::vector<int32_t> rows = {0, 4, 9};
+  std::vector<double> out(3);
+  SpMV(x, rows, v, out.data());
+  auto dense = x.ToDense();
+  for (size_t j = 0; j < rows.size(); ++j) {
+    double expect = 0.0;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      expect += dense[rows[j] * x.cols() + c] * v[static_cast<size_t>(c)];
+    }
+    EXPECT_NEAR(out[j], expect, 1e-12);
+  }
+}
+
+TEST(OpStatsTest, Accumulates) {
+  OpStats a{10, 20, 30};
+  OpStats b{1, 2, 3};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.flops, 11);
+  EXPECT_DOUBLE_EQ(a.bytes_read, 22);
+  EXPECT_DOUBLE_EQ(a.bytes_written, 33);
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,0 +1,152 @@
+// Shared helpers for the test suite: small synthetic problems with known
+// structure, plus reference (brute-force) implementations to validate the
+// optimized code paths against.
+
+#ifndef GMPSVM_TESTS_TEST_UTIL_H_
+#define GMPSVM_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "kernel/kernel_computer.h"
+#include "solver/svm_problem.h"
+#include "sparse/csr_matrix.h"
+
+namespace gmpsvm::testing {
+
+// Two Gaussian blobs in `dim` dimensions, centered at +/- `separation` on
+// every axis. Returns a dense-as-CSR matrix and +/-1 labels.
+struct BinaryBlobs {
+  CsrMatrix data;
+  std::vector<int8_t> y;
+};
+
+inline BinaryBlobs MakeBinaryBlobs(int n_per_class, int dim, double separation,
+                                   uint64_t seed, double noise = 1.0) {
+  Rng rng(seed);
+  CsrBuilder builder(dim);
+  std::vector<int8_t> y;
+  for (int i = 0; i < 2 * n_per_class; ++i) {
+    const int8_t label = (i % 2 == 0) ? int8_t{1} : int8_t{-1};
+    const double center = label > 0 ? separation : -separation;
+    std::vector<int32_t> idx(static_cast<size_t>(dim));
+    std::vector<double> val(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      idx[static_cast<size_t>(d)] = d;
+      val[static_cast<size_t>(d)] = rng.Normal(center, noise);
+    }
+    builder.AddRow(idx, val);
+    y.push_back(label);
+  }
+  return BinaryBlobs{ValueOrDie(builder.Finish()), std::move(y)};
+}
+
+// Multi-class Gaussian blobs: class c centered at separation * unit basis
+// direction (c mod dim), labels 0..k-1 round-robin then shuffled.
+inline gmpsvm::Result<Dataset> MakeMulticlassBlobs(int k, int n_per_class, int dim,
+                                                   double separation, uint64_t seed,
+                                                   double noise = 1.0) {
+  Rng rng(seed);
+  const int n = k * n_per_class;
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) labels[static_cast<size_t>(i)] = i % k;
+  rng.Shuffle(&labels);
+  CsrBuilder builder(dim);
+  for (int i = 0; i < n; ++i) {
+    const int c = labels[static_cast<size_t>(i)];
+    std::vector<int32_t> idx(static_cast<size_t>(dim));
+    std::vector<double> val(static_cast<size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      idx[static_cast<size_t>(d)] = d;
+      const double center = (d == c % dim) ? separation : 0.0;
+      val[static_cast<size_t>(d)] = rng.Normal(center, noise);
+    }
+    builder.AddRow(idx, val);
+  }
+  GMP_ASSIGN_OR_RETURN(CsrMatrix features, builder.Finish());
+  return Dataset::Create(std::move(features), std::move(labels), k, "blobs");
+}
+
+// Wraps blobs into a BinaryProblem over all rows.
+inline BinaryProblem MakeProblem(const BinaryBlobs& blobs, double c,
+                                 KernelParams kernel) {
+  BinaryProblem p;
+  p.data = &blobs.data;
+  p.rows.resize(static_cast<size_t>(blobs.data.rows()));
+  for (size_t i = 0; i < p.rows.size(); ++i) p.rows[i] = static_cast<int32_t>(i);
+  p.y = blobs.y;
+  p.C = c;
+  p.kernel = kernel;
+  return p;
+}
+
+// Decision value of instance `row` under a solution (Equation 11), computed
+// brute-force.
+inline double DecisionValue(const BinaryProblem& problem,
+                            const KernelComputer& computer,
+                            const std::vector<double>& alpha, double bias,
+                            int32_t local_row) {
+  double v = bias;
+  for (int64_t j = 0; j < problem.n(); ++j) {
+    if (alpha[static_cast<size_t>(j)] == 0.0) continue;
+    v += alpha[static_cast<size_t>(j)] * problem.y[static_cast<size_t>(j)] *
+         computer.Compute(problem.rows[static_cast<size_t>(j)],
+                          problem.rows[static_cast<size_t>(local_row)]);
+  }
+  return v;
+}
+
+// Checks the KKT conditions of problem (2) at tolerance eps:
+// max_{I_low} f - min_{I_up} f < eps with f recomputed from scratch.
+inline double MaxKktViolation(const BinaryProblem& problem,
+                              const KernelComputer& computer,
+                              const std::vector<double>& alpha) {
+  const int64_t n = problem.n();
+  double f_up_min = std::numeric_limits<double>::infinity();
+  double f_low_max = -std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < n; ++i) {
+    double f_i = -static_cast<double>(problem.y[static_cast<size_t>(i)]);
+    for (int64_t j = 0; j < n; ++j) {
+      if (alpha[static_cast<size_t>(j)] == 0.0) continue;
+      f_i += alpha[static_cast<size_t>(j)] * problem.y[static_cast<size_t>(j)] *
+             computer.Compute(problem.rows[static_cast<size_t>(j)],
+                              problem.rows[static_cast<size_t>(i)]);
+    }
+    const int8_t yi = problem.y[static_cast<size_t>(i)];
+    const double ai = alpha[static_cast<size_t>(i)];
+    const bool in_up = (yi > 0 && ai < problem.C) || (yi < 0 && ai > 0);
+    const bool in_low = (yi > 0 && ai > 0) || (yi < 0 && ai < problem.C);
+    if (in_up) f_up_min = std::min(f_up_min, f_i);
+    if (in_low) f_low_max = std::max(f_low_max, f_i);
+  }
+  return f_low_max - f_up_min;
+}
+
+// Dual objective sum(alpha) - 0.5 alpha' Q alpha computed brute-force.
+inline double DualObjective(const BinaryProblem& problem,
+                            const KernelComputer& computer,
+                            const std::vector<double>& alpha) {
+  const int64_t n = problem.n();
+  double sum = 0.0, quad = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double ai = alpha[static_cast<size_t>(i)];
+    if (ai == 0.0) continue;
+    sum += ai;
+    for (int64_t j = 0; j < n; ++j) {
+      const double aj = alpha[static_cast<size_t>(j)];
+      if (aj == 0.0) continue;
+      quad += ai * aj * problem.y[static_cast<size_t>(i)] *
+              problem.y[static_cast<size_t>(j)] *
+              computer.Compute(problem.rows[static_cast<size_t>(i)],
+                               problem.rows[static_cast<size_t>(j)]);
+    }
+  }
+  return sum - 0.5 * quad;
+}
+
+}  // namespace gmpsvm::testing
+
+#endif  // GMPSVM_TESTS_TEST_UTIL_H_
