@@ -1,0 +1,184 @@
+// Serving benchmark: sustained throughput and tail latency of the
+// micro-batching InferenceServer (src/serve) versus unbatched serving
+// (max_batch_size = 1) on Table-2 proxy datasets.
+//
+// Two load shapes:
+//   * closed loop — K client threads issue synchronous Predict() calls
+//     back-to-back; concurrency K > workers keeps a backlog, so the
+//     micro-batcher can coalesce. Sweeps max_batch_size.
+//   * open loop — a dispatcher submits at a fixed arrival rate regardless
+//     of completions (the "users do not wait" model). Sweeps the batch
+//     window (max_queue_delay) at a rate near the unbatched capacity,
+//     showing the window trading p50 for throughput headroom.
+//
+// Defaults to the Connect-4 proxy for a quick run; use
+// --datasets=MNIST,News20 (etc.) for the other multi-class proxies.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "serve/server.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+namespace {
+
+struct LoadResult {
+  double wall_seconds = 0.0;
+  double achieved_rps = 0.0;
+  ServeStatsSnapshot snap;
+};
+
+std::string Ms(double seconds) { return StrPrintf("%.2f", seconds * 1e3); }
+
+// K threads, each issuing synchronous requests back-to-back over the test
+// rows. Returns bench-measured wall throughput plus the server's snapshot.
+LoadResult RunClosedLoop(ModelRegistry* registry, const CsrMatrix& rows,
+                         const ServeOptions& options, int clients,
+                         int per_client) {
+  InferenceServer server(registry, options);
+  GMP_CHECK_OK(server.Start());
+  Stopwatch wall;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      for (int r = 0; r < per_client; ++r) {
+        const int64_t row = (c * per_client + r) % rows.rows();
+        auto response =
+            server.Predict(rows.RowIndices(row), rows.RowValues(row));
+        GMP_CHECK_OK(response.status());
+        GMP_CHECK_OK(response->status);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  LoadResult result;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.snap = server.stats().Snapshot();
+  result.achieved_rps =
+      static_cast<double>(result.snap.completed) / result.wall_seconds;
+  GMP_CHECK_OK(server.Shutdown());
+  return result;
+}
+
+// One dispatcher submitting at `rate_rps` on a fixed schedule; responses are
+// collected afterwards. Overflowed submissions count as rejected.
+LoadResult RunOpenLoop(ModelRegistry* registry, const CsrMatrix& rows,
+                       const ServeOptions& options, double rate_rps,
+                       int total_requests) {
+  InferenceServer server(registry, options);
+  GMP_CHECK_OK(server.Start());
+  const auto interval = std::chrono::duration<double>(1.0 / rate_rps);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<PredictResponse>> futures;
+  futures.reserve(static_cast<size_t>(total_requests));
+  for (int r = 0; r < total_requests; ++r) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    interval * r));
+    const int64_t row = r % rows.rows();
+    auto submitted = server.Submit(rows.RowIndices(row), rows.RowValues(row));
+    if (submitted.ok()) futures.push_back(std::move(*submitted));
+  }
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status);
+  LoadResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.snap = server.stats().Snapshot();
+  result.achieved_rps =
+      static_cast<double>(result.snap.completed) / result.wall_seconds;
+  GMP_CHECK_OK(server.Shutdown());
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.datasets.empty()) args.datasets = {"Connect-4"};
+  std::printf("SERVING: micro-batched inference throughput vs unbatched "
+              "(scale %.2f)\n\n", args.scale);
+
+  // Concurrency well above max_batch_size: batches then fill straight from
+  // the backlog and the batch window almost never has to idle-wait.
+  constexpr int kClients = 32;
+  constexpr int kPerClient = 20;
+  constexpr int kWorkers = 2;
+
+  for (const auto& spec : SelectSpecs(args, DatasetFilter::kMulticlassOnly)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
+    std::fprintf(stderr, "[serve] training %s ...\n", spec.name.c_str());
+
+    ModelRegistry registry;
+    {
+      SimExecutor exec = MakeGpuExecutor(spec);
+      auto model =
+          ValueOrDie(GmpSvmTrainer(GmpOptionsFor(spec)).Train(train, &exec,
+                                                              nullptr));
+      ValueOrDie(registry.Register("default", std::move(model)));
+    }
+    const CsrMatrix& rows = test.features();
+
+    // Closed loop: batch-size sweep. max_batch_size = 1 is the unbatched
+    // baseline — every request pays the full per-Predict overhead.
+    std::printf("%s: closed loop, %d clients x %d requests, %d workers\n",
+                spec.name.c_str(), kClients, kPerClient, kWorkers);
+    TablePrinter closed({"max_batch", "throughput", "mean batch", "p50 ms",
+                         "p95 ms", "p99 ms"});
+    double unbatched_rps = 0.0, best_batched_rps = 0.0;
+    for (int max_batch : {1, 8, 32}) {
+      ServeOptions options;
+      options.num_workers = kWorkers;
+      options.batching.max_batch_size = max_batch;
+      options.batching.max_queue_delay = std::chrono::microseconds(200);
+      LoadResult r = RunClosedLoop(&registry, rows, options, kClients,
+                                   kPerClient);
+      if (max_batch == 1) unbatched_rps = r.achieved_rps;
+      best_batched_rps = std::max(best_batched_rps, r.achieved_rps);
+      closed.AddRow({StrPrintf("%d", max_batch),
+                     StrPrintf("%.0f rps", r.achieved_rps),
+                     StrPrintf("%.2f", r.snap.mean_batch_size),
+                     Ms(r.snap.latency_p50), Ms(r.snap.latency_p95),
+                     Ms(r.snap.latency_p99)});
+    }
+    closed.Print();
+    std::printf("batched vs unbatched sustained throughput: %s\n\n",
+                Speedup(best_batched_rps / unbatched_rps).c_str());
+
+    // Open loop: batch-window sweep at ~80%% of the unbatched capacity, the
+    // regime where coalescing headroom decides whether the queue stays flat.
+    const double rate = 0.8 * unbatched_rps;
+    const int total = kClients * kPerClient / 2;
+    std::printf("%s: open loop, %.0f rps offered, %d requests\n",
+                spec.name.c_str(), rate, total);
+    TablePrinter open({"window us", "achieved", "mean batch", "max depth",
+                       "p50 ms", "p95 ms", "p99 ms"});
+    for (int window_us : {0, 200, 1000, 5000}) {
+      ServeOptions options;
+      options.num_workers = kWorkers;
+      options.batching.max_batch_size = 32;
+      options.batching.max_queue_delay = std::chrono::microseconds(window_us);
+      LoadResult r = RunOpenLoop(&registry, rows, options, rate, total);
+      open.AddRow({StrPrintf("%d", window_us),
+                   StrPrintf("%.0f rps", r.achieved_rps),
+                   StrPrintf("%.2f", r.snap.mean_batch_size),
+                   StrPrintf("%zu", r.snap.max_queue_depth),
+                   Ms(r.snap.latency_p50), Ms(r.snap.latency_p95),
+                   Ms(r.snap.latency_p99)});
+    }
+    open.Print();
+    std::printf("\n");
+  }
+  std::printf("Note: throughput is bench wall-clock; latency percentiles are\n"
+              "end-to-end (admission -> response) from ServeStats.\n");
+  return 0;
+}

@@ -6,6 +6,8 @@
 //   svm_tool scale <in.libsvm> <out.libsvm>        (min-max to [-1, 1])
 //   svm_tool cv [-c C] [-g gamma] [-v folds] <train.libsvm>
 //   svm_tool grid [-v folds] <train.libsvm>          (C/gamma grid search)
+//   svm_tool serve [-n N] [-w workers] [-b max_batch] <model.in>
+//       (micro-batching inference-server smoke: N synthetic requests)
 //
 // Predict prints the test error when the file has labels, and writes one
 // line per instance: "<label> <p_class0> <p_class1> ...".
@@ -23,8 +25,10 @@
 #include "core/predictor.h"
 #include "data/libsvm_io.h"
 #include "data/scale.h"
+#include "data/synthetic.h"
 #include "device/executor.h"
 #include "metrics/metrics.h"
+#include "serve/server.h"
 
 using namespace gmpsvm;  // NOLINT: example brevity
 
@@ -37,7 +41,8 @@ int Usage() {
                "  svm_tool predict <data> <model> [out]\n"
                "  svm_tool scale <in> <out>\n"
                "  svm_tool cv [-c C] [-g gamma] [-v folds] <data>\n"
-               "  svm_tool grid [-v folds] <data>\n");
+               "  svm_tool grid [-v folds] <data>\n"
+               "  svm_tool serve [-n requests] [-w workers] [-b max_batch] <model>\n");
   return 2;
 }
 
@@ -234,6 +239,84 @@ int PredictCommand(int argc, char** argv) {
   return 0;
 }
 
+// Smoke the serving path against a saved model: load it into a registry,
+// start the micro-batching server, push synthetic single-row requests, and
+// print the ServeStats table.
+int ServeCommand(int argc, char** argv) {
+  int num_requests = 200;
+  ServeOptions options;
+  std::string model_path;
+  for (int arg = 0; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "-n") == 0 && arg + 1 < argc) {
+      num_requests = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-w") == 0 && arg + 1 < argc) {
+      options.num_workers = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-b") == 0 && arg + 1 < argc) {
+      options.batching.max_batch_size = std::atoi(argv[++arg]);
+    } else if (model_path.empty()) {
+      model_path = argv[arg];
+    } else {
+      return Usage();
+    }
+  }
+  if (model_path.empty() || num_requests <= 0) return Usage();
+
+  ModelRegistry registry;
+  auto version = registry.LoadFromFile("default", model_path);
+  if (!version.ok()) {
+    std::fprintf(stderr, "error: %s\n", version.status().ToString().c_str());
+    return 1;
+  }
+  auto handle = registry.Get("default");
+  GMP_CHECK_OK(handle.status());
+  const MpSvmModel& model = *handle->model;
+  std::printf("serving %s: %d classes, %lld SVMs, %lld pooled SVs\n",
+              model_path.c_str(), model.num_classes,
+              static_cast<long long>(model.svms.size()),
+              static_cast<long long>(model.support_vectors.rows()));
+
+  // Synthetic queries in the model's own feature space.
+  SyntheticSpec spec;
+  spec.name = "svm_tool-serve";
+  spec.num_classes = model.num_classes;
+  spec.cardinality = num_requests;
+  spec.dim = std::max<int64_t>(model.support_vectors.cols(), 1);
+  spec.density = 0.5;
+  spec.seed = 99;
+  auto queries = GenerateSynthetic(spec);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "error: %s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+  const CsrMatrix& rows = queries->features();
+
+  InferenceServer server(&registry, options);
+  GMP_CHECK_OK(server.Start());
+  std::vector<std::future<PredictResponse>> futures;
+  futures.reserve(static_cast<size_t>(num_requests));
+  for (int r = 0; r < num_requests; ++r) {
+    const int64_t row = r % rows.rows();
+    auto submitted = server.Submit(rows.RowIndices(row), rows.RowValues(row));
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   submitted.status().ToString().c_str());
+      return 1;
+    }
+    futures.push_back(std::move(*submitted));
+  }
+  for (auto& f : futures) {
+    auto response = f.get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   response.status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", server.stats().Snapshot().ToTable().c_str());
+  GMP_CHECK_OK(server.Shutdown());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -243,5 +326,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "scale") == 0) return ScaleCommand(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "cv") == 0) return CvCommand(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "grid") == 0) return GridCommand(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "serve") == 0) return ServeCommand(argc - 2, argv + 2);
   return Usage();
 }

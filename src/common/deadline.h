@@ -1,0 +1,61 @@
+// Monotonic-clock deadlines for the serving layer. All request timing uses
+// std::chrono::steady_clock (never the wall clock, which can jump), matching
+// the convention of gRPC-style deadline propagation: a Deadline is an
+// absolute point on the monotonic timeline, constructed either from a
+// relative timeout (After) or as "no deadline" (Infinite).
+
+#ifndef GMPSVM_COMMON_DEADLINE_H_
+#define GMPSVM_COMMON_DEADLINE_H_
+
+#include <chrono>
+
+namespace gmpsvm {
+
+using MonotonicClock = std::chrono::steady_clock;
+using MonotonicTime = MonotonicClock::time_point;
+
+inline MonotonicTime MonotonicNow() { return MonotonicClock::now(); }
+
+// Seconds between two monotonic time points (b - a).
+inline double SecondsBetween(MonotonicTime a, MonotonicTime b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+class Deadline {
+ public:
+  // Default-constructed deadlines never expire.
+  Deadline() : time_(MonotonicTime::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline At(MonotonicTime time) { return Deadline(time); }
+
+  template <typename Rep, typename Period>
+  static Deadline After(std::chrono::duration<Rep, Period> timeout) {
+    return Deadline(MonotonicNow() +
+                    std::chrono::duration_cast<MonotonicClock::duration>(timeout));
+  }
+
+  bool is_infinite() const { return time_ == MonotonicTime::max(); }
+
+  bool Expired() const { return !is_infinite() && MonotonicNow() >= time_; }
+
+  MonotonicTime time() const { return time_; }
+
+  // Time left before expiry, clamped to zero; infinite deadlines report the
+  // clock's maximum duration.
+  MonotonicClock::duration Remaining() const {
+    if (is_infinite()) return MonotonicClock::duration::max();
+    const MonotonicTime now = MonotonicNow();
+    return now >= time_ ? MonotonicClock::duration::zero() : time_ - now;
+  }
+
+ private:
+  explicit Deadline(MonotonicTime time) : time_(time) {}
+
+  MonotonicTime time_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_COMMON_DEADLINE_H_

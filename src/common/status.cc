@@ -21,6 +21,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "failed-precondition";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -27,7 +27,9 @@ enum class StatusCode {
   kIoError,          // file read/write/parse failures
   kNotImplemented,
   kFailedPrecondition,
-  kInternal,         // invariant violation inside the library
+  kInternal,           // invariant violation inside the library
+  kResourceExhausted,  // bounded queue / admission-control rejection
+  kDeadlineExceeded,   // request deadline passed before completion
 };
 
 // Returns a stable lowercase name for `code`, e.g. "invalid-argument".
@@ -65,6 +67,12 @@ class Status {
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
   }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -81,6 +89,12 @@ class Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   // "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -1,7 +1,9 @@
 #include "common/string_util.h"
 
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
+#include <system_error>
 
 namespace gmpsvm {
 
@@ -28,6 +30,32 @@ std::string_view StripWhitespace(std::string_view text) {
 
 bool StartsWith(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+template <typename T>
+bool ParseWithFromChars(std::string_view text, T* out) {
+  T value{};
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseInt32(std::string_view text, int32_t* out) {
+  return ParseWithFromChars(text, out);
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  return ParseWithFromChars(text, out);
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  return ParseWithFromChars(text, out);
 }
 
 std::string HumanSeconds(double seconds) {

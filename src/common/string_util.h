@@ -3,6 +3,7 @@
 #ifndef GMPSVM_COMMON_STRING_UTIL_H_
 #define GMPSVM_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +19,15 @@ std::string_view StripWhitespace(std::string_view text);
 
 // True if `text` begins with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Non-throwing numeric parsing: the whole token must be a valid in-range
+// number. Returns false (leaving *out untouched) otherwise — unlike
+// std::stol/std::stod these never throw on malformed or out-of-range input,
+// which is what the I/O layer needs to turn arbitrary bytes into an error
+// Status instead of a crash.
+bool ParseInt32(std::string_view text, int32_t* out);
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseDouble(std::string_view text, double* out);
 
 // Formats seconds with a sensible unit, e.g. "34.10 s", "927 ms", "2.0 h".
 std::string HumanSeconds(double seconds);

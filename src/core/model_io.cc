@@ -86,6 +86,13 @@ Result<MpSvmModel> DeserializeModel(const std::string& text) {
   if (model.num_classes < 2 || pool_rows < 0 || pool_cols < 0) {
     return fail("bad header values");
   }
+  // Element counts claimed by the header cannot exceed the number of tokens
+  // the text could possibly hold; rejecting hostile counts here keeps the
+  // reserve()/resize() calls below from attempting absurd allocations.
+  const auto kMaxElements = static_cast<int64_t>(text.size());
+  if (pool_rows > kMaxElements || num_svms > text.size()) {
+    return fail("header counts exceed input size");
+  }
 
   model.svms.reserve(num_svms);
   for (size_t s = 0; s < num_svms; ++s) {
@@ -93,7 +100,7 @@ Result<MpSvmModel> DeserializeModel(const std::string& text) {
     int64_t nsv = 0;
     if (!(in >> word >> entry.class_s >> entry.class_t >> entry.bias >>
           entry.sigmoid.a >> entry.sigmoid.b >> nsv) ||
-        word != "svm" || nsv < 0) {
+        word != "svm" || nsv < 0 || nsv > kMaxElements) {
       return fail(StrPrintf("svm header %zu", s));
     }
     entry.sv_pool_index.reserve(static_cast<size_t>(nsv));
@@ -103,10 +110,14 @@ Result<MpSvmModel> DeserializeModel(const std::string& text) {
       if (!(in >> token)) return fail("sv coefficient");
       const auto kv = SplitTokens(token, ":");
       if (kv.size() != 2) return fail("sv coefficient format");
-      const int32_t index = static_cast<int32_t>(std::stol(std::string(kv[0])));
+      int32_t index = 0;
+      double coef = 0.0;
+      if (!ParseInt32(kv[0], &index) || !ParseDouble(kv[1], &coef)) {
+        return fail("sv coefficient value");
+      }
       if (index < 0 || index >= pool_rows) return fail("sv index out of range");
       entry.sv_pool_index.push_back(index);
-      entry.sv_coef.push_back(std::stod(std::string(kv[1])));
+      entry.sv_coef.push_back(coef);
     }
     model.svms.push_back(std::move(entry));
   }
@@ -127,8 +138,12 @@ Result<MpSvmModel> DeserializeModel(const std::string& text) {
     for (const auto token : SplitTokens(StripWhitespace(line), " ")) {
       const auto kv = SplitTokens(token, ":");
       if (kv.size() != 2) return fail("pool row token");
-      entries.emplace_back(static_cast<int32_t>(std::stol(std::string(kv[0]))),
-                           std::stod(std::string(kv[1])));
+      int32_t index = 0;
+      double value = 0.0;
+      if (!ParseInt32(kv[0], &index) || !ParseDouble(kv[1], &value)) {
+        return fail("pool row value");
+      }
+      entries.emplace_back(index, value);
     }
     builder.AddRowUnsorted(std::move(entries));
   }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "kernel/kernel_computer.h"
 
 namespace gmpsvm {
@@ -226,18 +227,29 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
 }
 
 
+Result<PredictResult> MpSvmPredictor::PredictRows(
+    std::span<const SparseRowView> rows, SimExecutor* executor,
+    const PredictOptions& options) const {
+  CsrBuilder builder(model_->support_vectors.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].indices.size() != rows[i].values.size()) {
+      return Status::InvalidArgument(
+          StrPrintf("row %zu: indices/values size mismatch", i));
+    }
+    builder.AddRow(rows[i].indices, rows[i].values);
+  }
+  GMP_ASSIGN_OR_RETURN(CsrMatrix tile, builder.Finish());
+  return Predict(tile, executor, options);
+}
+
 Result<std::vector<double>> MpSvmPredictor::PredictOne(
     std::span<const int32_t> indices, std::span<const double> values,
     SimExecutor* executor) const {
-  if (indices.size() != values.size()) {
-    return Status::InvalidArgument("indices/values size mismatch");
-  }
-  CsrBuilder builder(model_->support_vectors.cols());
-  builder.AddRow(indices, values);
-  GMP_ASSIGN_OR_RETURN(CsrMatrix one, builder.Finish());
   PredictOptions options;
   options.concurrent_svms = false;  // one instance cannot feed many streams
-  GMP_ASSIGN_OR_RETURN(PredictResult result, Predict(one, executor, options));
+  const SparseRowView row{indices, values};
+  GMP_ASSIGN_OR_RETURN(PredictResult result,
+                       PredictRows({&row, 1}, executor, options));
   std::vector<double> p(result.probabilities.begin(),
                         result.probabilities.begin() + model_->num_classes);
   return p;

@@ -77,6 +77,14 @@ struct PredictResult {
   }
 };
 
+// One sparse instance given as parallel index/value arrays (0-based, strictly
+// increasing indices). The backing storage must outlive the call it is
+// passed to.
+struct SparseRowView {
+  std::span<const int32_t> indices;
+  std::span<const double> values;
+};
+
 class MpSvmPredictor {
  public:
   // The model must outlive the predictor.
@@ -86,10 +94,20 @@ class MpSvmPredictor {
   Result<PredictResult> Predict(const CsrMatrix& test, SimExecutor* executor,
                                 const PredictOptions& options) const;
 
+  // Predicts for an ad-hoc set of sparse rows (assembled into one tile
+  // internally). This is the serving-layer entry point: a micro-batch of
+  // coalesced single-row requests maps 1:1 onto `rows`, and row i's
+  // probabilities are independent of which other rows share the batch —
+  // identical bit-for-bit to Predict() on a matrix of the same rows. An
+  // empty `rows` yields an empty result.
+  Result<PredictResult> PredictRows(std::span<const SparseRowView> rows,
+                                    SimExecutor* executor,
+                                    const PredictOptions& options) const;
+
   // Convenience single-instance path: `indices`/`values` are the sparse
   // features (0-based, strictly increasing). Returns the k coupled
-  // probabilities. Batch Predict() amortizes far better; use this for
-  // interactive/online settings.
+  // probabilities. Batch Predict()/PredictRows() amortizes far better; use
+  // this for interactive/online settings.
   Result<std::vector<double>> PredictOne(std::span<const int32_t> indices,
                                          std::span<const double> values,
                                          SimExecutor* executor) const;

@@ -1,0 +1,26 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gmpsvm {
+
+MicroBatcher::Batch MicroBatcher::NextBatch() {
+  Batch batch;
+  const size_t max_batch =
+      static_cast<size_t>(std::max(1, options_.max_batch_size));
+  std::vector<PendingRequest> popped;
+  if (queue_->PopBatch(max_batch, options_.max_queue_delay, &popped) == 0) {
+    return batch;  // closed and drained
+  }
+  for (auto& item : popped) {
+    if (item.request.deadline.Expired()) {
+      batch.expired.push_back(std::move(item));
+    } else {
+      batch.requests.push_back(std::move(item));
+    }
+  }
+  return batch;
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,62 @@
+// MicroBatcher: turns the request queue's stream of single-instance requests
+// into prediction tiles. This is where the paper's prediction-phase
+// economics (Section 3.3.3) meet the serving path: the shared-SV kernel
+// block costs one tile x pool computation regardless of how many requests
+// share the tile, so coalescing B requests divides the per-request kernel
+// and fixed dispatch cost by B at the price of at most `max_queue_delay`
+// extra latency for the earliest request.
+//
+// The batcher also retires requests whose deadline passed while queued —
+// they are returned separately so the worker can fail them without spending
+// prediction work on them.
+
+#ifndef GMPSVM_SERVE_MICRO_BATCHER_H_
+#define GMPSVM_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace gmpsvm {
+
+struct BatchingOptions {
+  // Upper bound on requests per tile; 1 disables coalescing (every request
+  // is its own Predict call — the baseline the serve bench compares against).
+  int max_batch_size = 32;
+
+  // How long a batch may stay open waiting to fill, measured from the
+  // admission of its oldest request. Zero means "take whatever is queued
+  // right now" (no added latency, batches form only under backlog).
+  std::chrono::microseconds max_queue_delay{500};
+};
+
+class MicroBatcher {
+ public:
+  struct Batch {
+    // Requests to predict, in admission order.
+    std::vector<PendingRequest> requests;
+    // Requests whose deadline expired while queued; fail, don't predict.
+    std::vector<PendingRequest> expired;
+
+    bool empty() const { return requests.empty() && expired.empty(); }
+  };
+
+  // The queue must outlive the batcher.
+  MicroBatcher(RequestQueue* queue, const BatchingOptions& options)
+      : queue_(queue), options_(options) {}
+
+  // Blocks for the next batch. An empty() batch means the queue is closed
+  // and fully drained — the consumer should exit.
+  Batch NextBatch();
+
+  const BatchingOptions& options() const { return options_; }
+
+ private:
+  RequestQueue* queue_;
+  BatchingOptions options_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,54 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "core/model_io.h"
+
+namespace gmpsvm {
+
+Result<int64_t> ModelRegistry::Register(const std::string& name,
+                                        MpSvmModel model) {
+  if (model.num_classes < 2 || model.svms.empty()) {
+    return Status::InvalidArgument("cannot register an empty model: " + name);
+  }
+  auto shared = std::make_shared<const MpSvmModel>(std::move(model));
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t version = ++next_version_[name];
+  models_[name] = Entry{std::move(shared), version};
+  return version;
+}
+
+Result<int64_t> ModelRegistry::LoadFromFile(const std::string& name,
+                                            const std::string& path) {
+  GMP_ASSIGN_OR_RETURN(MpSvmModel model, LoadModel(path));
+  return Register(name, std::move(model));
+}
+
+Result<ModelHandle> ModelRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::FailedPrecondition("no model registered as: " + name);
+  }
+  return ModelHandle{it->second.model, it->second.version, name};
+}
+
+bool ModelRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, entry] : models_) names.push_back(name);
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,76 @@
+// ModelRegistry: named, versioned MpSvmModels with atomic hot-swap.
+//
+// Workers resolve a model by name into a ModelHandle — a shared_ptr snapshot
+// plus the version it carries. Registering a new model under an existing
+// name swaps the pointer under the registry lock; in-flight batches keep
+// predicting against the snapshot they already hold, so a swap never tears a
+// batch and never blocks on prediction work. Old versions are freed when the
+// last in-flight batch drops its handle.
+
+#ifndef GMPSVM_SERVE_MODEL_REGISTRY_H_
+#define GMPSVM_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace gmpsvm {
+
+// A consistent (model, version) snapshot. Copyable; keeps the model alive.
+struct ModelHandle {
+  std::shared_ptr<const MpSvmModel> model;
+  int64_t version = 0;
+  std::string name;
+
+  bool valid() const { return model != nullptr; }
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // Registers `model` under `name`, replacing any current version atomically.
+  // Returns the new version number (1 for a fresh name, previous + 1 on
+  // swap). Rejects structurally empty models.
+  Result<int64_t> Register(const std::string& name, MpSvmModel model);
+
+  // Loads a model file (core/model_io) and registers it.
+  Result<int64_t> LoadFromFile(const std::string& name, const std::string& path);
+
+  // Snapshot of the current version of `name`; kFailedPrecondition when the
+  // name is unknown.
+  Result<ModelHandle> Get(const std::string& name) const;
+
+  // Removes `name`; returns whether it existed. In-flight handles stay valid.
+  bool Remove(const std::string& name);
+
+  // Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const MpSvmModel> model;
+    int64_t version = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> models_;
+  // Version counters survive Remove() so a re-registered name keeps
+  // monotonically increasing versions.
+  std::map<std::string, int64_t> next_version_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,63 @@
+// Request/response types for the in-process inference service (src/serve).
+//
+// A PredictRequest is one sparse instance; the service coalesces many of
+// them into tiles so the predictor's shared-SV kernel block (Section 3.3.3)
+// is computed once per batch instead of once per request. Responses report,
+// besides the coupled probabilities, how the request travelled through the
+// pipeline (queue wait, batch it rode in) so clients and benchmarks can
+// attribute latency.
+
+#ifndef GMPSVM_SERVE_REQUEST_H_
+#define GMPSVM_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace gmpsvm {
+
+struct PredictRequest {
+  // Sparse features, 0-based strictly increasing indices. Owned by the
+  // request so the submitting thread may return immediately.
+  std::vector<int32_t> indices;
+  std::vector<double> values;
+
+  // The request is dropped (kDeadlineExceeded) if still queued past this.
+  Deadline deadline;
+};
+
+struct PredictResponse {
+  // OK, or why the request failed (kDeadlineExceeded, model errors, ...).
+  // Rejections at admission time (kResourceExhausted) are reported from
+  // Submit() itself and never produce a response.
+  Status status;
+
+  // Coupled class probabilities (length k) and the argmax label.
+  std::vector<double> probabilities;
+  int32_t label = -1;
+
+  // Version of the model that served the request (ModelRegistry versioning).
+  int64_t model_version = 0;
+
+  // Number of requests in the micro-batch this one rode in.
+  int batch_size = 0;
+
+  // Admission -> batch formation, and admission -> completion.
+  double queue_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+// A queued request: the client holds the future, the worker fulfils the
+// promise. Movable only.
+struct PendingRequest {
+  PredictRequest request;
+  std::promise<PredictResponse> promise;
+  MonotonicTime enqueue_time;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SERVE_REQUEST_H_

@@ -1,0 +1,92 @@
+#include "serve/request_queue.h"
+
+#include <utility>
+
+namespace gmpsvm {
+
+Status RequestQueue::Push(PendingRequest item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::FailedPrecondition("request queue is closed");
+    }
+    if (items_.size() >= capacity_) {
+      return Status::ResourceExhausted(
+          "request queue full (" + std::to_string(capacity_) + " pending)");
+    }
+    items_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+bool RequestQueue::Pop(PendingRequest* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || (!paused_ && !items_.empty()); });
+  if (items_.empty()) return false;  // closed and drained
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+size_t RequestQueue::PopBatch(size_t max_batch,
+                              MonotonicClock::duration max_delay,
+                              std::vector<PendingRequest>* out) {
+  if (max_batch == 0) max_batch = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || (!paused_ && !items_.empty()); });
+  if (items_.empty()) return 0;  // closed and drained
+
+  // The batch closes when full or when the oldest member has been waiting
+  // `max_delay` since admission; a request that already waited that long in
+  // the queue leaves immediately with whatever is on hand.
+  const MonotonicTime batch_deadline = items_.front().enqueue_time + max_delay;
+  size_t popped = 0;
+  auto take_available = [&] {
+    while (popped < max_batch && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+    }
+  };
+  take_available();
+  while (popped < max_batch && !closed_ && MonotonicNow() < batch_deadline) {
+    cv_.wait_until(lock, batch_deadline,
+                   [this] { return closed_ || !items_.empty(); });
+    if (!paused_) take_available();
+  }
+  return popped;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void RequestQueue::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void RequestQueue::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace gmpsvm

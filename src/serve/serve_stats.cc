@@ -1,0 +1,147 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "metrics/report.h"
+
+namespace gmpsvm {
+
+double PercentileSorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size());
+  const size_t index = static_cast<size_t>(std::ceil(rank));
+  return sorted[std::min(sorted.size() - 1, index == 0 ? 0 : index - 1)];
+}
+
+void ServeStats::RecordAdmitted(size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++admitted_;
+  max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
+}
+
+void ServeStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServeStats::RecordBatch(int batch_size) {
+  if (batch_size <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  if (batch_histogram_.size() < static_cast<size_t>(batch_size)) {
+    batch_histogram_.resize(static_cast<size_t>(batch_size), 0);
+  }
+  ++batch_histogram_[static_cast<size_t>(batch_size) - 1];
+}
+
+void ServeStats::RecordExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++expired_;
+}
+
+void ServeStats::RecordFailed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failed_;
+}
+
+void ServeStats::RecordCompleted(double queue_seconds, double total_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_waits_.push_back(queue_seconds);
+  latencies_.push_back(total_seconds);
+}
+
+ServeStatsSnapshot ServeStats::Snapshot() const {
+  ServeStatsSnapshot snap;
+  std::vector<double> latencies, queue_waits;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.admitted = admitted_;
+    snap.rejected = rejected_;
+    snap.expired = expired_;
+    snap.failed = failed_;
+    snap.batches = batches_;
+    snap.max_queue_depth = max_queue_depth_;
+    snap.batch_histogram = batch_histogram_;
+    snap.elapsed_seconds = elapsed_.ElapsedSeconds();
+    latencies = latencies_;
+    queue_waits = queue_waits_;
+  }
+  snap.submitted = snap.admitted + snap.rejected;
+  snap.completed = latencies.size();
+  if (snap.elapsed_seconds > 0.0) {
+    snap.throughput_rps =
+        static_cast<double>(snap.completed) / snap.elapsed_seconds;
+  }
+
+  if (!latencies.empty()) {
+    snap.latency_mean =
+        std::accumulate(latencies.begin(), latencies.end(), 0.0) /
+        static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    snap.latency_p50 = PercentileSorted(latencies, 50.0);
+    snap.latency_p95 = PercentileSorted(latencies, 95.0);
+    snap.latency_p99 = PercentileSorted(latencies, 99.0);
+    snap.latency_max = latencies.back();
+  }
+  if (!queue_waits.empty()) {
+    snap.queue_mean =
+        std::accumulate(queue_waits.begin(), queue_waits.end(), 0.0) /
+        static_cast<double>(queue_waits.size());
+    std::sort(queue_waits.begin(), queue_waits.end());
+    snap.queue_p99 = PercentileSorted(queue_waits, 99.0);
+  }
+
+  uint64_t batched_requests = 0;
+  for (size_t i = 0; i < snap.batch_histogram.size(); ++i) {
+    batched_requests += snap.batch_histogram[i] * (i + 1);
+    if (snap.batch_histogram[i] > 0) {
+      snap.max_batch_size = static_cast<int>(i + 1);
+    }
+  }
+  if (snap.batches > 0) {
+    snap.mean_batch_size = static_cast<double>(batched_requests) /
+                           static_cast<double>(snap.batches);
+  }
+  while (!snap.batch_histogram.empty() && snap.batch_histogram.back() == 0) {
+    snap.batch_histogram.pop_back();
+  }
+  return snap;
+}
+
+void ServeStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  admitted_ = rejected_ = expired_ = failed_ = batches_ = 0;
+  max_queue_depth_ = 0;
+  batch_histogram_.clear();
+  latencies_.clear();
+  queue_waits_.clear();
+  elapsed_.Reset();
+}
+
+std::string ServeStatsSnapshot::ToTable() const {
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"submitted", std::to_string(submitted)});
+  table.AddRow({"admitted", std::to_string(admitted)});
+  table.AddRow({"rejected", std::to_string(rejected)});
+  table.AddRow({"expired", std::to_string(expired)});
+  table.AddRow({"failed", std::to_string(failed)});
+  table.AddRow({"completed", std::to_string(completed)});
+  table.AddRow({"batches", std::to_string(batches)});
+  table.AddRow({"mean batch size", StrPrintf("%.2f", mean_batch_size)});
+  table.AddRow({"max batch size", std::to_string(max_batch_size)});
+  table.AddRow({"max queue depth", std::to_string(max_queue_depth)});
+  table.AddRow({"throughput", StrPrintf("%.1f req/s", throughput_rps)});
+  table.AddRow({"latency mean", HumanSeconds(latency_mean)});
+  table.AddRow({"latency p50", HumanSeconds(latency_p50)});
+  table.AddRow({"latency p95", HumanSeconds(latency_p95)});
+  table.AddRow({"latency p99", HumanSeconds(latency_p99)});
+  table.AddRow({"latency max", HumanSeconds(latency_max)});
+  table.AddRow({"queue wait mean", HumanSeconds(queue_mean)});
+  table.AddRow({"queue wait p99", HumanSeconds(queue_p99)});
+  return table.ToString();
+}
+
+}  // namespace gmpsvm

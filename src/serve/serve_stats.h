@@ -1,0 +1,99 @@
+// ServeStats: thread-safe counters and latency/batch-size distributions for
+// the inference service. Workers and the admission path record events; a
+// Snapshot() is a consistent copy that computes the derived numbers
+// (percentiles, throughput, batch histogram) and can render itself through
+// the metrics-layer TablePrinter for CLI/benchmark output.
+
+#ifndef GMPSVM_SERVE_SERVE_STATS_H_
+#define GMPSVM_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace gmpsvm {
+
+struct ServeStatsSnapshot {
+  // Counters.
+  uint64_t submitted = 0;  // admission attempts
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;  // kResourceExhausted at the door
+  uint64_t expired = 0;   // deadline passed while queued
+  uint64_t failed = 0;    // prediction errors
+  uint64_t completed = 0;
+  uint64_t batches = 0;
+
+  // Derived.
+  double elapsed_seconds = 0.0;
+  double throughput_rps = 0.0;  // completed / elapsed
+
+  // End-to-end latency (admission -> response) in seconds.
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double latency_max = 0.0;
+
+  // Queue wait (admission -> batch formation) in seconds.
+  double queue_mean = 0.0;
+  double queue_p99 = 0.0;
+
+  // Batch-size distribution: histogram[i] counts batches of size i+1
+  // (trailing zeros trimmed).
+  std::vector<uint64_t> batch_histogram;
+  double mean_batch_size = 0.0;
+  int max_batch_size = 0;
+
+  // Queue-depth high-water mark observed at admissions.
+  size_t max_queue_depth = 0;
+
+  // Renders counters + latency table ("metric" / "value" columns).
+  std::string ToTable() const;
+};
+
+class ServeStats {
+ public:
+  ServeStats() = default;
+
+  ServeStats(const ServeStats&) = delete;
+  ServeStats& operator=(const ServeStats&) = delete;
+
+  // Admission path.
+  void RecordAdmitted(size_t queue_depth_after);
+  void RecordRejected();
+
+  // Worker path.
+  void RecordBatch(int batch_size);
+  void RecordExpired();
+  void RecordFailed();
+  void RecordCompleted(double queue_seconds, double total_seconds);
+
+  ServeStatsSnapshot Snapshot() const;
+
+  // Clears counters and distributions and restarts the elapsed clock.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  Stopwatch elapsed_;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t batches_ = 0;
+  size_t max_queue_depth_ = 0;
+  std::vector<uint64_t> batch_histogram_;  // index i = batches of size i+1
+  std::vector<double> latencies_;          // total_seconds per completion
+  std::vector<double> queue_waits_;        // queue_seconds per completion
+};
+
+// Percentile of `sorted` (ascending) by nearest-rank; 0 for empty input.
+// Exposed for tests and other reporters.
+double PercentileSorted(const std::vector<double>& sorted, double pct);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SERVE_SERVE_STATS_H_

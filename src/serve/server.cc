@@ -1,0 +1,184 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace gmpsvm {
+
+InferenceServer::InferenceServer(ModelRegistry* registry, ServeOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      batcher_(&queue_, options_.batching) {
+  options_.num_workers = std::max(1, options_.num_workers);
+}
+
+InferenceServer::~InferenceServer() { (void)Shutdown(); }
+
+Status InferenceServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (shut_down_) return Status::FailedPrecondition("server was shut down");
+  if (started_) return Status::FailedPrecondition("server already started");
+  started_ = true;
+  workers_ = std::make_unique<ThreadPool>(options_.num_workers);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_->Schedule([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+Result<std::future<PredictResponse>> InferenceServer::Submit(
+    std::span<const int32_t> indices, std::span<const double> values,
+    Deadline deadline) {
+  if (indices.size() != values.size()) {
+    stats_.RecordRejected();
+    return Status::InvalidArgument("indices/values size mismatch");
+  }
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] < 0 || (i > 0 && indices[i] <= indices[i - 1])) {
+      stats_.RecordRejected();
+      return Status::InvalidArgument(
+          "feature indices must be nonnegative and strictly increasing");
+    }
+  }
+
+  PendingRequest item;
+  item.request.indices.assign(indices.begin(), indices.end());
+  item.request.values.assign(values.begin(), values.end());
+  item.request.deadline = deadline;
+  item.enqueue_time = MonotonicNow();
+  std::future<PredictResponse> future = item.promise.get_future();
+
+  const Status pushed = queue_.Push(std::move(item));
+  if (!pushed.ok()) {
+    stats_.RecordRejected();
+    return pushed;
+  }
+  stats_.RecordAdmitted(queue_.size());
+  return future;
+}
+
+Result<PredictResponse> InferenceServer::Predict(
+    std::span<const int32_t> indices, std::span<const double> values,
+    Deadline deadline) {
+  GMP_ASSIGN_OR_RETURN(std::future<PredictResponse> future,
+                       Submit(indices, values, deadline));
+  return future.get();
+}
+
+void InferenceServer::Pause() { queue_.Pause(); }
+
+void InferenceServer::Resume() { queue_.Resume(); }
+
+Status InferenceServer::Shutdown() {
+  std::unique_ptr<ThreadPool> workers;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (shut_down_) return Status::OK();
+    shut_down_ = true;
+    workers = std::move(workers_);
+  }
+  queue_.Close();
+  queue_.Resume();  // a paused queue must still drain
+  if (workers != nullptr) {
+    workers->Wait();  // WorkerLoop exits once the queue is drained
+  }
+  return Status::OK();
+}
+
+void InferenceServer::Respond(PendingRequest item, PredictResponse response) {
+  response.total_seconds = SecondsBetween(item.enqueue_time, MonotonicNow());
+  item.promise.set_value(std::move(response));
+}
+
+void InferenceServer::WorkerLoop() {
+  SimExecutor executor(options_.executor_model);
+  std::vector<SparseRowView> rows;
+
+  while (true) {
+    MicroBatcher::Batch batch = batcher_.NextBatch();
+    if (batch.empty()) break;  // queue closed and drained
+
+    const MonotonicTime formed_at = MonotonicNow();
+    for (auto& item : batch.expired) {
+      stats_.RecordExpired();
+      PredictResponse response;
+      response.status =
+          Status::DeadlineExceeded("request expired while queued");
+      Respond(std::move(item), std::move(response));
+    }
+    if (batch.requests.empty()) continue;
+
+    const int batch_size = static_cast<int>(batch.requests.size());
+    stats_.RecordBatch(batch_size);
+
+    auto handle = registry_->Get(options_.model_name);
+    if (!handle.ok()) {
+      for (auto& item : batch.requests) {
+        stats_.RecordFailed();
+        PredictResponse response;
+        response.status = handle.status();
+        Respond(std::move(item), std::move(response));
+      }
+      continue;
+    }
+
+    rows.clear();
+    rows.reserve(batch.requests.size());
+    for (const auto& item : batch.requests) {
+      rows.push_back(SparseRowView{item.request.indices, item.request.values});
+    }
+
+    MpSvmPredictor predictor(handle->model.get());
+    auto result = predictor.PredictRows(rows, &executor, options_.predict);
+    if (!result.ok()) {
+      // A malformed row fails the whole tile; retry individually so the
+      // well-formed requests in the batch still succeed.
+      for (size_t i = 0; i < batch.requests.size(); ++i) {
+        auto single =
+            predictor.PredictRows({&rows[i], 1}, &executor, options_.predict);
+        PredictResponse response;
+        if (single.ok()) {
+          const int k = single->num_classes;
+          response.probabilities.assign(single->probabilities.begin(),
+                                        single->probabilities.begin() + k);
+          response.label = single->labels[0];
+          response.model_version = handle->version;
+          response.batch_size = 1;
+          response.queue_seconds =
+              SecondsBetween(batch.requests[i].enqueue_time, formed_at);
+          stats_.RecordCompleted(
+              response.queue_seconds,
+              SecondsBetween(batch.requests[i].enqueue_time, MonotonicNow()));
+        } else {
+          stats_.RecordFailed();
+          response.status = single.status();
+        }
+        Respond(std::move(batch.requests[i]), std::move(response));
+      }
+      continue;
+    }
+
+    const int k = result->num_classes;
+    for (size_t i = 0; i < batch.requests.size(); ++i) {
+      PredictResponse response;
+      response.probabilities.assign(
+          result->probabilities.begin() + static_cast<int64_t>(i) * k,
+          result->probabilities.begin() + static_cast<int64_t>(i + 1) * k);
+      response.label = result->labels[i];
+      response.model_version = handle->version;
+      response.batch_size = batch_size;
+      response.queue_seconds =
+          SecondsBetween(batch.requests[i].enqueue_time, formed_at);
+      const double total =
+          SecondsBetween(batch.requests[i].enqueue_time, MonotonicNow());
+      stats_.RecordCompleted(response.queue_seconds, total);
+      Respond(std::move(batch.requests[i]), std::move(response));
+    }
+  }
+}
+
+}  // namespace gmpsvm

@@ -1,0 +1,124 @@
+// InferenceServer: the in-process serving front end over MpSvmPredictor.
+//
+//   client threads ──Submit()──▶ RequestQueue (bounded, admission control)
+//                                    │
+//                              MicroBatcher (coalesce ≤ max_batch_size,
+//                                    │        wait ≤ max_queue_delay)
+//                              worker pool (common/ThreadPool; one simulated
+//                                    │      executor per worker)
+//                              MpSvmPredictor::PredictRows on a ModelRegistry
+//                                    │      snapshot (hot-swappable)
+//                               std::future<PredictResponse> per request
+//
+// Guarantees:
+//   * a request accepted by Submit() always receives a response — graceful
+//     Shutdown() drains the queue before workers exit;
+//   * a full queue rejects at the door with kResourceExhausted (the future
+//     is never created), so overload cannot grow memory or tail latency
+//     without bound;
+//   * per-request results are bit-identical to calling
+//     MpSvmPredictor::Predict directly on the same rows, whatever batch
+//     composition the coalescing produced;
+//   * model hot-swap (ModelRegistry::Register under a served name) is atomic
+//     per batch: a batch runs wholly against one model snapshot.
+
+#ifndef GMPSVM_SERVE_SERVER_H_
+#define GMPSVM_SERVE_SERVER_H_
+
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/predictor.h"
+#include "device/executor.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_registry.h"
+#include "serve/request_queue.h"
+#include "serve/serve_stats.h"
+
+namespace gmpsvm {
+
+struct ServeOptions {
+  // Name resolved against the registry for every batch (so a hot-swapped
+  // model takes effect on the next batch without a restart).
+  std::string model_name = "default";
+
+  // Worker threads, each with its own simulated-device executor.
+  int num_workers = 2;
+
+  // Admission bound: Submit() rejects with kResourceExhausted beyond this.
+  size_t queue_capacity = 1024;
+
+  BatchingOptions batching;
+
+  // Passed through to MpSvmPredictor for every batch.
+  PredictOptions predict;
+
+  // Simulated device each worker runs on.
+  ExecutorModel executor_model = ExecutorModel::TeslaP100();
+};
+
+class InferenceServer {
+ public:
+  // The registry must outlive the server.
+  InferenceServer(ModelRegistry* registry, ServeOptions options);
+
+  // Drains and joins (Shutdown).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Spawns the worker pool. kFailedPrecondition if already started or shut
+  // down. Requests submitted before Start() wait in the queue.
+  Status Start();
+
+  // Admission. Copies the sparse row (0-based, strictly increasing indices)
+  // and returns a future the worker pool fulfils. Fails fast with
+  // kResourceExhausted (queue full), kInvalidArgument (malformed row), or
+  // kFailedPrecondition (shut down) — no future is created on failure.
+  Result<std::future<PredictResponse>> Submit(
+      std::span<const int32_t> indices, std::span<const double> values,
+      Deadline deadline = Deadline::Infinite());
+
+  // Convenience: Submit + wait.
+  Result<PredictResponse> Predict(std::span<const int32_t> indices,
+                                  std::span<const double> values,
+                                  Deadline deadline = Deadline::Infinite());
+
+  // Consumption gate (admission unaffected). Pause lets tests and
+  // maintenance windows build a backlog deterministically; Resume releases
+  // the workers.
+  void Pause();
+  void Resume();
+
+  // Stops admissions, drains every accepted request, joins the workers.
+  // Idempotent; returns the first error encountered (none expected).
+  Status Shutdown();
+
+  const ServeStats& stats() const { return stats_; }
+  size_t queue_depth() const { return queue_.size(); }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop();
+  static void Respond(PendingRequest item, PredictResponse response);
+
+  ModelRegistry* registry_;
+  ServeOptions options_;
+  RequestQueue queue_;
+  MicroBatcher batcher_;
+  ServeStats stats_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::mutex lifecycle_mu_;
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SERVE_SERVER_H_

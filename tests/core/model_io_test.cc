@@ -103,6 +103,80 @@ TEST(ModelIoTest, RejectsOutOfRangeSvIndex) {
   EXPECT_FALSE(DeserializeModel(text).ok());
 }
 
+// Fuzz-ish robustness table: every malformed input must come back as an
+// error Result — no exception, no abort, no absurd allocation. The serving
+// layer loads models from disk at runtime, so the parser is attack surface.
+TEST(ModelIoTest, MalformedInputsReturnErrorsNeverCrash) {
+  const std::string valid = SerializeModel(TrainSmallModel(19));
+  const struct {
+    const char* name;
+    std::string text;
+  } kCases[] = {
+      {"empty", ""},
+      {"whitespace only", "   \n\t\n  "},
+      {"wrong magic", "libsvm_model\nnum_classes 3\n"},
+      {"magic only", "gmpsvm_model_v1\n"},
+      {"truncated header", "gmpsvm_model_v1\nnum_classes 3\nc 1.0\n"},
+      {"non-numeric num_classes", "gmpsvm_model_v1\nnum_classes abc\n"},
+      {"one class", "gmpsvm_model_v1\nnum_classes 1\nc 1\n"
+                    "kernel gaussian 0.5 0 3\npool 0 0\nsvms 0\npool_rows\n"},
+      {"negative pool rows", "gmpsvm_model_v1\nnum_classes 3\nc 1\n"
+                             "kernel gaussian 0.5 0 3\npool -4 5\nsvms 0\n"},
+      {"unknown kernel", "gmpsvm_model_v1\nnum_classes 3\nc 1\n"
+                         "kernel quantum 0.5 0 3\npool 0 0\nsvms 0\n"},
+      // Hostile counts: must be rejected before any allocation attempt.
+      {"huge pool count", "gmpsvm_model_v1\nnum_classes 3\nc 1\n"
+                          "kernel gaussian 0.5 0 3\npool 999999999999999999 5\n"
+                          "svms 0\npool_rows\n"},
+      {"huge svm count", "gmpsvm_model_v1\nnum_classes 3\nc 1\n"
+                         "kernel gaussian 0.5 0 3\npool 0 5\n"
+                         "svms 999999999999999999\n"},
+      {"negative svm count", "gmpsvm_model_v1\nnum_classes 3\nc 1\n"
+                             "kernel gaussian 0.5 0 3\npool 0 5\nsvms -1\n"},
+      {"huge nsv", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                   "kernel gaussian 0.5 0 3\npool 1 5\nsvms 1\n"
+                   "svm 0 1 0.0 1.0 0.0 999999999999999999\n"},
+      // Non-numeric / overflowing sv tokens: std::stol would have thrown.
+      {"alpha sv index", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                         "kernel gaussian 0.5 0 3\npool 1 5\nsvms 1\n"
+                         "svm 0 1 0.0 1.0 0.0 1\nabc:1.0\npool_rows 0\n0:1\n"},
+      {"alpha sv coef", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                        "kernel gaussian 0.5 0 3\npool 1 5\nsvms 1\n"
+                        "svm 0 1 0.0 1.0 0.0 1\n0:xyz\npool_rows 0\n0:1\n"},
+      {"overflow sv index", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                            "kernel gaussian 0.5 0 3\npool 1 5\nsvms 1\n"
+                            "svm 0 1 0.0 1.0 0.0 1\n"
+                            "99999999999999999999999:1.0\npool_rows 0\n0:1\n"},
+      {"missing colon", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                        "kernel gaussian 0.5 0 3\npool 1 5\nsvms 1\n"
+                        "svm 0 1 0.0 1.0 0.0 1\n17\npool_rows 0\n0:1\n"},
+      {"bad pool token", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                         "kernel gaussian 0.5 0 3\npool 1 5\nsvms 0\n"
+                         "pool_rows 0\nfoo:bar\n"},
+      {"pool col out of range", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                                "kernel gaussian 0.5 0 3\npool 1 5\nsvms 0\n"
+                                "pool_rows 0\n12:1.0\n"},
+      {"duplicate pool cols", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                              "kernel gaussian 0.5 0 3\npool 1 5\nsvms 0\n"
+                              "pool_rows 0\n2:1.0 2:2.0\n"},
+      {"missing pool row", "gmpsvm_model_v1\nnum_classes 2\nc 1\n"
+                           "kernel gaussian 0.5 0 3\npool 2 5\nsvms 0\n"
+                           "pool_rows 0 1\n0:1.0\n"},
+      {"binary junk", std::string("gmpsvm_model_v1\n\x01\x02\xff\xfe\x00junk",
+                                  25)},
+      {"valid with junk magic suffix", "x" + valid},
+  };
+  for (const auto& test_case : kCases) {
+    auto result = DeserializeModel(test_case.text);
+    EXPECT_FALSE(result.ok()) << "accepted malformed input: " << test_case.name;
+  }
+  // Truncation at every 16th byte boundary: error or (for a prefix that is
+  // accidentally complete) success — but never a crash.
+  for (size_t cut = 0; cut < valid.size(); cut += 16) {
+    (void)DeserializeModel(valid.substr(0, cut));
+  }
+}
+
 TEST(ModelIoTest, LoadMissingFileFails) {
   auto result = LoadModel("/nonexistent/path/model.txt");
   EXPECT_FALSE(result.ok());

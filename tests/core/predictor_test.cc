@@ -184,6 +184,103 @@ TEST(MpSvmPredictorTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(r1.sim_seconds, r2.sim_seconds);
 }
 
+// --- Tiling / PredictRows edge cases exercised by the serving micro-batcher.
+
+std::vector<SparseRowView> RowViews(const CsrMatrix& m) {
+  std::vector<SparseRowView> rows;
+  rows.reserve(static_cast<size_t>(m.rows()));
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    rows.push_back(SparseRowView{m.RowIndices(i), m.RowValues(i)});
+  }
+  return rows;
+}
+
+TEST(MpSvmPredictorTest, PredictRowsMatchesPredictBitForBit) {
+  TrainedFixture fx = MakeFixture(3, 43);
+  SimExecutor e1 = Gpu(), e2 = Gpu();
+  auto direct = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, PredictOptions{}));
+  const auto rows = RowViews(fx.test.features());
+  auto via_rows = ValueOrDie(
+      MpSvmPredictor(&fx.model).PredictRows(rows, &e2, PredictOptions{}));
+  EXPECT_EQ(direct.probabilities, via_rows.probabilities);
+  EXPECT_EQ(direct.labels, via_rows.labels);
+}
+
+TEST(MpSvmPredictorTest, OneRowBatchesMatchFullBatchBitForBit) {
+  TrainedFixture fx = MakeFixture(3, 47);
+  SimExecutor e1 = Gpu();
+  auto full = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, PredictOptions{}));
+  const auto rows = RowViews(fx.test.features());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SimExecutor e2 = Gpu();
+    auto one = ValueOrDie(MpSvmPredictor(&fx.model)
+                              .PredictRows({&rows[i], 1}, &e2, PredictOptions{}));
+    ASSERT_EQ(one.num_instances, 1);
+    for (int c = 0; c < 3; ++c) {
+      // The per-row math must not depend on batch composition — this is
+      // what lets the serving layer batch arbitrarily without changing
+      // results.
+      EXPECT_EQ(one.Probability(0, c), full.Probability(static_cast<int64_t>(i), c));
+    }
+    EXPECT_EQ(one.labels[0], full.labels[i]);
+  }
+}
+
+TEST(MpSvmPredictorTest, TileBoundaryExactlyAtBatchSize) {
+  TrainedFixture fx = MakeFixture(3, 53);
+  const int64_t n = fx.test.size();
+  // tile == n (single full tile), tile dividing n exactly, and tile = 1.
+  for (int64_t tile : {n, n / 2, int64_t{1}}) {
+    if (tile <= 0 || n % tile != 0) continue;
+    SimExecutor e1 = Gpu(), e2 = Gpu();
+    PredictOptions exact;
+    exact.tile_rows = tile;
+    auto r1 = ValueOrDie(
+        MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, exact));
+    auto r2 = ValueOrDie(MpSvmPredictor(&fx.model)
+                             .Predict(fx.test.features(), &e2, PredictOptions{}));
+    EXPECT_EQ(r1.probabilities, r2.probabilities) << "tile_rows=" << tile;
+    EXPECT_EQ(r1.labels, r2.labels);
+  }
+}
+
+TEST(MpSvmPredictorTest, EmptyRequestSetYieldsEmptyResult) {
+  TrainedFixture fx = MakeFixture(3, 59);
+  SimExecutor exec = Gpu();
+  auto result = ValueOrDie(MpSvmPredictor(&fx.model).PredictRows(
+      {}, &exec, PredictOptions{}));
+  EXPECT_EQ(result.num_instances, 0);
+  EXPECT_TRUE(result.probabilities.empty());
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(MpSvmPredictorTest, PredictRowsRejectsMismatchedRow) {
+  TrainedFixture fx = MakeFixture(3, 61);
+  SimExecutor exec = Gpu();
+  const std::vector<int32_t> idx{0, 1};
+  const std::vector<double> val{1.0};
+  const SparseRowView bad{idx, val};
+  auto result =
+      MpSvmPredictor(&fx.model).PredictRows({&bad, 1}, &exec, PredictOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(MpSvmPredictorTest, PredictOneMatchesBatchRow) {
+  TrainedFixture fx = MakeFixture(3, 67);
+  SimExecutor e1 = Gpu(), e2 = Gpu();
+  PredictOptions sequential;
+  sequential.concurrent_svms = false;
+  auto batch = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, sequential));
+  auto one = ValueOrDie(MpSvmPredictor(&fx.model).PredictOne(
+      fx.test.features().RowIndices(0), fx.test.features().RowValues(0), &e2));
+  ASSERT_EQ(one.size(), 3u);
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(one[static_cast<size_t>(c)], batch.Probability(0, c));
+}
+
 TEST(MpSvmPredictorTest, TrainingErrorLowOnSeparableData) {
   TrainedFixture fx = MakeFixture(4, 41, 4.0);
   SimExecutor exec = Gpu();
