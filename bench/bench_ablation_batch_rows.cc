@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
   }
   table.Print();
   std::printf("\nPaper claim: the rightmost ratio should exceed 10x.\n");
+  DumpObservability(args);
   return 0;
 }

@@ -54,5 +54,6 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("\nExpected: fifo ~= lru (paper: FIFO is sufficient), both beat\n"
               "no-reuse on rows computed.\n");
+  DumpObservability(args);
   return 0;
 }

@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
                                         ova_report.kernel_values_computed))});
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

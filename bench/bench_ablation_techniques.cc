@@ -83,5 +83,6 @@ int main(int argc, char** argv) {
     table.Print();
     std::printf("\n");
   }
+  DumpObservability(args);
   return 0;
 }

@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
                   StrPrintf("%.2e", sol1.objective - sol2.objective)});
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

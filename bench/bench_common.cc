@@ -4,11 +4,36 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "common/string_util.h"
 #include "metrics/metrics.h"
 
 namespace gmpsvm::bench {
+
+obs::MetricsRegistry* BenchRegistry() {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry();
+  return registry;
+}
+
+obs::TraceRecorder* BenchTrace() {
+  static obs::TraceRecorder* trace = new obs::TraceRecorder();
+  return trace;
+}
+
+void DumpObservability(const Args& args) {
+  if (!args.metrics_out.empty()) {
+    std::ofstream out(args.metrics_out);
+    out << BenchRegistry()->ToPrometheusText();
+    std::printf("metrics written to %s\n", args.metrics_out.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    std::ofstream out(args.trace_out);
+    out << BenchTrace()->ToChromeJson();
+    std::printf("trace written to %s (%zu spans)\n", args.trace_out.c_str(),
+                BenchTrace()->size());
+  }
+}
 
 bool Args::Selected(const std::string& name) const {
   if (datasets.empty()) return true;
@@ -26,6 +51,10 @@ Args ParseArgs(int argc, char** argv) {
       for (auto token : SplitTokens(list, ",")) {
         args.datasets.emplace_back(token);
       }
+    } else if (StartsWith(arg, "--metrics-out=")) {
+      args.metrics_out = arg.substr(14);
+    } else if (StartsWith(arg, "--trace-out=")) {
+      args.trace_out = arg.substr(12);
     } else if (StartsWith(arg, "--benchmark")) {
       // Ignore google-benchmark flags when mixed binaries share a runner.
     } else {
@@ -172,6 +201,7 @@ ImplSetup MakeSetup(Impl impl, const SyntheticSpec& spec) {
 Result<RunResult> RunImpl(Impl impl, const SyntheticSpec& spec,
                           const Dataset& train, const Dataset& test) {
   ImplSetup setup = MakeSetup(impl, spec);
+  setup.executor.SetSpanRecorder(BenchTrace());
   RunResult result;
 
   MpSvmModel model;
@@ -212,6 +242,10 @@ Result<RunResult> RunImpl(Impl impl, const SyntheticSpec& spec,
   result.predict_sim = test_pred.sim_seconds;
   result.predict_wall = test_pred.wall_seconds;
   result.predict_phases = test_pred.phases;
+
+  setup.executor.counters().PublishTo(
+      BenchRegistry(), {{"impl", ImplName(impl)}, {"dataset", spec.name}});
+  result.train_report.PublishTo(BenchRegistry());
   return result;
 }
 

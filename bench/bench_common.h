@@ -1,8 +1,10 @@
 // Shared harness for the table/figure benchmarks.
 //
 // Every bench binary accepts:
-//   --scale=<f>        multiply proxy dataset cardinalities (default 1.0)
-//   --datasets=a,b,c   restrict to named datasets
+//   --scale=<f>          multiply proxy dataset cardinalities (default 1.0)
+//   --datasets=a,b,c     restrict to named datasets
+//   --metrics-out=<path> dump the bench observability registry (Prometheus)
+//   --trace-out=<path>   dump the merged Chrome trace of all runs
 // and prints aligned tables matching the paper's rows. Times are reported in
 // simulated seconds on the published cost models (see DESIGN.md); wall
 // seconds are shown alongside as a diagnostic.
@@ -19,17 +21,31 @@
 #include "data/synthetic.h"
 #include "device/executor.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace gmpsvm::bench {
 
 struct Args {
   double scale = 1.0;
   std::vector<std::string> datasets;  // empty = all
+  std::string metrics_out;            // empty = no metrics dump
+  std::string trace_out;              // empty = no trace dump
 
   bool Selected(const std::string& name) const;
 };
 
 Args ParseArgs(int argc, char** argv);
+
+// Process-wide observability sinks for bench binaries. RunImpl publishes
+// every run's device counters and train report into the registry (labeled
+// {impl, dataset}) and records training spans into the trace.
+obs::MetricsRegistry* BenchRegistry();
+obs::TraceRecorder* BenchTrace();
+
+// Writes the --metrics-out / --trace-out artifacts if requested; call at
+// the end of a bench's main().
+void DumpObservability(const Args& args);
 
 // Returns the paper specs at the requested scale, filtered by `args`, and
 // optionally restricted to binary / multiclass datasets.

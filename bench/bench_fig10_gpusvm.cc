@@ -42,5 +42,6 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("\nExpected shape: the sparse high-dimensional RCV1 proxy shows the\n"
               "largest gap (dense kernel rows cost O(dim), not O(nnz)).\n");
+  DumpObservability(args);
   return 0;
 }

@@ -35,5 +35,6 @@ int main(int argc, char** argv) {
                   pct("other"), pct("sigmoid")});
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

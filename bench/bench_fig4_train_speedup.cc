@@ -36,5 +36,6 @@ int main(int argc, char** argv) {
                   Speedup(baseline / gmp), Speedup(cmp / gmp)});
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

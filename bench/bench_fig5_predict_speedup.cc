@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
   std::printf("\nNote: on the four binary datasets GMP-SVM is the same algorithm\n"
               "as the GPU baseline for prediction, so ~1x there is the expected\n"
               "result (Section 4.1).\n");
+  DumpObservability(args);
   return 0;
 }

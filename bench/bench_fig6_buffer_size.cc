@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
     table.AddRow(row);
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

@@ -44,5 +44,6 @@ int main(int argc, char** argv) {
     table.AddRow(row);
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

@@ -37,5 +37,6 @@ int main(int argc, char** argv) {
                   Speedup(rg.sim_seconds / rm.sim_seconds)});
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

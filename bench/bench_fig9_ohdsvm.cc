@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
                   Speedup(ohd_time / rm.sim_seconds)});
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
   table.Print();
   std::printf("\n%d / %d settings produce matching classifiers\n", same_count,
               total);
+  DumpObservability(args);
   return 0;
 }

@@ -54,7 +54,6 @@ LoadResult RunClosedLoop(ModelRegistry* registry, const CsrMatrix& rows,
         auto response =
             server.Predict(rows.RowIndices(row), rows.RowValues(row));
         GMP_CHECK_OK(response.status());
-        GMP_CHECK_OK(response->status);
       }
     });
   }
@@ -77,7 +76,7 @@ LoadResult RunOpenLoop(ModelRegistry* registry, const CsrMatrix& rows,
   GMP_CHECK_OK(server.Start());
   const auto interval = std::chrono::duration<double>(1.0 / rate_rps);
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::future<PredictResponse>> futures;
+  std::vector<std::future<Result<PredictResponse>>> futures;
   futures.reserve(static_cast<size_t>(total_requests));
   for (int r = 0; r < total_requests; ++r) {
     std::this_thread::sleep_until(
@@ -87,7 +86,7 @@ LoadResult RunOpenLoop(ModelRegistry* registry, const CsrMatrix& rows,
     auto submitted = server.Submit(rows.RowIndices(row), rows.RowValues(row));
     if (submitted.ok()) futures.push_back(std::move(*submitted));
   }
-  for (auto& f : futures) GMP_CHECK_OK(f.get().status);
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status());
   LoadResult result;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -180,5 +179,6 @@ int main(int argc, char** argv) {
   }
   std::printf("Note: throughput is bench wall-clock; latency percentiles are\n"
               "end-to-end (admission -> response) from ServeStats.\n");
+  DumpObservability(args);
   return 0;
 }

@@ -33,5 +33,6 @@ int main(int argc, char** argv) {
     });
   }
   table.Print();
+  DumpObservability(args);
   return 0;
 }

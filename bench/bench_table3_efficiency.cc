@@ -43,5 +43,6 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): gmp < baseline < libsvm-omp < libsvm-1 on\n"
       "training; gmp <= baseline << libsvm on prediction; cmp between\n"
       "libsvm-omp and gmp.\n");
+  DumpObservability(args);
   return 0;
 }

@@ -47,5 +47,6 @@ int main(int argc, char** argv) {
   std::printf("\n%d / %d datasets produce matching classifiers "
               "(bias within 0.05, errors within 0.5pp)\n",
               identical_count, total);
+  DumpObservability(args);
   return 0;
 }

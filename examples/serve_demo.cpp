@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   Dataset queries = ValueOrDie(GenerateSynthetic(query_spec));
   const CsrMatrix& rows = queries.features();
 
-  std::vector<std::future<PredictResponse>> futures;
+  std::vector<std::future<Result<PredictResponse>>> futures;
   futures.reserve(static_cast<size_t>(num_requests));
   auto submit_range = [&](int begin, int end) {
     for (int r = begin; r < end; ++r) {
@@ -91,8 +91,7 @@ int main(int argc, char** argv) {
 
   int v1 = 0, v2 = 0, max_batch = 0;
   for (auto& f : futures) {
-    PredictResponse response = f.get();
-    GMP_CHECK_OK(response.status);
+    PredictResponse response = ValueOrDie(f.get());
     (response.model_version == 1 ? v1 : v2)++;
     max_batch = std::max(max_batch, response.batch_size);
   }

@@ -1,13 +1,19 @@
 // Command-line tool in the spirit of LibSVM's svm-train / svm-predict,
 // backed by GMP-SVM on the simulated device. Works on LibSVM-format files.
 //
-//   svm_tool train [-c C] [-g gamma] [-e eps] [-b cv_folds] <train> <model>
+//   svm_tool train [-c C] [-g gamma] [-e eps] [-b cv_folds]
+//       [--metrics-out m.prom] [--trace-out t.json] <train> <model>
 //   svm_tool predict <test.libsvm> <model.in> [predictions.out]
 //   svm_tool scale <in.libsvm> <out.libsvm>        (min-max to [-1, 1])
 //   svm_tool cv [-c C] [-g gamma] [-v folds] <train.libsvm>
 //   svm_tool grid [-v folds] <train.libsvm>          (C/gamma grid search)
-//   svm_tool serve [-n N] [-w workers] [-b max_batch] <model.in>
+//   svm_tool serve [-n N] [-w workers] [-b max_batch]
+//       [--metrics-out m.prom] [--trace-out t.json] <model.in>
 //       (micro-batching inference-server smoke: N synthetic requests)
+//
+// --metrics-out dumps the observability registry as Prometheus text;
+// --trace-out dumps the merged Chrome trace (open in chrome://tracing or
+// https://ui.perfetto.dev). Both work on train and serve.
 //
 // Predict prints the test error when the file has labels, and writes one
 // line per instance: "<label> <p_class0> <p_class1> ...".
@@ -28,6 +34,8 @@
 #include "data/synthetic.h"
 #include "device/executor.h"
 #include "metrics/metrics.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "serve/server.h"
 
 using namespace gmpsvm;  // NOLINT: example brevity
@@ -37,13 +45,26 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  svm_tool train [-c C] [-g gamma] [-e eps] [-b folds] <data> <model>\n"
+               "  svm_tool train [-c C] [-g gamma] [-e eps] [-b folds]\n"
+               "      [--metrics-out m.prom] [--trace-out t.json] <data> <model>\n"
                "  svm_tool predict <data> <model> [out]\n"
                "  svm_tool scale <in> <out>\n"
                "  svm_tool cv [-c C] [-g gamma] [-v folds] <data>\n"
                "  svm_tool grid [-v folds] <data>\n"
-               "  svm_tool serve [-n requests] [-w workers] [-b max_batch] <model>\n");
+               "  svm_tool serve [-n requests] [-w workers] [-b max_batch]\n"
+               "      [--metrics-out m.prom] [--trace-out t.json] <model>\n");
   return 2;
+}
+
+// Writes `content` to `path`; returns false (with a message) on failure.
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 int ScaleCommand(int argc, char** argv) {
@@ -147,6 +168,7 @@ int GridCommand(int argc, char** argv) {
 int TrainCommand(int argc, char** argv) {
   double c = 1.0, gamma = 0.5, eps = 1e-3;
   int cv_folds = 0;
+  std::string metrics_out, trace_out;
   int arg = 0;
   std::string positional[2];
   int npos = 0;
@@ -159,6 +181,10 @@ int TrainCommand(int argc, char** argv) {
       eps = std::atof(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-b") == 0 && arg + 1 < argc) {
       cv_folds = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--metrics-out") == 0 && arg + 1 < argc) {
+      metrics_out = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
+      trace_out = argv[++arg];
     } else if (npos < 2) {
       positional[npos++] = argv[arg];
     } else {
@@ -184,6 +210,8 @@ int TrainCommand(int argc, char** argv) {
   options.batch.eps = eps;
   options.sigmoid_cv_folds = cv_folds;
   SimExecutor gpu(ExecutorModel::TeslaP100());
+  obs::TraceRecorder recorder;
+  if (!trace_out.empty()) gpu.SetSpanRecorder(&recorder);
   MpTrainReport report;
   auto model = GmpSvmTrainer(options).Train(file->dataset, &gpu, &report);
   if (!model.ok()) {
@@ -195,6 +223,18 @@ int TrainCommand(int argc, char** argv) {
               static_cast<long long>(model->pool_size()));
   GMP_CHECK_OK(SaveModel(*model, positional[1]));
   std::printf("model written to %s\n", positional[1].c_str());
+  if (!metrics_out.empty()) {
+    obs::MetricsRegistry metrics;
+    gpu.counters().PublishTo(&metrics);
+    report.PublishTo(&metrics);
+    if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!WriteTextFile(trace_out, recorder.ToChromeJson())) return 1;
+    std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
+                recorder.size());
+  }
   return 0;
 }
 
@@ -245,7 +285,7 @@ int PredictCommand(int argc, char** argv) {
 int ServeCommand(int argc, char** argv) {
   int num_requests = 200;
   ServeOptions options;
-  std::string model_path;
+  std::string model_path, metrics_out, trace_out;
   for (int arg = 0; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "-n") == 0 && arg + 1 < argc) {
       num_requests = std::atoi(argv[++arg]);
@@ -253,6 +293,10 @@ int ServeCommand(int argc, char** argv) {
       options.num_workers = std::atoi(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-b") == 0 && arg + 1 < argc) {
       options.batching.max_batch_size = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--metrics-out") == 0 && arg + 1 < argc) {
+      metrics_out = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
+      trace_out = argv[++arg];
     } else if (model_path.empty()) {
       model_path = argv[arg];
     } else {
@@ -290,9 +334,14 @@ int ServeCommand(int argc, char** argv) {
   }
   const CsrMatrix& rows = queries->features();
 
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder recorder;
+  options.metrics = &metrics;
+  if (!trace_out.empty()) options.trace = &recorder;
+
   InferenceServer server(&registry, options);
   GMP_CHECK_OK(server.Start());
-  std::vector<std::future<PredictResponse>> futures;
+  std::vector<std::future<Result<PredictResponse>>> futures;
   futures.reserve(static_cast<size_t>(num_requests));
   for (int r = 0; r < num_requests; ++r) {
     const int64_t row = r % rows.rows();
@@ -306,14 +355,23 @@ int ServeCommand(int argc, char** argv) {
   }
   for (auto& f : futures) {
     auto response = f.get();
-    if (!response.status.ok()) {
+    if (!response.ok()) {
       std::fprintf(stderr, "request failed: %s\n",
-                   response.status.ToString().c_str());
+                   response.status().ToString().c_str());
       return 1;
     }
   }
   std::printf("%s\n", server.stats().Snapshot().ToTable().c_str());
   GMP_CHECK_OK(server.Shutdown());
+  if (!metrics_out.empty()) {
+    if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!WriteTextFile(trace_out, recorder.ToChromeJson())) return 1;
+    std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
+                recorder.size());
+  }
   return 0;
 }
 

@@ -10,7 +10,7 @@
 #include "core/mp_trainer.h"
 #include "data/synthetic.h"
 #include "device/executor.h"
-#include "device/trace.h"
+#include "obs/span.h"
 
 using namespace gmpsvm;  // NOLINT: example brevity
 
@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
   Dataset train = ValueOrDie(GenerateSynthetic(spec));
 
   SimExecutor gpu(ExecutorModel::TeslaP100());
-  ExecutionTrace trace;
-  gpu.SetTrace(&trace);
+  obs::TraceRecorder trace;
+  gpu.SetSpanRecorder(&trace);
 
   MpTrainOptions options;
   options.c = 10.0;
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   out.close();
 
   const auto busy = trace.BusyTimePerStream();
-  std::printf("trained %d pairs in %.4f sim-s; %zu trace events over %zu streams\n",
+  std::printf("trained %d pairs in %.4f sim-s; %zu spans over %zu streams\n",
               train.num_pairs(), report.sim_seconds, trace.size(), busy.size());
   for (size_t s = 0; s < busy.size(); ++s) {
     std::printf("  stream %zu busy %.4f sim-s (%.0f%% of makespan)\n", s, busy[s],

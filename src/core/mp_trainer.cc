@@ -5,12 +5,30 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "core/shared_blocks.h"
 #include "core/sigmoid_cv.h"
 #include "prob/pairwise_coupling.h"
 
 namespace gmpsvm {
 namespace {
+
+// Emits a named device-origin phase span for [start, end) on `stream` if the
+// executor has a span recorder attached. Phase spans envelop the leaf task
+// spans the executor records itself; they are excluded from busy-time math.
+void RecordPhaseSpan(SimExecutor* executor, StreamId stream, std::string name,
+                     double start, double end) {
+  obs::SpanRecorder* recorder = executor->span_recorder();
+  if (recorder == nullptr || end <= start) return;
+  obs::SpanEvent span;
+  span.name = std::move(name);
+  span.origin = obs::SpanEvent::Origin::kDevice;
+  span.lane = executor->lane_base() + stream;
+  span.start_seconds = start;
+  span.end_seconds = end;
+  span.is_phase = true;
+  recorder->RecordSpan(span);
+}
 
 // Accumulates trained binary SVMs into a model with (optionally deduplicated)
 // support-vector pool.
@@ -91,21 +109,95 @@ void FillReport(SimExecutor* executor, double sim_base,
 
 }  // namespace
 
+Status MpTrainOptions::Validate(int num_classes) const {
+  if (!(c > 0.0)) {
+    return Status::InvalidArgument(StrPrintf("c must be positive, got %g", c));
+  }
+  GMP_RETURN_NOT_OK(batch.Validate());
+  if (!class_weights.empty()) {
+    if (num_classes > 0 &&
+        class_weights.size() != static_cast<size_t>(num_classes)) {
+      return Status::InvalidArgument(
+          StrPrintf("class_weights size (%zu) must equal num_classes (%d)",
+                    class_weights.size(), num_classes));
+    }
+    for (size_t k = 0; k < class_weights.size(); ++k) {
+      if (!(class_weights[k] > 0.0)) {
+        return Status::InvalidArgument(
+            StrPrintf("class_weights[%zu] must be positive, got %g", k,
+                      class_weights[k]));
+      }
+    }
+  }
+  if (max_concurrent_svms < 1) {
+    return Status::InvalidArgument(StrPrintf(
+        "max_concurrent_svms must be >= 1, got %d", max_concurrent_svms));
+  }
+  if (platt_parallel_candidates < 1) {
+    return Status::InvalidArgument(
+        StrPrintf("platt_parallel_candidates must be >= 1, got %d",
+                  platt_parallel_candidates));
+  }
+  if (sigmoid_cv_folds < 0 || sigmoid_cv_folds == 1) {
+    return Status::InvalidArgument(StrPrintf(
+        "sigmoid_cv_folds must be 0 or >= 2, got %d", sigmoid_cv_folds));
+  }
+  return Status::OK();
+}
+
+void MpTrainReport::PublishTo(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  registry->GetGauge("gmpsvm_train_sim_seconds",
+                     "Simulated seconds from training start to model completion.")
+      ->Set(sim_seconds);
+  registry->GetGauge("gmpsvm_train_wall_seconds",
+                     "Host wall-clock seconds spent training.")
+      ->Set(wall_seconds);
+  registry->GetCounter("gmpsvm_train_solver_iterations_total",
+                       "SMO subproblems solved across all binary SVMs.")
+      ->Add(static_cast<double>(solver.iterations));
+  registry->GetCounter("gmpsvm_train_solver_outer_rounds_total",
+                       "Working-set refreshes across all binary SVMs.")
+      ->Add(static_cast<double>(solver.outer_rounds));
+  registry->GetCounter("gmpsvm_train_kernel_rows_computed_total",
+                       "Kernel rows computed by the solvers.")
+      ->Add(static_cast<double>(solver.kernel_rows_computed));
+  registry->GetCounter("gmpsvm_train_kernel_rows_reused_total",
+                       "Kernel rows served from the buffer by the solvers.")
+      ->Add(static_cast<double>(solver.kernel_rows_reused));
+  registry->GetCounter("gmpsvm_train_kernel_values_computed_total",
+                       "Kernel values computed during training.")
+      ->Add(static_cast<double>(kernel_values_computed));
+  registry->GetCounter("gmpsvm_train_kernel_values_reused_total",
+                       "Kernel values reused during training.")
+      ->Add(static_cast<double>(kernel_values_reused));
+  registry->GetGauge("gmpsvm_train_peak_device_bytes",
+                     "Peak simulated device memory during training.")
+      ->SetMax(static_cast<double>(peak_device_bytes));
+  for (const auto& [phase, seconds] : phases.phases()) {
+    registry
+        ->GetCounter("gmpsvm_train_phase_sim_seconds_total",
+                     "Simulated seconds attributed to a training phase.",
+                     {{"phase", phase}})
+        ->Add(seconds);
+  }
+}
+
 Result<MpSvmModel> SequentialMpTrainer::Train(const Dataset& dataset,
                                               SimExecutor* executor,
                                               MpTrainReport* report) const {
-  if (!options_.class_weights.empty() &&
-      options_.class_weights.size() != static_cast<size_t>(dataset.num_classes())) {
-    return Status::InvalidArgument("class_weights size must equal num_classes");
-  }
+  GMP_RETURN_NOT_OK(options_.Validate(dataset.num_classes()));
   Stopwatch wall;
   executor->SynchronizeAll();
   const double sim_base = executor->NowSeconds();
   const ExecutorCounters counters_base = executor->counters();
 
   // Ship the training data to the device once.
+  const double load_t0 = executor->StreamTime(kDefaultStream);
   executor->Transfer(kDefaultStream, static_cast<double>(dataset.features().ByteSize()),
                      TransferDirection::kHostToDevice);
+  RecordPhaseSpan(executor, kDefaultStream, "data_load", load_t0,
+                  executor->StreamTime(kDefaultStream));
 
   KernelComputer computer(&dataset.features(), options_.kernel);
   SmoSolver solver(options_.smo);
@@ -118,9 +210,12 @@ Result<MpSvmModel> SequentialMpTrainer::Train(const Dataset& dataset,
       problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
     }
     SolverStats stats;
+    const double smo_t0 = executor->StreamTime(kDefaultStream);
     GMP_ASSIGN_OR_RETURN(
         BinarySolution solution,
         solver.Solve(problem, computer, executor, kDefaultStream, &stats));
+    RecordPhaseSpan(executor, kDefaultStream, StrPrintf("smo %dv%d", s, t),
+                    smo_t0, executor->StreamTime(kDefaultStream));
 
     std::vector<double> v;
     if (options_.sigmoid_cv_folds >= 2) {
@@ -141,6 +236,8 @@ Result<MpSvmModel> SequentialMpTrainer::Train(const Dataset& dataset,
         SigmoidParams sigmoid,
         FitSigmoid(v, problem.y, options_.platt, executor, kDefaultStream,
                    /*parallel_candidates=*/1));
+    RecordPhaseSpan(executor, kDefaultStream, StrPrintf("sigmoid %dv%d", s, t),
+                    sigmoid_t0, executor->StreamTime(kDefaultStream));
     if (report != nullptr) {
       report->phases.Add("sigmoid",
                          executor->StreamTime(kDefaultStream) - sigmoid_t0);
@@ -158,17 +255,17 @@ Result<MpSvmModel> SequentialMpTrainer::Train(const Dataset& dataset,
 Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
                                         SimExecutor* executor,
                                         MpTrainReport* report) const {
-  if (!options_.class_weights.empty() &&
-      options_.class_weights.size() != static_cast<size_t>(dataset.num_classes())) {
-    return Status::InvalidArgument("class_weights size must equal num_classes");
-  }
+  GMP_RETURN_NOT_OK(options_.Validate(dataset.num_classes()));
   Stopwatch wall;
   executor->SynchronizeAll();
   const double sim_base = executor->NowSeconds();
   const ExecutorCounters counters_base = executor->counters();
 
+  const double load_t0 = executor->StreamTime(kDefaultStream);
   executor->Transfer(kDefaultStream, static_cast<double>(dataset.features().ByteSize()),
                      TransferDirection::kHostToDevice);
+  RecordPhaseSpan(executor, kDefaultStream, "data_load", load_t0,
+                  executor->StreamTime(kDefaultStream));
 
   KernelComputer computer(&dataset.features(), options_.kernel);
   BatchSmoSolver solver(options_.batch);
@@ -240,6 +337,7 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
 
       SolverStats stats;
       BinarySolution solution;
+      const double smo_t0 = executor->StreamTime(stream);
       if (cache != nullptr) {
         SharedRowSource source(&problem, s, t, cache.get(), &computer);
         GMP_ASSIGN_OR_RETURN(
@@ -249,6 +347,8 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
         GMP_ASSIGN_OR_RETURN(
             solution, solver.Solve(problem, computer, executor, stream, &stats));
       }
+      RecordPhaseSpan(executor, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
+                      executor->StreamTime(stream));
 
       // Concurrent sigmoid fitting on the pair's own stream, with parallel
       // candidate evaluation (Section 3.3.2).
@@ -269,6 +369,8 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
           SigmoidParams sigmoid,
           FitSigmoid(v, problem.y, options_.platt, executor, stream,
                      options_.platt_parallel_candidates));
+      RecordPhaseSpan(executor, stream, StrPrintf("sigmoid %dv%d", s, t),
+                      sigmoid_t0, executor->StreamTime(stream));
       if (report != nullptr) {
         report->phases.Add("sigmoid", executor->StreamTime(stream) - sigmoid_t0);
         report->solver.Merge(stats);

@@ -69,6 +69,13 @@ struct MpTrainOptions {
   // problem (stock LibSVM uses 5) — better calibrated, ~folds x more binary
   // training work.
   int sigmoid_cv_folds = 0;
+
+  // Checks the whole configuration, including the nested batch-solver
+  // options, and returns InvalidArgument naming the offending field. Pass
+  // the dataset's class count to also check class_weights (0 skips that
+  // check when no dataset is at hand). Both trainers call this before
+  // touching the data.
+  Status Validate(int num_classes = 0) const;
 };
 
 struct MpTrainReport {
@@ -89,6 +96,11 @@ struct MpTrainReport {
   int64_t kernel_values_computed = 0;
   int64_t kernel_values_reused = 0;
   size_t peak_device_bytes = 0;
+
+  // Publishes this report into `registry` under gmpsvm_train_* names:
+  // sim/wall seconds, solver iteration counters, per-phase sim-time
+  // counters labeled {phase=...}, and the kernel-value counters.
+  void PublishTo(obs::MetricsRegistry* registry) const;
 };
 
 class GmpSvmTrainer {

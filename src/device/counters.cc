@@ -1,0 +1,62 @@
+#include "device/counters.h"
+
+namespace gmpsvm {
+namespace {
+
+// Advances `counter` so its value mirrors `value` (registry counters are
+// monotonic: Add ignores non-positive deltas, so stale republishes are no-ops).
+void MirrorCounter(obs::Counter* counter, double value) {
+  if (counter == nullptr) return;
+  counter->Add(value - counter->Value());
+}
+
+}  // namespace
+
+void ExecutorCounters::PublishTo(obs::MetricsRegistry* registry,
+                                 const obs::Labels& labels) const {
+  if (registry == nullptr) return;
+  MirrorCounter(registry->GetCounter("gmpsvm_device_launches_total",
+                                     "Simulated kernel launches.", labels),
+                static_cast<double>(launches));
+  MirrorCounter(registry->GetCounter("gmpsvm_device_flops_total",
+                                     "Arithmetic operations charged to the device.",
+                                     labels),
+                flops);
+  MirrorCounter(registry->GetCounter("gmpsvm_device_bytes_read_total",
+                                     "Global-memory bytes read by tasks.", labels),
+                bytes_read);
+  MirrorCounter(registry->GetCounter("gmpsvm_device_bytes_written_total",
+                                     "Global-memory bytes written by tasks.", labels),
+                bytes_written);
+  MirrorCounter(registry->GetCounter("gmpsvm_device_bytes_h2d_total",
+                                     "Host-to-device transfer bytes.", labels),
+                bytes_h2d);
+  MirrorCounter(registry->GetCounter("gmpsvm_device_bytes_d2h_total",
+                                     "Device-to-host transfer bytes.", labels),
+                bytes_d2h);
+  MirrorCounter(
+      registry->GetCounter("gmpsvm_kernel_values_computed_total",
+                           "Kernel-function evaluations actually computed.",
+                           labels),
+      static_cast<double>(kernel_values_computed));
+  MirrorCounter(
+      registry->GetCounter("gmpsvm_kernel_values_reused_total",
+                           "Kernel values served from a buffer instead of recomputed.",
+                           labels),
+      static_cast<double>(kernel_values_reused));
+  MirrorCounter(registry->GetCounter("gmpsvm_device_allocation_failures_total",
+                                     "Simulated device allocations rejected by the "
+                                     "memory budget.",
+                                     labels),
+                static_cast<double>(allocation_failures));
+  obs::Gauge* in_use = registry->GetGauge(
+      "gmpsvm_device_bytes_in_use", "Simulated device bytes currently reserved.",
+      labels);
+  if (in_use != nullptr) in_use->Set(static_cast<double>(bytes_in_use));
+  obs::Gauge* peak = registry->GetGauge(
+      "gmpsvm_device_peak_bytes", "High-water mark of simulated device memory.",
+      labels);
+  if (peak != nullptr) peak->SetMax(static_cast<double>(peak_bytes_in_use));
+}
+
+}  // namespace gmpsvm

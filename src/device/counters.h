@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace gmpsvm {
 
 struct ExecutorCounters {
@@ -44,6 +46,15 @@ struct ExecutorCounters {
 
   // Multi-line human-readable dump.
   std::string ToString() const;
+
+  // Publishes a snapshot of these counters into `registry` under the
+  // gmpsvm_device_* metric names, optionally labeled (e.g. per serve worker).
+  // Counter metrics are advanced by the delta from the last published value
+  // for the same series, so repeated publication is idempotent for a
+  // monotonically growing ExecutorCounters; gauges are set to current /
+  // high-water values.
+  void PublishTo(obs::MetricsRegistry* registry,
+                 const obs::Labels& labels = {}) const;
 };
 
 }  // namespace gmpsvm

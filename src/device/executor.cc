@@ -93,9 +93,15 @@ void SimExecutor::Charge(StreamId stream, const TaskCost& cost) {
   counters_.flops += cost.flops;
   counters_.bytes_read += cost.bytes_read;
   counters_.bytes_written += cost.bytes_written;
-  if (trace_ != nullptr) {
-    trace_->Record(TraceEvent{stream, start, s.ready_at, cost.flops,
-                              cost.bytes_read + cost.bytes_written, false});
+  if (recorder_ != nullptr) {
+    obs::SpanEvent span;
+    span.origin = obs::SpanEvent::Origin::kDevice;
+    span.lane = SpanLane(stream);
+    span.start_seconds = start;
+    span.end_seconds = s.ready_at;
+    span.flops = cost.flops;
+    span.bytes = cost.bytes_read + cost.bytes_written;
+    recorder_->RecordSpan(span);
   }
 }
 
@@ -110,8 +116,15 @@ void SimExecutor::Transfer(StreamId stream, double bytes, TransferDirection dir)
   Stream& s = streams_[static_cast<size_t>(stream)];
   const double start = s.ready_at;
   s.ready_at += bytes / model_.transfer_bandwidth;
-  if (trace_ != nullptr) {
-    trace_->Record(TraceEvent{stream, start, s.ready_at, 0.0, bytes, true});
+  if (recorder_ != nullptr) {
+    obs::SpanEvent span;
+    span.origin = obs::SpanEvent::Origin::kDevice;
+    span.lane = SpanLane(stream);
+    span.start_seconds = start;
+    span.end_seconds = s.ready_at;
+    span.bytes = bytes;
+    span.is_transfer = true;
+    recorder_->RecordSpan(span);
   }
 }
 

@@ -133,9 +133,31 @@ class SimExecutor {
   ExecutorCounters& counters() { return counters_; }
   const ExecutorCounters& counters() const { return counters_; }
 
-  // Attaches (or detaches, with nullptr) a trace sink recording every charged
-  // task and transfer. The trace must outlive its attachment.
-  void SetTrace(ExecutionTrace* trace) { trace_ = trace; }
+  // Attaches (or detaches, with nullptr) a span sink recording every charged
+  // task and transfer as device-origin spans. `lane_base` offsets the lane of
+  // every emitted span so that several executors (e.g. per-serve-worker
+  // devices) can share one recorder without their stream rows colliding. A
+  // positive `lane_width` additionally wraps stream ids into
+  // [lane_base, lane_base + lane_width): long-lived executors keep creating
+  // streams (each PredictRows call adds some), and the wrap keeps their rows
+  // inside the assigned band instead of creeping into a neighbor's. The
+  // recorder must outlive its attachment.
+  void SetSpanRecorder(obs::SpanRecorder* recorder, int lane_base = 0,
+                       int lane_width = 0) {
+    recorder_ = recorder;
+    lane_base_ = lane_base;
+    lane_width_ = lane_width;
+  }
+  obs::SpanRecorder* span_recorder() const { return recorder_; }
+  int lane_base() const { return lane_base_; }
+
+  // The trace lane a stream's spans land on under the configured base/width.
+  int SpanLane(StreamId stream) const {
+    return lane_base_ + (lane_width_ > 0 ? stream % lane_width_ : stream);
+  }
+
+  // DEPRECATED: legacy trace hook; ExecutionTrace is itself a SpanRecorder.
+  void SetTrace(ExecutionTrace* trace) { SetSpanRecorder(trace); }
 
   // Computes the simulated duration of a task under this executor's model
   // given a static compute-unit share. Exposed for tests and the ablation
@@ -154,7 +176,9 @@ class SimExecutor {
   ExecutorModel model_;
   std::vector<Stream> streams_;
   ExecutorCounters counters_;
-  ExecutionTrace* trace_ = nullptr;
+  obs::SpanRecorder* recorder_ = nullptr;
+  int lane_base_ = 0;
+  int lane_width_ = 0;
 };
 
 // Convenience: submits a task that processes `n` items with `flops_per_item`

@@ -6,6 +6,18 @@
 
 namespace gmpsvm {
 
+void ExecutionTrace::RecordSpan(const obs::SpanEvent& event) {
+  if (event.origin != obs::SpanEvent::Origin::kDevice || event.is_phase) return;
+  TraceEvent legacy;
+  legacy.stream = event.lane;
+  legacy.start_seconds = event.start_seconds;
+  legacy.end_seconds = event.end_seconds;
+  legacy.flops = event.flops;
+  legacy.bytes = event.bytes;
+  legacy.is_transfer = event.is_transfer;
+  Record(legacy);
+}
+
 std::vector<double> ExecutionTrace::BusyTimePerStream() const {
   int max_stream = -1;
   for (const TraceEvent& e : events_) max_stream = std::max(max_stream, e.stream);

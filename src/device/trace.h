@@ -2,13 +2,23 @@
 // (stream, simulated start/end, work) and exports Chrome trace-event JSON
 // (load chrome://tracing or https://ui.perfetto.dev) so stream overlap and
 // the makespan effects of MP-level concurrency can be inspected visually.
+//
+// DEPRECATED: ExecutionTrace is now a thin shim over the obs::SpanRecorder
+// interface (obs/span.h). It keeps only leaf device spans — named phase
+// envelopes and host spans are dropped — so its BusyTimePerStream and event
+// counts behave exactly as before. New code should attach an
+// obs::TraceRecorder via SimExecutor::SetSpanRecorder to get the merged
+// device + host trace.
 
 #ifndef GMPSVM_DEVICE_TRACE_H_
 #define GMPSVM_DEVICE_TRACE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/span.h"
 
 namespace gmpsvm {
 
@@ -21,13 +31,23 @@ struct TraceEvent {
   bool is_transfer = false;
 };
 
-class ExecutionTrace {
+class ExecutionTrace : public obs::SpanRecorder {
  public:
-  void Record(TraceEvent event) { events_.push_back(event); }
+  void Record(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+  }
+
+  // SpanRecorder hook: keeps leaf device spans, drops phase envelopes and
+  // host spans (they have no representation in the legacy event model).
+  void RecordSpan(const obs::SpanEvent& event) override;
 
   const std::vector<TraceEvent>& events() const { return events_; }
   size_t size() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
 
   // Total busy simulated time per stream.
   std::vector<double> BusyTimePerStream() const;
@@ -37,6 +57,7 @@ class ExecutionTrace {
   std::string ToChromeJson() const;
 
  private:
+  std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
 

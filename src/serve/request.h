@@ -29,12 +29,13 @@ struct PredictRequest {
   Deadline deadline;
 };
 
+// A response only exists for a request that succeeded: failures
+// (kDeadlineExceeded while queued, model errors, ...) travel as the error
+// arm of the Result<PredictResponse> the client's future resolves to, using
+// the same Status codes as the rest of the library. Rejections at admission
+// time (kResourceExhausted) are reported from Submit() itself and never
+// produce a future at all.
 struct PredictResponse {
-  // OK, or why the request failed (kDeadlineExceeded, model errors, ...).
-  // Rejections at admission time (kResourceExhausted) are reported from
-  // Submit() itself and never produce a response.
-  Status status;
-
   // Coupled class probabilities (length k) and the argmax label.
   std::vector<double> probabilities;
   int32_t label = -1;
@@ -54,7 +55,7 @@ struct PredictResponse {
 // promise. Movable only.
 struct PendingRequest {
   PredictRequest request;
-  std::promise<PredictResponse> promise;
+  std::promise<Result<PredictResponse>> promise;
   MonotonicTime enqueue_time;
 };
 

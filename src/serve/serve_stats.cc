@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "common/string_util.h"
 #include "metrics/report.h"
@@ -16,108 +15,122 @@ double PercentileSorted(const std::vector<double>& sorted, double pct) {
   return sorted[std::min(sorted.size() - 1, index == 0 ? 0 : index - 1)];
 }
 
-void ServeStats::RecordAdmitted(size_t queue_depth_after) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++admitted_;
-  max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
+ServeStats::ServeStats(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  registry_ = registry;
+  admitted_ = registry_->GetCounter("gmpsvm_serve_admitted_total",
+                                    "Requests accepted at admission.");
+  rejected_ = registry_->GetCounter(
+      "gmpsvm_serve_rejected_total",
+      "Requests rejected at admission (queue full or malformed).");
+  expired_ = registry_->GetCounter("gmpsvm_serve_expired_total",
+                                   "Requests whose deadline passed while queued.");
+  failed_ = registry_->GetCounter("gmpsvm_serve_failed_total",
+                                  "Requests failed by prediction errors.");
+  batches_ = registry_->GetCounter("gmpsvm_serve_batches_total",
+                                   "Micro-batches executed.");
+  max_queue_depth_ = registry_->GetGauge(
+      "gmpsvm_serve_max_queue_depth",
+      "Queue-depth high-water mark observed at admissions.");
+  batch_size_ = registry_->GetHistogram("gmpsvm_serve_batch_size",
+                                        "Requests per executed micro-batch.",
+                                        obs::Histogram::SizeBuckets());
+  latency_ = registry_->GetHistogram(
+      "gmpsvm_serve_latency_seconds",
+      "End-to-end request latency (admission to response).",
+      obs::Histogram::LatencyBuckets());
+  queue_wait_ = registry_->GetHistogram(
+      "gmpsvm_serve_queue_wait_seconds",
+      "Queue wait (admission to batch formation).",
+      obs::Histogram::LatencyBuckets());
 }
 
-void ServeStats::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++rejected_;
+void ServeStats::RecordAdmitted(size_t queue_depth_after) {
+  admitted_->Increment();
+  max_queue_depth_->SetMax(static_cast<double>(queue_depth_after));
 }
+
+void ServeStats::RecordRejected() { rejected_->Increment(); }
 
 void ServeStats::RecordBatch(int batch_size) {
   if (batch_size <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++batches_;
-  if (batch_histogram_.size() < static_cast<size_t>(batch_size)) {
-    batch_histogram_.resize(static_cast<size_t>(batch_size), 0);
-  }
-  ++batch_histogram_[static_cast<size_t>(batch_size) - 1];
+  batches_->Increment();
+  batch_size_->Observe(static_cast<double>(batch_size));
 }
 
-void ServeStats::RecordExpired() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++expired_;
-}
+void ServeStats::RecordExpired() { expired_->Increment(); }
 
-void ServeStats::RecordFailed() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++failed_;
-}
+void ServeStats::RecordFailed() { failed_->Increment(); }
 
 void ServeStats::RecordCompleted(double queue_seconds, double total_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  queue_waits_.push_back(queue_seconds);
-  latencies_.push_back(total_seconds);
+  queue_wait_->Observe(queue_seconds);
+  latency_->Observe(total_seconds);
 }
 
 ServeStatsSnapshot ServeStats::Snapshot() const {
   ServeStatsSnapshot snap;
-  std::vector<double> latencies, queue_waits;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    snap.admitted = admitted_;
-    snap.rejected = rejected_;
-    snap.expired = expired_;
-    snap.failed = failed_;
-    snap.batches = batches_;
-    snap.max_queue_depth = max_queue_depth_;
-    snap.batch_histogram = batch_histogram_;
-    snap.elapsed_seconds = elapsed_.ElapsedSeconds();
-    latencies = latencies_;
-    queue_waits = queue_waits_;
-  }
+  snap.admitted = static_cast<uint64_t>(admitted_->Value());
+  snap.rejected = static_cast<uint64_t>(rejected_->Value());
+  snap.expired = static_cast<uint64_t>(expired_->Value());
+  snap.failed = static_cast<uint64_t>(failed_->Value());
+  snap.batches = static_cast<uint64_t>(batches_->Value());
+  snap.max_queue_depth = static_cast<size_t>(max_queue_depth_->Value());
+  snap.elapsed_seconds = elapsed_.ElapsedSeconds();
+
+  const obs::HistogramSnapshot latencies = latency_->Snapshot();
+  const obs::HistogramSnapshot queue_waits = queue_wait_->Snapshot();
+  const obs::HistogramSnapshot batch_sizes = batch_size_->Snapshot();
+
   snap.submitted = snap.admitted + snap.rejected;
-  snap.completed = latencies.size();
+  snap.completed = latencies.count;
   if (snap.elapsed_seconds > 0.0) {
     snap.throughput_rps =
         static_cast<double>(snap.completed) / snap.elapsed_seconds;
   }
 
-  if (!latencies.empty()) {
-    snap.latency_mean =
-        std::accumulate(latencies.begin(), latencies.end(), 0.0) /
-        static_cast<double>(latencies.size());
-    std::sort(latencies.begin(), latencies.end());
-    snap.latency_p50 = PercentileSorted(latencies, 50.0);
-    snap.latency_p95 = PercentileSorted(latencies, 95.0);
-    snap.latency_p99 = PercentileSorted(latencies, 99.0);
-    snap.latency_max = latencies.back();
+  if (latencies.count > 0) {
+    snap.latency_mean = latencies.Mean();
+    snap.latency_p50 = latencies.Percentile(50.0);
+    snap.latency_p95 = latencies.Percentile(95.0);
+    snap.latency_p99 = latencies.Percentile(99.0);
+    snap.latency_max = latencies.Max();
   }
-  if (!queue_waits.empty()) {
-    snap.queue_mean =
-        std::accumulate(queue_waits.begin(), queue_waits.end(), 0.0) /
-        static_cast<double>(queue_waits.size());
-    std::sort(queue_waits.begin(), queue_waits.end());
-    snap.queue_p99 = PercentileSorted(queue_waits, 99.0);
+  if (queue_waits.count > 0) {
+    snap.queue_mean = queue_waits.Mean();
+    snap.queue_p99 = queue_waits.Percentile(99.0);
   }
 
+  // Rebuild the exact per-size batch histogram from the retained samples
+  // (index i = batches of size i+1, trailing zeros trimmed).
   uint64_t batched_requests = 0;
-  for (size_t i = 0; i < snap.batch_histogram.size(); ++i) {
-    batched_requests += snap.batch_histogram[i] * (i + 1);
-    if (snap.batch_histogram[i] > 0) {
-      snap.max_batch_size = static_cast<int>(i + 1);
-    }
+  for (double s : batch_sizes.samples) {
+    const size_t size = static_cast<size_t>(s);
+    if (size == 0) continue;
+    if (snap.batch_histogram.size() < size) snap.batch_histogram.resize(size, 0);
+    ++snap.batch_histogram[size - 1];
+    batched_requests += size;
+    snap.max_batch_size = std::max(snap.max_batch_size, static_cast<int>(size));
   }
   if (snap.batches > 0) {
     snap.mean_batch_size = static_cast<double>(batched_requests) /
                            static_cast<double>(snap.batches);
   }
-  while (!snap.batch_histogram.empty() && snap.batch_histogram.back() == 0) {
-    snap.batch_histogram.pop_back();
-  }
   return snap;
 }
 
 void ServeStats::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  admitted_ = rejected_ = expired_ = failed_ = batches_ = 0;
-  max_queue_depth_ = 0;
-  batch_histogram_.clear();
-  latencies_.clear();
-  queue_waits_.clear();
+  admitted_->Reset();
+  rejected_->Reset();
+  expired_->Reset();
+  failed_->Reset();
+  batches_->Reset();
+  max_queue_depth_->Reset();
+  batch_size_->Reset();
+  latency_->Reset();
+  queue_wait_->Reset();
   elapsed_.Reset();
 }
 

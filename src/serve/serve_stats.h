@@ -1,18 +1,28 @@
-// ServeStats: thread-safe counters and latency/batch-size distributions for
-// the inference service. Workers and the admission path record events; a
-// Snapshot() is a consistent copy that computes the derived numbers
-// (percentiles, throughput, batch histogram) and can render itself through
-// the metrics-layer TablePrinter for CLI/benchmark output.
+// ServeStats: the serving layer's view over the observability registry.
+//
+// Workers and the admission path record events; every event lands in
+// obs::MetricsRegistry series (gmpsvm_serve_* counters, gauges and
+// histograms), so a Prometheus scrape and the CLI table are two renderings
+// of the same state. A Snapshot() is a consistent copy that computes the
+// derived numbers (percentiles, throughput, batch histogram) from the
+// registry's retained histogram samples with exactly the pre-registry
+// semantics (nearest-rank percentiles), and renders itself through the
+// metrics-layer TablePrinter for CLI/benchmark output.
+//
+// By default a ServeStats owns a private registry; pass one in to publish
+// into a shared registry (e.g. the process-wide one svm_tool dumps with
+// --metrics-out).
 
 #ifndef GMPSVM_SERVE_SERVE_STATS_H_
 #define GMPSVM_SERVE_SERVE_STATS_H_
 
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace gmpsvm {
 
@@ -56,7 +66,8 @@ struct ServeStatsSnapshot {
 
 class ServeStats {
  public:
-  ServeStats() = default;
+  // Publishes into `registry`; nullptr creates a private registry.
+  explicit ServeStats(obs::MetricsRegistry* registry = nullptr);
 
   ServeStats(const ServeStats&) = delete;
   ServeStats& operator=(const ServeStats&) = delete;
@@ -73,25 +84,33 @@ class ServeStats {
 
   ServeStatsSnapshot Snapshot() const;
 
-  // Clears counters and distributions and restarts the elapsed clock.
+  // Clears counters and distributions and restarts the elapsed clock. Only
+  // the gmpsvm_serve_* series this object writes are reset, not the whole
+  // registry.
   void Reset();
 
+  // The registry this object publishes into (for exporters).
+  obs::MetricsRegistry* registry() const { return registry_; }
+
  private:
-  mutable std::mutex mu_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
   Stopwatch elapsed_;
-  uint64_t admitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t expired_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t batches_ = 0;
-  size_t max_queue_depth_ = 0;
-  std::vector<uint64_t> batch_histogram_;  // index i = batches of size i+1
-  std::vector<double> latencies_;          // total_seconds per completion
-  std::vector<double> queue_waits_;        // queue_seconds per completion
+
+  obs::Counter* admitted_;
+  obs::Counter* rejected_;
+  obs::Counter* expired_;
+  obs::Counter* failed_;
+  obs::Counter* batches_;
+  obs::Gauge* max_queue_depth_;
+  obs::Histogram* batch_size_;
+  obs::Histogram* latency_;
+  obs::Histogram* queue_wait_;
 };
 
 // Percentile of `sorted` (ascending) by nearest-rank; 0 for empty input.
-// Exposed for tests and other reporters.
+// Exposed for tests and other reporters (obs::HistogramSnapshot::Percentile
+// applies the same formula to its retained samples).
 double PercentileSorted(const std::vector<double>& sorted, double pct);
 
 }  // namespace gmpsvm

@@ -7,12 +7,21 @@
 #include "common/string_util.h"
 
 namespace gmpsvm {
+namespace {
+
+// Lane spacing for per-worker device executors sharing one TraceRecorder:
+// worker w's simulated streams occupy lanes [16w, 16w + 16) so rows from
+// different workers never collide in the merged trace.
+constexpr int kWorkerLaneStride = 16;
+
+}  // namespace
 
 InferenceServer::InferenceServer(ModelRegistry* registry, ServeOptions options)
     : registry_(registry),
       options_(std::move(options)),
       queue_(options_.queue_capacity),
-      batcher_(&queue_, options_.batching) {
+      batcher_(&queue_, options_.batching),
+      stats_(options_.metrics) {
   options_.num_workers = std::max(1, options_.num_workers);
 }
 
@@ -25,12 +34,12 @@ Status InferenceServer::Start() {
   started_ = true;
   workers_ = std::make_unique<ThreadPool>(options_.num_workers);
   for (int w = 0; w < options_.num_workers; ++w) {
-    workers_->Schedule([this] { WorkerLoop(); });
+    workers_->Schedule([this, w] { WorkerLoop(w); });
   }
   return Status::OK();
 }
 
-Result<std::future<PredictResponse>> InferenceServer::Submit(
+Result<std::future<Result<PredictResponse>>> InferenceServer::Submit(
     std::span<const int32_t> indices, std::span<const double> values,
     Deadline deadline) {
   if (indices.size() != values.size()) {
@@ -50,7 +59,7 @@ Result<std::future<PredictResponse>> InferenceServer::Submit(
   item.request.values.assign(values.begin(), values.end());
   item.request.deadline = deadline;
   item.enqueue_time = MonotonicNow();
-  std::future<PredictResponse> future = item.promise.get_future();
+  std::future<Result<PredictResponse>> future = item.promise.get_future();
 
   const Status pushed = queue_.Push(std::move(item));
   if (!pushed.ok()) {
@@ -64,8 +73,7 @@ Result<std::future<PredictResponse>> InferenceServer::Submit(
 Result<PredictResponse> InferenceServer::Predict(
     std::span<const int32_t> indices, std::span<const double> values,
     Deadline deadline) {
-  GMP_ASSIGN_OR_RETURN(std::future<PredictResponse> future,
-                       Submit(indices, values, deadline));
+  GMP_ASSIGN_OR_RETURN(auto future, Submit(indices, values, deadline));
   return future.get();
 }
 
@@ -89,26 +97,41 @@ Status InferenceServer::Shutdown() {
   return Status::OK();
 }
 
-void InferenceServer::Respond(PendingRequest item, PredictResponse response) {
-  response.total_seconds = SecondsBetween(item.enqueue_time, MonotonicNow());
+void InferenceServer::Respond(PendingRequest item,
+                              Result<PredictResponse> response) {
+  if (response.ok()) {
+    response->total_seconds = SecondsBetween(item.enqueue_time, MonotonicNow());
+  }
   item.promise.set_value(std::move(response));
 }
 
-void InferenceServer::WorkerLoop() {
+void InferenceServer::WorkerLoop(int worker_index) {
   SimExecutor executor(options_.executor_model);
+  obs::TraceRecorder* trace = options_.trace;
+  if (trace != nullptr) {
+    executor.SetSpanRecorder(trace, worker_index * kWorkerLaneStride,
+                             kWorkerLaneStride);
+  }
   std::vector<SparseRowView> rows;
 
   while (true) {
+    double wait_t0 = trace != nullptr ? trace->HostSecondsNow() : 0.0;
     MicroBatcher::Batch batch = batcher_.NextBatch();
     if (batch.empty()) break;  // queue closed and drained
+    if (trace != nullptr) {
+      obs::SpanEvent wait;
+      wait.name = "queue_wait";
+      wait.lane = worker_index;
+      wait.start_seconds = wait_t0;
+      wait.end_seconds = trace->HostSecondsNow();
+      trace->RecordSpan(wait);
+    }
 
     const MonotonicTime formed_at = MonotonicNow();
     for (auto& item : batch.expired) {
       stats_.RecordExpired();
-      PredictResponse response;
-      response.status =
-          Status::DeadlineExceeded("request expired while queued");
-      Respond(std::move(item), std::move(response));
+      Respond(std::move(item),
+              Status::DeadlineExceeded("request expired while queued"));
     }
     if (batch.requests.empty()) continue;
 
@@ -119,9 +142,7 @@ void InferenceServer::WorkerLoop() {
     if (!handle.ok()) {
       for (auto& item : batch.requests) {
         stats_.RecordFailed();
-        PredictResponse response;
-        response.status = handle.status();
-        Respond(std::move(item), std::move(response));
+        Respond(std::move(item), handle.status());
       }
       continue;
     }
@@ -133,15 +154,25 @@ void InferenceServer::WorkerLoop() {
     }
 
     MpSvmPredictor predictor(handle->model.get());
-    auto result = predictor.PredictRows(rows, &executor, options_.predict);
+    Result<PredictResult> result = [&] {
+      obs::HostSpan span(trace,
+                         StrPrintf("predict batch=%d", batch_size),
+                         worker_index);
+      return predictor.PredictRows(rows, &executor, options_.predict);
+    }();
+    if (options_.metrics != nullptr) {
+      executor.counters().PublishTo(
+          options_.metrics, {{"worker", std::to_string(worker_index)}});
+    }
+    obs::HostSpan respond_span(trace, "respond", worker_index);
     if (!result.ok()) {
       // A malformed row fails the whole tile; retry individually so the
       // well-formed requests in the batch still succeed.
       for (size_t i = 0; i < batch.requests.size(); ++i) {
         auto single =
             predictor.PredictRows({&rows[i], 1}, &executor, options_.predict);
-        PredictResponse response;
         if (single.ok()) {
+          PredictResponse response;
           const int k = single->num_classes;
           response.probabilities.assign(single->probabilities.begin(),
                                         single->probabilities.begin() + k);
@@ -153,11 +184,11 @@ void InferenceServer::WorkerLoop() {
           stats_.RecordCompleted(
               response.queue_seconds,
               SecondsBetween(batch.requests[i].enqueue_time, MonotonicNow()));
+          Respond(std::move(batch.requests[i]), std::move(response));
         } else {
           stats_.RecordFailed();
-          response.status = single.status();
+          Respond(std::move(batch.requests[i]), single.status());
         }
-        Respond(std::move(batch.requests[i]), std::move(response));
       }
       continue;
     }

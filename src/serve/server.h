@@ -8,7 +8,8 @@
 //                                    │      executor per worker)
 //                              MpSvmPredictor::PredictRows on a ModelRegistry
 //                                    │      snapshot (hot-swappable)
-//                               std::future<PredictResponse> per request
+//                               std::future<Result<PredictResponse>> per
+//                                          request
 //
 // Guarantees:
 //   * a request accepted by Submit() always receives a response — graceful
@@ -35,6 +36,7 @@
 #include "common/thread_pool.h"
 #include "core/predictor.h"
 #include "device/executor.h"
+#include "obs/span.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
 #include "serve/request_queue.h"
@@ -60,6 +62,17 @@ struct ServeOptions {
 
   // Simulated device each worker runs on.
   ExecutorModel executor_model = ExecutorModel::TeslaP100();
+
+  // Optional shared registry: serve counters/histograms publish here (and
+  // each worker publishes its device counters labeled {worker=...}); nullptr
+  // keeps them in a server-private registry reachable via stats().registry().
+  obs::MetricsRegistry* metrics = nullptr;
+
+  // Optional span sink: workers record per-batch queue_wait/predict/respond
+  // host spans on a per-worker lane, and each worker's simulated device
+  // feeds its stream spans into the same recorder (lane base 16 * worker),
+  // yielding one merged Chrome trace. Must outlive the server.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class InferenceServer {
@@ -78,14 +91,17 @@ class InferenceServer {
   Status Start();
 
   // Admission. Copies the sparse row (0-based, strictly increasing indices)
-  // and returns a future the worker pool fulfils. Fails fast with
+  // and returns a future the worker pool fulfils; the future resolves to
+  // Result<PredictResponse> so per-request failures (deadline expiry, model
+  // errors) carry library Status codes. Submit itself fails fast with
   // kResourceExhausted (queue full), kInvalidArgument (malformed row), or
   // kFailedPrecondition (shut down) — no future is created on failure.
-  Result<std::future<PredictResponse>> Submit(
+  Result<std::future<Result<PredictResponse>>> Submit(
       std::span<const int32_t> indices, std::span<const double> values,
       Deadline deadline = Deadline::Infinite());
 
-  // Convenience: Submit + wait.
+  // Convenience: Submit + wait, flattening admission and per-request errors
+  // into one Result.
   Result<PredictResponse> Predict(std::span<const int32_t> indices,
                                   std::span<const double> values,
                                   Deadline deadline = Deadline::Infinite());
@@ -105,8 +121,8 @@ class InferenceServer {
   const ServeOptions& options() const { return options_; }
 
  private:
-  void WorkerLoop();
-  static void Respond(PendingRequest item, PredictResponse response);
+  void WorkerLoop(int worker_index);
+  static void Respond(PendingRequest item, Result<PredictResponse> response);
 
   ModelRegistry* registry_;
   ServeOptions options_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "solver/kernel_buffer.h"
 
 namespace gmpsvm {
@@ -101,6 +102,37 @@ PairUpdate UpdatePair(int32_t u, int32_t l, std::span<const int8_t> y,
 
 }  // namespace
 
+Status BatchSmoOptions::Validate() const {
+  if (working_set.ws_size < 2) {
+    return Status::InvalidArgument(
+        StrPrintf("working_set.ws_size must be >= 2, got %d", working_set.ws_size));
+  }
+  if (working_set.q < 1) {
+    return Status::InvalidArgument(
+        StrPrintf("working_set.q must be >= 1, got %d", working_set.q));
+  }
+  // q and ws_size may both exceed the problem size; WorkingSetSelector
+  // documents clamping them to the effective (n-limited) working set, and
+  // callers rely on that for scaled configurations.
+  if (!(eps > 0.0)) {
+    return Status::InvalidArgument(StrPrintf("eps must be positive, got %g", eps));
+  }
+  if (buffer_rows < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("buffer_rows must be >= 0, got %d", buffer_rows));
+  }
+  if (max_outer_rounds <= 0) {
+    return Status::InvalidArgument(
+        StrPrintf("max_outer_rounds must be positive, got %lld",
+                  static_cast<long long>(max_outer_rounds)));
+  }
+  if (max_inner < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("max_inner must be >= 0, got %d", max_inner));
+  }
+  return Status::OK();
+}
+
 Result<BinarySolution> BatchSmoSolver::Solve(const BinaryProblem& problem,
                                              const KernelComputer& computer,
                                              SimExecutor* executor, StreamId stream,
@@ -135,6 +167,7 @@ Result<BinarySolution> BatchSmoSolver::SolveImpl(const BinaryProblem& problem,
                                                  SimExecutor* executor,
                                                  StreamId stream,
                                                  SolverStats* stats) const {
+  GMP_RETURN_NOT_OK(options_.Validate());
   const int64_t n = problem.n();
   if (n < 2) {
     return Status::InvalidArgument("binary problem needs at least 2 instances");

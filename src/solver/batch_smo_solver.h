@@ -61,6 +61,13 @@ struct BatchSmoOptions {
 
   // Count the kernel buffer against the executor's device-memory budget.
   bool buffer_on_device = true;
+
+  // Checks the configuration and returns InvalidArgument naming the offending
+  // field (ws_size < 2, q < 1, non-positive eps, negative
+  // buffer_rows/max_inner, non-positive max_outer_rounds). Called by the
+  // solver and by MpTrainOptions::Validate. Oversized ws_size/q remain legal:
+  // WorkingSetSelector clamps them to the problem size.
+  Status Validate() const;
 };
 
 class BatchSmoSolver {

@@ -230,5 +230,47 @@ TEST(GmpSvmTrainerTest, BinaryDatasetWorks) {
   EXPECT_EQ(model.svms[0].class_t, 1);
 }
 
+TEST(MpTrainOptionsValidateTest, RejectsBadFieldsByName) {
+  MpTrainOptions options = SmallGmpOptions();
+  EXPECT_TRUE(options.Validate(3).ok());
+
+  MpTrainOptions bad_c = options;
+  bad_c.c = 0.0;
+  Status s = bad_c.Validate(3);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("c must be positive"), std::string::npos);
+
+  MpTrainOptions bad_ws = options;
+  bad_ws.batch.working_set.ws_size = 1;
+  s = bad_ws.Validate(3);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("ws_size"), std::string::npos);
+
+  MpTrainOptions bad_weights = options;
+  bad_weights.class_weights = {1.0, 2.0};  // 3 classes
+  s = bad_weights.Validate(3);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("class_weights"), std::string::npos);
+
+  MpTrainOptions bad_folds = options;
+  bad_folds.sigmoid_cv_folds = 1;
+  EXPECT_TRUE(bad_folds.Validate(3).IsInvalidArgument());
+}
+
+TEST(MpTrainOptionsValidateTest, TrainerFailsFastOnInvalidOptions) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 30, 5, 2.5, 44));
+  SimExecutor exec = Gpu();
+  MpTrainOptions options = SmallGmpOptions();
+  options.max_concurrent_svms = 0;
+  auto gmp = GmpSvmTrainer(options).Train(data, &exec, nullptr);
+  ASSERT_FALSE(gmp.ok());
+  EXPECT_TRUE(gmp.status().IsInvalidArgument());
+  EXPECT_NE(gmp.status().message().find("max_concurrent_svms"),
+            std::string::npos);
+  auto seq = SequentialMpTrainer(options).Train(data, &exec, nullptr);
+  ASSERT_FALSE(seq.ok());
+  EXPECT_TRUE(seq.status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace gmpsvm

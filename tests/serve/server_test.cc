@@ -14,6 +14,8 @@
 
 #include "../test_util.h"
 #include "core/mp_trainer.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace gmpsvm {
 namespace {
@@ -44,7 +46,7 @@ struct ServerFixture {
     GMP_CHECK_OK(server->Start());
   }
 
-  std::future<PredictResponse> SubmitRow(int64_t row) {
+  std::future<Result<PredictResponse>> SubmitRow(int64_t row) {
     const CsrMatrix& m = test.features();
     return ValueOrDie(server->Submit(m.RowIndices(row), m.RowValues(row)));
   }
@@ -63,8 +65,7 @@ PredictResult DirectPredict(const ModelRegistry& registry,
 TEST(InferenceServerTest, ServesSingleRequest) {
   ServeOptions options;
   ServerFixture fx(options);
-  auto response = fx.SubmitRow(0).get();
-  GMP_CHECK_OK(response.status);
+  PredictResponse response = ValueOrDie(fx.SubmitRow(0).get());
   EXPECT_EQ(response.probabilities.size(), 3u);
   EXPECT_GE(response.label, 0);
   EXPECT_LT(response.label, 3);
@@ -80,7 +81,7 @@ TEST(InferenceServerTest, ResultsBitIdenticalToDirectPredict) {
   ServerFixture fx(options);
 
   const int64_t n = fx.test.size();
-  std::vector<std::future<PredictResponse>> futures;
+  std::vector<std::future<Result<PredictResponse>>> futures;
   futures.reserve(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) futures.push_back(fx.SubmitRow(i));
 
@@ -88,8 +89,7 @@ TEST(InferenceServerTest, ResultsBitIdenticalToDirectPredict) {
       fx.registry, options.model_name, fx.test.features(), options.predict);
 
   for (int64_t i = 0; i < n; ++i) {
-    auto response = futures[static_cast<size_t>(i)].get();
-    GMP_CHECK_OK(response.status);
+    PredictResponse response = ValueOrDie(futures[static_cast<size_t>(i)].get());
     EXPECT_EQ(response.label, reference.labels[static_cast<size_t>(i)]);
     ASSERT_EQ(response.probabilities.size(), 3u);
     for (int c = 0; c < 3; ++c) {
@@ -112,13 +112,12 @@ TEST(InferenceServerTest, BacklogCoalescesIntoBatches) {
   // Build the backlog while consumption is gated, then release: the worker
   // must drain it in multi-request tiles, not one by one.
   fx.server->Pause();
-  std::vector<std::future<PredictResponse>> futures;
+  std::vector<std::future<Result<PredictResponse>>> futures;
   for (int64_t i = 0; i < 32; ++i) futures.push_back(fx.SubmitRow(i));
   fx.server->Resume();
   int max_batch_seen = 0;
   for (auto& f : futures) {
-    auto response = f.get();
-    GMP_CHECK_OK(response.status);
+    PredictResponse response = ValueOrDie(f.get());
     max_batch_seen = std::max(max_batch_seen, response.batch_size);
   }
   EXPECT_GT(max_batch_seen, 1);
@@ -135,7 +134,7 @@ TEST(InferenceServerTest, QueueOverflowRejectsWithResourceExhausted) {
   ServerFixture fx(options);
 
   fx.server->Pause();  // nothing drains: overflow is deterministic
-  std::vector<std::future<PredictResponse>> futures;
+  std::vector<std::future<Result<PredictResponse>>> futures;
   for (int64_t i = 0; i < 4; ++i) futures.push_back(fx.SubmitRow(i));
   const CsrMatrix& m = fx.test.features();
   auto overflow = fx.server->Submit(m.RowIndices(4), m.RowValues(4));
@@ -145,7 +144,7 @@ TEST(InferenceServerTest, QueueOverflowRejectsWithResourceExhausted) {
 
   // Every *accepted* request still completes.
   fx.server->Resume();
-  for (auto& f : futures) GMP_CHECK_OK(f.get().status);
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status());
   const ServeStatsSnapshot snap = fx.server->stats().Snapshot();
   EXPECT_EQ(snap.rejected, 1u);
   EXPECT_EQ(snap.completed, 4u);
@@ -158,12 +157,12 @@ TEST(InferenceServerTest, ShutdownDrainsAcceptedRequests) {
   ServerFixture fx(options);
 
   fx.server->Pause();  // hold the backlog so Shutdown itself must drain it
-  std::vector<std::future<PredictResponse>> futures;
+  std::vector<std::future<Result<PredictResponse>>> futures;
   for (int64_t i = 0; i < 24; ++i) futures.push_back(fx.SubmitRow(i));
   GMP_CHECK_OK(fx.server->Shutdown());
 
   // No accepted request is lost: every future resolves OK.
-  for (auto& f : futures) GMP_CHECK_OK(f.get().status);
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status());
   const ServeStatsSnapshot snap = fx.server->stats().Snapshot();
   EXPECT_EQ(snap.completed, 24u);
 
@@ -188,9 +187,9 @@ TEST(InferenceServerTest, ExpiredRequestsGetDeadlineExceeded) {
   fx.server->Resume();
 
   auto doomed_response = doomed.get();
-  EXPECT_TRUE(doomed_response.status.IsDeadlineExceeded())
-      << doomed_response.status.ToString();
-  GMP_CHECK_OK(healthy.get().status);
+  EXPECT_TRUE(doomed_response.status().IsDeadlineExceeded())
+      << doomed_response.status().ToString();
+  GMP_CHECK_OK(healthy.get().status());
   EXPECT_EQ(fx.server->stats().Snapshot().expired, 1u);
 }
 
@@ -224,8 +223,8 @@ TEST(InferenceServerTest, OutOfRangeFeatureFailsOnlyThatRequest) {
   auto good = fx.SubmitRow(0);
   fx.server->Resume();
 
-  EXPECT_FALSE(bad.get().status.ok());
-  GMP_CHECK_OK(good.get().status);
+  EXPECT_FALSE(bad.get().ok());
+  GMP_CHECK_OK(good.get().status());
 }
 
 TEST(InferenceServerTest, HotSwapTakesEffectOnLaterRequests) {
@@ -233,10 +232,9 @@ TEST(InferenceServerTest, HotSwapTakesEffectOnLaterRequests) {
   options.num_workers = 1;
   ServerFixture fx(options);
 
-  GMP_CHECK_OK(fx.SubmitRow(0).get().status);
+  GMP_CHECK_OK(fx.SubmitRow(0).get().status());
   ValueOrDie(fx.registry.Register(options.model_name, TrainSmallModel(7)));
-  auto response = fx.SubmitRow(1).get();
-  GMP_CHECK_OK(response.status);
+  PredictResponse response = ValueOrDie(fx.SubmitRow(1).get());
   EXPECT_EQ(response.model_version, 2);
 }
 
@@ -248,8 +246,8 @@ TEST(InferenceServerTest, MissingModelFailsRequestsNotServer) {
   const std::vector<int32_t> idx{0};
   const std::vector<double> val{1.0};
   auto response = ValueOrDie(server.Submit(idx, val)).get();
-  EXPECT_TRUE(response.status.IsFailedPrecondition())
-      << response.status.ToString();
+  EXPECT_TRUE(response.status().IsFailedPrecondition())
+      << response.status().ToString();
   GMP_CHECK_OK(server.Shutdown());
 }
 
@@ -274,7 +272,7 @@ TEST(InferenceServerTest, ConcurrentClientsAllServedCorrectly) {
         const int64_t row = (c * kPerClient + r) % fx.test.size();
         auto result = fx.server->Predict(fx.test.features().RowIndices(row),
                                          fx.test.features().RowValues(row));
-        if (!result.ok() || !result->status.ok() ||
+        if (!result.ok() ||
             result->label != reference.labels[static_cast<size_t>(row)]) {
           ++mismatches;
         }
@@ -286,6 +284,43 @@ TEST(InferenceServerTest, ConcurrentClientsAllServedCorrectly) {
   const ServeStatsSnapshot snap = fx.server->stats().Snapshot();
   EXPECT_EQ(snap.completed, static_cast<uint64_t>(kClients * kPerClient));
   EXPECT_GT(snap.throughput_rps, 0.0);
+}
+
+TEST(InferenceServerTest, PublishesMetricsAndSpansWhenConfigured) {
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  ServeOptions options;
+  options.num_workers = 2;
+  options.batching.max_batch_size = 8;
+  options.batching.max_queue_delay = milliseconds(2);
+  options.metrics = &metrics;
+  options.trace = &trace;
+  ServerFixture fx(options);
+
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  for (int64_t i = 0; i < 8; ++i) futures.push_back(fx.SubmitRow(i));
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status());
+  GMP_CHECK_OK(fx.server->Shutdown());
+
+  // ServeStats is a view over the shared registry: the serving series and
+  // the per-worker device counters land in the same Prometheus dump.
+  const std::string text = metrics.ToPrometheusText();
+  EXPECT_NE(text.find("gmpsvm_serve_admitted_total 8"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gmpsvm_serve_latency_seconds_count"), std::string::npos);
+  EXPECT_NE(text.find("gmpsvm_device_launches_total{worker="),
+            std::string::npos)
+      << text;
+
+  // Host spans cover the request path: queue_wait and predict per batch.
+  bool saw_queue_wait = false, saw_predict = false;
+  for (const auto& e : trace.events()) {
+    if (e.origin != obs::SpanEvent::Origin::kHost) continue;
+    if (e.name == "queue_wait") saw_queue_wait = true;
+    if (e.name.rfind("predict", 0) == 0) saw_predict = true;
+  }
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_predict);
 }
 
 TEST(InferenceServerTest, StartTwiceFails) {

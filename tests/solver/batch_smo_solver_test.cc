@@ -269,5 +269,42 @@ TEST(BatchSmoSolverTest, AlphaSeedingRejectsWrongSize) {
                    .ok());
 }
 
+TEST(BatchSmoOptionsValidateTest, NamesTheOffendingField) {
+  BatchSmoOptions options = SmallOptions();
+  EXPECT_TRUE(options.Validate().ok());
+
+  BatchSmoOptions bad_q = options;
+  bad_q.working_set.q = 0;
+  Status s = bad_q.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("working_set.q"), std::string::npos);
+
+  // q above ws_size is legal: WorkingSetSelector clamps it (the documented
+  // behavior the ws/q sweep configurations rely on).
+  BatchSmoOptions big_q = options;
+  big_q.working_set.q = big_q.working_set.ws_size + 1;
+  EXPECT_TRUE(big_q.Validate().ok());
+
+  BatchSmoOptions bad_eps = options;
+  bad_eps.eps = 0.0;
+  s = bad_eps.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("eps"), std::string::npos);
+
+  BatchSmoOptions bad_buffer = options;
+  bad_buffer.buffer_rows = -1;
+  EXPECT_TRUE(bad_buffer.Validate().IsInvalidArgument());
+
+  // The solver itself rejects invalid options before doing any work.
+  BinaryBlobs blobs = MakeBinaryBlobs(10, 3, 2.0, 178);
+  BinaryProblem p = MakeProblem(blobs, 1.0, Gaussian(0.3));
+  KernelComputer kc(p.data, p.kernel);
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  auto sol = BatchSmoSolver(bad_eps).Solve(p, kc, &exec, kDefaultStream,
+                                           nullptr);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace gmpsvm

@@ -1,0 +1,279 @@
+// check_metrics: validates a Prometheus text-exposition file such as the ones
+// svm_tool / the benches write via --metrics-out.
+//
+//   check_metrics <file.prom> [required_family...]
+//
+// Checks performed:
+//   * every sample line parses as  name[{labels}] value
+//   * every sample's family has a preceding # TYPE line, and the type is one
+//     of counter | gauge | histogram
+//   * label blocks are well-formed key="value" lists (escapes allowed)
+//   * histogram families expose _bucket/_sum/_count series; per label set the
+//     buckets are cumulative (non-decreasing in file order), end at le="+Inf",
+//     and the +Inf bucket equals the _count sample
+//   * each `required_family` argument names a family present in the file
+//
+// Exits 0 with a one-line summary, 1 with a diagnostic on the first failure.
+// Standalone on purpose: CI can build and run it without the gmpsvm library.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Failure {
+  int line = 0;
+  std::string message;
+};
+
+bool IsMetricNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+// Parses `name[{labels}] value`; on success fills the out-params and returns
+// true. `labels` is the raw text between the braces ("" when absent).
+bool ParseSample(const std::string& line, std::string* name,
+                 std::string* labels, std::string* value, std::string* error) {
+  size_t i = 0;
+  while (i < line.size() && IsMetricNameChar(line[i], i == 0)) ++i;
+  if (i == 0) {
+    *error = "expected a metric name";
+    return false;
+  }
+  *name = line.substr(0, i);
+  if (i < line.size() && line[i] == '{') {
+    const size_t open = i;
+    bool in_string = false;
+    for (++i; i < line.size(); ++i) {
+      if (in_string) {
+        if (line[i] == '\\') ++i;
+        else if (line[i] == '"') in_string = false;
+      } else if (line[i] == '"') {
+        in_string = true;
+      } else if (line[i] == '}') {
+        break;
+      }
+    }
+    if (i >= line.size()) {
+      *error = "unterminated label block";
+      return false;
+    }
+    *labels = line.substr(open + 1, i - open - 1);
+    ++i;
+  } else {
+    labels->clear();
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *error = "expected ' ' before the value";
+    return false;
+  }
+  *value = line.substr(i + 1);
+  if (value->empty()) {
+    *error = "missing value";
+    return false;
+  }
+  char* end = nullptr;
+  std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') {
+    *error = "value is not a number: '" + *value + "'";
+    return false;
+  }
+  return true;
+}
+
+// Validates the raw label text as key="value"[,key="value"]* and returns the
+// labels with any `le` pair removed (so histogram children group correctly),
+// plus the `le` value itself if present.
+bool ParseLabels(const std::string& raw, std::string* without_le,
+                 std::string* le, std::string* error) {
+  without_le->clear();
+  le->clear();
+  size_t i = 0;
+  while (i < raw.size()) {
+    const size_t key_start = i;
+    while (i < raw.size() && IsMetricNameChar(raw[i], i == key_start)) ++i;
+    if (i == key_start) {
+      *error = "empty label name";
+      return false;
+    }
+    const std::string key = raw.substr(key_start, i - key_start);
+    if (i + 1 >= raw.size() || raw[i] != '=' || raw[i + 1] != '"') {
+      *error = "label '" + key + "' is not followed by =\"...\"";
+      return false;
+    }
+    i += 2;
+    std::string val;
+    while (i < raw.size() && raw[i] != '"') {
+      if (raw[i] == '\\' && i + 1 < raw.size()) {
+        val += raw[i];
+        ++i;
+      }
+      val += raw[i];
+      ++i;
+    }
+    if (i >= raw.size()) {
+      *error = "unterminated label value for '" + key + "'";
+      return false;
+    }
+    ++i;  // closing quote
+    if (key == "le") {
+      *le = val;
+    } else {
+      if (!without_le->empty()) *without_le += ",";
+      *without_le += key + "=\"" + val + "\"";
+    }
+    if (i < raw.size()) {
+      if (raw[i] != ',') {
+        *error = "expected ',' between labels";
+        return false;
+      }
+      ++i;
+    }
+  }
+  return true;
+}
+
+struct HistogramChild {
+  std::vector<std::pair<std::string, double>> buckets;  // (le, count) in order
+  bool has_sum = false;
+  bool has_count = false;
+  double count = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: check_metrics <file.prom> [required_family...]\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "check_metrics: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::map<std::string, std::string> family_type;  // name -> counter|gauge|...
+  std::map<std::string, std::map<std::string, HistogramChild>> histograms;
+  size_t samples = 0;
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "check_metrics: %s:%d: %s\n", argv[1], line_no,
+                 message.c_str());
+    return 1;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, type;
+      fields >> name >> type;
+      if (name.empty() ||
+          (type != "counter" && type != "gauge" && type != "histogram")) {
+        return fail("malformed TYPE line: '" + line + "'");
+      }
+      if (family_type.count(name) != 0) {
+        return fail("family '" + name + "' declared twice");
+      }
+      family_type[name] = type;
+      continue;
+    }
+    if (line[0] == '#') continue;  // HELP or comment
+
+    std::string name, raw_labels, value, error;
+    if (!ParseSample(line, &name, &raw_labels, &value, &error)) {
+      return fail(error + " in '" + line + "'");
+    }
+    std::string labels, le;
+    if (!ParseLabels(raw_labels, &labels, &le, &error)) {
+      return fail(error + " in '" + line + "'");
+    }
+    ++samples;
+
+    // Resolve the family: histogram samples use the _bucket/_sum/_count
+    // suffixes of a declared histogram family.
+    std::string family = name;
+    std::string suffix;
+    for (const char* s : {"_bucket", "_sum", "_count"}) {
+      if (name.size() > std::strlen(s) &&
+          name.compare(name.size() - std::strlen(s), std::string::npos, s) == 0) {
+        const std::string base = name.substr(0, name.size() - std::strlen(s));
+        if (family_type.count(base) != 0 && family_type[base] == "histogram") {
+          family = base;
+          suffix = s;
+          break;
+        }
+      }
+    }
+    auto type_it = family_type.find(family);
+    if (type_it == family_type.end()) {
+      return fail("sample '" + name + "' has no preceding # TYPE line");
+    }
+    if (type_it->second == "histogram") {
+      if (suffix.empty()) {
+        return fail("histogram family '" + family +
+                    "' exposed without _bucket/_sum/_count suffix");
+      }
+      HistogramChild& child = histograms[family][labels];
+      const double v = std::strtod(value.c_str(), nullptr);
+      if (suffix == "_bucket") {
+        if (le.empty()) return fail("'" + name + "' bucket is missing le=");
+        child.buckets.emplace_back(le, v);
+      } else if (suffix == "_sum") {
+        child.has_sum = true;
+      } else {
+        child.has_count = true;
+        child.count = v;
+      }
+    } else if (!le.empty()) {
+      return fail("non-histogram sample '" + name + "' carries an le label");
+    }
+  }
+
+  line_no = 0;  // subsequent failures are file-level, not line-level
+  for (const auto& [family, children] : histograms) {
+    for (const auto& [labels, child] : children) {
+      const std::string where =
+          "histogram '" + family + (labels.empty() ? "'" : "{" + labels + "}'");
+      if (child.buckets.empty()) return fail(where + " has no buckets");
+      if (!child.has_sum) return fail(where + " is missing _sum");
+      if (!child.has_count) return fail(where + " is missing _count");
+      double prev = -1.0;
+      for (const auto& [le, count] : child.buckets) {
+        if (count < prev) {
+          return fail(where + " buckets are not cumulative at le=\"" + le + "\"");
+        }
+        prev = count;
+      }
+      if (child.buckets.back().first != "+Inf") {
+        return fail(where + " does not end with an le=\"+Inf\" bucket");
+      }
+      if (child.buckets.back().second != child.count) {
+        return fail(where + " +Inf bucket does not equal _count");
+      }
+    }
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (family_type.count(argv[i]) == 0) {
+      return fail(std::string("required family '") + argv[i] + "' not found");
+    }
+  }
+
+  std::printf("check_metrics: OK: %zu families, %zu samples in %s\n",
+              family_type.size(), samples, argv[1]);
+  return 0;
+}
