@@ -2,18 +2,30 @@
 // backed by GMP-SVM on the simulated device. Works on LibSVM-format files.
 //
 //   svm_tool train [-c C] [-g gamma] [-e eps] [-b cv_folds]
-//       [--metrics-out m.prom] [--trace-out t.json] <train> <model>
+//       [--metrics-out m.prom] [--trace-out t.json]
+//       [--checkpoint-dir d] [--resume] [--chaos-seed s] [--skip-degraded]
+//       <train> <model>
 //   svm_tool predict <test.libsvm> <model.in> [predictions.out]
 //   svm_tool scale <in.libsvm> <out.libsvm>        (min-max to [-1, 1])
 //   svm_tool cv [-c C] [-g gamma] [-v folds] <train.libsvm>
 //   svm_tool grid [-v folds] <train.libsvm>          (C/gamma grid search)
-//   svm_tool serve [-n N] [-w workers] [-b max_batch]
+//   svm_tool serve [-n N] [-w workers] [-b max_batch] [--chaos-seed s]
 //       [--metrics-out m.prom] [--trace-out t.json] <model.in>
 //       (micro-batching inference-server smoke: N synthetic requests)
 //
 // --metrics-out dumps the observability registry as Prometheus text;
 // --trace-out dumps the merged Chrome trace (open in chrome://tracing or
 // https://ui.perfetto.dev). Both work on train and serve.
+//
+// --chaos-seed attaches a seeded FaultPlan::Chaos to the simulated device:
+// training retries/recovers through the injected faults and still produces
+// the byte-identical model; serve answers every accepted request.
+// --checkpoint-dir/--resume persist per-pair training progress so an
+// interrupted run picks up where it left off.
+//
+// Exit codes: 0 success; 1 fatal error; 2 usage; 3 degraded completion (the
+// run finished but some pairs were skipped as degraded, or some chaos serve
+// requests received failure responses).
 //
 // Predict prints the test error when the file has labels, and writes one
 // line per instance: "<label> <p_class0> <p_class1> ...".
@@ -24,6 +36,8 @@
 #include <fstream>
 #include <string>
 
+#include <memory>
+
 #include "core/cross_validation.h"
 #include "core/grid_search.h"
 #include "core/model_io.h"
@@ -33,6 +47,7 @@
 #include "data/scale.h"
 #include "data/synthetic.h"
 #include "device/executor.h"
+#include "fault/fault_injector.h"
 #include "metrics/metrics.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -46,13 +61,17 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  svm_tool train [-c C] [-g gamma] [-e eps] [-b folds]\n"
-               "      [--metrics-out m.prom] [--trace-out t.json] <data> <model>\n"
+               "      [--metrics-out m.prom] [--trace-out t.json]\n"
+               "      [--checkpoint-dir d] [--resume] [--chaos-seed s]\n"
+               "      [--skip-degraded] <data> <model>\n"
                "  svm_tool predict <data> <model> [out]\n"
                "  svm_tool scale <in> <out>\n"
                "  svm_tool cv [-c C] [-g gamma] [-v folds] <data>\n"
                "  svm_tool grid [-v folds] <data>\n"
                "  svm_tool serve [-n requests] [-w workers] [-b max_batch]\n"
-               "      [--metrics-out m.prom] [--trace-out t.json] <model>\n");
+               "      [--chaos-seed s] [--metrics-out m.prom]\n"
+               "      [--trace-out t.json] <model>\n"
+               "exit codes: 0 ok, 1 fatal, 2 usage, 3 degraded completion\n");
   return 2;
 }
 
@@ -168,7 +187,9 @@ int GridCommand(int argc, char** argv) {
 int TrainCommand(int argc, char** argv) {
   double c = 1.0, gamma = 0.5, eps = 1e-3;
   int cv_folds = 0;
-  std::string metrics_out, trace_out;
+  bool resume = false, skip_degraded = false, chaos = false;
+  uint64_t chaos_seed = 0;
+  std::string metrics_out, trace_out, checkpoint_dir;
   int arg = 0;
   std::string positional[2];
   int npos = 0;
@@ -185,6 +206,15 @@ int TrainCommand(int argc, char** argv) {
       metrics_out = argv[++arg];
     } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
       trace_out = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--checkpoint-dir") == 0 && arg + 1 < argc) {
+      checkpoint_dir = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[arg], "--skip-degraded") == 0) {
+      skip_degraded = true;
+    } else if (std::strcmp(argv[arg], "--chaos-seed") == 0 && arg + 1 < argc) {
+      chaos = true;
+      chaos_seed = static_cast<uint64_t>(std::atoll(argv[++arg]));
     } else if (npos < 2) {
       positional[npos++] = argv[arg];
     } else {
@@ -193,6 +223,7 @@ int TrainCommand(int argc, char** argv) {
     ++arg;
   }
   if (npos != 2) return Usage();
+  if (resume && checkpoint_dir.empty()) return Usage();
 
   auto file = ReadLibsvmFile(positional[0]);
   if (!file.ok()) {
@@ -209,7 +240,22 @@ int TrainCommand(int argc, char** argv) {
   options.kernel.gamma = gamma;
   options.batch.eps = eps;
   options.sigmoid_cv_folds = cv_folds;
+  options.checkpoint.dir = checkpoint_dir;
+  options.checkpoint.resume = resume;
+  if (skip_degraded) {
+    options.pair_failure_policy = PairFailurePolicy::kSkipDegraded;
+  }
+
+  obs::MetricsRegistry metrics;
   SimExecutor gpu(ExecutorModel::TeslaP100());
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (chaos) {
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::Chaos(chaos_seed), &metrics);
+    gpu.SetFaultInjector(injector.get());
+    std::printf("chaos enabled (seed %llu)\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
   obs::TraceRecorder recorder;
   if (!trace_out.empty()) gpu.SetSpanRecorder(&recorder);
   MpTrainReport report;
@@ -221,10 +267,21 @@ int TrainCommand(int argc, char** argv) {
   std::printf("trained %d binary SVMs in %.3f sim-s (%.3f s wall), %lld SVs\n",
               model->num_pairs(), report.sim_seconds, report.wall_seconds,
               static_cast<long long>(model->pool_size()));
+  if (report.pairs_resumed > 0 || report.pair_retries > 0 ||
+      report.pairs_degraded > 0) {
+    std::printf("recovery: %lld pairs resumed, %lld pair retries, "
+                "%lld pairs degraded\n",
+                static_cast<long long>(report.pairs_resumed),
+                static_cast<long long>(report.pair_retries),
+                static_cast<long long>(report.pairs_degraded));
+  }
+  if (injector != nullptr) {
+    std::printf("faults injected: %lld\n",
+                static_cast<long long>(injector->total_injected()));
+  }
   GMP_CHECK_OK(SaveModel(*model, positional[1]));
   std::printf("model written to %s\n", positional[1].c_str());
   if (!metrics_out.empty()) {
-    obs::MetricsRegistry metrics;
     gpu.counters().PublishTo(&metrics);
     report.PublishTo(&metrics);
     if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
@@ -235,7 +292,7 @@ int TrainCommand(int argc, char** argv) {
     std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
                 recorder.size());
   }
-  return 0;
+  return report.pairs_degraded > 0 ? 3 : 0;
 }
 
 int PredictCommand(int argc, char** argv) {
@@ -284,6 +341,8 @@ int PredictCommand(int argc, char** argv) {
 // print the ServeStats table.
 int ServeCommand(int argc, char** argv) {
   int num_requests = 200;
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
   ServeOptions options;
   std::string model_path, metrics_out, trace_out;
   for (int arg = 0; arg < argc; ++arg) {
@@ -293,6 +352,9 @@ int ServeCommand(int argc, char** argv) {
       options.num_workers = std::atoi(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-b") == 0 && arg + 1 < argc) {
       options.batching.max_batch_size = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--chaos-seed") == 0 && arg + 1 < argc) {
+      chaos = true;
+      chaos_seed = static_cast<uint64_t>(std::atoll(argv[++arg]));
     } else if (std::strcmp(argv[arg], "--metrics-out") == 0 && arg + 1 < argc) {
       metrics_out = argv[++arg];
     } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
@@ -338,6 +400,16 @@ int ServeCommand(int argc, char** argv) {
   obs::TraceRecorder recorder;
   options.metrics = &metrics;
   if (!trace_out.empty()) options.trace = &recorder;
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (chaos) {
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::Chaos(chaos_seed), &metrics);
+    options.fault = injector.get();
+    options.max_request_retries = 3;
+    registry.SetFaultInjector(injector.get());
+    std::printf("chaos enabled (seed %llu)\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
 
   InferenceServer server(&registry, options);
   GMP_CHECK_OK(server.Start());
@@ -353,13 +425,28 @@ int ServeCommand(int argc, char** argv) {
     }
     futures.push_back(std::move(*submitted));
   }
+  // Every accepted request must resolve to a terminal Result; under chaos
+  // some may carry failure statuses (counted, not fatal), but a future that
+  // never resolves would hang right here — that is the regression this
+  // command exists to catch.
+  int answered = 0, failed = 0;
   for (auto& f : futures) {
     auto response = f.get();
+    ++answered;
     if (!response.ok()) {
-      std::fprintf(stderr, "request failed: %s\n",
-                   response.status().ToString().c_str());
-      return 1;
+      ++failed;
+      if (!chaos) {
+        std::fprintf(stderr, "request failed: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
     }
+  }
+  std::printf("answered %d/%d requests (%d failed responses)\n", answered,
+              static_cast<int>(futures.size()), failed);
+  if (injector != nullptr) {
+    std::printf("faults injected: %lld\n",
+                static_cast<long long>(injector->total_injected()));
   }
   std::printf("%s\n", server.stats().Snapshot().ToTable().c_str());
   GMP_CHECK_OK(server.Shutdown());
@@ -372,7 +459,7 @@ int ServeCommand(int argc, char** argv) {
     std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
                 recorder.size());
   }
-  return 0;
+  return failed > 0 ? 3 : 0;
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #ifndef GMPSVM_COMMON_DEADLINE_H_
 #define GMPSVM_COMMON_DEADLINE_H_
 
+#include <algorithm>
 #include <chrono>
 
 namespace gmpsvm {
@@ -19,6 +20,17 @@ inline MonotonicTime MonotonicNow() { return MonotonicClock::now(); }
 // Seconds between two monotonic time points (b - a).
 inline double SecondsBetween(MonotonicTime a, MonotonicTime b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+// t + d, saturating at MonotonicTime::max() instead of overflowing. Needed
+// wherever a duration that may be duration::max() (infinite deadline) is
+// added to a time_point — naive addition is signed overflow, i.e. UB, and in
+// practice produces a time_point in the past that makes waits spin.
+inline MonotonicTime SafeTimeAdd(MonotonicTime t, MonotonicClock::duration d) {
+  if (d.count() > 0 && d > MonotonicTime::max() - t) {
+    return MonotonicTime::max();
+  }
+  return t + d;
 }
 
 class Deadline {
@@ -48,6 +60,15 @@ class Deadline {
     if (is_infinite()) return MonotonicClock::duration::max();
     const MonotonicTime now = MonotonicNow();
     return now >= time_ ? MonotonicClock::duration::zero() : time_ - now;
+  }
+
+  // Remaining() clamped to `max_slice`. Use this (never raw Remaining()) to
+  // feed condition_variable/future wait_for calls: an infinite deadline's
+  // duration::max() overflows when the wait implementation adds it to
+  // steady_clock::now(). Waiters loop on bounded slices instead.
+  MonotonicClock::duration BoundedRemaining(
+      MonotonicClock::duration max_slice) const {
+    return std::min(Remaining(), max_slice);
   }
 
  private:

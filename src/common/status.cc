@@ -25,6 +25,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "resource-exhausted";
     case StatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -30,6 +30,7 @@ enum class StatusCode {
   kInternal,           // invariant violation inside the library
   kResourceExhausted,  // bounded queue / admission-control rejection
   kDeadlineExceeded,   // request deadline passed before completion
+  kUnavailable,        // transient failure (injected fault); safe to retry
 };
 
 // Returns a stable lowercase name for `code`, e.g. "invalid-argument".
@@ -73,6 +74,9 @@ class Status {
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -95,6 +99,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   // "OK" or "<code>: <message>".
   std::string ToString() const;

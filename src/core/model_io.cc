@@ -11,6 +11,25 @@ namespace gmpsvm {
 namespace {
 
 constexpr char kMagic[] = "gmpsvm_model_v1";
+constexpr char kPairMagic[] = "gmpsvm_pair_checkpoint_v1";
+constexpr char kManifestMagic[] = "gmpsvm_checkpoint_v1";
+
+// Reads a whole file into a string; kIoError if it cannot be opened.
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& text, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << text;
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -160,11 +179,142 @@ Status SaveModel(const MpSvmModel& model, const std::string& path) {
 }
 
 Result<MpSvmModel> LoadModel(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DeserializeModel(buffer.str());
+  GMP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return DeserializeModel(text);
+}
+
+std::string SerializePairCheckpoint(const PairCheckpoint& pair) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kPairMagic << "\n";
+  out << "pair " << pair.class_s << " " << pair.class_t << "\n";
+  out << "bias " << pair.bias << "\n";
+  out << "sigmoid " << pair.sigmoid.a << " " << pair.sigmoid.b << "\n";
+  out << "degraded " << (pair.degraded ? 1 : 0) << "\n";
+  out << "svs " << pair.sv_rows.size() << "\n";
+  for (size_t m = 0; m < pair.sv_rows.size(); ++m) {
+    out << pair.sv_rows[m] << ":" << pair.sv_coef[m]
+        << (m + 1 < pair.sv_rows.size() ? " " : "");
+  }
+  out << "\n";
+  return out.str();
+}
+
+Result<PairCheckpoint> ParsePairCheckpoint(const std::string& text) {
+  std::istringstream in(text);
+  std::string line, word;
+  auto fail = [](const std::string& what) {
+    return Status::InvalidArgument("pair checkpoint parse error: " + what);
+  };
+  if (!std::getline(in, line) || StripWhitespace(line) != kPairMagic) {
+    return fail("bad magic");
+  }
+  PairCheckpoint pair;
+  int degraded = 0;
+  size_t nsv = 0;
+  if (!(in >> word >> pair.class_s >> pair.class_t) || word != "pair") {
+    return fail("pair header");
+  }
+  if (!(in >> word >> pair.bias) || word != "bias") return fail("bias");
+  if (!(in >> word >> pair.sigmoid.a >> pair.sigmoid.b) || word != "sigmoid") {
+    return fail("sigmoid");
+  }
+  if (!(in >> word >> degraded) || word != "degraded" ||
+      (degraded != 0 && degraded != 1)) {
+    return fail("degraded flag");
+  }
+  if (!(in >> word >> nsv) || word != "svs" || nsv > text.size()) {
+    return fail("sv count");
+  }
+  if (pair.class_s < 0 || pair.class_t < 0 || pair.class_s == pair.class_t) {
+    return fail("bad class pair");
+  }
+  pair.degraded = degraded != 0;
+  pair.sv_rows.reserve(nsv);
+  pair.sv_coef.reserve(nsv);
+  for (size_t m = 0; m < nsv; ++m) {
+    std::string token;
+    if (!(in >> token)) return fail("sv entry");
+    const auto kv = SplitTokens(token, ":");
+    if (kv.size() != 2) return fail("sv entry format");
+    int32_t row = 0;
+    double coef = 0.0;
+    if (!ParseInt32(kv[0], &row) || !ParseDouble(kv[1], &coef)) {
+      return fail("sv entry value");
+    }
+    if (row < 0) return fail("negative sv row");
+    pair.sv_rows.push_back(row);
+    pair.sv_coef.push_back(coef);
+  }
+  return pair;
+}
+
+std::string SerializeCheckpointManifest(const CheckpointManifest& manifest) {
+  std::ostringstream out;
+  out << kManifestMagic << "\n";
+  out << "fingerprint " << manifest.fingerprint << "\n";
+  out << "num_classes " << manifest.num_classes << "\n";
+  out << "completed " << manifest.completed.size() << "\n";
+  for (const auto& [s, t] : manifest.completed) out << s << " " << t << "\n";
+  return out.str();
+}
+
+Result<CheckpointManifest> ParseCheckpointManifest(const std::string& text) {
+  std::istringstream in(text);
+  std::string line, word;
+  auto fail = [](const std::string& what) {
+    return Status::InvalidArgument("checkpoint manifest parse error: " + what);
+  };
+  if (!std::getline(in, line) || StripWhitespace(line) != kManifestMagic) {
+    return fail("bad magic");
+  }
+  CheckpointManifest manifest;
+  size_t num_completed = 0;
+  if (!(in >> word >> manifest.fingerprint) || word != "fingerprint") {
+    return fail("fingerprint");
+  }
+  if (!(in >> word >> manifest.num_classes) || word != "num_classes" ||
+      manifest.num_classes < 2) {
+    return fail("num_classes");
+  }
+  if (!(in >> word >> num_completed) || word != "completed" ||
+      num_completed > text.size()) {
+    return fail("completed count");
+  }
+  manifest.completed.reserve(num_completed);
+  for (size_t i = 0; i < num_completed; ++i) {
+    int s = 0, t = 0;
+    if (!(in >> s >> t)) return fail("completed pair");
+    if (s < 0 || t < 0 || s == t || s >= manifest.num_classes ||
+        t >= manifest.num_classes) {
+      return fail("completed pair out of range");
+    }
+    manifest.completed.emplace_back(s, t);
+  }
+  return manifest;
+}
+
+std::string PairCheckpointFileName(int class_s, int class_t) {
+  return StrPrintf("pair_%d_%d.ckpt", class_s, class_t);
+}
+
+Status SavePairCheckpoint(const PairCheckpoint& pair, const std::string& path) {
+  return WriteFile(SerializePairCheckpoint(pair), path);
+}
+
+Result<PairCheckpoint> LoadPairCheckpoint(const std::string& path) {
+  GMP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParsePairCheckpoint(text);
+}
+
+Status SaveCheckpointManifest(const CheckpointManifest& manifest,
+                              const std::string& path) {
+  return WriteFile(SerializeCheckpointManifest(manifest), path);
+}
+
+Result<CheckpointManifest> LoadCheckpointManifest(const std::string& path) {
+  GMP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseCheckpointManifest(text);
 }
 
 }  // namespace gmpsvm

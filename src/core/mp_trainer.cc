@@ -1,13 +1,20 @@
 #include "core/mp_trainer.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "core/model_io.h"
 #include "core/shared_blocks.h"
 #include "core/sigmoid_cv.h"
+#include "fault/fault_injector.h"
 #include "prob/pairwise_coupling.h"
 
 namespace gmpsvm {
@@ -41,19 +48,18 @@ class ModelBuilder {
     model_.kernel = options.kernel;
   }
 
-  void AddBinarySvm(int s, int t, const BinaryProblem& problem,
-                    const BinarySolution& solution, const SigmoidParams& sigmoid) {
+  // Support-vector pool indices depend on insertion order, so callers must
+  // feed pairs in ClassPairs() order — this is what keeps resumed runs
+  // byte-identical to uninterrupted ones.
+  void AddEntry(const PairCheckpoint& pair) {
     BinarySvmEntry entry;
-    entry.class_s = s;
-    entry.class_t = t;
-    entry.bias = solution.bias;
-    entry.sigmoid = sigmoid;
-    for (int64_t i = 0; i < problem.n(); ++i) {
-      const double a = solution.alpha[static_cast<size_t>(i)];
-      if (a <= 0.0) continue;
-      const int32_t global_row = problem.rows[static_cast<size_t>(i)];
-      entry.sv_pool_index.push_back(PoolIndex(global_row));
-      entry.sv_coef.push_back(a * problem.y[static_cast<size_t>(i)]);
+    entry.class_s = pair.class_s;
+    entry.class_t = pair.class_t;
+    entry.bias = pair.bias;
+    entry.sigmoid = pair.sigmoid;
+    for (size_t m = 0; m < pair.sv_rows.size(); ++m) {
+      entry.sv_pool_index.push_back(PoolIndex(pair.sv_rows[m]));
+      entry.sv_coef.push_back(pair.sv_coef[m]);
     }
     model_.svms.push_back(std::move(entry));
   }
@@ -92,6 +98,226 @@ std::vector<double> TrainingDecisionValues(const BinaryProblem& problem,
     v[i] = solution.f[i] + static_cast<double>(problem.y[i]) + solution.bias;
   }
   return v;
+}
+
+// Distills a solved pair into its checkpoint-shaped result: the positive
+// alphas as (global row, alpha * y) plus bias and sigmoid. Model entries are
+// rebuilt from this whether the pair was just trained or loaded from disk, so
+// the two paths cannot diverge.
+PairCheckpoint DistillPair(int s, int t, const BinaryProblem& problem,
+                           const BinarySolution& solution,
+                           const SigmoidParams& sigmoid) {
+  PairCheckpoint pair;
+  pair.class_s = s;
+  pair.class_t = t;
+  pair.bias = solution.bias;
+  pair.sigmoid = sigmoid;
+  for (int64_t i = 0; i < problem.n(); ++i) {
+    const double a = solution.alpha[static_cast<size_t>(i)];
+    if (a <= 0.0) continue;
+    pair.sv_rows.push_back(problem.rows[static_cast<size_t>(i)]);
+    pair.sv_coef.push_back(a * static_cast<double>(problem.y[static_cast<size_t>(i)]));
+  }
+  return pair;
+}
+
+// The neutral entry a pair degrades to: no SVs, decision value 0, sigmoid
+// {0, 0} so the pairwise probability is exactly 0.5.
+PairCheckpoint DegradedPair(int s, int t) {
+  PairCheckpoint pair;
+  pair.class_s = s;
+  pair.class_t = t;
+  pair.degraded = true;
+  return pair;
+}
+
+uint64_t Fnv1a64(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64Bytes(const void* data, size_t bytes, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Fingerprint of (dataset shape + content + the options that affect the
+// numeric result). Content means the actual labels and CSR feature arrays —
+// two same-shaped datasets must not collide, or a resume would silently mix
+// pairs trained on different data.
+uint64_t TrainFingerprint(const Dataset& dataset, const MpTrainOptions& options) {
+  std::ostringstream key;
+  key.precision(17);
+  key << dataset.size() << " " << dataset.dim() << " " << dataset.num_classes();
+  for (int k = 0; k < dataset.num_classes(); ++k) {
+    key << " " << dataset.ClassRows(k).size();
+  }
+  uint64_t content = 1469598103934665603ull;
+  const auto& labels = dataset.labels();
+  content = Fnv1a64Bytes(labels.data(), labels.size() * sizeof(labels[0]),
+                         content);
+  const CsrMatrix& features = dataset.features();
+  content = Fnv1a64Bytes(features.col_idx().data(),
+                         features.col_idx().size() * sizeof(int32_t), content);
+  content = Fnv1a64Bytes(features.values().data(),
+                         features.values().size() * sizeof(double), content);
+  key << " content=" << content;
+  key << " c=" << options.c
+      << " kernel=" << KernelTypeToString(options.kernel.type)
+      << " gamma=" << options.kernel.gamma
+      << " coef0=" << options.kernel.coef0
+      << " degree=" << options.kernel.degree
+      << " eps=" << options.batch.eps
+      << " ws=" << options.batch.working_set.ws_size
+      << " cv=" << options.sigmoid_cv_folds
+      << " shared_sv=" << (options.share_support_vectors ? 1 : 0);
+  for (double w : options.class_weights) key << " w=" << w;
+  return Fnv1a64(key.str());
+}
+
+// Manages the checkpoint directory for one training run: loads completed
+// pairs on resume, persists each newly completed pair, and flushes the
+// manifest per the every_n_pairs cadence.
+class CheckpointSession {
+ public:
+  Status Init(const TrainCheckpointOptions& options, uint64_t fingerprint,
+              int num_classes, MpTrainReport* report) {
+    options_ = options;
+    if (!enabled()) return Status::OK();
+    std::error_code ec;
+    std::filesystem::create_directories(options_.dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint dir " + options_.dir +
+                             ": " + ec.message());
+    }
+    manifest_.fingerprint = fingerprint;
+    manifest_.num_classes = num_classes;
+    const std::string manifest_path = ManifestPath();
+    if (options_.resume && std::filesystem::exists(manifest_path)) {
+      GMP_ASSIGN_OR_RETURN(CheckpointManifest on_disk,
+                           LoadCheckpointManifest(manifest_path));
+      if (on_disk.fingerprint != fingerprint) {
+        return Status::InvalidArgument(StrPrintf(
+            "checkpoint manifest fingerprint %llu does not match this "
+            "dataset/configuration (%llu); refusing to resume",
+            static_cast<unsigned long long>(on_disk.fingerprint),
+            static_cast<unsigned long long>(fingerprint)));
+      }
+      if (on_disk.num_classes != num_classes) {
+        return Status::InvalidArgument(
+            StrPrintf("checkpoint manifest has %d classes, dataset has %d",
+                      on_disk.num_classes, num_classes));
+      }
+      for (const auto& [s, t] : on_disk.completed) {
+        GMP_ASSIGN_OR_RETURN(
+            PairCheckpoint pair,
+            LoadPairCheckpoint(options_.dir + "/" + PairCheckpointFileName(s, t)));
+        if (pair.class_s != s || pair.class_t != t) {
+          return Status::InvalidArgument(
+              StrPrintf("pair checkpoint %d-%d names pair %d-%d", s, t,
+                        pair.class_s, pair.class_t));
+        }
+        // Degraded pairs are retrained on resume rather than carried over.
+        if (pair.degraded) continue;
+        manifest_.completed.emplace_back(s, t);
+        loaded_.emplace(std::make_pair(s, t), std::move(pair));
+        if (report != nullptr) ++report->pairs_resumed;
+      }
+    }
+    return Status::OK();
+  }
+
+  bool enabled() const { return !options_.dir.empty(); }
+
+  const PairCheckpoint* Loaded(int s, int t) const {
+    auto it = loaded_.find(std::make_pair(s, t));
+    return it == loaded_.end() ? nullptr : &it->second;
+  }
+
+  Status OnPairComplete(const PairCheckpoint& pair) {
+    if (!enabled()) return Status::OK();
+    GMP_RETURN_NOT_OK(SavePairCheckpoint(
+        pair, options_.dir + "/" +
+                  PairCheckpointFileName(pair.class_s, pair.class_t)));
+    manifest_.completed.emplace_back(pair.class_s, pair.class_t);
+    if (++unflushed_ >= std::max(1, options_.every_n_pairs)) {
+      return Flush();
+    }
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (!enabled()) return Status::OK();
+    unflushed_ = 0;
+    return SaveCheckpointManifest(manifest_, ManifestPath());
+  }
+
+ private:
+  std::string ManifestPath() const {
+    return options_.dir + "/" + kCheckpointManifestFileName;
+  }
+
+  TrainCheckpointOptions options_;
+  CheckpointManifest manifest_;
+  std::map<std::pair<int, int>, PairCheckpoint> loaded_;
+  int unflushed_ = 0;
+};
+
+// Runs `attempt` for pair (s, t) under the options' retry policy. Transient
+// (kUnavailable) failures are retried with exponential backoff charged as
+// simulated time to `stream`; exhaustion either propagates (kFailFast) or
+// yields a degraded neutral pair (kSkipDegraded). Any other error propagates
+// immediately.
+Result<PairCheckpoint> RunPairWithRetry(
+    const MpTrainOptions& options, SimExecutor* executor, StreamId stream,
+    int s, int t, const std::function<Result<PairCheckpoint>()>& attempt,
+    MpTrainReport* report) {
+  const fault::RetryPolicy& policy = options.pair_retry;
+  for (int att = 1;; ++att) {
+    Result<PairCheckpoint> result = attempt();
+    if (result.ok()) return result;
+    if (!fault::IsTransientFault(result.status())) return result.status();
+    if (att >= policy.max_attempts) {
+      if (options.pair_failure_policy == PairFailurePolicy::kFailFast) {
+        return Status::Unavailable(StrPrintf(
+            "pair %dv%d failed after %d attempts: %s", s, t, att,
+            result.status().message().c_str()));
+      }
+      if (report != nullptr) ++report->pairs_degraded;
+      GMP_LOG(Warning) << "pair " << s << "v" << t << " degraded after " << att
+                       << " attempts: " << result.status().message();
+      return DegradedPair(s, t);
+    }
+    if (report != nullptr) ++report->pair_retries;
+    const uint64_t seed =
+        (static_cast<uint64_t>(s) << 32) | static_cast<uint64_t>(t);
+    executor->AdvanceStream(stream, fault::BackoffSeconds(policy, att, seed),
+                            "retry_backoff");
+  }
+}
+
+// Consults the fault plan's simulated-kill knob after `completed_this_run`
+// newly trained pairs; on interrupt, flushes the checkpoint manifest so a
+// resume can pick up from here.
+Status MaybeInterrupt(SimExecutor* executor, CheckpointSession* ckpt,
+                      int64_t completed_this_run) {
+  fault::FaultInjector* injector = executor->fault_injector();
+  if (injector == nullptr ||
+      !injector->ShouldInterruptTraining(completed_this_run)) {
+    return Status::OK();
+  }
+  GMP_RETURN_NOT_OK(ckpt->Flush());
+  return Status::Unavailable(
+      StrPrintf("training interrupted by fault plan after %lld pairs",
+                static_cast<long long>(completed_this_run)));
 }
 
 void FillReport(SimExecutor* executor, double sim_base,
@@ -142,6 +368,16 @@ Status MpTrainOptions::Validate(int num_classes) const {
     return Status::InvalidArgument(StrPrintf(
         "sigmoid_cv_folds must be 0 or >= 2, got %d", sigmoid_cv_folds));
   }
+  GMP_RETURN_NOT_OK(pair_retry.Validate());
+  if (checkpoint.every_n_pairs < 1) {
+    return Status::InvalidArgument(
+        StrPrintf("checkpoint.every_n_pairs must be >= 1, got %d",
+                  checkpoint.every_n_pairs));
+  }
+  if (checkpoint.resume && checkpoint.dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint.resume requires checkpoint.dir to be set");
+  }
   return Status::OK();
 }
 
@@ -174,6 +410,24 @@ void MpTrainReport::PublishTo(obs::MetricsRegistry* registry) const {
   registry->GetGauge("gmpsvm_train_peak_device_bytes",
                      "Peak simulated device memory during training.")
       ->SetMax(static_cast<double>(peak_device_bytes));
+  registry->GetCounter("gmpsvm_train_pair_retries_total",
+                       "Whole-pair retries after transient faults.")
+      ->Add(static_cast<double>(pair_retries));
+  registry->GetCounter("gmpsvm_train_pairs_degraded_total",
+                       "Pairs that exhausted retries and emitted a neutral entry.")
+      ->Add(static_cast<double>(pairs_degraded));
+  registry->GetCounter("gmpsvm_train_pairs_resumed_total",
+                       "Pairs loaded from a checkpoint instead of trained.")
+      ->Add(static_cast<double>(pairs_resumed));
+  registry->GetCounter("gmpsvm_train_kernel_row_retries_total",
+                       "Retried batched kernel-row computations inside the solver.")
+      ->Add(static_cast<double>(solver.kernel_row_retries));
+  registry->GetCounter("gmpsvm_train_alloc_retries_total",
+                       "Retried device allocations inside the solver.")
+      ->Add(static_cast<double>(solver.alloc_retries));
+  registry->GetCounter("gmpsvm_train_rows_poisoned_total",
+                       "Kernel buffer rows poisoned by injected eviction faults.")
+      ->Add(static_cast<double>(solver.rows_poisoned));
   for (const auto& [phase, seconds] : phases.phases()) {
     registry
         ->GetCounter("gmpsvm_train_phase_sim_seconds_total",
@@ -203,49 +457,87 @@ Result<MpSvmModel> SequentialMpTrainer::Train(const Dataset& dataset,
   SmoSolver solver(options_.smo);
   ModelBuilder builder(&dataset, options_);
 
-  for (const auto& [s, t] : dataset.ClassPairs()) {
+  CheckpointSession ckpt;
+  GMP_RETURN_NOT_OK(ckpt.Init(options_.checkpoint,
+                              TrainFingerprint(dataset, options_),
+                              dataset.num_classes(), report));
+
+  const auto pairs = dataset.ClassPairs();
+  std::vector<std::optional<PairCheckpoint>> results(pairs.size());
+  int64_t completed_this_run = 0;
+
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const int s = pairs[p].first;
+    const int t = pairs[p].second;
+    if (const PairCheckpoint* loaded = ckpt.Loaded(s, t)) {
+      results[p] = *loaded;
+      continue;
+    }
     BinaryProblem problem = dataset.MakePairProblem(s, t, options_.c, options_.kernel);
     if (!options_.class_weights.empty()) {
       problem.weight_pos = options_.class_weights[static_cast<size_t>(s)];
       problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
     }
-    SolverStats stats;
-    const double smo_t0 = executor->StreamTime(kDefaultStream);
-    GMP_ASSIGN_OR_RETURN(
-        BinarySolution solution,
-        solver.Solve(problem, computer, executor, kDefaultStream, &stats));
-    RecordPhaseSpan(executor, kDefaultStream, StrPrintf("smo %dv%d", s, t),
-                    smo_t0, executor->StreamTime(kDefaultStream));
 
-    std::vector<double> v;
-    if (options_.sigmoid_cv_folds >= 2) {
-      SmoSolver cv_solver(options_.smo);
-      GMP_ASSIGN_OR_RETURN(
-          v, CrossValidatedDecisionValues(
-                 problem, computer,
-                 [&](const BinaryProblem& sub, SimExecutor* exec, StreamId str) {
-                   return cv_solver.Solve(sub, computer, exec, str, nullptr);
-                 },
-                 options_.sigmoid_cv_folds, /*seed=*/1u, executor,
-                 kDefaultStream));
-    } else {
-      v = TrainingDecisionValues(problem, solution);
-    }
-    const double sigmoid_t0 = executor->StreamTime(kDefaultStream);
+    auto attempt = [&]() -> Result<PairCheckpoint> {
+      SolverStats stats;
+      Result<PairCheckpoint> result = [&]() -> Result<PairCheckpoint> {
+        const double smo_t0 = executor->StreamTime(kDefaultStream);
+        GMP_ASSIGN_OR_RETURN(
+            BinarySolution solution,
+            solver.Solve(problem, computer, executor, kDefaultStream, &stats));
+        RecordPhaseSpan(executor, kDefaultStream, StrPrintf("smo %dv%d", s, t),
+                        smo_t0, executor->StreamTime(kDefaultStream));
+
+        std::vector<double> v;
+        if (options_.sigmoid_cv_folds >= 2) {
+          SmoSolver cv_solver(options_.smo);
+          GMP_ASSIGN_OR_RETURN(
+              v, CrossValidatedDecisionValues(
+                     problem, computer,
+                     [&](const BinaryProblem& sub, SimExecutor* exec, StreamId str) {
+                       return cv_solver.Solve(sub, computer, exec, str, nullptr);
+                     },
+                     options_.sigmoid_cv_folds, /*seed=*/1u, executor,
+                     kDefaultStream));
+        } else {
+          v = TrainingDecisionValues(problem, solution);
+        }
+        const double sigmoid_t0 = executor->StreamTime(kDefaultStream);
+        GMP_ASSIGN_OR_RETURN(
+            SigmoidParams sigmoid,
+            FitSigmoid(v, problem.y, options_.platt, executor, kDefaultStream,
+                       /*parallel_candidates=*/1));
+        RecordPhaseSpan(executor, kDefaultStream, StrPrintf("sigmoid %dv%d", s, t),
+                        sigmoid_t0, executor->StreamTime(kDefaultStream));
+        if (report != nullptr) {
+          report->phases.Add("sigmoid",
+                             executor->StreamTime(kDefaultStream) - sigmoid_t0);
+        }
+        return DistillPair(s, t, problem, solution, sigmoid);
+      }();
+      // Work done by failed attempts still counts.
+      if (report != nullptr) {
+        report->solver.Merge(stats);
+        report->phases.Merge(stats.phases);
+      }
+      return result;
+    };
+
     GMP_ASSIGN_OR_RETURN(
-        SigmoidParams sigmoid,
-        FitSigmoid(v, problem.y, options_.platt, executor, kDefaultStream,
-                   /*parallel_candidates=*/1));
-    RecordPhaseSpan(executor, kDefaultStream, StrPrintf("sigmoid %dv%d", s, t),
-                    sigmoid_t0, executor->StreamTime(kDefaultStream));
-    if (report != nullptr) {
-      report->phases.Add("sigmoid",
-                         executor->StreamTime(kDefaultStream) - sigmoid_t0);
-      report->solver.Merge(stats);
-      report->phases.Merge(stats.phases);
-    }
-    builder.AddBinarySvm(s, t, problem, solution, sigmoid);
+        PairCheckpoint pair,
+        RunPairWithRetry(options_, executor, kDefaultStream, s, t, attempt,
+                         report));
+    results[p] = std::move(pair);
+    GMP_RETURN_NOT_OK(ckpt.OnPairComplete(*results[p]));
+    ++completed_this_run;
+    GMP_RETURN_NOT_OK(MaybeInterrupt(executor, &ckpt, completed_this_run));
   }
+
+  GMP_RETURN_NOT_OK(ckpt.Flush());
+  // Feed the builder in ClassPairs() order regardless of which pairs were
+  // resumed: pool indices depend on insertion order.
+  for (auto& result : results) builder.AddEntry(*result);
 
   executor->SynchronizeAll();
   FillReport(executor, sim_base, counters_base, wall, report);
@@ -279,10 +571,26 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
                                                options_.shared_cache_bytes, executor);
   }
 
-  const auto pairs = dataset.ClassPairs();
+  CheckpointSession ckpt;
+  GMP_RETURN_NOT_OK(ckpt.Init(options_.checkpoint,
+                              TrainFingerprint(dataset, options_),
+                              dataset.num_classes(), report));
 
-  // Greedily pack pairs into concurrent groups under the memory budget:
-  // each pair needs its kernel buffer (ws * n_pair doubles) on the device.
+  const auto pairs = dataset.ClassPairs();
+  std::vector<std::optional<PairCheckpoint>> results(pairs.size());
+  std::vector<size_t> todo;  // indices into `pairs` that still need training
+  todo.reserve(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (const PairCheckpoint* loaded = ckpt.Loaded(pairs[p].first, pairs[p].second)) {
+      results[p] = *loaded;
+    } else {
+      todo.push_back(p);
+    }
+  }
+
+  // Greedily pack the remaining pairs into concurrent groups under the
+  // memory budget: each pair needs its kernel buffer (ws * n_pair doubles)
+  // on the device.
   const int64_t ws_rows = std::max(2, options_.batch.working_set.ws_size);
   const size_t budget = executor->memory_budget();
   std::vector<std::vector<size_t>> groups;  // indices into `pairs`
@@ -292,7 +600,7 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
     const size_t usable = budget > executor->bytes_in_use()
                               ? (budget - executor->bytes_in_use()) * 6 / 10
                               : 0;
-    for (size_t p = 0; p < pairs.size(); ++p) {
+    for (size_t p : todo) {
       const auto& [s, t] = pairs[p];
       const int64_t n_pair =
           static_cast<int64_t>(dataset.ClassRows(s).size() +
@@ -314,6 +622,7 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
     }
     if (!current.empty()) groups.push_back(std::move(current));
   }
+  int64_t completed_this_run = 0;
 
   for (const auto& group : groups) {
     // One stream per pair in the group, each owning an equal share of SMs
@@ -326,7 +635,9 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
     }
 
     for (size_t gi = 0; gi < group.size(); ++gi) {
-      const auto& [s, t] = pairs[group[gi]];
+      const size_t pair_index = group[gi];
+      const int s = pairs[pair_index].first;
+      const int t = pairs[pair_index].second;
       const StreamId stream = streams[gi];
       BinaryProblem problem =
           dataset.MakePairProblem(s, t, options_.c, options_.kernel);
@@ -335,52 +646,73 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
         problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
       }
 
-      SolverStats stats;
-      BinarySolution solution;
-      const double smo_t0 = executor->StreamTime(stream);
-      if (cache != nullptr) {
-        SharedRowSource source(&problem, s, t, cache.get(), &computer);
-        GMP_ASSIGN_OR_RETURN(
-            solution,
-            solver.Solve(problem, computer, &source, executor, stream, &stats));
-      } else {
-        GMP_ASSIGN_OR_RETURN(
-            solution, solver.Solve(problem, computer, executor, stream, &stats));
-      }
-      RecordPhaseSpan(executor, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
-                      executor->StreamTime(stream));
+      auto attempt = [&]() -> Result<PairCheckpoint> {
+        SolverStats stats;
+        Result<PairCheckpoint> result = [&]() -> Result<PairCheckpoint> {
+          BinarySolution solution;
+          const double smo_t0 = executor->StreamTime(stream);
+          if (cache != nullptr) {
+            SharedRowSource source(&problem, s, t, cache.get(), &computer);
+            GMP_ASSIGN_OR_RETURN(
+                solution,
+                solver.Solve(problem, computer, &source, executor, stream, &stats));
+          } else {
+            GMP_ASSIGN_OR_RETURN(
+                solution, solver.Solve(problem, computer, executor, stream, &stats));
+          }
+          RecordPhaseSpan(executor, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
+                          executor->StreamTime(stream));
 
-      // Concurrent sigmoid fitting on the pair's own stream, with parallel
-      // candidate evaluation (Section 3.3.2).
-      std::vector<double> v;
-      if (options_.sigmoid_cv_folds >= 2) {
-        GMP_ASSIGN_OR_RETURN(
-            v, CrossValidatedDecisionValues(
-                   problem, computer,
-                   [&](const BinaryProblem& sub, SimExecutor* exec, StreamId str) {
-                     return solver.Solve(sub, computer, exec, str, nullptr);
-                   },
-                   options_.sigmoid_cv_folds, /*seed=*/1u, executor, stream));
-      } else {
-        v = TrainingDecisionValues(problem, solution);
-      }
-      const double sigmoid_t0 = executor->StreamTime(stream);
+          // Concurrent sigmoid fitting on the pair's own stream, with parallel
+          // candidate evaluation (Section 3.3.2).
+          std::vector<double> v;
+          if (options_.sigmoid_cv_folds >= 2) {
+            GMP_ASSIGN_OR_RETURN(
+                v, CrossValidatedDecisionValues(
+                       problem, computer,
+                       [&](const BinaryProblem& sub, SimExecutor* exec, StreamId str) {
+                         return solver.Solve(sub, computer, exec, str, nullptr);
+                       },
+                       options_.sigmoid_cv_folds, /*seed=*/1u, executor, stream));
+          } else {
+            v = TrainingDecisionValues(problem, solution);
+          }
+          const double sigmoid_t0 = executor->StreamTime(stream);
+          GMP_ASSIGN_OR_RETURN(
+              SigmoidParams sigmoid,
+              FitSigmoid(v, problem.y, options_.platt, executor, stream,
+                         options_.platt_parallel_candidates));
+          RecordPhaseSpan(executor, stream, StrPrintf("sigmoid %dv%d", s, t),
+                          sigmoid_t0, executor->StreamTime(stream));
+          if (report != nullptr) {
+            report->phases.Add("sigmoid",
+                               executor->StreamTime(stream) - sigmoid_t0);
+          }
+          return DistillPair(s, t, problem, solution, sigmoid);
+        }();
+        if (report != nullptr) {
+          report->solver.Merge(stats);
+          report->phases.Merge(stats.phases);
+        }
+        return result;
+      };
+
       GMP_ASSIGN_OR_RETURN(
-          SigmoidParams sigmoid,
-          FitSigmoid(v, problem.y, options_.platt, executor, stream,
-                     options_.platt_parallel_candidates));
-      RecordPhaseSpan(executor, stream, StrPrintf("sigmoid %dv%d", s, t),
-                      sigmoid_t0, executor->StreamTime(stream));
-      if (report != nullptr) {
-        report->phases.Add("sigmoid", executor->StreamTime(stream) - sigmoid_t0);
-        report->solver.Merge(stats);
-        report->phases.Merge(stats.phases);
-      }
-      builder.AddBinarySvm(s, t, problem, solution, sigmoid);
+          PairCheckpoint pair,
+          RunPairWithRetry(options_, executor, stream, s, t, attempt, report));
+      results[pair_index] = std::move(pair);
+      GMP_RETURN_NOT_OK(ckpt.OnPairComplete(*results[pair_index]));
+      ++completed_this_run;
+      GMP_RETURN_NOT_OK(MaybeInterrupt(executor, &ckpt, completed_this_run));
     }
     // Barrier between groups: buffers are reclaimed before the next group.
     executor->SynchronizeAll();
   }
+
+  GMP_RETURN_NOT_OK(ckpt.Flush());
+  // Pool indices depend on insertion order: feed the builder in ClassPairs()
+  // order regardless of which pairs were resumed from the checkpoint.
+  for (auto& result : results) builder.AddEntry(*result);
 
   executor->SynchronizeAll();
   FillReport(executor, sim_base, counters_base, wall, report);

@@ -17,17 +17,47 @@
 #define GMPSVM_CORE_MP_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/stopwatch.h"
 #include "core/dataset.h"
 #include "core/model.h"
 #include "device/executor.h"
+#include "fault/retry.h"
 #include "prob/platt.h"
 #include "solver/batch_smo_solver.h"
 #include "solver/smo_solver.h"
 #include "solver/solver_stats.h"
 
 namespace gmpsvm {
+
+// What a trainer does with a binary pair whose transient faults outlasted the
+// retry policy.
+enum class PairFailurePolicy {
+  // Abort the whole training run with the pair's kUnavailable status.
+  kFailFast,
+  // Emit a neutral entry for the pair (no support vectors, bias 0, sigmoid
+  // {0, 0} => p = 0.5), mark the model degraded, and keep going. The report
+  // counts such pairs and checkpoints tag them so a resume retrains them.
+  kSkipDegraded,
+};
+
+// Periodic checkpointing of completed binary pairs through model_io.
+struct TrainCheckpointOptions {
+  // Directory for the manifest + per-pair files; empty disables
+  // checkpointing. Created if missing.
+  std::string dir;
+
+  // Flush the manifest after every N completed pairs (pair files are always
+  // written immediately). The manifest is also flushed at the end of the run
+  // and on a fault-plan interrupt.
+  int every_n_pairs = 1;
+
+  // Load the manifest in `dir` and skip its completed (non-degraded) pairs.
+  // Rejected with InvalidArgument if the manifest's fingerprint does not
+  // match this dataset + configuration. A missing manifest starts fresh.
+  bool resume = false;
+};
 
 struct MpTrainOptions {
   double c = 1.0;
@@ -70,6 +100,18 @@ struct MpTrainOptions {
   // training work.
   int sigmoid_cv_folds = 0;
 
+  // --- Fault recovery -------------------------------------------------------
+  // Per-pair retry policy for transient (kUnavailable) failures. Backoff is
+  // charged as simulated time to the pair's stream, so retried runs stay
+  // deterministic and produce byte-identical models.
+  fault::RetryPolicy pair_retry;
+
+  // What to do when a pair exhausts its retries.
+  PairFailurePolicy pair_failure_policy = PairFailurePolicy::kFailFast;
+
+  // Checkpoint/resume configuration (disabled unless checkpoint.dir is set).
+  TrainCheckpointOptions checkpoint;
+
   // Checks the whole configuration, including the nested batch-solver
   // options, and returns InvalidArgument naming the offending field. Pass
   // the dataset's class count to also check class_weights (0 skips that
@@ -96,6 +138,14 @@ struct MpTrainReport {
   int64_t kernel_values_computed = 0;
   int64_t kernel_values_reused = 0;
   size_t peak_device_bytes = 0;
+
+  // Fault recovery: whole-pair retry attempts after transient failures,
+  // pairs that exhausted retries under kSkipDegraded (the model carries
+  // neutral entries for them), and pairs loaded from a checkpoint instead of
+  // being trained.
+  int64_t pair_retries = 0;
+  int64_t pairs_degraded = 0;
+  int64_t pairs_resumed = 0;
 
   // Publishes this report into `registry` under gmpsvm_train_* names:
   // sim/wall seconds, solver iteration counters, per-phase sim-time

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "fault/fault_injector.h"
 
 namespace gmpsvm {
 
@@ -84,11 +85,40 @@ void SimExecutor::Submit(StreamId stream, const TaskCost& cost,
   Charge(stream, cost);
 }
 
+Status SimExecutor::TrySubmit(StreamId stream, const TaskCost& cost,
+                              const std::function<void()>& fn) {
+  if (fault_ != nullptr && fault_->ShouldInject(fault::Site::kDeviceSubmit)) {
+    // A failed launch still occupies the stream for the task's duration.
+    Charge(stream, cost);
+    return Status::Unavailable(
+        StrPrintf("injected launch failure on stream %d", stream));
+  }
+  Submit(stream, cost, fn);
+  return Status::OK();
+}
+
 void SimExecutor::Charge(StreamId stream, const TaskCost& cost) {
   GMP_DCHECK(stream >= 0 && stream < num_streams());
   Stream& s = streams_[static_cast<size_t>(stream)];
   const double start = s.ready_at;
   s.ready_at += TaskDuration(cost, s.unit_share);
+  if (fault_ != nullptr) {
+    const double spike = fault_->MaybeLatencySpike();
+    if (spike > 0.0) {
+      const double spike_start = s.ready_at;
+      s.ready_at += spike;
+      if (recorder_ != nullptr) {
+        obs::SpanEvent span;
+        span.name = "fault_latency_spike";
+        span.origin = obs::SpanEvent::Origin::kDevice;
+        span.lane = SpanLane(stream);
+        span.start_seconds = spike_start;
+        span.end_seconds = s.ready_at;
+        span.is_phase = true;  // excluded from busy-time math
+        recorder_->RecordSpan(span);
+      }
+    }
+  }
   ++counters_.launches;
   counters_.flops += cost.flops;
   counters_.bytes_read += cost.bytes_read;
@@ -128,6 +158,37 @@ void SimExecutor::Transfer(StreamId stream, double bytes, TransferDirection dir)
   }
 }
 
+Status SimExecutor::TryTransfer(StreamId stream, double bytes,
+                                TransferDirection dir) {
+  if (fault_ != nullptr && fault_->ShouldInject(fault::Site::kDeviceTransfer)) {
+    // The wire was busy for the full duration even though the copy failed.
+    Transfer(stream, bytes, dir);
+    return Status::Unavailable(
+        StrPrintf("injected transfer failure on stream %d", stream));
+  }
+  Transfer(stream, bytes, dir);
+  return Status::OK();
+}
+
+void SimExecutor::AdvanceStream(StreamId stream, double seconds,
+                                const char* label) {
+  GMP_DCHECK(stream >= 0 && stream < num_streams());
+  if (seconds <= 0.0) return;
+  Stream& s = streams_[static_cast<size_t>(stream)];
+  const double start = s.ready_at;
+  s.ready_at += seconds;
+  if (recorder_ != nullptr && label != nullptr) {
+    obs::SpanEvent span;
+    span.name = label;
+    span.origin = obs::SpanEvent::Origin::kDevice;
+    span.lane = SpanLane(stream);
+    span.start_seconds = start;
+    span.end_seconds = s.ready_at;
+    span.is_phase = true;
+    recorder_->RecordSpan(span);
+  }
+}
+
 void SimExecutor::StreamWait(StreamId stream, StreamId other) {
   GMP_DCHECK(stream >= 0 && stream < num_streams());
   GMP_DCHECK(other >= 0 && other < num_streams());
@@ -147,6 +208,12 @@ double SimExecutor::NowSeconds() const {
 }
 
 Result<DeviceAllocation> SimExecutor::Allocate(size_t bytes) {
+  if (fault_ != nullptr && fault_->ShouldInject(fault::Site::kDeviceAlloc)) {
+    ++counters_.allocation_failures;
+    return Status::Unavailable(StrPrintf(
+        "injected allocation failure (%s)",
+        HumanBytes(static_cast<double>(bytes)).c_str()));
+  }
   if (counters_.bytes_in_use + bytes > model_.memory_budget_bytes) {
     ++counters_.allocation_failures;
     return Status::OutOfMemory(StrPrintf(

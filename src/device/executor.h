@@ -38,6 +38,10 @@
 
 namespace gmpsvm {
 
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+
 // Cost of one submitted task, in units of actual work performed by the task
 // body. Callers compute these from the real data they process.
 struct TaskCost {
@@ -101,11 +105,29 @@ class SimExecutor {
   // Runs `fn` now and charges `cost` to `stream`'s simulated timeline.
   void Submit(StreamId stream, const TaskCost& cost, const std::function<void()>& fn);
 
+  // Fallible Submit for fault-aware callers: with an attached FaultInjector
+  // the launch may fail transiently (kUnavailable) — the body is NOT run,
+  // but the stream is still charged `cost` (a failed launch burns its slot).
+  // Without an injector this is Submit() returning OK.
+  Status TrySubmit(StreamId stream, const TaskCost& cost,
+                   const std::function<void()>& fn);
+
   // Charges `cost` without a body (for work already performed by the caller).
   void Charge(StreamId stream, const TaskCost& cost);
 
   // Charges a host<->device transfer on `stream`.
   void Transfer(StreamId stream, double bytes, TransferDirection dir);
+
+  // Fallible Transfer: may fail transiently under an attached FaultInjector
+  // (the transfer time is still charged — the wire was busy). Without an
+  // injector this is Transfer() returning OK.
+  Status TryTransfer(StreamId stream, double bytes, TransferDirection dir);
+
+  // Advances `stream`'s timeline by `seconds` without doing work — used for
+  // simulated retry backoff. Records a phase span named `label` when a span
+  // recorder is attached and `label` is non-null.
+  void AdvanceStream(StreamId stream, double seconds,
+                     const char* label = nullptr);
 
   // Makes `stream` wait (in simulated time) until `other` has drained, i.e.
   // a cross-stream event dependency.
@@ -151,6 +173,14 @@ class SimExecutor {
   obs::SpanRecorder* span_recorder() const { return recorder_; }
   int lane_base() const { return lane_base_; }
 
+  // Attaches (or detaches, with nullptr) a fault injector. While attached,
+  // TrySubmit/TryTransfer may fail transiently, Allocate may fail with
+  // kUnavailable, and every Charge may suffer a latency spike. The injector
+  // must outlive its attachment. Training determinism is preserved because
+  // the injector itself is deterministic.
+  void SetFaultInjector(fault::FaultInjector* injector) { fault_ = injector; }
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
   // The trace lane a stream's spans land on under the configured base/width.
   int SpanLane(StreamId stream) const {
     return lane_base_ + (lane_width_ > 0 ? stream % lane_width_ : stream);
@@ -177,6 +207,7 @@ class SimExecutor {
   std::vector<Stream> streams_;
   ExecutorCounters counters_;
   obs::SpanRecorder* recorder_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   int lane_base_ = 0;
   int lane_width_ = 0;
 };

@@ -5,10 +5,13 @@
 
 namespace gmpsvm {
 
-MicroBatcher::Batch MicroBatcher::NextBatch() {
+MicroBatcher::Batch MicroBatcher::NextBatch(size_t max_batch_override) {
   Batch batch;
-  const size_t max_batch =
+  const size_t configured =
       static_cast<size_t>(std::max(1, options_.max_batch_size));
+  const size_t max_batch = max_batch_override > 0
+                               ? std::min(configured, max_batch_override)
+                               : configured;
   std::vector<PendingRequest> popped;
   if (queue_->PopBatch(max_batch, options_.max_queue_delay, &popped) == 0) {
     return batch;  // closed and drained

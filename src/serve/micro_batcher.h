@@ -47,8 +47,11 @@ class MicroBatcher {
       : queue_(queue), options_(options) {}
 
   // Blocks for the next batch. An empty() batch means the queue is closed
-  // and fully drained — the consumer should exit.
-  Batch NextBatch();
+  // and fully drained — the consumer should exit. A positive
+  // `max_batch_override` caps this batch below options().max_batch_size
+  // (degraded-mode servers shrink their batches after repeated faults);
+  // 0 uses the configured maximum.
+  Batch NextBatch(size_t max_batch_override = 0);
 
   const BatchingOptions& options() const { return options_; }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/model_io.h"
+#include "fault/fault_injector.h"
 
 namespace gmpsvm {
 
@@ -11,11 +12,37 @@ Result<int64_t> ModelRegistry::Register(const std::string& name,
   if (model.num_classes < 2 || model.svms.empty()) {
     return Status::InvalidArgument("cannot register an empty model: " + name);
   }
+  // Every rejection below happens before the entry is touched, so a failed
+  // swap is an automatic rollback: the previous version keeps serving.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (validator_ != nullptr) {
+      Status validated = validator_(model);
+      if (!validated.ok()) {
+        return Status::InvalidArgument("model validation failed for " + name +
+                                       ": " + validated.message());
+      }
+    }
+    if (fault_ != nullptr && models_.count(name) != 0 &&
+        fault_->ShouldInject(fault::Site::kModelSwap)) {
+      return Status::Unavailable("injected hot-swap failure for " + name);
+    }
+  }
   auto shared = std::make_shared<const MpSvmModel>(std::move(model));
   std::lock_guard<std::mutex> lock(mu_);
   const int64_t version = ++next_version_[name];
   models_[name] = Entry{std::move(shared), version};
   return version;
+}
+
+void ModelRegistry::SetValidator(ModelValidator validator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  validator_ = std::move(validator);
+}
+
+void ModelRegistry::SetFaultInjector(fault::FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_ = injector;
 }
 
 Result<int64_t> ModelRegistry::LoadFromFile(const std::string& name,

@@ -11,6 +11,7 @@
 #define GMPSVM_SERVE_MODEL_REGISTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,6 +23,10 @@
 
 namespace gmpsvm {
 
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+
 // A consistent (model, version) snapshot. Copyable; keeps the model alive.
 struct ModelHandle {
   std::shared_ptr<const MpSvmModel> model;
@@ -30,6 +35,11 @@ struct ModelHandle {
 
   bool valid() const { return model != nullptr; }
 };
+
+// Optional gate run against a candidate model before it is committed.
+// Returning a non-OK status rejects the swap; the previous version stays
+// registered and keeps serving (rollback is "never commit").
+using ModelValidator = std::function<Status(const MpSvmModel&)>;
 
 class ModelRegistry {
  public:
@@ -40,8 +50,20 @@ class ModelRegistry {
 
   // Registers `model` under `name`, replacing any current version atomically.
   // Returns the new version number (1 for a fresh name, previous + 1 on
-  // swap). Rejects structurally empty models.
+  // swap). Rejects structurally empty models, models failing the validator
+  // (if set), and — under an attached fault injector — injected swap
+  // failures (kUnavailable). A rejected swap leaves the previous version
+  // serving untouched.
   Result<int64_t> Register(const std::string& name, MpSvmModel model);
+
+  // Installs a validation gate for all future Register calls (nullptr
+  // clears it).
+  void SetValidator(ModelValidator validator);
+
+  // Attaches a fault injector consulted (site kModelSwap) when Register
+  // would replace an existing version; nullptr detaches. The injector must
+  // outlive the registry.
+  void SetFaultInjector(fault::FaultInjector* injector);
 
   // Loads a model file (core/model_io) and registers it.
   Result<int64_t> LoadFromFile(const std::string& name, const std::string& path);
@@ -65,6 +87,8 @@ class ModelRegistry {
   };
 
   mutable std::mutex mu_;
+  ModelValidator validator_;
+  fault::FaultInjector* fault_ = nullptr;
   std::map<std::string, Entry> models_;
   // Version counters survive Remove() so a re-registered name keeps
   // monotonically increasing versions.

@@ -1,5 +1,7 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace gmpsvm {
@@ -39,8 +41,11 @@ size_t RequestQueue::PopBatch(size_t max_batch,
 
   // The batch closes when full or when the oldest member has been waiting
   // `max_delay` since admission; a request that already waited that long in
-  // the queue leaves immediately with whatever is on hand.
-  const MonotonicTime batch_deadline = items_.front().enqueue_time + max_delay;
+  // the queue leaves immediately with whatever is on hand. SafeTimeAdd keeps
+  // an effectively-infinite max_delay (e.g. duration::max from an infinite
+  // deadline) from overflowing the time_point arithmetic.
+  const MonotonicTime batch_deadline =
+      SafeTimeAdd(items_.front().enqueue_time, max_delay);
   size_t popped = 0;
   auto take_available = [&] {
     while (popped < max_batch && !items_.empty()) {
@@ -51,7 +56,11 @@ size_t RequestQueue::PopBatch(size_t max_batch,
   };
   take_available();
   while (popped < max_batch && !closed_ && MonotonicNow() < batch_deadline) {
-    cv_.wait_until(lock, batch_deadline,
+    // Wait in bounded slices rather than handing a potentially huge
+    // time_point to wait_until (whose clock conversions can overflow).
+    const MonotonicTime slice = std::min(
+        batch_deadline, SafeTimeAdd(MonotonicNow(), std::chrono::seconds(1)));
+    cv_.wait_until(lock, slice,
                    [this] { return closed_ || !items_.empty(); });
     if (!paused_) take_available();
   }

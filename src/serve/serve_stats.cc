@@ -32,6 +32,18 @@ ServeStats::ServeStats(obs::MetricsRegistry* registry) {
                                   "Requests failed by prediction errors.");
   batches_ = registry_->GetCounter("gmpsvm_serve_batches_total",
                                    "Micro-batches executed.");
+  faults_ = registry_->GetCounter(
+      "gmpsvm_serve_faults_total",
+      "Transient prediction faults observed by workers.");
+  retries_ = registry_->GetCounter(
+      "gmpsvm_serve_retries_total",
+      "Per-request prediction retries after transient faults.");
+  degraded_entries_ = registry_->GetCounter(
+      "gmpsvm_serve_degraded_entries_total",
+      "Times the server shrank its effective max batch size under faults.");
+  effective_max_batch_ = registry_->GetGauge(
+      "gmpsvm_serve_effective_max_batch",
+      "Current effective max batch size (shrinks in degraded mode).");
   max_queue_depth_ = registry_->GetGauge(
       "gmpsvm_serve_max_queue_depth",
       "Queue-depth high-water mark observed at admissions.");
@@ -70,6 +82,16 @@ void ServeStats::RecordCompleted(double queue_seconds, double total_seconds) {
   latency_->Observe(total_seconds);
 }
 
+void ServeStats::RecordFault() { faults_->Increment(); }
+
+void ServeStats::RecordRetry() { retries_->Increment(); }
+
+void ServeStats::RecordDegradedEntry() { degraded_entries_->Increment(); }
+
+void ServeStats::SetEffectiveMaxBatch(int max_batch) {
+  effective_max_batch_->Set(static_cast<double>(max_batch));
+}
+
 ServeStatsSnapshot ServeStats::Snapshot() const {
   ServeStatsSnapshot snap;
   snap.admitted = static_cast<uint64_t>(admitted_->Value());
@@ -77,6 +99,10 @@ ServeStatsSnapshot ServeStats::Snapshot() const {
   snap.expired = static_cast<uint64_t>(expired_->Value());
   snap.failed = static_cast<uint64_t>(failed_->Value());
   snap.batches = static_cast<uint64_t>(batches_->Value());
+  snap.faults = static_cast<uint64_t>(faults_->Value());
+  snap.retries = static_cast<uint64_t>(retries_->Value());
+  snap.degraded_entries = static_cast<uint64_t>(degraded_entries_->Value());
+  snap.effective_max_batch = static_cast<int>(effective_max_batch_->Value());
   snap.max_queue_depth = static_cast<size_t>(max_queue_depth_->Value());
   snap.elapsed_seconds = elapsed_.ElapsedSeconds();
 
@@ -127,6 +153,10 @@ void ServeStats::Reset() {
   expired_->Reset();
   failed_->Reset();
   batches_->Reset();
+  faults_->Reset();
+  retries_->Reset();
+  degraded_entries_->Reset();
+  effective_max_batch_->Reset();
   max_queue_depth_->Reset();
   batch_size_->Reset();
   latency_->Reset();
@@ -143,6 +173,9 @@ std::string ServeStatsSnapshot::ToTable() const {
   table.AddRow({"failed", std::to_string(failed)});
   table.AddRow({"completed", std::to_string(completed)});
   table.AddRow({"batches", std::to_string(batches)});
+  table.AddRow({"faults", std::to_string(faults)});
+  table.AddRow({"retries", std::to_string(retries)});
+  table.AddRow({"degraded entries", std::to_string(degraded_entries)});
   table.AddRow({"mean batch size", StrPrintf("%.2f", mean_batch_size)});
   table.AddRow({"max batch size", std::to_string(max_batch_size)});
   table.AddRow({"max queue depth", std::to_string(max_queue_depth)});

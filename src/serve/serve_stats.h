@@ -36,6 +36,12 @@ struct ServeStatsSnapshot {
   uint64_t completed = 0;
   uint64_t batches = 0;
 
+  // Fault recovery.
+  uint64_t faults = 0;            // transient prediction faults observed
+  uint64_t retries = 0;           // per-request retries after faults
+  uint64_t degraded_entries = 0;  // times the server shrank its max batch
+  int effective_max_batch = 0;    // current degraded-mode batch cap (0 = unset)
+
   // Derived.
   double elapsed_seconds = 0.0;
   double throughput_rps = 0.0;  // completed / elapsed
@@ -82,6 +88,12 @@ class ServeStats {
   void RecordFailed();
   void RecordCompleted(double queue_seconds, double total_seconds);
 
+  // Fault-recovery path.
+  void RecordFault();
+  void RecordRetry();
+  void RecordDegradedEntry();
+  void SetEffectiveMaxBatch(int max_batch);
+
   ServeStatsSnapshot Snapshot() const;
 
   // Clears counters and distributions and restarts the elapsed clock. Only
@@ -102,6 +114,10 @@ class ServeStats {
   obs::Counter* expired_;
   obs::Counter* failed_;
   obs::Counter* batches_;
+  obs::Counter* faults_;
+  obs::Counter* retries_;
+  obs::Counter* degraded_entries_;
+  obs::Gauge* effective_max_batch_;
   obs::Gauge* max_queue_depth_;
   obs::Histogram* batch_size_;
   obs::Histogram* latency_;

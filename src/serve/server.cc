@@ -23,6 +23,12 @@ InferenceServer::InferenceServer(ModelRegistry* registry, ServeOptions options)
       batcher_(&queue_, options_.batching),
       stats_(options_.metrics) {
   options_.num_workers = std::max(1, options_.num_workers);
+  options_.max_request_retries = std::max(0, options_.max_request_retries);
+  options_.degraded_after_faults = std::max(1, options_.degraded_after_faults);
+  options_.recover_after_successes =
+      std::max(1, options_.recover_after_successes);
+  effective_max_batch_.store(std::max(1, options_.batching.max_batch_size));
+  stats_.SetEffectiveMaxBatch(effective_max_batch_.load());
 }
 
 InferenceServer::~InferenceServer() { (void)Shutdown(); }
@@ -74,6 +80,15 @@ Result<PredictResponse> InferenceServer::Predict(
     std::span<const int32_t> indices, std::span<const double> values,
     Deadline deadline) {
   GMP_ASSIGN_OR_RETURN(auto future, Submit(indices, values, deadline));
+  // Wait in bounded slices: Deadline::Remaining() of an infinite deadline is
+  // duration::max, which overflows wait_for's internal now() + duration
+  // arithmetic on common implementations.
+  while (future.wait_for(deadline.BoundedRemaining(std::chrono::seconds(1))) !=
+         std::future_status::ready) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("request deadline expired while waiting");
+    }
+  }
   return future.get();
 }
 
@@ -105,8 +120,43 @@ void InferenceServer::Respond(PendingRequest item,
   item.promise.set_value(std::move(response));
 }
 
+void InferenceServer::NoteBatchFault() {
+  stats_.RecordFault();
+  consecutive_successes_.store(0);
+  if (consecutive_faults_.fetch_add(1) + 1 < options_.degraded_after_faults) {
+    return;
+  }
+  consecutive_faults_.store(0);
+  const int current = effective_max_batch_.load();
+  const int next = std::max(1, current / 2);
+  if (next < current) {
+    effective_max_batch_.store(next);
+    stats_.RecordDegradedEntry();
+    stats_.SetEffectiveMaxBatch(next);
+  }
+}
+
+void InferenceServer::NoteBatchSuccess() {
+  consecutive_faults_.store(0);
+  if (consecutive_successes_.fetch_add(1) + 1 <
+      options_.recover_after_successes) {
+    return;
+  }
+  consecutive_successes_.store(0);
+  const int full = std::max(1, options_.batching.max_batch_size);
+  const int current = effective_max_batch_.load();
+  if (current < full) {
+    const int next = std::min(full, current * 2);
+    effective_max_batch_.store(next);
+    stats_.SetEffectiveMaxBatch(next);
+  }
+}
+
 void InferenceServer::WorkerLoop(int worker_index) {
   SimExecutor executor(options_.executor_model);
+  if (options_.fault != nullptr) {
+    executor.SetFaultInjector(options_.fault);
+  }
   obs::TraceRecorder* trace = options_.trace;
   if (trace != nullptr) {
     executor.SetSpanRecorder(trace, worker_index * kWorkerLaneStride,
@@ -116,7 +166,8 @@ void InferenceServer::WorkerLoop(int worker_index) {
 
   while (true) {
     double wait_t0 = trace != nullptr ? trace->HostSecondsNow() : 0.0;
-    MicroBatcher::Batch batch = batcher_.NextBatch();
+    MicroBatcher::Batch batch = batcher_.NextBatch(
+        static_cast<size_t>(effective_max_batch_.load()));
     if (batch.empty()) break;  // queue closed and drained
     if (trace != nullptr) {
       obs::SpanEvent wait;
@@ -166,11 +217,26 @@ void InferenceServer::WorkerLoop(int worker_index) {
     }
     obs::HostSpan respond_span(trace, "respond", worker_index);
     if (!result.ok()) {
-      // A malformed row fails the whole tile; retry individually so the
-      // well-formed requests in the batch still succeed.
+      if (result.status().IsUnavailable()) {
+        NoteBatchFault();
+      }
+      // A malformed row or an injected fault fails the whole tile; recover
+      // per-request so the unaffected requests still succeed. Transient
+      // (kUnavailable) failures get a bounded retry budget, cut short once
+      // the request's deadline expires — either way the request ends with a
+      // terminal Result.
       for (size_t i = 0; i < batch.requests.size(); ++i) {
         auto single =
             predictor.PredictRows({&rows[i], 1}, &executor, options_.predict);
+        int retries_left = options_.max_request_retries;
+        while (!single.ok() && single.status().IsUnavailable() &&
+               retries_left > 0 &&
+               !batch.requests[i].request.deadline.Expired()) {
+          --retries_left;
+          stats_.RecordRetry();
+          single =
+              predictor.PredictRows({&rows[i], 1}, &executor, options_.predict);
+        }
         if (single.ok()) {
           PredictResponse response;
           const int k = single->num_classes;
@@ -192,6 +258,7 @@ void InferenceServer::WorkerLoop(int worker_index) {
       }
       continue;
     }
+    NoteBatchSuccess();
 
     const int k = result->num_classes;
     for (size_t i = 0; i < batch.requests.size(); ++i) {

@@ -26,6 +26,7 @@
 #ifndef GMPSVM_SERVE_SERVER_H_
 #define GMPSVM_SERVE_SERVER_H_
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <span>
@@ -36,6 +37,7 @@
 #include "common/thread_pool.h"
 #include "core/predictor.h"
 #include "device/executor.h"
+#include "fault/fault_injector.h"
 #include "obs/span.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_registry.h"
@@ -73,6 +75,25 @@ struct ServeOptions {
   // feeds its stream spans into the same recorder (lane base 16 * worker),
   // yielding one merged Chrome trace. Must outlive the server.
   obs::TraceRecorder* trace = nullptr;
+
+  // --- Fault recovery -------------------------------------------------------
+  // Optional injector attached to every worker's simulated device, so
+  // prediction allocations can fail transiently and streams can take latency
+  // spikes. Must outlive the server.
+  fault::FaultInjector* fault = nullptr;
+
+  // Per-request retry budget after a transient (kUnavailable) prediction
+  // failure. Retries stop early once the request's deadline has expired; the
+  // request then fails with the fault's status (still a terminal Result —
+  // accepted requests always get an answer).
+  int max_request_retries = 1;
+
+  // Degraded mode: after this many consecutive transient batch faults the
+  // server halves its effective max batch size (floor 1); after
+  // recover_after_successes consecutive fault-free batches it doubles back
+  // toward the configured maximum.
+  int degraded_after_faults = 3;
+  int recover_after_successes = 8;
 };
 
 class InferenceServer {
@@ -120,9 +141,17 @@ class InferenceServer {
   size_t queue_depth() const { return queue_.size(); }
   const ServeOptions& options() const { return options_; }
 
+  // Current degraded-mode batch cap (== batching.max_batch_size when
+  // healthy).
+  int effective_max_batch() const { return effective_max_batch_.load(); }
+
  private:
   void WorkerLoop(int worker_index);
   static void Respond(PendingRequest item, Result<PredictResponse> response);
+
+  // Degraded-mode bookkeeping, called by workers per batch outcome.
+  void NoteBatchFault();
+  void NoteBatchSuccess();
 
   ModelRegistry* registry_;
   ServeOptions options_;
@@ -133,6 +162,10 @@ class InferenceServer {
   std::mutex lifecycle_mu_;
   bool started_ = false;
   bool shut_down_ = false;
+
+  std::atomic<int> effective_max_batch_{1};
+  std::atomic<int> consecutive_faults_{0};
+  std::atomic<int> consecutive_successes_{0};
 };
 
 }  // namespace gmpsvm

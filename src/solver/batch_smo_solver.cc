@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "fault/fault_injector.h"
 #include "solver/kernel_buffer.h"
 
 namespace gmpsvm {
@@ -130,6 +131,14 @@ Status BatchSmoOptions::Validate() const {
     return Status::InvalidArgument(
         StrPrintf("max_inner must be >= 0, got %d", max_inner));
   }
+  if (max_row_batch_retries < 1) {
+    return Status::InvalidArgument(StrPrintf(
+        "max_row_batch_retries must be >= 1, got %d", max_row_batch_retries));
+  }
+  if (max_alloc_retries < 1) {
+    return Status::InvalidArgument(
+        StrPrintf("max_alloc_retries must be >= 1, got %d", max_alloc_retries));
+  }
   return Status::OK();
 }
 
@@ -188,14 +197,27 @@ Result<BinarySolution> BatchSmoSolver::SolveImpl(const BinaryProblem& problem,
       std::max<int64_t>(options_.buffer_rows > 0 ? options_.buffer_rows : ws_size,
                         ws_size);
 
-  // Reserve the GPU buffer against the device budget.
+  // Reserve the GPU buffer against the device budget. A transient (injected)
+  // allocation failure is retried in place; genuine OOM propagates.
   DeviceAllocation buffer_reservation;
   if (options_.buffer_on_device) {
-    GMP_ASSIGN_OR_RETURN(
-        buffer_reservation,
-        executor->Allocate(static_cast<size_t>(buffer_rows * n) * sizeof(double)));
+    const size_t buffer_bytes =
+        static_cast<size_t>(buffer_rows * n) * sizeof(double);
+    for (int attempt = 1;; ++attempt) {
+      auto reservation = executor->Allocate(buffer_bytes);
+      if (reservation.ok()) {
+        buffer_reservation = std::move(*reservation);
+        break;
+      }
+      if (!reservation.status().IsUnavailable() ||
+          attempt >= options_.max_alloc_retries) {
+        return reservation.status();
+      }
+      if (stats != nullptr) ++stats->alloc_retries;
+    }
   }
   KernelBuffer buffer(n, buffer_rows, options_.buffer_policy);
+  buffer.SetFaultInjector(executor->fault_injector());
 
   // Solver state.
   std::vector<double> alpha(static_cast<size_t>(n), 0.0);
@@ -307,6 +329,23 @@ Result<BinarySolution> BatchSmoSolver::SolveImpl(const BinaryProblem& problem,
     if (!missing.empty()) {
       const double t0 = executor->StreamTime(stream);
       GMP_ASSIGN_OR_RETURN(std::vector<double*> slots, buffer.InsertBatch(missing));
+      // Recovery: under an attached fault injector the batched row launch can
+      // fail transiently. Each failed attempt burns a launch slot on the
+      // stream; bounded retries either get through (the injector's
+      // consecutive cap guarantees progress for well-formed plans) or give up
+      // with kUnavailable for the trainer's pair-level retry to handle.
+      fault::FaultInjector* injector = executor->fault_injector();
+      int failed_attempts = 0;
+      while (injector != nullptr &&
+             injector->ShouldInject(fault::Site::kKernelRowBatch)) {
+        executor->Charge(stream, TaskCost{});  // failed launch overhead
+        if (stats != nullptr) ++stats->kernel_row_retries;
+        if (++failed_attempts >= options_.max_row_batch_retries) {
+          return Status::Unavailable(
+              StrPrintf("kernel row batch failed %d times on stream %d",
+                        failed_attempts, stream));
+        }
+      }
       source->ComputeRows(missing, slots, executor, stream);
       kernel_time += executor->StreamTime(stream) - t0;
       if (stats != nullptr) {
@@ -437,6 +476,7 @@ Result<BinarySolution> BatchSmoSolver::SolveImpl(const BinaryProblem& problem,
   if (stats != nullptr) {
     stats->iterations += iterations;
     stats->outer_rounds += rounds;
+    stats->rows_poisoned += buffer.rows_poisoned();
     stats->phases.Add("kernel_values", kernel_time);
     stats->phases.Add("subproblem", subproblem_time);
     stats->phases.Add("other", executor->StreamTime(stream) - time_base -

@@ -62,6 +62,14 @@ struct BatchSmoOptions {
   // Count the kernel buffer against the executor's device-memory budget.
   bool buffer_on_device = true;
 
+  // --- Fault recovery ------------------------------------------------------
+  // With a FaultInjector attached to the executor, the batched row
+  // computation and the buffer allocation can fail transiently; the solver
+  // retries them in place up to these attempt counts before giving up with
+  // kUnavailable (which the trainers' pair-level retry then handles).
+  int max_row_batch_retries = 4;
+  int max_alloc_retries = 4;
+
   // Checks the configuration and returns InvalidArgument naming the offending
   // field (ws_size < 2, q < 1, non-positive eps, negative
   // buffer_rows/max_inner, non-positive max_outer_rounds). Called by the

@@ -1,9 +1,11 @@
 #include "solver/kernel_buffer.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "fault/fault_injector.h"
 
 namespace gmpsvm {
 
@@ -19,7 +21,7 @@ KernelBuffer::KernelBuffer(int64_t row_length, int64_t capacity_rows,
 
 const double* KernelBuffer::Lookup(int32_t row) {
   auto it = index_.find(row);
-  if (it == index_.end()) return nullptr;
+  if (it == index_.end() || poisoned_.count(row) != 0) return nullptr;
   if (policy_ == Policy::kLru) Refresh(row);
   return storage_.data() + it->second * row_length_;
 }
@@ -42,7 +44,9 @@ void KernelBuffer::Partition(std::span<const int32_t> rows,
   present->clear();
   missing->clear();
   for (int32_t row : rows) {
-    if (index_.count(row) != 0) {
+    // Poisoned rows are resident but unusable: report them missing so the
+    // caller recomputes their values (InsertBatch reuses their slot).
+    if (index_.count(row) != 0 && poisoned_.count(row) == 0) {
       present->push_back(row);
       ++hits_;
       if (policy_ == Policy::kLru) Refresh(row);
@@ -62,8 +66,17 @@ Result<std::vector<double*>> KernelBuffer::InsertBatch(
     std::span<const int32_t> rows) {
   std::vector<double*> out;
   out.reserve(rows.size());
+  bool evicted_any = false;
   for (int32_t row : rows) {
-    GMP_DCHECK(index_.find(row) == index_.end());
+    auto existing = index_.find(row);
+    if (existing != index_.end()) {
+      // Only a poisoned row may be re-inserted: it keeps its slot and its
+      // place in the eviction queue; the caller overwrites the values.
+      GMP_DCHECK(poisoned_.count(row) != 0);
+      poisoned_.erase(row);
+      out.push_back(storage_.data() + existing->second * row_length_);
+      continue;
+    }
     int64_t slot = -1;
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
@@ -85,7 +98,9 @@ Result<std::vector<double*>> KernelBuffer::InsertBatch(
         GMP_DCHECK(vit != index_.end());
         slot = vit->second;
         index_.erase(vit);
+        poisoned_.erase(victim);
         ++evictions_;
+        evicted_any = true;
         break;
       }
       if (slot < 0) {
@@ -98,7 +113,34 @@ Result<std::vector<double*>> KernelBuffer::InsertBatch(
     fifo_.push_back(row);
     out.push_back(storage_.data() + slot * row_length_);
   }
+  // Fault hook: an eviction pass may corrupt a bystander row (models a bad
+  // DMA overwriting a neighbor). Never the rows just inserted — the caller
+  // is about to fill those — and never a pinned row, which the current
+  // round reads without re-checking.
+  if (evicted_any && fault_ != nullptr &&
+      fault_->ShouldInject(fault::Site::kBufferEvict)) {
+    PoisonOldestUnpinned(rows);
+  }
   return out;
+}
+
+void KernelBuffer::PoisonOldestUnpinned(std::span<const int32_t> just_inserted) {
+  for (int32_t row : fifo_) {
+    if (pinned_.count(row) != 0 || poisoned_.count(row) != 0 ||
+        index_.count(row) == 0) {
+      continue;
+    }
+    if (std::find(just_inserted.begin(), just_inserted.end(), row) !=
+        just_inserted.end()) {
+      continue;
+    }
+    double* data = storage_.data() + index_[row] * row_length_;
+    std::fill(data, data + row_length_,
+              std::numeric_limits<double>::quiet_NaN());
+    poisoned_.insert(row);
+    ++rows_poisoned_;
+    return;
+  }
 }
 
 }  // namespace gmpsvm

@@ -23,6 +23,10 @@
 
 namespace gmpsvm {
 
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+
 class KernelBuffer {
  public:
   // Replacement policy. The paper uses kFifo ("simple and sufficiently
@@ -56,18 +60,32 @@ class KernelBuffer {
   void Pin(std::span<const int32_t> rows);
 
   // Allocates storage for `rows` (which must not be buffered or pinned-
-  // absent duplicates), evicting the oldest unpinned rows as needed. Returns
-  // one writable pointer per row, in order. Fails if rows.size() exceeds
-  // what can be made free without evicting pinned rows.
+  // absent duplicates — except poisoned rows, which reuse their slot and are
+  // marked clean for the caller to overwrite), evicting the oldest unpinned
+  // rows as needed. Returns one writable pointer per row, in order. Fails if
+  // rows.size() exceeds what can be made free without evicting pinned rows.
   Result<std::vector<double*>> InsertBatch(std::span<const int32_t> rows);
+
+  // Attaches a fault injector: an InsertBatch that evicts may additionally
+  // poison (fill with NaN) the oldest unpinned resident row. Poisoned rows
+  // behave as absent — Lookup returns nullptr and Partition reports them
+  // missing — so the solver recomputes them instead of reading garbage.
+  void SetFaultInjector(fault::FaultInjector* injector) { fault_ = injector; }
+
+  // Whether `row` is currently marked poisoned (test hook).
+  bool IsPoisoned(int32_t row) const { return poisoned_.count(row) != 0; }
 
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
   int64_t evictions() const { return evictions_; }
+  int64_t rows_poisoned() const { return rows_poisoned_; }
 
  private:
   // Moves `row` to the back of the eviction queue (most recent).
   void Refresh(int32_t row);
+
+  // Poisons the oldest unpinned resident row not in `just_inserted`.
+  void PoisonOldestUnpinned(std::span<const int32_t> just_inserted);
 
   int64_t row_length_;
   int64_t capacity_rows_;
@@ -77,9 +95,12 @@ class KernelBuffer {
   std::deque<int32_t> fifo_;                    // eviction order, front = next victim
   std::unordered_set<int32_t> pinned_;
   std::vector<int64_t> free_slots_;
+  std::unordered_set<int32_t> poisoned_;
+  fault::FaultInjector* fault_ = nullptr;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t rows_poisoned_ = 0;
 };
 
 }  // namespace gmpsvm

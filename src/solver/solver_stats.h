@@ -22,6 +22,13 @@ struct SolverStats {
   int64_t kernel_rows_computed = 0;
   int64_t kernel_rows_reused = 0;
 
+  // Fault recovery: retried batched row computations / buffer allocations
+  // (injected transient faults absorbed inside the solver) and buffer rows
+  // found poisoned and recomputed.
+  int64_t kernel_row_retries = 0;
+  int64_t alloc_retries = 0;
+  int64_t rows_poisoned = 0;
+
   // Simulated seconds attributed to pipeline phases:
   //   "kernel_values" — computing kernel rows (Fig. 11's dominant component)
   //   "subproblem"    — inner SMO updates on the working set
@@ -33,6 +40,9 @@ struct SolverStats {
     outer_rounds += other.outer_rounds;
     kernel_rows_computed += other.kernel_rows_computed;
     kernel_rows_reused += other.kernel_rows_reused;
+    kernel_row_retries += other.kernel_row_retries;
+    alloc_retries += other.alloc_retries;
+    rows_poisoned += other.rows_poisoned;
     phases.Merge(other.phases);
   }
 };

@@ -1,0 +1,70 @@
+// Deadline / monotonic-time arithmetic, in particular the saturating
+// additions that keep infinite deadlines from overflowing wait machinery.
+
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace gmpsvm {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+TEST(SafeTimeAddTest, NormalAdditionIsExact) {
+  const MonotonicTime now = MonotonicNow();
+  EXPECT_EQ(SafeTimeAdd(now, seconds(5)), now + seconds(5));
+  EXPECT_EQ(SafeTimeAdd(now, MonotonicClock::duration::zero()), now);
+}
+
+TEST(SafeTimeAddTest, SaturatesInsteadOfOverflowing) {
+  const MonotonicTime now = MonotonicNow();
+  // Naive now + duration::max() is signed overflow (UB) and in practice a
+  // time point in the past; the saturating add pins it to the far future.
+  const MonotonicTime far = SafeTimeAdd(now, MonotonicClock::duration::max());
+  EXPECT_EQ(far, MonotonicTime::max());
+  EXPECT_GT(far, now);
+  EXPECT_EQ(SafeTimeAdd(MonotonicTime::max(), seconds(1)),
+            MonotonicTime::max());
+}
+
+TEST(SafeTimeAddTest, NegativeDurationsPassThrough) {
+  const MonotonicTime now = MonotonicNow();
+  EXPECT_EQ(SafeTimeAdd(now, -seconds(3)), now - seconds(3));
+}
+
+TEST(DeadlineTest, InfiniteDeadlineNeverExpires) {
+  const Deadline deadline = Deadline::Infinite();
+  EXPECT_TRUE(deadline.is_infinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining(), MonotonicClock::duration::max());
+}
+
+TEST(DeadlineTest, BoundedRemainingClampsInfiniteToSlice) {
+  const Deadline infinite = Deadline::Infinite();
+  // This is the form every waiter must feed to wait_for/wait_until: bounded,
+  // so the implementation's now() + duration arithmetic cannot overflow.
+  EXPECT_EQ(infinite.BoundedRemaining(seconds(1)), seconds(1));
+  EXPECT_EQ(infinite.BoundedRemaining(milliseconds(50)), milliseconds(50));
+}
+
+TEST(DeadlineTest, BoundedRemainingUsesRealRemainingWhenSmaller) {
+  const Deadline soon = Deadline::After(milliseconds(5));
+  EXPECT_LE(soon.BoundedRemaining(seconds(10)), milliseconds(5));
+  const Deadline past = Deadline::After(milliseconds(-5));
+  EXPECT_EQ(past.BoundedRemaining(seconds(10)),
+            MonotonicClock::duration::zero());
+  EXPECT_TRUE(past.Expired());
+}
+
+TEST(DeadlineTest, AfterExpiresOnSchedule) {
+  const Deadline deadline = Deadline::After(milliseconds(-1));
+  EXPECT_FALSE(deadline.is_infinite());
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining(), MonotonicClock::duration::zero());
+}
+
+}  // namespace
+}  // namespace gmpsvm

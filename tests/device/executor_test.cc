@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "device/sim_model.h"
+#include "fault/fault_injector.h"
 
 namespace gmpsvm {
 namespace {
@@ -241,6 +242,103 @@ TEST(SimExecutorTest, PresetsAreSane) {
   // GPU has far more aggregate throughput than the 40-thread CPU.
   EXPECT_GT(gpu.compute_units * gpu.flops_per_unit,
             3.0 * cpu40.compute_units * cpu40.flops_per_unit);
+}
+
+TEST(SimExecutorFaultTest, TrySubmitWithoutInjectorRunsNormally) {
+  SimExecutor exec(SimpleModel());
+  bool ran = false;
+  TaskCost cost;
+  cost.flops = 400.0;
+  cost.parallel_items = 100;
+  GMP_CHECK_OK(exec.TrySubmit(kDefaultStream, cost, [&ran] { ran = true; }));
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(exec.NowSeconds(), 2.0);
+}
+
+TEST(SimExecutorFaultTest, InjectedSubmitFailureSkipsBodyButChargesStream) {
+  SimExecutor exec(SimpleModel());
+  fault::FaultPlan plan;
+  plan.submit_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+  exec.SetFaultInjector(&injector);
+
+  bool ran = false;
+  TaskCost cost;
+  cost.flops = 400.0;
+  cost.parallel_items = 100;
+  const Status status =
+      exec.TrySubmit(kDefaultStream, cost, [&ran] { ran = true; });
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_FALSE(ran);  // the body never observes a failed launch
+  // A failed launch still burns its slot on the simulated timeline.
+  EXPECT_DOUBLE_EQ(exec.NowSeconds(), 2.0);
+  EXPECT_EQ(injector.injected(fault::Site::kDeviceSubmit), 1);
+}
+
+TEST(SimExecutorFaultTest, InjectedTransferFailureStillChargesWire) {
+  SimExecutor exec(SimpleModel());
+  fault::FaultPlan plan;
+  plan.transfer_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+  exec.SetFaultInjector(&injector);
+
+  const Status status =
+      exec.TryTransfer(kDefaultStream, 100.0, TransferDirection::kHostToDevice);
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+  EXPECT_DOUBLE_EQ(exec.NowSeconds(), 10.0);  // the wire was busy anyway
+}
+
+TEST(SimExecutorFaultTest, InjectedAllocFailureHealsAtConsecutiveCap) {
+  SimExecutor exec(SimpleModel());
+  fault::FaultPlan plan;
+  plan.alloc_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 2;
+  fault::FaultInjector injector(plan);
+  exec.SetFaultInjector(&injector);
+
+  EXPECT_TRUE(exec.Allocate(100).status().IsUnavailable());
+  EXPECT_TRUE(exec.Allocate(100).status().IsUnavailable());
+  auto third = exec.Allocate(100);  // the cap forces this one through
+  GMP_CHECK_OK(third.status());
+  EXPECT_EQ(exec.bytes_in_use(), 100u);
+}
+
+TEST(SimExecutorFaultTest, LatencySpikeStallsTheStream) {
+  SimExecutor exec(SimpleModel());
+  fault::FaultPlan plan;
+  plan.latency_spike_prob = 1.0;
+  plan.latency_spike_seconds = 0.5;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+  exec.SetFaultInjector(&injector);
+
+  TaskCost cost;
+  cost.flops = 400.0;
+  cost.parallel_items = 100;
+  exec.Charge(kDefaultStream, cost);
+  EXPECT_DOUBLE_EQ(exec.NowSeconds(), 2.0 + 0.5);
+}
+
+TEST(SimExecutorFaultTest, AdvanceStreamAddsIdleSimTime) {
+  SimExecutor exec(SimpleModel());
+  exec.AdvanceStream(kDefaultStream, 1.5, "retry_backoff");
+  EXPECT_DOUBLE_EQ(exec.NowSeconds(), 1.5);
+  exec.AdvanceStream(kDefaultStream, 0.0);
+  EXPECT_DOUBLE_EQ(exec.NowSeconds(), 1.5);
+}
+
+TEST(SimExecutorFaultTest, DetachingInjectorRestoresCleanBehaviour) {
+  SimExecutor exec(SimpleModel());
+  fault::FaultPlan plan;
+  plan.alloc_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+  exec.SetFaultInjector(&injector);
+  EXPECT_TRUE(exec.Allocate(100).status().IsUnavailable());
+  exec.SetFaultInjector(nullptr);
+  GMP_CHECK_OK(exec.Allocate(100).status());
 }
 
 TEST(SubmitParallelForTest, ExecutesBodyOnceOverRange) {

@@ -1,0 +1,237 @@
+// Serving under chaos: every accepted request still ends with a terminal
+// Result, transient faults drive the degraded-mode batch cap down and
+// recovery brings it back, fault counters land in the shared metrics
+// registry, and a failed hot-swap (validator or injected) never unseats the
+// serving model.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "core/mp_trainer.h"
+#include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace gmpsvm {
+namespace {
+
+using std::chrono::milliseconds;
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+MpSvmModel TrainSmallModel(uint64_t seed, int k = 3) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(k, 20, 6, 2.5, seed));
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 16;
+  options.batch.working_set.q = 8;
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  return ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr));
+}
+
+TEST(ChaosServeTest, AcceptedRequestsAlwaysGetTerminalResults) {
+  // Allocations fail hard for a while, then the injector's budget runs out
+  // and the device heals — a "bad minute" scenario.
+  fault::FaultPlan plan;
+  plan.alloc_fail_prob = 1.0;
+  plan.max_faults_per_site = 6;
+  fault::FaultInjector injector(plan);
+
+  ModelRegistry registry;
+  ServeOptions options;
+  ValueOrDie(registry.Register(options.model_name, TrainSmallModel(42)));
+  options.num_workers = 1;
+  options.batching.max_batch_size = 4;
+  options.batching.max_queue_delay = milliseconds(5);
+  options.fault = &injector;
+  options.max_request_retries = 5;
+  options.degraded_after_faults = 1;
+  options.recover_after_successes = 2;
+
+  auto test = ValueOrDie(MakeMulticlassBlobs(3, 25, 6, 2.5, 43));
+  InferenceServer server(&registry, options);
+  GMP_CHECK_OK(server.Start());
+
+  server.Pause();  // build a backlog so batches actually form
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  constexpr int kRequests = 40;
+  for (int i = 0; i < kRequests; ++i) {
+    const int64_t row = i % test.size();
+    futures.push_back(ValueOrDie(server.Submit(
+        test.features().RowIndices(row), test.features().RowValues(row))));
+  }
+  server.Resume();
+
+  int ok = 0, failed = 0;
+  for (auto& f : futures) {
+    auto response = f.get();  // terminal Result, never hangs
+    response.ok() ? ++ok : ++failed;
+    if (!response.ok()) {
+      EXPECT_TRUE(response.status().IsUnavailable())
+          << response.status().ToString();
+    }
+  }
+  EXPECT_EQ(ok + failed, kRequests);
+  EXPECT_GT(injector.total_injected(), 0);
+  // Once the injector's budget is spent everything succeeds, so the bulk of
+  // the backlog must have been answered OK.
+  EXPECT_GT(ok, kRequests / 2);
+
+  const ServeStatsSnapshot snap = server.stats().Snapshot();
+  EXPECT_EQ(snap.completed + snap.failed, static_cast<uint64_t>(kRequests));
+  EXPECT_GT(snap.faults, 0u);
+  GMP_CHECK_OK(server.Shutdown());
+}
+
+TEST(ChaosServeTest, DegradedModeShrinksThenRecovers) {
+  fault::FaultPlan plan;
+  plan.alloc_fail_prob = 1.0;
+  plan.max_faults_per_site = 4;
+  fault::FaultInjector injector(plan);
+
+  ModelRegistry registry;
+  ServeOptions options;
+  ValueOrDie(registry.Register(options.model_name, TrainSmallModel(7)));
+  options.num_workers = 1;
+  options.batching.max_batch_size = 8;
+  options.batching.max_queue_delay = milliseconds(5);
+  options.fault = &injector;
+  options.max_request_retries = 5;
+  options.degraded_after_faults = 1;  // degrade on the first faulted batch
+  options.recover_after_successes = 2;
+
+  auto test = ValueOrDie(MakeMulticlassBlobs(3, 30, 6, 2.5, 8));
+  InferenceServer server(&registry, options);
+  EXPECT_EQ(server.effective_max_batch(), 8);
+  GMP_CHECK_OK(server.Start());
+
+  server.Pause();
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  for (int64_t i = 0; i < 64; ++i) {
+    const int64_t row = i % test.size();
+    futures.push_back(ValueOrDie(server.Submit(
+        test.features().RowIndices(row), test.features().RowValues(row))));
+  }
+  server.Resume();
+  for (auto& f : futures) f.wait();
+
+  const ServeStatsSnapshot snap = server.stats().Snapshot();
+  EXPECT_GT(snap.faults, 0u);
+  EXPECT_GT(snap.degraded_entries, 0u);  // the cap was halved at least once
+  // The fault budget is spent early; the long fault-free tail must have
+  // doubled the cap back to the configured maximum.
+  EXPECT_EQ(server.effective_max_batch(), 8);
+  GMP_CHECK_OK(server.Shutdown());
+}
+
+TEST(ChaosServeTest, FaultCountersLandInSharedRegistry) {
+  obs::MetricsRegistry metrics;
+  fault::FaultPlan plan;
+  plan.alloc_fail_prob = 1.0;
+  plan.max_faults_per_site = 3;
+  fault::FaultInjector injector(plan, &metrics);
+
+  ModelRegistry registry;
+  ServeOptions options;
+  ValueOrDie(registry.Register(options.model_name, TrainSmallModel(9)));
+  options.num_workers = 1;
+  options.fault = &injector;
+  options.max_request_retries = 3;
+  options.metrics = &metrics;
+
+  auto test = ValueOrDie(MakeMulticlassBlobs(3, 20, 6, 2.5, 10));
+  InferenceServer server(&registry, options);
+  GMP_CHECK_OK(server.Start());
+  for (int64_t i = 0; i < 12; ++i) {
+    auto response = server.Predict(test.features().RowIndices(i),
+                                   test.features().RowValues(i));
+    (void)response;  // terminal either way
+  }
+  GMP_CHECK_OK(server.Shutdown());
+
+  const std::string text = metrics.ToPrometheusText();
+  EXPECT_NE(text.find("gmpsvm_serve_faults_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("gmpsvm_serve_retries_total"), std::string::npos);
+  EXPECT_NE(text.find("gmpsvm_serve_degraded_entries_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("gmpsvm_serve_effective_max_batch"), std::string::npos);
+  EXPECT_NE(text.find("gmpsvm_fault_injected_total{site=\"device_alloc\"}"),
+            std::string::npos);
+}
+
+TEST(ChaosServeTest, ValidatorRejectionRollsBackSwap) {
+  ModelRegistry registry;
+  ValueOrDie(registry.Register("m", TrainSmallModel(1)));
+  registry.SetValidator([](const MpSvmModel& model) {
+    return model.num_classes >= 4
+               ? Status::OK()
+               : Status::InvalidArgument("needs at least 4 classes");
+  });
+
+  auto rejected = registry.Register("m", TrainSmallModel(2, /*k=*/3));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+  // Old version keeps serving.
+  auto handle = ValueOrDie(registry.Get("m"));
+  EXPECT_EQ(handle.version, 1);
+  EXPECT_EQ(handle.model->num_classes, 3);
+
+  // A model that passes the gate commits with the next version number.
+  ValueOrDie(registry.Register("m", TrainSmallModel(3, /*k=*/4)));
+  EXPECT_EQ(ValueOrDie(registry.Get("m")).version, 2);
+}
+
+TEST(ChaosServeTest, InjectedSwapFailureRollsBackSwap) {
+  fault::FaultPlan plan;
+  plan.swap_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+
+  ModelRegistry registry;
+  registry.SetFaultInjector(&injector);
+  // First registration is not a swap: no site to inject.
+  ValueOrDie(registry.Register("m", TrainSmallModel(1)));
+
+  auto failed = registry.Register("m", TrainSmallModel(2));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsUnavailable()) << failed.status().ToString();
+  EXPECT_EQ(injector.injected(fault::Site::kModelSwap), 1);
+  EXPECT_EQ(ValueOrDie(registry.Get("m")).version, 1);
+
+  // Detach the injector: the swap goes through and versions stay monotonic.
+  registry.SetFaultInjector(nullptr);
+  EXPECT_EQ(ValueOrDie(registry.Register("m", TrainSmallModel(2))), 2);
+}
+
+TEST(ChaosServeTest, FailedSwapKeepsOldModelServing) {
+  fault::FaultPlan plan;
+  plan.swap_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+
+  ModelRegistry registry;
+  ServeOptions options;
+  ValueOrDie(registry.Register(options.model_name, TrainSmallModel(5)));
+  registry.SetFaultInjector(&injector);
+  options.num_workers = 1;
+
+  auto test = ValueOrDie(MakeMulticlassBlobs(3, 10, 6, 2.5, 6));
+  InferenceServer server(&registry, options);
+  GMP_CHECK_OK(server.Start());
+
+  auto before = ValueOrDie(server.Predict(test.features().RowIndices(0),
+                                          test.features().RowValues(0)));
+  EXPECT_EQ(before.model_version, 1);
+  EXPECT_FALSE(registry.Register(options.model_name, TrainSmallModel(6)).ok());
+  auto after = ValueOrDie(server.Predict(test.features().RowIndices(1),
+                                         test.features().RowValues(1)));
+  EXPECT_EQ(after.model_version, 1);  // still the pre-swap snapshot
+  GMP_CHECK_OK(server.Shutdown());
+}
+
+}  // namespace
+}  // namespace gmpsvm

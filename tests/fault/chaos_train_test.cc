@@ -1,0 +1,169 @@
+// Chaos training: a fault plan injecting dozens of transient device faults
+// must not change the trained model by a single byte — recovery is
+// recompute-based, so retried work writes the same values, and only the
+// simulated clock (not the math) observes the chaos.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../test_util.h"
+#include "core/model_io.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "fault/fault_injector.h"
+#include "obs/metrics.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+MpTrainOptions GmpOptions() {
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 32;
+  options.batch.working_set.q = 16;
+  options.max_concurrent_svms = 4;
+  options.shared_cache_bytes = 64ull << 20;
+  return options;
+}
+
+// Chaos(seed) with every training-path site turned up, so a small dataset
+// still draws a large number of injections.
+fault::FaultPlan LoudChaos(uint64_t seed) {
+  fault::FaultPlan plan = fault::FaultPlan::Chaos(seed);
+  plan.alloc_fail_prob = 0.3;
+  plan.kernel_row_fail_prob = 0.35;
+  plan.evict_poison_prob = 0.5;
+  plan.latency_spike_prob = 0.3;
+  return plan;
+}
+
+TEST(ChaosTrainTest, GmpTrainerModelIsByteIdenticalUnderManyFaults) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(4, 25, 6, 2.5, 42));
+  const MpTrainOptions options = GmpOptions();
+
+  SimExecutor clean_gpu(ExecutorModel::TeslaP100());
+  auto clean =
+      ValueOrDie(GmpSvmTrainer(options).Train(data, &clean_gpu, nullptr));
+
+  SimExecutor chaos_gpu(ExecutorModel::TeslaP100());
+  fault::FaultInjector injector(LoudChaos(7));
+  chaos_gpu.SetFaultInjector(&injector);
+  MpTrainReport report;
+  auto chaotic =
+      ValueOrDie(GmpSvmTrainer(options).Train(data, &chaos_gpu, &report));
+
+  EXPECT_GE(injector.total_injected(), 50)
+      << "chaos plan too quiet to prove anything";
+  EXPECT_EQ(SerializeModel(chaotic), SerializeModel(clean));
+  // The report exposes the recovery work that made this possible.
+  EXPECT_GT(report.solver.kernel_row_retries + report.solver.alloc_retries +
+                report.solver.rows_poisoned + report.pair_retries,
+            0);
+  EXPECT_EQ(report.pairs_degraded, 0);
+}
+
+TEST(ChaosTrainTest, SequentialTrainerModelIsByteIdenticalUnderFaults) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 20, 5, 2.5, 11));
+  MpTrainOptions options;
+  options.kernel.gamma = 0.4;
+
+  SimExecutor clean_gpu(ExecutorModel::TeslaP100());
+  auto clean =
+      ValueOrDie(SequentialMpTrainer(options).Train(data, &clean_gpu, nullptr));
+
+  SimExecutor chaos_gpu(ExecutorModel::TeslaP100());
+  fault::FaultInjector injector(LoudChaos(13));
+  chaos_gpu.SetFaultInjector(&injector);
+  auto chaotic = ValueOrDie(
+      SequentialMpTrainer(options).Train(data, &chaos_gpu, nullptr));
+
+  EXPECT_GT(injector.total_injected(), 0);
+  EXPECT_EQ(SerializeModel(chaotic), SerializeModel(clean));
+}
+
+TEST(ChaosTrainTest, SameChaosSeedSameFaultsSameModel) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 18, 5, 2.5, 21));
+  const MpTrainOptions options = GmpOptions();
+
+  std::string first_model;
+  int64_t first_faults = 0;
+  for (int run = 0; run < 2; ++run) {
+    SimExecutor gpu(ExecutorModel::TeslaP100());
+    fault::FaultInjector injector(LoudChaos(77));
+    gpu.SetFaultInjector(&injector);
+    auto model = ValueOrDie(GmpSvmTrainer(options).Train(data, &gpu, nullptr));
+    if (run == 0) {
+      first_model = SerializeModel(model);
+      first_faults = injector.total_injected();
+    } else {
+      EXPECT_EQ(SerializeModel(model), first_model);
+      EXPECT_EQ(injector.total_injected(), first_faults);
+    }
+  }
+}
+
+TEST(ChaosTrainTest, FailFastAbortsWhenRetriesExhaust) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 12, 4, 3.0, 5));
+  MpTrainOptions options = GmpOptions();
+  fault::FaultPlan plan;
+  plan.kernel_row_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 0;  // never forces a success
+  fault::FaultInjector injector(plan);
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  gpu.SetFaultInjector(&injector);
+
+  auto result = GmpSvmTrainer(options).Train(data, &gpu, nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+}
+
+TEST(ChaosTrainTest, SkipDegradedCompletesWithNeutralPairs) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 12, 4, 3.0, 5));
+  MpTrainOptions options = GmpOptions();
+  options.pair_failure_policy = PairFailurePolicy::kSkipDegraded;
+  fault::FaultPlan plan;
+  plan.kernel_row_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  gpu.SetFaultInjector(&injector);
+
+  MpTrainReport report;
+  auto model = ValueOrDie(GmpSvmTrainer(options).Train(data, &gpu, &report));
+  EXPECT_EQ(report.pairs_degraded, 3);
+  EXPECT_GT(report.pair_retries, 0);
+  for (const auto& svm : model.svms) {
+    EXPECT_EQ(svm.num_svs(), 0);
+    EXPECT_EQ(svm.bias, 0.0);
+    // Neutral sigmoid: every probability is exactly 1/2.
+    EXPECT_EQ(svm.sigmoid.a, 0.0);
+    EXPECT_EQ(svm.sigmoid.b, 0.0);
+  }
+}
+
+TEST(ChaosTrainTest, PublishesRecoveryCountersToMetrics) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 15, 5, 2.5, 31));
+  const MpTrainOptions options = GmpOptions();
+  SimExecutor gpu(ExecutorModel::TeslaP100());
+  obs::MetricsRegistry metrics;
+  fault::FaultInjector injector(LoudChaos(3), &metrics);
+  gpu.SetFaultInjector(&injector);
+
+  MpTrainReport report;
+  ValueOrDie(GmpSvmTrainer(options).Train(data, &gpu, &report));
+  report.PublishTo(&metrics);
+
+  const std::string text = metrics.ToPrometheusText();
+  EXPECT_NE(text.find("gmpsvm_fault_injected_total{site=\"kernel_row_batch\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gmpsvm_train_pair_retries_total"), std::string::npos);
+  EXPECT_NE(text.find("gmpsvm_train_pairs_degraded_total"), std::string::npos);
+  EXPECT_NE(text.find("gmpsvm_train_rows_poisoned_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmpsvm

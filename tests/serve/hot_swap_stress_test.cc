@@ -1,0 +1,160 @@
+// Hot-swap under live traffic: while client threads hammer the server, a
+// swapper thread re-registers the served name every few milliseconds,
+// alternating between two known models. Every single response must be
+// attributable to one registered snapshot — correct version number AND
+// bit-identical probabilities for that version — i.e. a swap never tears a
+// batch and never serves a half-installed model.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "serve/server.h"
+
+namespace gmpsvm {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+MpSvmModel TrainModel(uint64_t seed) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 20, 6, 2.5, seed));
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 16;
+  options.batch.working_set.q = 8;
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  return ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr));
+}
+
+PredictResult Reference(const MpSvmModel& model, const CsrMatrix& rows,
+                        const PredictOptions& options) {
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  return ValueOrDie(MpSvmPredictor(&model).Predict(rows, &exec, options));
+}
+
+TEST(HotSwapStressTest, EveryResponseMatchesARegisteredSnapshot) {
+  // Two distinguishable models swap back and forth under the served name.
+  // The version parity identifies which one a response came from: odd
+  // versions are A (registered first and on every odd re-registration),
+  // even versions are B.
+  const MpSvmModel model_a = TrainModel(1);
+  const MpSvmModel model_b = TrainModel(2);
+
+  auto test = ValueOrDie(MakeMulticlassBlobs(3, 25, 6, 2.5, 99));
+  ServeOptions options;
+  options.num_workers = 3;
+  options.batching.max_batch_size = 8;
+  options.batching.max_queue_delay = microseconds(200);
+
+  const PredictResult ref_a =
+      Reference(model_a, test.features(), options.predict);
+  const PredictResult ref_b =
+      Reference(model_b, test.features(), options.predict);
+
+  ModelRegistry registry;
+  ValueOrDie(registry.Register(options.model_name, model_a));  // version 1
+  InferenceServer server(&registry, options);
+  GMP_CHECK_OK(server.Start());
+
+  constexpr int kSwaps = 20;
+  std::atomic<bool> clients_done{false};
+  std::thread swapper([&] {
+    for (int i = 0; i < kSwaps && !clients_done.load(); ++i) {
+      // Versions 2, 3, 4, ...: even = B, odd = A.
+      const MpSvmModel& next = (i % 2 == 0) ? model_b : model_a;
+      ValueOrDie(registry.Register(options.model_name, next));
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::atomic<int> mismatches{0};
+  std::atomic<int64_t> max_version_seen{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r) {
+        const int64_t row = (c * kPerClient + r) % test.size();
+        auto result = server.Predict(test.features().RowIndices(row),
+                                     test.features().RowValues(row));
+        if (!result.ok()) {
+          ++mismatches;
+          continue;
+        }
+        const PredictResult& ref =
+            (result->model_version % 2 == 1) ? ref_a : ref_b;
+        int64_t prev = max_version_seen.load();
+        while (prev < result->model_version &&
+               !max_version_seen.compare_exchange_weak(prev,
+                                                       result->model_version)) {
+        }
+        bool match = result->label == ref.labels[static_cast<size_t>(row)] &&
+                     result->probabilities.size() == 3u;
+        for (int k = 0; match && k < 3; ++k) {
+          // Bit-identical to the snapshot's offline predictions: a swap must
+          // never mix models within a response.
+          match = result->probabilities[static_cast<size_t>(k)] ==
+                  ref.Probability(row, k);
+        }
+        if (!match) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  clients_done.store(true);
+  swapper.join();
+  GMP_CHECK_OK(server.Shutdown());
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(max_version_seen.load(), 1);
+  const ServeStatsSnapshot snap = server.stats().Snapshot();
+  EXPECT_EQ(snap.completed, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(snap.failed, 0u);
+}
+
+TEST(HotSwapStressTest, SwapEveryNBatchesVersionsStayConsistent) {
+  // Deterministic variant: one worker, swaps interleaved with traffic from
+  // the same thread, so we can assert exact version progression.
+  const MpSvmModel model_a = TrainModel(3);
+  const MpSvmModel model_b = TrainModel(4);
+  auto test = ValueOrDie(MakeMulticlassBlobs(3, 20, 6, 2.5, 5));
+
+  ServeOptions options;
+  options.num_workers = 1;
+  ModelRegistry registry;
+  ValueOrDie(registry.Register(options.model_name, model_a));
+  InferenceServer server(&registry, options);
+  GMP_CHECK_OK(server.Start());
+
+  const PredictResult ref_a =
+      Reference(model_a, test.features(), options.predict);
+  const PredictResult ref_b =
+      Reference(model_b, test.features(), options.predict);
+
+  int64_t expected_version = 1;
+  for (int swap = 0; swap < 6; ++swap) {
+    for (int64_t row = 0; row < 5; ++row) {
+      auto response = ValueOrDie(server.Predict(
+          test.features().RowIndices(row), test.features().RowValues(row)));
+      EXPECT_EQ(response.model_version, expected_version);
+      const PredictResult& ref = (expected_version % 2 == 1) ? ref_a : ref_b;
+      EXPECT_EQ(response.label, ref.labels[static_cast<size_t>(row)]);
+    }
+    const MpSvmModel& next = (swap % 2 == 0) ? model_b : model_a;
+    expected_version = ValueOrDie(registry.Register(options.model_name, next));
+  }
+  GMP_CHECK_OK(server.Shutdown());
+}
+
+}  // namespace
+}  // namespace gmpsvm

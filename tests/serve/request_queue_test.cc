@@ -123,6 +123,32 @@ TEST(RequestQueueTest, PopBatchWaitsForBatchWindow) {
   producer.join();
 }
 
+TEST(RequestQueueTest, PopBatchWithInfiniteDelayWaitsInsteadOfSpinning) {
+  // Regression: duration::max() added to now() used to overflow into the
+  // past, making PopBatch return partial batches immediately. With the
+  // saturating deadline it must keep the batch window open.
+  RequestQueue queue(16);
+  GMP_CHECK_OK(queue.Push(MakeItem(0)));
+  std::thread producer([&] {
+    std::this_thread::sleep_for(milliseconds(10));
+    (void)queue.Push(MakeItem(1));
+    std::this_thread::sleep_for(milliseconds(10));
+    (void)queue.Push(MakeItem(2));
+    queue.Close();
+  });
+  std::vector<PendingRequest> out;
+  EXPECT_EQ(queue.PopBatch(3, MonotonicClock::duration::max(), &out), 3u);
+  producer.join();
+}
+
+TEST(RequestQueueTest, PopBatchWithInfiniteDelayReturnsFullBatchPromptly) {
+  RequestQueue queue(16);
+  for (int32_t i = 0; i < 4; ++i) GMP_CHECK_OK(queue.Push(MakeItem(i)));
+  std::vector<PendingRequest> out;
+  // A full batch never waits, however large the window is.
+  EXPECT_EQ(queue.PopBatch(4, MonotonicClock::duration::max(), &out), 4u);
+}
+
 TEST(RequestQueueTest, PopBatchReturnsZeroWhenClosedEmpty) {
   RequestQueue queue(4);
   queue.Close();
@@ -152,6 +178,19 @@ TEST(MicroBatcherTest, RespectsMaxBatchSize) {
   EXPECT_EQ(batcher.NextBatch().requests.size(), 2u);
   EXPECT_EQ(batcher.NextBatch().requests.size(), 2u);
   EXPECT_EQ(batcher.NextBatch().requests.size(), 1u);
+}
+
+TEST(MicroBatcherTest, BatchSizeOverrideShrinksTheCap) {
+  RequestQueue queue(16);
+  for (int32_t i = 0; i < 5; ++i) GMP_CHECK_OK(queue.Push(MakeItem(i)));
+  BatchingOptions options;
+  options.max_batch_size = 8;
+  options.max_queue_delay = std::chrono::microseconds(0);
+  MicroBatcher batcher(&queue, options);
+  // Degraded-mode override caps the batch below the configured maximum; 0
+  // means "no override".
+  EXPECT_EQ(batcher.NextBatch(2).requests.size(), 2u);
+  EXPECT_EQ(batcher.NextBatch(0).requests.size(), 3u);
 }
 
 TEST(MicroBatcherTest, SeparatesExpiredRequests) {

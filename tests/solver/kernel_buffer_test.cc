@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault_injector.h"
+
 namespace gmpsvm {
 namespace {
 
@@ -122,6 +124,67 @@ TEST(KernelBufferTest, LargerBufferRetainsDepartedRows) {
   }
   EXPECT_EQ(small.hits(), 0);
   EXPECT_EQ(large.hits(), 2);  // 0 and 1 were still buffered on re-entry
+}
+
+TEST(KernelBufferPoisonTest, PoisonedRowBehavesAsAbsentUntilRewritten) {
+  fault::FaultPlan plan;
+  plan.evict_poison_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+
+  KernelBuffer buf(2, 3);
+  buf.SetFaultInjector(&injector);
+  auto slots = ValueOrDie(buf.InsertBatch(std::vector<int32_t>{1, 2, 3}));
+  for (auto* s : slots) s[0] = 42.0;
+  EXPECT_EQ(buf.rows_poisoned(), 0);  // no eviction yet, no poison draw
+
+  // Inserting 4 evicts row 1 and (injected) poisons the oldest survivor: 2.
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{4}));
+  EXPECT_EQ(buf.rows_poisoned(), 1);
+  EXPECT_TRUE(buf.IsPoisoned(2));
+  EXPECT_EQ(buf.Lookup(2), nullptr);  // reads garbage never, recompute always
+  EXPECT_NE(buf.Lookup(3), nullptr);
+
+  std::vector<int32_t> present, missing;
+  std::vector<int32_t> want = {2, 3};
+  buf.Partition(want, &present, &missing);
+  EXPECT_EQ(present, (std::vector<int32_t>{3}));
+  EXPECT_EQ(missing, (std::vector<int32_t>{2}));
+
+  // Re-inserting the poisoned row reuses its slot and clears the poison.
+  auto rewrite = ValueOrDie(buf.InsertBatch(missing));
+  ASSERT_EQ(rewrite.size(), 1u);
+  rewrite[0][0] = 7.0;
+  EXPECT_FALSE(buf.IsPoisoned(2));
+  ASSERT_NE(buf.Lookup(2), nullptr);
+  EXPECT_DOUBLE_EQ(buf.Lookup(2)[0], 7.0);
+}
+
+TEST(KernelBufferPoisonTest, PinnedRowsAreNeverPoisoned) {
+  fault::FaultPlan plan;
+  plan.evict_poison_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+
+  KernelBuffer buf(1, 3);
+  buf.SetFaultInjector(&injector);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{1, 2, 3}));
+  std::vector<int32_t> pins = {2, 3};
+  buf.Pin(pins);
+  // Evicts unpinned row 1; the only poison candidates are pinned or freshly
+  // inserted, so nothing is poisoned.
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{4}));
+  EXPECT_EQ(buf.rows_poisoned(), 0);
+  EXPECT_NE(buf.Lookup(2), nullptr);
+  EXPECT_NE(buf.Lookup(3), nullptr);
+}
+
+TEST(KernelBufferPoisonTest, NoInjectorNoPoisonEver) {
+  KernelBuffer buf(1, 2);
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{1, 2}));
+  ValueOrDie(buf.InsertBatch(std::vector<int32_t>{3}));  // evicts
+  EXPECT_EQ(buf.rows_poisoned(), 0);
+  EXPECT_EQ(buf.evictions(), 1);
 }
 
 }  // namespace
