@@ -40,6 +40,13 @@ bool Args::Selected(const std::string& name) const {
   return std::find(datasets.begin(), datasets.end(), name) != datasets.end();
 }
 
+namespace {
+// Applied to every executor the factories below create; set from
+// --host-threads so bench binaries opt into real host parallelism without
+// threading the value through each table loop.
+int g_host_threads = 1;
+}  // namespace
+
 Args ParseArgs(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -55,13 +62,48 @@ Args ParseArgs(int argc, char** argv) {
       args.metrics_out = arg.substr(14);
     } else if (StartsWith(arg, "--trace-out=")) {
       args.trace_out = arg.substr(12);
+    } else if (StartsWith(arg, "--json=")) {
+      args.json_out = arg.substr(7);
+    } else if (StartsWith(arg, "--host-threads=")) {
+      args.host_threads = std::max(1, std::atoi(arg.c_str() + 15));
     } else if (StartsWith(arg, "--benchmark")) {
       // Ignore google-benchmark flags when mixed binaries share a runner.
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
     }
   }
+  g_host_threads = args.host_threads;
   return args;
+}
+
+void WriteBenchJson(const Args& args, const std::string& bench_name,
+                    const std::vector<JsonRow>& rows) {
+  if (args.json_out.empty()) return;
+  std::ofstream out(args.json_out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", args.json_out.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"" << bench_name << "\",\n"
+      << "  \"scale\": " << StrPrintf("%.17g", args.scale) << ",\n"
+      << "  \"host_threads\": " << args.host_threads << ",\n"
+      << "  \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& row = rows[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"dataset\": \"" << row.dataset << "\", \"impl\": \""
+        << row.impl << "\", "
+        << StrPrintf("\"train_sim_seconds\": %.17g, "
+                     "\"train_wall_seconds\": %.17g, "
+                     "\"predict_sim_seconds\": %.17g, "
+                     "\"predict_wall_seconds\": %.17g}",
+                     row.train_sim, row.train_wall, row.predict_sim,
+                     row.predict_wall);
+  }
+  out << "\n  ]\n}\n";
+  std::printf("json written to %s (%zu rows)\n", args.json_out.c_str(),
+              rows.size());
 }
 
 std::vector<SyntheticSpec> SelectSpecs(const Args& args, DatasetFilter filter) {
@@ -115,12 +157,16 @@ ExecutorModel ScaleModel(ExecutorModel model, double sigma) {
 }
 
 SimExecutor MakeGpuExecutor(const SyntheticSpec& spec) {
-  return SimExecutor(ScaleModel(ExecutorModel::TeslaP100(), WorldScale(spec)));
+  ExecutorModel model = ScaleModel(ExecutorModel::TeslaP100(), WorldScale(spec));
+  model.host_threads = g_host_threads;
+  return SimExecutor(model);
 }
 
 SimExecutor MakeCpuExecutor(const SyntheticSpec& spec, int num_threads) {
-  return SimExecutor(ScaleModel(ExecutorModel::XeonCpu(num_threads),
-                                WorldScale(spec)));
+  ExecutorModel model =
+      ScaleModel(ExecutorModel::XeonCpu(num_threads), WorldScale(spec));
+  model.host_threads = g_host_threads;
+  return SimExecutor(model);
 }
 
 namespace {

@@ -5,6 +5,10 @@
 //   --datasets=a,b,c     restrict to named datasets
 //   --metrics-out=<path> dump the bench observability registry (Prometheus)
 //   --trace-out=<path>   dump the merged Chrome trace of all runs
+//   --json=<path>        dump machine-readable per-row results (sim + wall)
+//   --host-threads=<n>   real worker threads for executor hot paths (wall
+//                        clock only; sim seconds and models are byte-
+//                        identical for every value — docs/performance.md)
 // and prints aligned tables matching the paper's rows. Times are reported in
 // simulated seconds on the published cost models (see DESIGN.md); wall
 // seconds are shown alongside as a diagnostic.
@@ -31,11 +35,31 @@ struct Args {
   std::vector<std::string> datasets;  // empty = all
   std::string metrics_out;            // empty = no metrics dump
   std::string trace_out;              // empty = no trace dump
+  std::string json_out;               // empty = no JSON dump
+  int host_threads = 1;               // real threads for executor hot paths
 
   bool Selected(const std::string& name) const;
 };
 
+// Parses the shared flags. As a side effect, --host-threads=<n> configures
+// the executors MakeGpuExecutor / MakeCpuExecutor hand out.
 Args ParseArgs(int argc, char** argv);
+
+// One machine-readable result row for --json output. Sim seconds are the
+// benchmarked quantity; wall seconds record what host parallelism changes.
+struct JsonRow {
+  std::string dataset;
+  std::string impl;
+  double train_sim = 0.0;
+  double train_wall = 0.0;
+  double predict_sim = 0.0;
+  double predict_wall = 0.0;
+};
+
+// Writes `rows` to args.json_out as one JSON object (bench name, scale,
+// host_threads, rows[]); no-op when --json was not passed.
+void WriteBenchJson(const Args& args, const std::string& bench_name,
+                    const std::vector<JsonRow>& rows);
 
 // Process-wide observability sinks for bench binaries. RunImpl publishes
 // every run's device counters and train report into the registry (labeled

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "data/synthetic.h"
@@ -51,6 +53,35 @@ void BM_BatchKernelRowsSparse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch_size * data.size());
 }
 BENCHMARK(BM_BatchKernelRowsSparse)->Arg(1)->Arg(16)->Arg(128)->Arg(512);
+
+// Same computation with the executor's host-parallel backend enabled; the
+// second arg is host_threads. Output values are byte-identical to the
+// single-threaded variant — only wall time changes.
+void BM_BatchKernelRowsSparseMT(benchmark::State& state) {
+  const int64_t batch_size = state.range(0);
+  const int host_threads = static_cast<int>(state.range(1));
+  Dataset data = MakeData(2000, 512, 0.05);
+  KernelParams params;
+  params.gamma = 0.5;
+  KernelComputer computer(&data.features(), params);
+  std::vector<int32_t> all(static_cast<size_t>(data.size()));
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<int32_t> batch(all.begin(), all.begin() + batch_size);
+  std::vector<double> out(static_cast<size_t>(batch_size * data.size()));
+  ExecutorModel model = ExecutorModel::TeslaP100();
+  model.host_threads = host_threads;
+  SimExecutor gpu(std::move(model));
+  for (auto _ : state) {
+    computer.ComputeBlock(batch, all, &gpu, kDefaultStream, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size * data.size());
+}
+BENCHMARK(BM_BatchKernelRowsSparseMT)
+    ->Args({512, 1})
+    ->Args({512, 2})
+    ->Args({512, 4})
+    ->Args({512, 8});
 
 void BM_BatchKernelRowsDense(benchmark::State& state) {
   const int64_t batch_size = state.range(0);
@@ -149,4 +180,34 @@ BENCHMARK(BM_PairwiseCoupling)->Arg(3)->Arg(10)->Arg(20);
 }  // namespace
 }  // namespace gmpsvm
 
-BENCHMARK_MAIN();
+// Custom main so the bench-suite-wide `--json=<path>` spelling works here
+// too: it is rewritten into google-benchmark's --benchmark_out flags before
+// Initialize() consumes the command line.
+int main(int argc, char** argv) {
+  std::vector<char*> rewritten;
+  std::vector<std::string> storage;
+  // Reserve for the worst case up front: storage must never reallocate once
+  // rewritten holds pointers into its strings.
+  rewritten.reserve(2 * static_cast<size_t>(argc) + 2);
+  storage.reserve(2 * static_cast<size_t>(argc) + 2);
+  rewritten.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(7));
+      rewritten.push_back(storage.back().data());
+      storage.push_back("--benchmark_out_format=json");
+      rewritten.push_back(storage.back().data());
+    } else {
+      rewritten.push_back(argv[i]);
+    }
+  }
+  int rewritten_argc = static_cast<int>(rewritten.size());
+  benchmark::Initialize(&rewritten_argc, rewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, rewritten.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                       "libsvm-omp train", "libsvm-omp pred", "baseline train",
                       "baseline pred", "cmp train", "cmp pred", "gmp train",
                       "gmp pred"});
+  std::vector<JsonRow> json_rows;
   for (const auto& spec : SelectSpecs(args)) {
     Dataset train = ValueOrDie(GenerateSynthetic(spec));
     Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
@@ -35,10 +36,19 @@ int main(int argc, char** argv) {
       RunResult r = ValueOrDie(RunImpl(impl, spec, train, test));
       row.push_back(Sec(r.train_sim));
       row.push_back(Sec(r.predict_sim));
+      JsonRow json_row;
+      json_row.dataset = spec.name;
+      json_row.impl = ImplName(impl);
+      json_row.train_sim = r.train_sim;
+      json_row.train_wall = r.train_wall;
+      json_row.predict_sim = r.predict_sim;
+      json_row.predict_wall = r.predict_wall;
+      json_rows.push_back(std::move(json_row));
     }
     table.AddRow(row);
   }
   table.Print();
+  WriteBenchJson(args, "table3_efficiency", json_rows);
   std::printf(
       "\nExpected shape (paper): gmp < baseline < libsvm-omp < libsvm-1 on\n"
       "training; gmp <= baseline << libsvm on prediction; cmp between\n"

@@ -61,16 +61,18 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  svm_tool train [-c C] [-g gamma] [-e eps] [-b folds]\n"
-               "      [--metrics-out m.prom] [--trace-out t.json]\n"
-               "      [--checkpoint-dir d] [--resume] [--chaos-seed s]\n"
-               "      [--skip-degraded] <data> <model>\n"
-               "  svm_tool predict <data> <model> [out]\n"
+               "      [--host-threads N] [--metrics-out m.prom]\n"
+               "      [--trace-out t.json] [--checkpoint-dir d] [--resume]\n"
+               "      [--chaos-seed s] [--skip-degraded] <data> <model>\n"
+               "  svm_tool predict [--host-threads N] <data> <model> [out]\n"
                "  svm_tool scale <in> <out>\n"
                "  svm_tool cv [-c C] [-g gamma] [-v folds] <data>\n"
                "  svm_tool grid [-v folds] <data>\n"
                "  svm_tool serve [-n requests] [-w workers] [-b max_batch]\n"
-               "      [--chaos-seed s] [--metrics-out m.prom]\n"
-               "      [--trace-out t.json] <model>\n"
+               "      [--host-threads N] [--chaos-seed s]\n"
+               "      [--metrics-out m.prom] [--trace-out t.json] <model>\n"
+               "--host-threads sets real worker threads for the hot paths;\n"
+               "outputs are byte-identical for every value (wall clock only)\n"
                "exit codes: 0 ok, 1 fatal, 2 usage, 3 degraded completion\n");
   return 2;
 }
@@ -186,7 +188,7 @@ int GridCommand(int argc, char** argv) {
 
 int TrainCommand(int argc, char** argv) {
   double c = 1.0, gamma = 0.5, eps = 1e-3;
-  int cv_folds = 0;
+  int cv_folds = 0, host_threads = 1;
   bool resume = false, skip_degraded = false, chaos = false;
   uint64_t chaos_seed = 0;
   std::string metrics_out, trace_out, checkpoint_dir;
@@ -202,6 +204,9 @@ int TrainCommand(int argc, char** argv) {
       eps = std::atof(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-b") == 0 && arg + 1 < argc) {
       cv_folds = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--host-threads") == 0 && arg + 1 < argc) {
+      host_threads = std::atoi(argv[++arg]);
+      if (host_threads < 1) return Usage();
     } else if (std::strcmp(argv[arg], "--metrics-out") == 0 && arg + 1 < argc) {
       metrics_out = argv[++arg];
     } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
@@ -246,8 +251,12 @@ int TrainCommand(int argc, char** argv) {
     options.pair_failure_policy = PairFailurePolicy::kSkipDegraded;
   }
 
+  options.host_threads = host_threads;
+
   obs::MetricsRegistry metrics;
-  SimExecutor gpu(ExecutorModel::TeslaP100());
+  ExecutorModel device_model = ExecutorModel::TeslaP100();
+  device_model.host_threads = host_threads;
+  SimExecutor gpu(device_model);
   std::unique_ptr<fault::FaultInjector> injector;
   if (chaos) {
     injector = std::make_unique<fault::FaultInjector>(
@@ -296,19 +305,34 @@ int TrainCommand(int argc, char** argv) {
 }
 
 int PredictCommand(int argc, char** argv) {
-  if (argc < 2 || argc > 3) return Usage();
-  auto model = LoadModel(argv[1]);
+  int host_threads = 1;
+  std::string positional[3];
+  int npos = 0;
+  for (int arg = 0; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--host-threads") == 0 && arg + 1 < argc) {
+      host_threads = std::atoi(argv[++arg]);
+      if (host_threads < 1) return Usage();
+    } else if (npos < 3) {
+      positional[npos++] = argv[arg];
+    } else {
+      return Usage();
+    }
+  }
+  if (npos < 2) return Usage();
+  auto model = LoadModel(positional[1]);
   if (!model.ok()) {
     std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
     return 1;
   }
-  auto file = ReadLibsvmFile(argv[0], model->support_vectors.cols());
+  auto file = ReadLibsvmFile(positional[0], model->support_vectors.cols());
   if (!file.ok()) {
     std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
     return 1;
   }
 
-  SimExecutor gpu(ExecutorModel::TeslaP100());
+  ExecutorModel device_model = ExecutorModel::TeslaP100();
+  device_model.host_threads = host_threads;
+  SimExecutor gpu(device_model);
   auto pred = MpSvmPredictor(&*model).Predict(file->dataset.features(), &gpu,
                                               PredictOptions{});
   if (!pred.ok()) {
@@ -322,8 +346,8 @@ int PredictCommand(int argc, char** argv) {
                 100.0 * *err, static_cast<long long>(pred->num_instances),
                 pred->sim_seconds);
   }
-  if (argc == 3) {
-    std::ofstream out(argv[2]);
+  if (npos == 3) {
+    std::ofstream out(positional[2]);
     for (int64_t i = 0; i < pred->num_instances; ++i) {
       out << pred->labels[static_cast<size_t>(i)];
       for (int c2 = 0; c2 < model->num_classes; ++c2) {
@@ -331,7 +355,7 @@ int PredictCommand(int argc, char** argv) {
       }
       out << '\n';
     }
-    std::printf("probabilities written to %s\n", argv[2]);
+    std::printf("probabilities written to %s\n", positional[2].c_str());
   }
   return 0;
 }
@@ -352,6 +376,10 @@ int ServeCommand(int argc, char** argv) {
       options.num_workers = std::atoi(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-b") == 0 && arg + 1 < argc) {
       options.batching.max_batch_size = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--host-threads") == 0 && arg + 1 < argc) {
+      const int host_threads = std::atoi(argv[++arg]);
+      if (host_threads < 1) return Usage();
+      options.executor_model.host_threads = host_threads;
     } else if (std::strcmp(argv[arg], "--chaos-seed") == 0 && arg + 1 < argc) {
       chaos = true;
       chaos_seed = static_cast<uint64_t>(std::atoll(argv[++arg]));

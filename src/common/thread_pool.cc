@@ -1,10 +1,45 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "common/logging.h"
 
 namespace gmpsvm {
+namespace {
+
+// Per-ParallelFor-call completion state. Chunk boundaries are fixed up front
+// (static partition); workers and the caller claim chunks with an atomic
+// cursor. Helpers hold a shared_ptr so a straggler that wakes after the call
+// returned (having claimed nothing) touches only this state, never the
+// caller's stack.
+struct ParallelForState {
+  int64_t n = 0;
+  int64_t chunk = 0;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+  std::atomic<int64_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t done = 0;
+
+  // Claims and runs chunks until none remain. Returns after this thread can
+  // no longer contribute; other threads may still be inside `body`.
+  void RunChunks() {
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const int64_t begin = c * chunk;
+      const int64_t end = std::min(begin + chunk, n);
+      (*body)(begin, end);
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == num_chunks) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   num_threads = std::max(1, num_threads);
@@ -47,11 +82,21 @@ void ThreadPool::ParallelFor(int64_t n,
     body(0, n);  // Too small to be worth dispatching.
     return;
   }
-  for (int64_t begin = 0; begin < n; begin += chunk) {
-    const int64_t end = std::min(begin + chunk, n);
-    Schedule([&body, begin, end] { body(begin, end); });
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->chunk = chunk;
+  state->num_chunks = (n + chunk - 1) / chunk;
+  state->body = &body;
+  // The caller runs chunks too, so at most num_chunks - 1 helpers are useful.
+  const int64_t helpers = std::min<int64_t>(num_threads(), state->num_chunks - 1);
+  for (int64_t i = 0; i < helpers; ++i) {
+    Schedule([state] { state->RunChunks(); });
   }
-  Wait();
+  state->RunChunks();
+  // `body` (and the caller's stack) must stay alive until every claimed chunk
+  // has finished, not just until no chunks remain unclaimed.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->done == state->num_chunks; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -1,7 +1,15 @@
-// A small fixed-size thread pool with a blocking ParallelFor. Used by the
-// CPU executor (CMP-SVM / LibSVM-with-OpenMP models) for actual host
+// A small fixed-size thread pool with a blocking, nest-safe ParallelFor.
+// Used by the CPU executor (CMP-SVM / LibSVM-with-OpenMP models) and by the
+// host-parallel execution backend (SimExecutor::host_pool) for actual host
 // parallelism; the simulated-time accounting lives in the executor layer,
 // not here.
+//
+// Determinism contract: ParallelFor partitions [0, n) into contiguous,
+// statically-determined chunks. Which thread executes which chunk is
+// scheduling-dependent, so bodies must only write disjoint, index-derived
+// locations; any floating-point reduction must be merged by the caller in a
+// fixed (index) order after ParallelFor returns. Under that contract the
+// results are byte-identical for every pool size, including 1.
 
 #ifndef GMPSVM_COMMON_THREAD_POOL_H_
 #define GMPSVM_COMMON_THREAD_POOL_H_
@@ -35,10 +43,15 @@ class ThreadPool {
   // Blocks until all scheduled tasks have completed.
   void Wait();
 
-  // Partitions [0, n) into contiguous chunks, runs `body(begin, end)` on the
-  // workers, and blocks until done. Chunk granularity targets ~4 chunks per
-  // thread for load balance; `min_chunk` bounds scheduling overhead on tiny
-  // ranges.
+  // Partitions [0, n) into contiguous chunks, runs `body(begin, end)` across
+  // the workers *and* the calling thread, and blocks until every chunk has
+  // completed. Chunk granularity targets ~4 chunks per thread for load
+  // balance; `min_chunk` bounds scheduling overhead on tiny ranges.
+  //
+  // Each call tracks its own completion (it does not wait for unrelated
+  // Schedule()d tasks), and the caller participates in chunk execution, so
+  // ParallelFor may be invoked from within a pool worker (nested parallel
+  // regions) or concurrently from several external threads without deadlock.
   void ParallelFor(int64_t n, const std::function<void(int64_t, int64_t)>& body,
                    int64_t min_chunk = 1024);
 

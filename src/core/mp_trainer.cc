@@ -11,9 +11,11 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/model_io.h"
 #include "core/shared_blocks.h"
 #include "core/sigmoid_cv.h"
+#include "device/fork_join.h"
 #include "fault/fault_injector.h"
 #include "prob/pairwise_coupling.h"
 
@@ -320,6 +322,42 @@ Status MaybeInterrupt(SimExecutor* executor, CheckpointSession* ckpt,
                 static_cast<long long>(completed_this_run)));
 }
 
+// Worker-thread count for pair-level training: the trainer option wins,
+// otherwise the executor model's host_threads applies.
+int ResolvePairThreads(const MpTrainOptions& options, const SimExecutor* executor) {
+  return options.host_threads > 0 ? options.host_threads
+                                  : executor->model().host_threads;
+}
+
+// Pool to run pair workers on: the executor's own host pool when its size
+// already matches, otherwise a trainer-owned pool parked in `owned`.
+ThreadPool* ResolvePairPool(SimExecutor* executor, int threads,
+                            std::unique_ptr<ThreadPool>* owned) {
+  ThreadPool* pool = executor->host_pool();
+  if (pool != nullptr && pool->num_threads() == threads) return pool;
+  *owned = std::make_unique<ThreadPool>(threads);
+  return owned->get();
+}
+
+// One pair's workload and results when pairs train on worker threads. The
+// satellite executor records every charge into `log`; replaying the logs in
+// pair order afterwards reproduces the serial run's timeline, counters and
+// span stream exactly.
+struct PairTask {
+  size_t pair_index = 0;
+  int s = 0;
+  int t = 0;
+  StreamId stream = kDefaultStream;
+  BinaryProblem problem;
+  ExecEventLog log;
+  std::optional<SimExecutor> satellite;
+  double base = 0.0;
+  std::optional<Result<PairCheckpoint>> outcome;
+  SolverStats stats;
+  double sigmoid_seconds = 0.0;
+  bool sigmoid_done = false;
+};
+
 void FillReport(SimExecutor* executor, double sim_base,
                 const ExecutorCounters& counters_base, const Stopwatch& wall,
                 MpTrainReport* report) {
@@ -369,6 +407,10 @@ Status MpTrainOptions::Validate(int num_classes) const {
         "sigmoid_cv_folds must be 0 or >= 2, got %d", sigmoid_cv_folds));
   }
   GMP_RETURN_NOT_OK(pair_retry.Validate());
+  if (host_threads < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("host_threads must be >= 0, got %d", host_threads));
+  }
   if (checkpoint.every_n_pairs < 1) {
     return Status::InvalidArgument(
         StrPrintf("checkpoint.every_n_pairs must be >= 1, got %d",
@@ -466,72 +508,153 @@ Result<MpSvmModel> SequentialMpTrainer::Train(const Dataset& dataset,
   std::vector<std::optional<PairCheckpoint>> results(pairs.size());
   int64_t completed_this_run = 0;
 
-  for (size_t p = 0; p < pairs.size(); ++p) {
-    const int s = pairs[p].first;
-    const int t = pairs[p].second;
-    if (const PairCheckpoint* loaded = ckpt.Loaded(s, t)) {
-      results[p] = *loaded;
-      continue;
-    }
-    BinaryProblem problem = dataset.MakePairProblem(s, t, options_.c, options_.kernel);
-    if (!options_.class_weights.empty()) {
-      problem.weight_pos = options_.class_weights[static_cast<size_t>(s)];
-      problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
-    }
-
-    auto attempt = [&]() -> Result<PairCheckpoint> {
-      SolverStats stats;
-      Result<PairCheckpoint> result = [&]() -> Result<PairCheckpoint> {
-        const double smo_t0 = executor->StreamTime(kDefaultStream);
-        GMP_ASSIGN_OR_RETURN(
-            BinarySolution solution,
-            solver.Solve(problem, computer, executor, kDefaultStream, &stats));
-        RecordPhaseSpan(executor, kDefaultStream, StrPrintf("smo %dv%d", s, t),
-                        smo_t0, executor->StreamTime(kDefaultStream));
-
-        std::vector<double> v;
-        if (options_.sigmoid_cv_folds >= 2) {
-          SmoSolver cv_solver(options_.smo);
-          GMP_ASSIGN_OR_RETURN(
-              v, CrossValidatedDecisionValues(
-                     problem, computer,
-                     [&](const BinaryProblem& sub, SimExecutor* exec, StreamId str) {
-                       return cv_solver.Solve(sub, computer, exec, str, nullptr);
-                     },
-                     options_.sigmoid_cv_folds, /*seed=*/1u, executor,
-                     kDefaultStream));
-        } else {
-          v = TrainingDecisionValues(problem, solution);
-        }
-        const double sigmoid_t0 = executor->StreamTime(kDefaultStream);
-        GMP_ASSIGN_OR_RETURN(
-            SigmoidParams sigmoid,
-            FitSigmoid(v, problem.y, options_.platt, executor, kDefaultStream,
-                       /*parallel_candidates=*/1));
-        RecordPhaseSpan(executor, kDefaultStream, StrPrintf("sigmoid %dv%d", s, t),
-                        sigmoid_t0, executor->StreamTime(kDefaultStream));
-        if (report != nullptr) {
-          report->phases.Add("sigmoid",
-                             executor->StreamTime(kDefaultStream) - sigmoid_t0);
-        }
-        return DistillPair(s, t, problem, solution, sigmoid);
-      }();
-      // Work done by failed attempts still counts.
-      if (report != nullptr) {
-        report->solver.Merge(stats);
-        report->phases.Merge(stats.phases);
-      }
-      return result;
-    };
-
+  // Everything one pair needs, against an arbitrary executor/stream so the
+  // serial path (main executor) and the pair-parallel path (per-pair
+  // satellite executors) run identical numeric code.
+  auto solve_pair = [&](SimExecutor* exec, StreamId stream, int s, int t,
+                        const BinaryProblem& problem, SolverStats* stats,
+                        double* sigmoid_seconds,
+                        bool* sigmoid_done) -> Result<PairCheckpoint> {
+    const double smo_t0 = exec->StreamTime(stream);
     GMP_ASSIGN_OR_RETURN(
-        PairCheckpoint pair,
-        RunPairWithRetry(options_, executor, kDefaultStream, s, t, attempt,
-                         report));
-    results[p] = std::move(pair);
-    GMP_RETURN_NOT_OK(ckpt.OnPairComplete(*results[p]));
-    ++completed_this_run;
-    GMP_RETURN_NOT_OK(MaybeInterrupt(executor, &ckpt, completed_this_run));
+        BinarySolution solution,
+        solver.Solve(problem, computer, exec, stream, stats));
+    RecordPhaseSpan(exec, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
+                    exec->StreamTime(stream));
+
+    std::vector<double> v;
+    if (options_.sigmoid_cv_folds >= 2) {
+      SmoSolver cv_solver(options_.smo);
+      GMP_ASSIGN_OR_RETURN(
+          v, CrossValidatedDecisionValues(
+                 problem, computer,
+                 [&](const BinaryProblem& sub, SimExecutor* e, StreamId str) {
+                   return cv_solver.Solve(sub, computer, e, str, nullptr);
+                 },
+                 options_.sigmoid_cv_folds, /*seed=*/1u, exec, stream));
+    } else {
+      v = TrainingDecisionValues(problem, solution);
+    }
+    const double sigmoid_t0 = exec->StreamTime(stream);
+    GMP_ASSIGN_OR_RETURN(
+        SigmoidParams sigmoid,
+        FitSigmoid(v, problem.y, options_.platt, exec, stream,
+                   /*parallel_candidates=*/1));
+    RecordPhaseSpan(exec, stream, StrPrintf("sigmoid %dv%d", s, t), sigmoid_t0,
+                    exec->StreamTime(stream));
+    *sigmoid_seconds = exec->StreamTime(stream) - sigmoid_t0;
+    *sigmoid_done = true;
+    return DistillPair(s, t, problem, solution, sigmoid);
+  };
+
+  // Per-pair report contributions, in the exact order the serial loop applies
+  // them: the sigmoid phase (only when that stage ran), then the solver
+  // stats, then the solver's own phase attribution.
+  auto merge_pair_report = [&](const SolverStats& stats, double sigmoid_seconds,
+                               bool sigmoid_done) {
+    if (report == nullptr) return;
+    if (sigmoid_done) report->phases.Add("sigmoid", sigmoid_seconds);
+    report->solver.Merge(stats);
+    report->phases.Merge(stats.phases);
+  };
+
+  const int pair_threads = ResolvePairThreads(options_, executor);
+  // Chaos runs stay serial: fault and backoff decisions are consumed in pair
+  // order, so only the injector-free path is trivially thread-count
+  // invariant.
+  const bool pair_parallel =
+      pair_threads > 1 && executor->fault_injector() == nullptr;
+
+  if (pair_parallel) {
+    std::unique_ptr<ThreadPool> owned_pool;
+    ThreadPool* pool = ResolvePairPool(executor, pair_threads, &owned_pool);
+
+    std::vector<PairTask> tasks;
+    tasks.reserve(pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const int s = pairs[p].first;
+      const int t = pairs[p].second;
+      if (const PairCheckpoint* loaded = ckpt.Loaded(s, t)) {
+        results[p] = *loaded;
+        continue;
+      }
+      PairTask task;
+      task.pair_index = p;
+      task.s = s;
+      task.t = t;
+      task.problem = dataset.MakePairProblem(s, t, options_.c, options_.kernel);
+      if (!options_.class_weights.empty()) {
+        task.problem.weight_pos = options_.class_weights[static_cast<size_t>(s)];
+        task.problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
+      }
+      tasks.push_back(std::move(task));
+    }
+    // Fork only once the vector is final: satellites hold &task.log.
+    for (PairTask& task : tasks) {
+      task.satellite.emplace(
+          ForkSatellite(executor, kDefaultStream, &task.log, pool));
+      task.base = task.satellite->StreamTime(kDefaultStream);
+    }
+    pool->ParallelFor(
+        static_cast<int64_t>(tasks.size()),
+        [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            PairTask& task = tasks[static_cast<size_t>(i)];
+            task.outcome = solve_pair(&*task.satellite, kDefaultStream, task.s,
+                                      task.t, task.problem, &task.stats,
+                                      &task.sigmoid_seconds,
+                                      &task.sigmoid_done);
+          }
+        },
+        /*min_chunk=*/1);
+    // Replay in pair order. A failing pair returns after its own replay and
+    // report merge, exactly where the serial loop would have stopped; later
+    // pairs' events are discarded with their satellites.
+    for (PairTask& task : tasks) {
+      JoinSatellite(task.log, *task.satellite, task.base, executor,
+                    kDefaultStream);
+      merge_pair_report(task.stats, task.sigmoid_seconds, task.sigmoid_done);
+      if (!task.outcome->ok()) return task.outcome->status();
+      results[task.pair_index] = std::move(*task.outcome).value();
+      GMP_RETURN_NOT_OK(ckpt.OnPairComplete(*results[task.pair_index]));
+      ++completed_this_run;
+    }
+  } else {
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const int s = pairs[p].first;
+      const int t = pairs[p].second;
+      if (const PairCheckpoint* loaded = ckpt.Loaded(s, t)) {
+        results[p] = *loaded;
+        continue;
+      }
+      BinaryProblem problem =
+          dataset.MakePairProblem(s, t, options_.c, options_.kernel);
+      if (!options_.class_weights.empty()) {
+        problem.weight_pos = options_.class_weights[static_cast<size_t>(s)];
+        problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
+      }
+
+      auto attempt = [&]() -> Result<PairCheckpoint> {
+        SolverStats stats;
+        double sigmoid_seconds = 0.0;
+        bool sigmoid_done = false;
+        Result<PairCheckpoint> result =
+            solve_pair(executor, kDefaultStream, s, t, problem, &stats,
+                       &sigmoid_seconds, &sigmoid_done);
+        // Work done by failed attempts still counts.
+        merge_pair_report(stats, sigmoid_seconds, sigmoid_done);
+        return result;
+      };
+
+      GMP_ASSIGN_OR_RETURN(
+          PairCheckpoint pair,
+          RunPairWithRetry(options_, executor, kDefaultStream, s, t, attempt,
+                           report));
+      results[p] = std::move(pair);
+      GMP_RETURN_NOT_OK(ckpt.OnPairComplete(*results[p]));
+      ++completed_this_run;
+      GMP_RETURN_NOT_OK(MaybeInterrupt(executor, &ckpt, completed_this_run));
+    }
   }
 
   GMP_RETURN_NOT_OK(ckpt.Flush());
@@ -624,6 +747,74 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
   }
   int64_t completed_this_run = 0;
 
+  // Everything one pair needs, against an arbitrary executor/stream so the
+  // serial path (main executor) and the pair-parallel path (per-pair
+  // satellite executors) run identical numeric code. The cache branch only
+  // runs serially: pair parallelism requires share_kernel_blocks off.
+  auto solve_pair = [&](SimExecutor* exec, StreamId stream, int s, int t,
+                        const BinaryProblem& problem, SolverStats* stats,
+                        double* sigmoid_seconds,
+                        bool* sigmoid_done) -> Result<PairCheckpoint> {
+    BinarySolution solution;
+    const double smo_t0 = exec->StreamTime(stream);
+    if (cache != nullptr) {
+      SharedRowSource source(&problem, s, t, cache.get(), &computer);
+      GMP_ASSIGN_OR_RETURN(
+          solution, solver.Solve(problem, computer, &source, exec, stream, stats));
+    } else {
+      GMP_ASSIGN_OR_RETURN(
+          solution, solver.Solve(problem, computer, exec, stream, stats));
+    }
+    RecordPhaseSpan(exec, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
+                    exec->StreamTime(stream));
+
+    // Concurrent sigmoid fitting on the pair's own stream, with parallel
+    // candidate evaluation (Section 3.3.2).
+    std::vector<double> v;
+    if (options_.sigmoid_cv_folds >= 2) {
+      GMP_ASSIGN_OR_RETURN(
+          v, CrossValidatedDecisionValues(
+                 problem, computer,
+                 [&](const BinaryProblem& sub, SimExecutor* e, StreamId str) {
+                   return solver.Solve(sub, computer, e, str, nullptr);
+                 },
+                 options_.sigmoid_cv_folds, /*seed=*/1u, exec, stream));
+    } else {
+      v = TrainingDecisionValues(problem, solution);
+    }
+    const double sigmoid_t0 = exec->StreamTime(stream);
+    GMP_ASSIGN_OR_RETURN(
+        SigmoidParams sigmoid,
+        FitSigmoid(v, problem.y, options_.platt, exec, stream,
+                   options_.platt_parallel_candidates));
+    RecordPhaseSpan(exec, stream, StrPrintf("sigmoid %dv%d", s, t), sigmoid_t0,
+                    exec->StreamTime(stream));
+    *sigmoid_seconds = exec->StreamTime(stream) - sigmoid_t0;
+    *sigmoid_done = true;
+    return DistillPair(s, t, problem, solution, sigmoid);
+  };
+
+  auto merge_pair_report = [&](const SolverStats& stats, double sigmoid_seconds,
+                               bool sigmoid_done) {
+    if (report == nullptr) return;
+    if (sigmoid_done) report->phases.Add("sigmoid", sigmoid_seconds);
+    report->solver.Merge(stats);
+    report->phases.Merge(stats.phases);
+  };
+
+  const int pair_threads = ResolvePairThreads(options_, executor);
+  // Serial fallbacks: chaos runs consume fault/backoff decisions in pair
+  // order, and the shared block cache's hit/miss accounting depends on the
+  // order pairs touch it — both stay on the serial path so every output is
+  // thread-count invariant.
+  const bool pair_parallel = pair_threads > 1 &&
+                             executor->fault_injector() == nullptr &&
+                             cache == nullptr;
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool =
+      pair_parallel ? ResolvePairPool(executor, pair_threads, &owned_pool)
+                    : nullptr;
+
   for (const auto& group : groups) {
     // One stream per pair in the group, each owning an equal share of SMs
     // (the paper caps SMs per binary SVM to enable concurrency).
@@ -634,76 +825,84 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
       streams.push_back(executor->CreateStream(share));
     }
 
-    for (size_t gi = 0; gi < group.size(); ++gi) {
-      const size_t pair_index = group[gi];
-      const int s = pairs[pair_index].first;
-      const int t = pairs[pair_index].second;
-      const StreamId stream = streams[gi];
-      BinaryProblem problem =
-          dataset.MakePairProblem(s, t, options_.c, options_.kernel);
-      if (!options_.class_weights.empty()) {
-        problem.weight_pos = options_.class_weights[static_cast<size_t>(s)];
-        problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
-      }
-
-      auto attempt = [&]() -> Result<PairCheckpoint> {
-        SolverStats stats;
-        Result<PairCheckpoint> result = [&]() -> Result<PairCheckpoint> {
-          BinarySolution solution;
-          const double smo_t0 = executor->StreamTime(stream);
-          if (cache != nullptr) {
-            SharedRowSource source(&problem, s, t, cache.get(), &computer);
-            GMP_ASSIGN_OR_RETURN(
-                solution,
-                solver.Solve(problem, computer, &source, executor, stream, &stats));
-          } else {
-            GMP_ASSIGN_OR_RETURN(
-                solution, solver.Solve(problem, computer, executor, stream, &stats));
-          }
-          RecordPhaseSpan(executor, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
-                          executor->StreamTime(stream));
-
-          // Concurrent sigmoid fitting on the pair's own stream, with parallel
-          // candidate evaluation (Section 3.3.2).
-          std::vector<double> v;
-          if (options_.sigmoid_cv_folds >= 2) {
-            GMP_ASSIGN_OR_RETURN(
-                v, CrossValidatedDecisionValues(
-                       problem, computer,
-                       [&](const BinaryProblem& sub, SimExecutor* exec, StreamId str) {
-                         return solver.Solve(sub, computer, exec, str, nullptr);
-                       },
-                       options_.sigmoid_cv_folds, /*seed=*/1u, executor, stream));
-          } else {
-            v = TrainingDecisionValues(problem, solution);
-          }
-          const double sigmoid_t0 = executor->StreamTime(stream);
-          GMP_ASSIGN_OR_RETURN(
-              SigmoidParams sigmoid,
-              FitSigmoid(v, problem.y, options_.platt, executor, stream,
-                         options_.platt_parallel_candidates));
-          RecordPhaseSpan(executor, stream, StrPrintf("sigmoid %dv%d", s, t),
-                          sigmoid_t0, executor->StreamTime(stream));
-          if (report != nullptr) {
-            report->phases.Add("sigmoid",
-                               executor->StreamTime(stream) - sigmoid_t0);
-          }
-          return DistillPair(s, t, problem, solution, sigmoid);
-        }();
-        if (report != nullptr) {
-          report->solver.Merge(stats);
-          report->phases.Merge(stats.phases);
+    if (pair_parallel) {
+      std::vector<PairTask> tasks(group.size());
+      for (size_t gi = 0; gi < group.size(); ++gi) {
+        PairTask& task = tasks[gi];
+        task.pair_index = group[gi];
+        task.s = pairs[task.pair_index].first;
+        task.t = pairs[task.pair_index].second;
+        task.stream = streams[gi];
+        task.problem = dataset.MakePairProblem(task.s, task.t, options_.c,
+                                               options_.kernel);
+        if (!options_.class_weights.empty()) {
+          task.problem.weight_pos =
+              options_.class_weights[static_cast<size_t>(task.s)];
+          task.problem.weight_neg =
+              options_.class_weights[static_cast<size_t>(task.t)];
         }
-        return result;
-      };
+      }
+      // Each satellite mirrors its pair's own stream; nothing else touches
+      // that stream before the join, so replayed spans land exactly.
+      for (PairTask& task : tasks) {
+        task.satellite.emplace(
+            ForkSatellite(executor, task.stream, &task.log, pool));
+        task.base = task.satellite->StreamTime(kDefaultStream);
+      }
+      pool->ParallelFor(
+          static_cast<int64_t>(tasks.size()),
+          [&](int64_t begin, int64_t end) {
+            for (int64_t i = begin; i < end; ++i) {
+              PairTask& task = tasks[static_cast<size_t>(i)];
+              task.outcome = solve_pair(&*task.satellite, kDefaultStream,
+                                        task.s, task.t, task.problem,
+                                        &task.stats, &task.sigmoid_seconds,
+                                        &task.sigmoid_done);
+            }
+          },
+          /*min_chunk=*/1);
+      for (PairTask& task : tasks) {
+        JoinSatellite(task.log, *task.satellite, task.base, executor,
+                      task.stream);
+        merge_pair_report(task.stats, task.sigmoid_seconds, task.sigmoid_done);
+        if (!task.outcome->ok()) return task.outcome->status();
+        results[task.pair_index] = std::move(*task.outcome).value();
+        GMP_RETURN_NOT_OK(ckpt.OnPairComplete(*results[task.pair_index]));
+        ++completed_this_run;
+      }
+    } else {
+      for (size_t gi = 0; gi < group.size(); ++gi) {
+        const size_t pair_index = group[gi];
+        const int s = pairs[pair_index].first;
+        const int t = pairs[pair_index].second;
+        const StreamId stream = streams[gi];
+        BinaryProblem problem =
+            dataset.MakePairProblem(s, t, options_.c, options_.kernel);
+        if (!options_.class_weights.empty()) {
+          problem.weight_pos = options_.class_weights[static_cast<size_t>(s)];
+          problem.weight_neg = options_.class_weights[static_cast<size_t>(t)];
+        }
 
-      GMP_ASSIGN_OR_RETURN(
-          PairCheckpoint pair,
-          RunPairWithRetry(options_, executor, stream, s, t, attempt, report));
-      results[pair_index] = std::move(pair);
-      GMP_RETURN_NOT_OK(ckpt.OnPairComplete(*results[pair_index]));
-      ++completed_this_run;
-      GMP_RETURN_NOT_OK(MaybeInterrupt(executor, &ckpt, completed_this_run));
+        auto attempt = [&]() -> Result<PairCheckpoint> {
+          SolverStats stats;
+          double sigmoid_seconds = 0.0;
+          bool sigmoid_done = false;
+          Result<PairCheckpoint> result =
+              solve_pair(executor, stream, s, t, problem, &stats,
+                         &sigmoid_seconds, &sigmoid_done);
+          // Work done by failed attempts still counts.
+          merge_pair_report(stats, sigmoid_seconds, sigmoid_done);
+          return result;
+        };
+
+        GMP_ASSIGN_OR_RETURN(
+            PairCheckpoint pair,
+            RunPairWithRetry(options_, executor, stream, s, t, attempt, report));
+        results[pair_index] = std::move(pair);
+        GMP_RETURN_NOT_OK(ckpt.OnPairComplete(*results[pair_index]));
+        ++completed_this_run;
+        GMP_RETURN_NOT_OK(MaybeInterrupt(executor, &ckpt, completed_this_run));
+      }
     }
     // Barrier between groups: buffers are reclaimed before the next group.
     executor->SynchronizeAll();

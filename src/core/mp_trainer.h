@@ -112,6 +112,18 @@ struct MpTrainOptions {
   // Checkpoint/resume configuration (disabled unless checkpoint.dir is set).
   TrainCheckpointOptions checkpoint;
 
+  // --- Host parallelism -----------------------------------------------------
+  // Real worker threads for pair-level training (wall-clock only; models,
+  // reports, counters, and traces are byte-identical for every value — see
+  // docs/performance.md). 0 inherits the executor model's host_threads; 1
+  // forces today's serial orchestration. Pair-level parallelism engages only
+  // when no fault injector is attached (chaos runs stay serial so fault/RNG
+  // streams remain per-pair) and, for GmpSvmTrainer, only with
+  // share_kernel_blocks disabled (shared-cache hit/miss accounting is
+  // schedule-dependent); the data-parallel kernel ops still apply in those
+  // cases.
+  int host_threads = 0;
+
   // Checks the whole configuration, including the nested batch-solver
   // options, and returns InvalidArgument naming the offending field. Pass
   // the dataset's class count to also check class_weights (0 skips that

@@ -1,9 +1,13 @@
 #include "core/ova_trainer.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+#include "device/fork_join.h"
 #include "solver/batch_smo_solver.h"
 
 namespace gmpsvm {
@@ -28,8 +32,8 @@ Result<OvaModel> OvaTrainer::Train(const Dataset& dataset, SimExecutor* executor
   model.kernel = options_.kernel;
   std::unordered_map<int32_t, int32_t> pool_map;
 
-  for (int cls = 0; cls < dataset.num_classes(); ++cls) {
-    // Binary problem: class `cls` (+1) vs everything else (-1), over ALL rows.
+  // Binary problem: class `cls` (+1) vs everything else (-1), over ALL rows.
+  auto make_problem = [&](int cls) {
     BinaryProblem problem;
     problem.data = &dataset.features();
     problem.rows.resize(static_cast<size_t>(dataset.size()));
@@ -41,21 +45,34 @@ Result<OvaModel> OvaTrainer::Train(const Dataset& dataset, SimExecutor* executor
     }
     problem.C = options_.c;
     problem.kernel = options_.kernel;
+    return problem;
+  };
 
-    SolverStats stats;
+  // One class's solver + sigmoid work, against an arbitrary executor so the
+  // serial path (main executor) and the class-parallel path (satellite
+  // executors) run identical numeric code.
+  auto solve_class = [&](SimExecutor* exec, const BinaryProblem& problem,
+                         SolverStats* stats, BinarySolution* solution,
+                         SigmoidParams* sigmoid) -> Status {
     GMP_ASSIGN_OR_RETURN(
-        BinarySolution solution,
-        solver.Solve(problem, computer, executor, kDefaultStream, &stats));
-
-    std::vector<double> v(solution.f.size());
+        *solution,
+        solver.Solve(problem, computer, exec, kDefaultStream, stats));
+    std::vector<double> v(solution->f.size());
     for (size_t i = 0; i < v.size(); ++i) {
-      v[i] = solution.f[i] + static_cast<double>(problem.y[i]) + solution.bias;
+      v[i] = solution->f[i] + static_cast<double>(problem.y[i]) + solution->bias;
     }
     GMP_ASSIGN_OR_RETURN(
-        SigmoidParams sigmoid,
-        FitSigmoid(v, problem.y, options_.platt, executor, kDefaultStream,
+        *sigmoid,
+        FitSigmoid(v, problem.y, options_.platt, exec, kDefaultStream,
                    options_.platt_parallel_candidates));
+    return Status::OK();
+  };
 
+  // Builds the class's model entry; pool indices depend on insertion order,
+  // so entries must be added in class order on one thread.
+  auto add_entry = [&](int cls, const BinaryProblem& problem,
+                       const BinarySolution& solution,
+                       const SigmoidParams& sigmoid) {
     OvaClassEntry entry;
     entry.cls = cls;
     entry.bias = solution.bias;
@@ -71,10 +88,78 @@ Result<OvaModel> OvaTrainer::Train(const Dataset& dataset, SimExecutor* executor
       entry.sv_coef.push_back(a * problem.y[static_cast<size_t>(i)]);
     }
     model.classes.push_back(std::move(entry));
+  };
 
-    if (report != nullptr) {
-      report->solver.Merge(stats);
-      report->phases.Merge(stats.phases);
+  const int class_threads = options_.host_threads > 0
+                                ? options_.host_threads
+                                : executor->model().host_threads;
+  // Chaos runs stay serial so fault decisions are consumed in class order.
+  const bool class_parallel =
+      class_threads > 1 && executor->fault_injector() == nullptr;
+
+  if (class_parallel) {
+    ThreadPool* pool = executor->host_pool();
+    std::unique_ptr<ThreadPool> owned_pool;
+    if (pool == nullptr || pool->num_threads() != class_threads) {
+      owned_pool = std::make_unique<ThreadPool>(class_threads);
+      pool = owned_pool.get();
+    }
+
+    struct ClassTask {
+      BinaryProblem problem;
+      ExecEventLog log;
+      std::optional<SimExecutor> satellite;
+      double base = 0.0;
+      Status status;
+      SolverStats stats;
+      BinarySolution solution;
+      SigmoidParams sigmoid;
+    };
+    std::vector<ClassTask> tasks(static_cast<size_t>(dataset.num_classes()));
+    for (int cls = 0; cls < dataset.num_classes(); ++cls) {
+      ClassTask& task = tasks[static_cast<size_t>(cls)];
+      task.problem = make_problem(cls);
+      task.satellite.emplace(
+          ForkSatellite(executor, kDefaultStream, &task.log, pool));
+      task.base = task.satellite->StreamTime(kDefaultStream);
+    }
+    pool->ParallelFor(
+        static_cast<int64_t>(tasks.size()),
+        [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            ClassTask& task = tasks[static_cast<size_t>(i)];
+            task.status = solve_class(&*task.satellite, task.problem,
+                                      &task.stats, &task.solution,
+                                      &task.sigmoid);
+          }
+        },
+        /*min_chunk=*/1);
+    // Replay in class order; a failing class returns after its own replay,
+    // exactly where the serial loop would have stopped.
+    for (int cls = 0; cls < dataset.num_classes(); ++cls) {
+      ClassTask& task = tasks[static_cast<size_t>(cls)];
+      JoinSatellite(task.log, *task.satellite, task.base, executor,
+                    kDefaultStream);
+      GMP_RETURN_NOT_OK(task.status);
+      add_entry(cls, task.problem, task.solution, task.sigmoid);
+      if (report != nullptr) {
+        report->solver.Merge(task.stats);
+        report->phases.Merge(task.stats.phases);
+      }
+    }
+  } else {
+    for (int cls = 0; cls < dataset.num_classes(); ++cls) {
+      BinaryProblem problem = make_problem(cls);
+      SolverStats stats;
+      BinarySolution solution;
+      SigmoidParams sigmoid;
+      GMP_RETURN_NOT_OK(
+          solve_class(executor, problem, &stats, &solution, &sigmoid));
+      add_entry(cls, problem, solution, sigmoid);
+      if (report != nullptr) {
+        report->solver.Merge(stats);
+        report->phases.Merge(stats.phases);
+      }
     }
   }
   model.support_vectors = dataset.features().SelectRows(model.pool_source_rows);

@@ -125,16 +125,19 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
       const double t0 = executor->StreamTime(stream);
       std::vector<double> v(static_cast<size_t>(tile), svm.bias);
       if (options.share_kernel_values) {
-        // Gather from the shared block.
-        for (int64_t i = 0; i < tile; ++i) {
-          const double* krow = kblock.data() + i * pool;
-          double acc = 0.0;
-          for (int64_t m = 0; m < nsv; ++m) {
-            acc += svm.sv_coef[static_cast<size_t>(m)] *
-                   krow[svm.sv_pool_index[static_cast<size_t>(m)]];
-          }
-          v[static_cast<size_t>(i)] += acc;
-        }
+        // Gather from the shared block; tile rows write disjoint v entries.
+        executor->HostParallelFor(
+            tile, /*min_chunk=*/64, [&](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                const double* krow = kblock.data() + i * pool;
+                double acc = 0.0;
+                for (int64_t m = 0; m < nsv; ++m) {
+                  acc += svm.sv_coef[static_cast<size_t>(m)] *
+                         krow[svm.sv_pool_index[static_cast<size_t>(m)]];
+                }
+                v[static_cast<size_t>(i)] += acc;
+              }
+            });
         TaskCost cost;
         cost.parallel_items = tile;
         cost.flops = 2.0 * static_cast<double>(tile * nsv);
@@ -147,14 +150,17 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
         if (nsv > 0) {
           computer.ComputeBlock(tile_ids, svm.sv_pool_index, executor, stream,
                                 kpair.data());
-          for (int64_t i = 0; i < tile; ++i) {
-            const double* krow = kpair.data() + i * nsv;
-            double acc = 0.0;
-            for (int64_t m = 0; m < nsv; ++m) {
-              acc += svm.sv_coef[static_cast<size_t>(m)] * krow[m];
-            }
-            v[static_cast<size_t>(i)] += acc;
-          }
+          executor->HostParallelFor(
+              tile, /*min_chunk=*/64, [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const double* krow = kpair.data() + i * nsv;
+                  double acc = 0.0;
+                  for (int64_t m = 0; m < nsv; ++m) {
+                    acc += svm.sv_coef[static_cast<size_t>(m)] * krow[m];
+                  }
+                  v[static_cast<size_t>(i)] += acc;
+                }
+              });
           TaskCost cost;
           cost.parallel_items = tile;
           cost.flops = 2.0 * static_cast<double>(tile * nsv);
@@ -166,11 +172,15 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
 
       if (voting) {
         // LibSVM's plain multi-class rule: sign of the decision value votes.
-        for (int64_t i = 0; i < tile; ++i) {
-          const int winner =
-              v[static_cast<size_t>(i)] >= 0 ? svm.class_s : svm.class_t;
-          votes[static_cast<size_t>(i) * k + winner] += 1.0;
-        }
+        // Each instance owns its votes row, so rows partition cleanly.
+        executor->HostParallelFor(
+            tile, /*min_chunk=*/256, [&](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                const int winner =
+                    v[static_cast<size_t>(i)] >= 0 ? svm.class_s : svm.class_t;
+                votes[static_cast<size_t>(i) * k + winner] += 1.0;
+              }
+            });
         TaskCost vote_cost;
         vote_cost.parallel_items = tile;
         vote_cost.flops = 2.0 * static_cast<double>(tile);
@@ -178,11 +188,15 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
       } else {
         // Local probabilities (Equation 12).
         const double t1 = executor->StreamTime(stream);
-        for (int64_t i = 0; i < tile; ++i) {
-          const double prob_s = svm.sigmoid.Probability(v[static_cast<size_t>(i)]);
-          RAt(r, k, i, svm.class_s, svm.class_t) = prob_s;
-          RAt(r, k, i, svm.class_t, svm.class_s) = 1.0 - prob_s;
-        }
+        executor->HostParallelFor(
+            tile, /*min_chunk=*/256, [&](int64_t begin, int64_t end) {
+              for (int64_t i = begin; i < end; ++i) {
+                const double prob_s =
+                    svm.sigmoid.Probability(v[static_cast<size_t>(i)]);
+                RAt(r, k, i, svm.class_s, svm.class_t) = prob_s;
+                RAt(r, k, i, svm.class_t, svm.class_s) = 1.0 - prob_s;
+              }
+            });
         TaskCost sigmoid_cost;
         sigmoid_cost.parallel_items = tile;
         sigmoid_cost.flops = 10.0 * static_cast<double>(tile);

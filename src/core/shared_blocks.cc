@@ -105,6 +105,9 @@ void SharedRowSource::ComputeRows(std::span<const int32_t> local_rows,
                                   std::span<double* const> dest,
                                   SimExecutor* executor, StreamId stream) {
   if (local_rows.empty()) return;
+  // One round (pin + ensure both classes + assemble) is the unit of cache
+  // consistency; hold the round mutex across all of it.
+  std::lock_guard<std::mutex> round_lock(cache_->round_mutex());
   globals_.resize(local_rows.size());
   for (size_t k = 0; k < local_rows.size(); ++k) {
     globals_[k] = problem_->rows[static_cast<size_t>(local_rows[k])];

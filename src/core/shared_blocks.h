@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -58,6 +59,14 @@ class SharedBlockCache {
   int64_t misses() const { return misses_; }
   size_t bytes_used() const { return bytes_used_; }
 
+  // Serializes one PinPairs/Ensure/Lookup round. A row source's round spans
+  // several calls whose pin/evict state must not interleave with another
+  // SVM's round, so callers lock here rather than per call. Note the
+  // trainers keep cache-backed runs on the serial pair path anyway (hit/miss
+  // accounting is schedule-dependent); this mutex makes stray concurrent use
+  // safe, not deterministic.
+  std::mutex& round_mutex() { return round_mu_; }
+
  private:
   struct Key {
     int32_t row;
@@ -83,6 +92,7 @@ class SharedBlockCache {
   std::unordered_map<Key, std::vector<double>, KeyHash> index_;
   std::unordered_set<int64_t> pinned_;
   std::deque<Key> fifo_;
+  std::mutex round_mu_;
   size_t bytes_used_ = 0;
   int64_t hits_ = 0;
   int64_t misses_ = 0;

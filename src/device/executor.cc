@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "device/fork_join.h"
 #include "fault/fault_injector.h"
 
 namespace gmpsvm {
@@ -51,6 +53,30 @@ void DeviceAllocation::Release() {
 
 SimExecutor::SimExecutor(ExecutorModel model) : model_(std::move(model)) {
   streams_.push_back(Stream{/*unit_share=*/1.0, /*ready_at=*/0.0});
+}
+
+SimExecutor::SimExecutor(SimExecutor&& other) noexcept = default;
+SimExecutor& SimExecutor::operator=(SimExecutor&& other) noexcept = default;
+SimExecutor::~SimExecutor() = default;
+
+ThreadPool* SimExecutor::host_pool() {
+  if (external_pool_ != nullptr) return external_pool_;
+  if (owned_pool_ == nullptr && model_.host_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(model_.host_threads);
+  }
+  return owned_pool_.get();
+}
+
+void SimExecutor::HostParallelFor(
+    int64_t n, int64_t min_chunk,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  ThreadPool* pool = host_pool();
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    body(0, n);
+    return;
+  }
+  pool->ParallelFor(n, body, min_chunk);
 }
 
 StreamId SimExecutor::CreateStream(double unit_share) {
@@ -123,7 +149,14 @@ void SimExecutor::Charge(StreamId stream, const TaskCost& cost) {
   counters_.flops += cost.flops;
   counters_.bytes_read += cost.bytes_read;
   counters_.bytes_written += cost.bytes_written;
-  if (recorder_ != nullptr) {
+  if (event_log_ != nullptr) {
+    // Satellite mode: the charge is captured for ordered replay on the main
+    // executor, which re-emits the leaf span there.
+    ExecEvent e;
+    e.kind = ExecEvent::Kind::kCharge;
+    e.cost = cost;
+    event_log_->Append(std::move(e));
+  } else if (recorder_ != nullptr) {
     obs::SpanEvent span;
     span.origin = obs::SpanEvent::Origin::kDevice;
     span.lane = SpanLane(stream);
@@ -142,11 +175,26 @@ void SimExecutor::Transfer(StreamId stream, double bytes, TransferDirection dir)
   } else {
     counters_.bytes_d2h += bytes;
   }
-  if (model_.transfers_are_free) return;
+  if (model_.transfers_are_free) {
+    if (event_log_ != nullptr) {
+      ExecEvent e;
+      e.kind = ExecEvent::Kind::kTransfer;
+      e.bytes = bytes;
+      e.dir = dir;
+      event_log_->Append(std::move(e));
+    }
+    return;
+  }
   Stream& s = streams_[static_cast<size_t>(stream)];
   const double start = s.ready_at;
   s.ready_at += bytes / model_.transfer_bandwidth;
-  if (recorder_ != nullptr) {
+  if (event_log_ != nullptr) {
+    ExecEvent e;
+    e.kind = ExecEvent::Kind::kTransfer;
+    e.bytes = bytes;
+    e.dir = dir;
+    event_log_->Append(std::move(e));
+  } else if (recorder_ != nullptr) {
     obs::SpanEvent span;
     span.origin = obs::SpanEvent::Origin::kDevice;
     span.lane = SpanLane(stream);
@@ -177,6 +225,14 @@ void SimExecutor::AdvanceStream(StreamId stream, double seconds,
   Stream& s = streams_[static_cast<size_t>(stream)];
   const double start = s.ready_at;
   s.ready_at += seconds;
+  if (event_log_ != nullptr) {
+    ExecEvent e;
+    e.kind = ExecEvent::Kind::kAdvance;
+    e.seconds = seconds;
+    if (label != nullptr) e.label = label;
+    event_log_->Append(std::move(e));
+    return;
+  }
   if (recorder_ != nullptr && label != nullptr) {
     obs::SpanEvent span;
     span.name = label;
@@ -235,13 +291,16 @@ void SimExecutor::ReleaseBytes(size_t bytes) {
 
 void SubmitParallelFor(SimExecutor* executor, StreamId stream, int64_t n,
                        double flops_per_item, double bytes_per_item,
-                       const std::function<void(int64_t, int64_t)>& body) {
+                       const std::function<void(int64_t, int64_t)>& body,
+                       int64_t min_chunk) {
   if (n <= 0) return;
   TaskCost cost;
   cost.parallel_items = n;
   cost.flops = flops_per_item * static_cast<double>(n);
   cost.bytes_read = bytes_per_item * static_cast<double>(n);
-  executor->Submit(stream, cost, [&body, n] { body(0, n); });
+  executor->Submit(stream, cost, [executor, &body, n, min_chunk] {
+    executor->HostParallelFor(n, min_chunk, body);
+  });
 }
 
 }  // namespace gmpsvm

@@ -20,8 +20,13 @@
 //     makespan. ElapsedSeconds() between two sync points is what benchmarks
 //     report as "sim-sec".
 //
-// Determinism: no wall clocks, no host threads — everything executes inline
-// in submission order, so repeated runs are bit-identical.
+// Determinism: no wall clocks feed the accounting. Simulated time is charged
+// in submission order regardless of how task bodies execute on the host.
+// When ExecutorModel::host_threads > 1 the executor owns a ThreadPool and
+// HostParallelFor()/SubmitParallelFor() run bodies across real threads — but
+// only over statically-chunked, disjoint-write index ranges, so every numeric
+// output, counter, and simulated timestamp is byte-identical for any thread
+// count (see docs/performance.md for the full determinism rules).
 
 #ifndef GMPSVM_DEVICE_EXECUTOR_H_
 #define GMPSVM_DEVICE_EXECUTOR_H_
@@ -37,6 +42,9 @@
 #include "device/trace.h"
 
 namespace gmpsvm {
+
+class ExecEventLog;
+class ThreadPool;
 
 namespace fault {
 class FaultInjector;
@@ -92,6 +100,9 @@ inline constexpr StreamId kDefaultStream = 0;
 class SimExecutor {
  public:
   explicit SimExecutor(ExecutorModel model);
+  SimExecutor(SimExecutor&& other) noexcept;
+  SimExecutor& operator=(SimExecutor&& other) noexcept;
+  ~SimExecutor();
 
   const ExecutorModel& model() const { return model_; }
 
@@ -194,8 +205,34 @@ class SimExecutor {
   // benches.
   double TaskDuration(const TaskCost& cost, double unit_share) const;
 
+  // --- Host parallelism ----------------------------------------------------
+
+  // The pool running task bodies across real threads, or nullptr when the
+  // executor is single-threaded (model().host_threads <= 1 and no shared
+  // pool). Created lazily; the first call must come from the thread that owns
+  // the executor.
+  ThreadPool* host_pool();
+
+  // Runs `body` over [0, n): inline when no host pool is configured,
+  // otherwise distributed across the pool. Bodies must write disjoint,
+  // index-derived locations only (see ThreadPool::ParallelFor), which keeps
+  // results byte-identical for every thread count.
+  void HostParallelFor(int64_t n, int64_t min_chunk,
+                       const std::function<void(int64_t, int64_t)>& body);
+
+  // --- Fork-join accounting (see device/fork_join.h) -----------------------
+
+  // While a log is attached, every Charge/Transfer/AdvanceStream appends a
+  // replayable event to it instead of emitting spans itself (direct client
+  // RecordSpan calls still reach span_recorder()). Used by satellite
+  // executors in pair-parallel training; incompatible with a fault injector.
+  void SetEventLog(ExecEventLog* log) { event_log_ = log; }
+  ExecEventLog* event_log() const { return event_log_; }
+
  private:
   friend class DeviceAllocation;
+  friend SimExecutor ForkSatellite(SimExecutor* main, StreamId main_stream,
+                                   ExecEventLog* log, ThreadPool* host_pool);
   void ReleaseBytes(size_t bytes);
 
   struct Stream {
@@ -208,17 +245,25 @@ class SimExecutor {
   ExecutorCounters counters_;
   obs::SpanRecorder* recorder_ = nullptr;
   fault::FaultInjector* fault_ = nullptr;
+  ExecEventLog* event_log_ = nullptr;
   int lane_base_ = 0;
   int lane_width_ = 0;
+  // Owned pool (lazily created from model_.host_threads) or a borrowed one
+  // (satellite executors share their parent's pool instead of spawning
+  // threads per binary problem).
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* external_pool_ = nullptr;
 };
 
 // Convenience: submits a task that processes `n` items with `flops_per_item`
-// and `bytes_per_item` average cost, executing `body(begin, end)` once over
-// the full range (the simulated parallelism is in the cost model, not in host
-// threads).
+// and `bytes_per_item` average cost. The simulated cost is charged once for
+// the whole range; the body runs via HostParallelFor — across real host
+// threads when the executor has a pool, inline otherwise — so it must only
+// write disjoint, index-derived locations.
 void SubmitParallelFor(SimExecutor* executor, StreamId stream, int64_t n,
                        double flops_per_item, double bytes_per_item,
-                       const std::function<void(int64_t, int64_t)>& body);
+                       const std::function<void(int64_t, int64_t)>& body,
+                       int64_t min_chunk = 1);
 
 }  // namespace gmpsvm
 

@@ -1,0 +1,89 @@
+// Deterministic fork-join accounting for host-parallel pair training.
+//
+// The trainers run k(k-1)/2 independent binary problems. To put them on
+// worker threads without losing byte-identical simulated time, counters, and
+// traces, each problem runs on a *satellite* executor — a private SimExecutor
+// mirroring one stream of the main executor — that records every accounting
+// action (Charge / Transfer / AdvanceStream / direct span recordings) into an
+// ExecEventLog while the real numeric work executes concurrently. After the
+// workers join, the logs are replayed onto the main executor serially, in
+// pair order. Replay re-executes each charge, so stream timelines, the
+// floating-point counter accumulation order, and leaf trace spans come out
+// bitwise-identical to a serial run; only the numeric results themselves were
+// computed in parallel (on disjoint outputs).
+//
+// Satellites never carry a fault injector: chaos runs take the serial path,
+// which keeps fault/RNG streams per-pair and trivially thread-count
+// invariant.
+
+#ifndef GMPSVM_DEVICE_FORK_JOIN_H_
+#define GMPSVM_DEVICE_FORK_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/executor.h"
+#include "obs/span.h"
+
+namespace gmpsvm {
+
+class ThreadPool;
+
+// One accounting action captured on a satellite executor.
+struct ExecEvent {
+  enum class Kind : uint8_t { kCharge, kTransfer, kAdvance, kSpan };
+  Kind kind = Kind::kCharge;
+  TaskCost cost;   // kCharge
+  double bytes = 0.0;  // kTransfer
+  TransferDirection dir = TransferDirection::kHostToDevice;  // kTransfer
+  double seconds = 0.0;  // kAdvance
+  std::string label;     // kAdvance (empty = unlabeled)
+  obs::SpanEvent span;   // kSpan: a direct client RecordSpan (phase span)
+};
+
+// Ordered log of a satellite's accounting actions. Doubles as the
+// satellite's SpanRecorder so client phase spans land in the same ordered
+// stream as the charges they wrap. Used by one thread at a time; the
+// fork/join protocol provides the cross-thread synchronization.
+class ExecEventLog : public obs::SpanRecorder {
+ public:
+  void RecordSpan(const obs::SpanEvent& event) override {
+    ExecEvent e;
+    e.kind = ExecEvent::Kind::kSpan;
+    e.span = event;
+    events_.push_back(std::move(e));
+  }
+
+  void Append(ExecEvent event) { events_.push_back(std::move(event)); }
+  const std::vector<ExecEvent>& events() const { return events_; }
+
+ private:
+  std::vector<ExecEvent> events_;
+};
+
+// Forks a satellite executor mirroring `main_stream` of `main`: same cost
+// model, one stream (id 0) carrying the mirrored stream's unit share and
+// current timeline position, the live bytes_in_use ledger (so allocation
+// decisions match a serial run), `host_pool` borrowed for data-parallel op
+// bodies (may be nullptr), and `log` attached. If `main` has a span
+// recorder, the satellite forwards client phase spans into `log` with the
+// lane already resolved to the mirrored stream's lane. The satellite must
+// not outlive `main`, `log`, or `host_pool`, and must be used by a single
+// thread. `main` must not have a fault injector attached.
+SimExecutor ForkSatellite(SimExecutor* main, StreamId main_stream,
+                          ExecEventLog* log, ThreadPool* host_pool);
+
+// Replays `log` onto `main_stream` of `main` in recorded order, then merges
+// the satellite-local counters that replay does not reconstruct (kernel
+// values computed/reused, allocation failures, peak device memory). Client
+// phase spans are re-emitted shifted by the difference between the live
+// stream time and `satellite_base` — exactly zero when the stream has not
+// advanced since the fork, as in per-stream trainer groups.
+void JoinSatellite(const ExecEventLog& log, const SimExecutor& satellite,
+                   double satellite_base, SimExecutor* main,
+                   StreamId main_stream);
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_DEVICE_FORK_JOIN_H_

@@ -59,6 +59,12 @@ struct ExecutorModel {
   // paper's MP-SVM-level concurrency exploits.
   int64_t block_size = 256;
 
+  // Real host threads the executor may use to run task bodies (wall-clock
+  // parallelism only — simulated-time accounting and every numeric output are
+  // byte-identical for any value; see docs/performance.md). 1 = today's
+  // single-threaded execution.
+  int host_threads = 1;
+
   // --- Presets -------------------------------------------------------------
 
   // Tesla P100-like device. 56 SMs; sustained (not peak) throughput for

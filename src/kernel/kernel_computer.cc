@@ -1,20 +1,32 @@
 #include "kernel/kernel_computer.h"
 
+#include "common/thread_pool.h"
+
 namespace gmpsvm {
 namespace {
 
-// Applies the dot->kernel transform in place and returns the flops charged.
+// Applies the dot->kernel transform in place and returns the flops charged
+// (a closed form, so the host-parallel row partition cannot perturb it).
 double TransformBlock(const KernelFunction& fn, std::span<const double> norms_a,
                       std::span<const int32_t> batch,
                       std::span<const double> norms_b,
-                      std::span<const int32_t> targets, double* out) {
+                      std::span<const int32_t> targets, double* out,
+                      ThreadPool* pool) {
   const size_t num_targets = targets.size();
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const double norm_i = norms_a[static_cast<size_t>(batch[i])];
-    double* row = out + i * num_targets;
-    for (size_t j = 0; j < num_targets; ++j) {
-      row[j] = fn.FromDot(row[j], norm_i, norms_b[static_cast<size_t>(targets[j])]);
+  const auto rows_body = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const double norm_i = norms_a[static_cast<size_t>(batch[static_cast<size_t>(i)])];
+      double* row = out + i * static_cast<int64_t>(num_targets);
+      for (size_t j = 0; j < num_targets; ++j) {
+        row[j] = fn.FromDot(row[j], norm_i, norms_b[static_cast<size_t>(targets[j])]);
+      }
     }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(static_cast<int64_t>(batch.size()), rows_body,
+                      /*min_chunk=*/1);
+  } else {
+    rows_body(0, static_cast<int64_t>(batch.size()));
   }
   return fn.FlopsPerValue() * static_cast<double>(batch.size() * num_targets);
 }
@@ -33,8 +45,10 @@ void KernelComputer::ComputeBlock(std::span<const int32_t> batch,
                                   SimExecutor* executor, StreamId stream,
                                   double* out) const {
   if (batch.empty() || targets.empty()) return;
-  OpStats stats = BatchRowDots2(*a_, batch, *b_, targets, out);
-  stats.flops += TransformBlock(function_, norms_a_, batch, norms_b_, targets, out);
+  ThreadPool* pool = executor->host_pool();
+  OpStats stats = BatchRowDots2(*a_, batch, *b_, targets, out, pool);
+  stats.flops +=
+      TransformBlock(function_, norms_a_, batch, norms_b_, targets, out, pool);
 
   TaskCost cost;
   cost.flops = stats.flops;
@@ -85,8 +99,10 @@ void DenseKernelComputer::ComputeBlock(std::span<const int32_t> batch,
                                        SimExecutor* executor, StreamId stream,
                                        double* out) const {
   if (batch.empty() || targets.empty()) return;
-  OpStats stats = DenseBatchRowDots(*x_, batch, targets, out);
-  stats.flops += TransformBlock(function_, norms_, batch, norms_, targets, out);
+  ThreadPool* pool = executor->host_pool();
+  OpStats stats = DenseBatchRowDots(*x_, batch, targets, out, pool);
+  stats.flops +=
+      TransformBlock(function_, norms_, batch, norms_, targets, out, pool);
 
   TaskCost cost;
   cost.flops = stats.flops;

@@ -1,6 +1,7 @@
 #include "prob/pairwise_coupling.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/logging.h"
@@ -169,13 +170,34 @@ Status CoupleBatch(std::span<const double> r, int k, int64_t count,
   if (count < 0 || r.size() != static_cast<size_t>(count) * k * k) {
     return Status::InvalidArgument("coupling batch size mismatch");
   }
-  for (int64_t i = 0; i < count; ++i) {
-    GMP_ASSIGN_OR_RETURN(
-        std::vector<double> p,
-        CoupleProbabilities(r.subspan(static_cast<size_t>(i) * k * k,
-                                      static_cast<size_t>(k) * k),
-                            k, options));
-    std::copy(p.begin(), p.end(), out + i * k);
+  // Instances are independent and write disjoint k-blocks of `out`. Failures
+  // are exceptional (the ridge retries almost always converge), so the
+  // parallel pass only flags them; a serial rerun reproduces the exact
+  // first-failing status a sequential loop would have returned.
+  std::atomic<bool> any_failed{false};
+  executor->HostParallelFor(
+      count, /*min_chunk=*/32, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          Result<std::vector<double>> p = CoupleProbabilities(
+              r.subspan(static_cast<size_t>(i) * k * k,
+                        static_cast<size_t>(k) * k),
+              k, options);
+          if (!p.ok()) {
+            any_failed.store(true, std::memory_order_relaxed);
+            continue;
+          }
+          std::copy(p.value().begin(), p.value().end(), out + i * k);
+        }
+      });
+  if (any_failed.load(std::memory_order_relaxed)) {
+    for (int64_t i = 0; i < count; ++i) {
+      GMP_ASSIGN_OR_RETURN(
+          std::vector<double> p,
+          CoupleProbabilities(r.subspan(static_cast<size_t>(i) * k * k,
+                                        static_cast<size_t>(k) * k),
+                              k, options));
+      std::copy(p.begin(), p.end(), out + i * k);
+    }
   }
   // One Gaussian elimination is O(k^3); instances are independent.
   TaskCost cost;

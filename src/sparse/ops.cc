@@ -2,47 +2,88 @@
 
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace gmpsvm {
 namespace {
 
-// Scatter/gather core shared by the two CSR batch-dot variants.
+// Reusable scatter workspace, one per thread, grown on demand. Every routine
+// leaves the entries it touched at zero again (rows are un-scattered after
+// use), so reuse across calls — and across matrices of different widths — is
+// safe, and the former per-call O(cols) allocation in the solver's inner loop
+// is gone.
+std::vector<double>& ScatterWorkspace(int64_t cols) {
+  static thread_local std::vector<double> workspace;
+  if (workspace.size() < static_cast<size_t>(cols)) {
+    workspace.resize(static_cast<size_t>(cols), 0.0);
+  }
+  return workspace;
+}
+
+void RunRows(ThreadPool* pool, int64_t n, int64_t min_chunk,
+             const std::function<void(int64_t, int64_t)>& body) {
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(n, body, min_chunk);
+  } else if (n > 0) {
+    body(0, n);
+  }
+}
+
+// Scatter/gather core shared by the two CSR batch-dot variants. Batch rows
+// write disjoint `out` slices, so they are partitioned across the pool; the
+// stats below replay the serial accumulation order so the returned doubles
+// are bit-identical for any pool size.
 OpStats BatchRowDotsImpl(const CsrMatrix& a, std::span<const int32_t> batch,
                          const CsrMatrix& b, std::span<const int32_t> targets,
-                         double* out) {
-  OpStats stats;
-  std::vector<double> workspace(static_cast<size_t>(a.cols()), 0.0);
+                         double* out, ThreadPool* pool) {
   const size_t num_targets = targets.size();
+  RunRows(pool, static_cast<int64_t>(batch.size()), /*min_chunk=*/1,
+          [&](int64_t begin, int64_t end) {
+            std::vector<double>& workspace = ScatterWorkspace(a.cols());
+            for (int64_t bi = begin; bi < end; ++bi) {
+              const int64_t row = batch[static_cast<size_t>(bi)];
+              const auto idx = a.RowIndices(row);
+              const auto val = a.RowValues(row);
+              for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = val[p];
+
+              double* out_row = out + bi * static_cast<int64_t>(num_targets);
+              for (size_t tj = 0; tj < num_targets; ++tj) {
+                const int64_t trow = targets[tj];
+                const auto tidx = b.RowIndices(trow);
+                const auto tval = b.RowValues(trow);
+                double dot = 0.0;
+                for (size_t p = 0; p < tidx.size(); ++p) {
+                  dot += workspace[tidx[p]] * tval[p];
+                }
+                out_row[tj] = dot;
+              }
+
+              for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = 0.0;
+            }
+          });
+
+  // Every batch row streams the same target set, so the per-row nnz total is
+  // one value; accumulate it in target order exactly as the compute loop
+  // used to.
+  double nnz_targets = 0.0;
+  if (!batch.empty()) {
+    for (size_t tj = 0; tj < num_targets; ++tj) {
+      nnz_targets += static_cast<double>(b.RowIndices(targets[tj]).size());
+    }
+  }
+  OpStats stats;
   double nnz_targets_once = 0.0;
   for (size_t bi = 0; bi < batch.size(); ++bi) {
-    const int64_t row = batch[bi];
-    const auto idx = a.RowIndices(row);
-    const auto val = a.RowValues(row);
-    for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = val[p];
-
-    double* out_row = out + bi * num_targets;
-    double nnz_streamed = 0.0;
-    for (size_t tj = 0; tj < num_targets; ++tj) {
-      const int64_t trow = targets[tj];
-      const auto tidx = b.RowIndices(trow);
-      const auto tval = b.RowValues(trow);
-      double dot = 0.0;
-      for (size_t p = 0; p < tidx.size(); ++p) dot += workspace[tidx[p]] * tval[p];
-      out_row[tj] = dot;
-      nnz_streamed += static_cast<double>(tidx.size());
-    }
-
-    for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = 0.0;
-
-    stats.flops += 2.0 * nnz_streamed;
+    stats.flops += 2.0 * nnz_targets;
     // Per-row traffic: the batch row itself; the target matrix is tiled
     // through on-chip memory and read from DRAM once per *batch*, not once
     // per row — this amortization is why computing q rows together is far
     // cheaper per row than computing them one by one (Section 3.3.1's
     // ">10x cheaper when q > 10" claim; see bench_ablation_batch_rows).
-    stats.bytes_read +=
-        static_cast<double>(idx.size()) * (sizeof(double) + sizeof(int32_t));
+    stats.bytes_read += static_cast<double>(a.RowIndices(batch[bi]).size()) *
+                        (sizeof(double) + sizeof(int32_t));
     stats.bytes_written += static_cast<double>(num_targets) * sizeof(double);
-    nnz_targets_once = nnz_streamed;
+    nnz_targets_once = nnz_targets;
   }
   stats.bytes_read += nnz_targets_once * (sizeof(double) + sizeof(int32_t));
   return stats;
@@ -51,26 +92,32 @@ OpStats BatchRowDotsImpl(const CsrMatrix& a, std::span<const int32_t> batch,
 }  // namespace
 
 OpStats BatchRowDots(const CsrMatrix& x, std::span<const int32_t> batch,
-                     std::span<const int32_t> targets, double* out) {
-  return BatchRowDotsImpl(x, batch, x, targets, out);
+                     std::span<const int32_t> targets, double* out,
+                     ThreadPool* pool) {
+  return BatchRowDotsImpl(x, batch, x, targets, out, pool);
 }
 
 OpStats BatchRowDots2(const CsrMatrix& a, std::span<const int32_t> batch,
                       const CsrMatrix& b, std::span<const int32_t> targets,
-                      double* out) {
-  return BatchRowDotsImpl(a, batch, b, targets, out);
+                      double* out, ThreadPool* pool) {
+  return BatchRowDotsImpl(a, batch, b, targets, out, pool);
 }
 
 OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
-                          std::span<const int32_t> targets, double* out) {
-  OpStats stats;
+                          std::span<const int32_t> targets, double* out,
+                          ThreadPool* pool) {
   const size_t num_targets = targets.size();
-  for (size_t bi = 0; bi < batch.size(); ++bi) {
-    double* out_row = out + bi * num_targets;
-    for (size_t tj = 0; tj < num_targets; ++tj) {
-      out_row[tj] = x.RowDot(batch[bi], targets[tj]);
-    }
-  }
+  RunRows(pool, static_cast<int64_t>(batch.size()), /*min_chunk=*/1,
+          [&](int64_t begin, int64_t end) {
+            for (int64_t bi = begin; bi < end; ++bi) {
+              double* out_row = out + bi * static_cast<int64_t>(num_targets);
+              for (size_t tj = 0; tj < num_targets; ++tj) {
+                out_row[tj] =
+                    x.RowDot(batch[static_cast<size_t>(bi)], targets[tj]);
+              }
+            }
+          });
+  OpStats stats;
   const double cols = static_cast<double>(x.cols());
   const double pairs = static_cast<double>(batch.size() * num_targets);
   stats.flops = 2.0 * pairs * cols;
@@ -84,17 +131,22 @@ OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
 }
 
 OpStats SpMV(const CsrMatrix& x, std::span<const int32_t> rows,
-             std::span<const double> v, double* out) {
+             std::span<const double> v, double* out, ThreadPool* pool) {
+  RunRows(pool, static_cast<int64_t>(rows.size()), /*min_chunk=*/256,
+          [&](int64_t begin, int64_t end) {
+            for (int64_t j = begin; j < end; ++j) {
+              const int64_t row = rows[static_cast<size_t>(j)];
+              const auto idx = x.RowIndices(row);
+              const auto val = x.RowValues(row);
+              double dot = 0.0;
+              for (size_t p = 0; p < idx.size(); ++p) dot += val[p] * v[idx[p]];
+              out[j] = dot;
+            }
+          });
   OpStats stats;
   double nnz_streamed = 0.0;
   for (size_t j = 0; j < rows.size(); ++j) {
-    const int64_t row = rows[j];
-    const auto idx = x.RowIndices(row);
-    const auto val = x.RowValues(row);
-    double dot = 0.0;
-    for (size_t p = 0; p < idx.size(); ++p) dot += val[p] * v[idx[p]];
-    out[j] = dot;
-    nnz_streamed += static_cast<double>(idx.size());
+    nnz_streamed += static_cast<double>(x.RowIndices(rows[j]).size());
   }
   stats.flops = 2.0 * nnz_streamed;
   stats.bytes_read = nnz_streamed * (sizeof(double) + sizeof(int32_t));

@@ -4,6 +4,12 @@
 // the work actually performed, which callers charge to a SimExecutor stream.
 // Keeping compute and accounting separate lets the same math back every
 // substrate model.
+//
+// Each routine optionally takes a ThreadPool: batch rows are independent
+// (disjoint output slices, per-thread scatter workspaces), so they are
+// partitioned across the pool, while the OpStats accumulation always replays
+// the serial order — results and stats are byte-identical for any pool size,
+// including none.
 
 #ifndef GMPSVM_SPARSE_OPS_H_
 #define GMPSVM_SPARSE_OPS_H_
@@ -16,6 +22,8 @@
 #include "sparse/dense_matrix.h"
 
 namespace gmpsvm {
+
+class ThreadPool;
 
 // Work performed by one sparse op.
 struct OpStats {
@@ -40,22 +48,25 @@ struct OpStats {
 //
 // `out` must have batch.size() * targets.size() entries.
 OpStats BatchRowDots(const CsrMatrix& x, std::span<const int32_t> batch,
-                     std::span<const int32_t> targets, double* out);
+                     std::span<const int32_t> targets, double* out,
+                     ThreadPool* pool = nullptr);
 
 // As above but dotting rows of `a` (by index `batch`) against rows of `b`
 // (by index `targets`); used for test-instances x support-vectors products.
 OpStats BatchRowDots2(const CsrMatrix& a, std::span<const int32_t> batch,
                       const CsrMatrix& b, std::span<const int32_t> targets,
-                      double* out);
+                      double* out, ThreadPool* pool = nullptr);
 
 // Dense counterpart over DenseMatrix rows; O(|batch| * |targets| * dim).
 OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
-                          std::span<const int32_t> targets, double* out);
+                          std::span<const int32_t> targets, double* out,
+                          ThreadPool* pool = nullptr);
 
 // y = alpha * A.row-dots(v): sparse matrix (selected rows) times dense
 // vector; out[j] = X.row(rows[j]) · v. Used by decision-value computation.
 OpStats SpMV(const CsrMatrix& x, std::span<const int32_t> rows,
-             std::span<const double> v, double* out);
+             std::span<const double> v, double* out,
+             ThreadPool* pool = nullptr);
 
 }  // namespace gmpsvm
 

@@ -1,0 +1,136 @@
+// Pair-parallel trainer orchestration under a real thread pool. Kept small
+// and fast: this binary is the TSan target for the fork-join training path,
+// so it exercises concurrent pair solves (satellite executors sharing the
+// kernel computer, solver, and host pool) rather than statistical coverage —
+// host_determinism_test covers the {1,2,8} sweep.
+
+#include "core/mp_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../test_util.h"
+#include "core/model_io.h"
+#include "core/ova_trainer.h"
+#include "fault/fault_injector.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+MpTrainOptions Options(int host_threads) {
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 32;
+  options.batch.working_set.q = 16;
+  options.max_concurrent_svms = 4;
+  options.shared_cache_bytes = 64ull << 20;
+  options.host_threads = host_threads;
+  return options;
+}
+
+TEST(PairParallelTrainerTest, GmpMatchesSerial) {
+  // share_kernel_blocks off puts every pair on its own satellite executor;
+  // four worker threads solve the six pairs of group 0 concurrently.
+  auto data = ValueOrDie(MakeMulticlassBlobs(4, 20, 5, 2.0, 42));
+  MpTrainOptions serial_options = Options(1);
+  serial_options.share_kernel_blocks = false;
+  MpTrainOptions parallel_options = Options(4);
+  parallel_options.share_kernel_blocks = false;
+
+  SimExecutor serial_exec(ExecutorModel::TeslaP100());
+  MpTrainReport serial_report;
+  auto serial_model = ValueOrDie(
+      GmpSvmTrainer(serial_options).Train(data, &serial_exec, &serial_report));
+
+  SimExecutor parallel_exec(ExecutorModel::TeslaP100());
+  MpTrainReport parallel_report;
+  auto parallel_model = ValueOrDie(GmpSvmTrainer(parallel_options)
+                                       .Train(data, &parallel_exec,
+                                              &parallel_report));
+
+  EXPECT_EQ(SerializeModel(parallel_model), SerializeModel(serial_model));
+  EXPECT_EQ(parallel_report.sim_seconds, serial_report.sim_seconds);
+  EXPECT_EQ(parallel_report.solver.iterations, serial_report.solver.iterations);
+  EXPECT_EQ(parallel_exec.counters().flops, serial_exec.counters().flops);
+  EXPECT_EQ(parallel_exec.counters().launches, serial_exec.counters().launches);
+  EXPECT_EQ(parallel_exec.counters().kernel_values_computed,
+            serial_exec.counters().kernel_values_computed);
+}
+
+TEST(PairParallelTrainerTest, GmpWithSharedCacheStaysCorrect) {
+  // With the shared block cache on, pair-level parallelism is disabled (the
+  // hit/miss accounting is schedule-dependent) but op-level threading stays
+  // active; results must still match the serial run.
+  auto data = ValueOrDie(MakeMulticlassBlobs(4, 20, 5, 2.0, 42));
+  SimExecutor serial_exec(ExecutorModel::TeslaP100());
+  MpTrainReport serial_report;
+  auto serial_model = ValueOrDie(
+      GmpSvmTrainer(Options(1)).Train(data, &serial_exec, &serial_report));
+  SimExecutor parallel_exec(ExecutorModel::TeslaP100());
+  MpTrainReport parallel_report;
+  auto parallel_model = ValueOrDie(
+      GmpSvmTrainer(Options(4)).Train(data, &parallel_exec, &parallel_report));
+  EXPECT_EQ(SerializeModel(parallel_model), SerializeModel(serial_model));
+  EXPECT_EQ(parallel_report.sim_seconds, serial_report.sim_seconds);
+}
+
+TEST(PairParallelTrainerTest, SequentialMatchesSerial) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 24, 5, 2.0, 17));
+  SimExecutor serial_exec(ExecutorModel::TeslaP100());
+  MpTrainReport serial_report;
+  auto serial_model = ValueOrDie(SequentialMpTrainer(Options(1))
+                                     .Train(data, &serial_exec, &serial_report));
+  SimExecutor parallel_exec(ExecutorModel::TeslaP100());
+  MpTrainReport parallel_report;
+  auto parallel_model =
+      ValueOrDie(SequentialMpTrainer(Options(4))
+                     .Train(data, &parallel_exec, &parallel_report));
+  EXPECT_EQ(SerializeModel(parallel_model), SerializeModel(serial_model));
+  EXPECT_EQ(parallel_report.sim_seconds, serial_report.sim_seconds);
+  EXPECT_EQ(parallel_exec.counters().flops, serial_exec.counters().flops);
+}
+
+TEST(PairParallelTrainerTest, OvaMatchesSerial) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 20, 5, 2.0, 23));
+  auto train = [&data](int threads, MpTrainReport* report) {
+    SimExecutor exec(ExecutorModel::TeslaP100());
+    return ValueOrDie(OvaTrainer(Options(threads)).Train(data, &exec, report));
+  };
+  MpTrainReport serial_report, parallel_report;
+  OvaModel serial_model = train(1, &serial_report);
+  OvaModel parallel_model = train(4, &parallel_report);
+  EXPECT_EQ(parallel_report.sim_seconds, serial_report.sim_seconds);
+  ASSERT_EQ(parallel_model.classes.size(), serial_model.classes.size());
+  for (size_t c = 0; c < serial_model.classes.size(); ++c) {
+    EXPECT_EQ(parallel_model.classes[c].bias, serial_model.classes[c].bias);
+    EXPECT_EQ(parallel_model.classes[c].sigmoid.a,
+              serial_model.classes[c].sigmoid.a);
+    EXPECT_EQ(parallel_model.classes[c].sigmoid.b,
+              serial_model.classes[c].sigmoid.b);
+  }
+}
+
+TEST(PairParallelTrainerTest, ChaosFallsBackToSerialAndStaysDeterministic) {
+  // A fault injector forces the serial pair path even when host_threads > 1;
+  // the chaotic model must match the chaotic serial model byte for byte.
+  auto data = ValueOrDie(MakeMulticlassBlobs(3, 20, 5, 2.0, 31));
+  fault::FaultPlan plan = fault::FaultPlan::Chaos(5);
+  plan.kernel_row_fail_prob = 0.3;
+
+  auto run = [&](int threads) {
+    MpTrainOptions options = Options(threads);
+    options.share_kernel_blocks = false;
+    SimExecutor exec(ExecutorModel::TeslaP100());
+    fault::FaultInjector injector(plan);
+    exec.SetFaultInjector(&injector);
+    return SerializeModel(
+        ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr)));
+  };
+  EXPECT_EQ(run(4), run(1));
+}
+
+}  // namespace
+}  // namespace gmpsvm

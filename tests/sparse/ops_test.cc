@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace gmpsvm {
 namespace {
@@ -126,6 +129,63 @@ TEST(SpMVTest, MatchesNaive) {
       expect += dense[rows[j] * x.cols() + c] * v[static_cast<size_t>(c)];
     }
     EXPECT_NEAR(out[j], expect, 1e-12);
+  }
+}
+
+TEST(ParallelOpsTest, PoolDoesNotChangeResultsOrStats) {
+  // Every op routed through a ThreadPool must return bitwise-identical
+  // outputs AND bitwise-identical OpStats: per-row flop accounting is summed
+  // in serial row order regardless of which thread computed the row.
+  CsrMatrix x = RandomSparse(120, 64, 0.2, 21);
+  CsrMatrix b = RandomSparse(80, 64, 0.15, 22);
+  std::vector<int32_t> batch, targets, brows;
+  for (int32_t i = 0; i < 120; i += 3) batch.push_back(i);
+  for (int32_t i = 0; i < 120; i += 2) targets.push_back(i);
+  for (int32_t i = 0; i < 80; i += 2) brows.push_back(i);
+  ThreadPool pool(4);
+
+  {
+    std::vector<double> serial(batch.size() * targets.size());
+    std::vector<double> parallel(serial.size(), -1.0);
+    OpStats s = BatchRowDots(x, batch, targets, serial.data());
+    OpStats p = BatchRowDots(x, batch, targets, parallel.data(), &pool);
+    EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                             serial.size() * sizeof(double)));
+    EXPECT_EQ(s.flops, p.flops);
+    EXPECT_EQ(s.bytes_read, p.bytes_read);
+    EXPECT_EQ(s.bytes_written, p.bytes_written);
+  }
+  {
+    std::vector<double> serial(batch.size() * brows.size());
+    std::vector<double> parallel(serial.size(), -1.0);
+    OpStats s = BatchRowDots2(x, batch, b, brows, serial.data());
+    OpStats p = BatchRowDots2(x, batch, b, brows, parallel.data(), &pool);
+    EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                             serial.size() * sizeof(double)));
+    EXPECT_EQ(s.flops, p.flops);
+    EXPECT_EQ(s.bytes_read, p.bytes_read);
+    EXPECT_EQ(s.bytes_written, p.bytes_written);
+  }
+  {
+    std::vector<double> v(static_cast<size_t>(x.cols()));
+    for (size_t i = 0; i < v.size(); ++i) v[i] = 0.25 * static_cast<double>(i) - 3.0;
+    std::vector<double> serial(batch.size());
+    std::vector<double> parallel(serial.size(), -1.0);
+    OpStats s = SpMV(x, batch, v, serial.data());
+    OpStats p = SpMV(x, batch, v, parallel.data(), &pool);
+    EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                             serial.size() * sizeof(double)));
+    EXPECT_EQ(s.flops, p.flops);
+  }
+  {
+    DenseMatrix dense(x.rows(), x.cols(), x.ToDense());
+    std::vector<double> serial(batch.size() * targets.size());
+    std::vector<double> parallel(serial.size(), -1.0);
+    OpStats s = DenseBatchRowDots(dense, batch, targets, serial.data());
+    OpStats p = DenseBatchRowDots(dense, batch, targets, parallel.data(), &pool);
+    EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                             serial.size() * sizeof(double)));
+    EXPECT_EQ(s.flops, p.flops);
   }
 }
 
