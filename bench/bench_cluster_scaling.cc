@@ -1,0 +1,105 @@
+// Cluster scaling: simulated training makespan vs device count.
+//
+// Sweeps 1/2/4/8 homogeneous P100-class devices over a Table-2 proxy
+// dataset (default MNIST; override with --datasets=...), training with the
+// cluster pair scheduler + ClusterTrainer and predicting through the sharded
+// ClusterPredict path. The model and probabilities are byte-identical at
+// every device count (the cluster determinism contract); what changes — and
+// what this bench reports — is the makespan and the per-device utilization.
+// Expect strictly decreasing makespan 1 -> 4 devices; 8 devices on the
+// smaller proxies starts to show scheduling slack (fewer pairs per device
+// than the LPT bins need to balance).
+//
+// --json output lands one row per (dataset, device count) with the device
+// count encoded in the impl column ("GMP-SVM cluster x4"); CI uploads it as
+// BENCH_cluster.json.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/cluster.h"
+#include "cluster/cluster_predictor.h"
+#include "cluster/cluster_trainer.h"
+#include "common/string_util.h"
+
+using namespace gmpsvm;         // NOLINT
+using namespace gmpsvm::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.datasets.empty()) args.datasets = {"MNIST"};
+
+  std::printf(
+      "CLUSTER SCALING: simulated train makespan vs device count "
+      "(scale %.2f)\n\n",
+      args.scale);
+  TablePrinter table({"Dataset", "Devices", "Makespan (sim)", "Speedup",
+                      "Predict (sim)", "Min util", "Resched"});
+  std::vector<JsonRow> json_rows;
+
+  for (const auto& spec : SelectSpecs(args, DatasetFilter::kMulticlassOnly)) {
+    Dataset train = ValueOrDie(GenerateSynthetic(spec));
+    Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
+
+    ExecutorModel device_model =
+        ScaleModel(ExecutorModel::TeslaP100(), WorldScale(spec));
+    device_model.host_threads = args.host_threads;
+
+    double base_makespan = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+      cluster::SimCluster devices =
+          cluster::SimCluster::Homogeneous(n, device_model);
+      devices.SetSpanRecorder(BenchTrace());
+
+      cluster::ClusterTrainOptions options;
+      options.train = GmpOptionsFor(spec);
+      cluster::ClusterTrainReport report;
+      cluster::ClusterTrainer trainer(options);
+      MpSvmModel model = ValueOrDie(trainer.Train(train, &devices, &report));
+
+      PredictResult predicted = ValueOrDie(cluster::ClusterPredict(
+          model, test.features(), &devices, PredictOptions{}));
+
+      if (n == 1) base_makespan = report.makespan_sim_seconds;
+      double min_util = 1.0;
+      for (const cluster::DeviceUtilization& u : report.devices) {
+        min_util = std::min(min_util, u.utilization);
+      }
+      table.AddRow({
+          spec.name,
+          StrPrintf("%d", n),
+          Sec(report.makespan_sim_seconds),
+          Speedup(base_makespan / report.makespan_sim_seconds),
+          Sec(predicted.sim_seconds),
+          StrPrintf("%.0f%%", min_util * 100.0),
+          StrPrintf("%lld", static_cast<long long>(report.pairs_rescheduled)),
+      });
+
+      JsonRow row;
+      row.dataset = spec.name;
+      row.impl = StrPrintf("GMP-SVM cluster x%d", n);
+      row.model = device_model.name;
+      row.train_sim = report.makespan_sim_seconds;
+      row.train_wall = report.wall_seconds;
+      row.predict_sim = predicted.sim_seconds;
+      row.predict_wall = predicted.wall_seconds;
+      json_rows.push_back(std::move(row));
+
+      report.PublishTo(BenchRegistry());
+      for (int d = 0; d < devices.num_devices(); ++d) {
+        devices.device(d)->counters().PublishTo(
+            BenchRegistry(), {{"dataset", spec.name},
+                              {"device", StrPrintf("%d", d)},
+                              {"cluster", StrPrintf("x%d", n)}});
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nModel and probabilities are byte-identical at every device count;\n"
+      "only the makespan changes (docs/scaling.md).\n");
+  WriteBenchJson(args, "cluster_scaling", json_rows);
+  DumpObservability(args);
+  return 0;
+}

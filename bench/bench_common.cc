@@ -66,6 +66,8 @@ Args ParseArgs(int argc, char** argv) {
       args.json_out = arg.substr(7);
     } else if (StartsWith(arg, "--host-threads=")) {
       args.host_threads = std::max(1, std::atoi(arg.c_str() + 15));
+    } else if (StartsWith(arg, "--devices=")) {
+      args.devices = std::max(1, std::atoi(arg.c_str() + 10));
     } else if (StartsWith(arg, "--benchmark")) {
       // Ignore google-benchmark flags when mixed binaries share a runner.
     } else {
@@ -88,12 +90,13 @@ void WriteBenchJson(const Args& args, const std::string& bench_name,
       << "  \"bench\": \"" << bench_name << "\",\n"
       << "  \"scale\": " << StrPrintf("%.17g", args.scale) << ",\n"
       << "  \"host_threads\": " << args.host_threads << ",\n"
+      << "  \"devices\": " << args.devices << ",\n"
       << "  \"rows\": [";
   for (size_t i = 0; i < rows.size(); ++i) {
     const JsonRow& row = rows[i];
     out << (i == 0 ? "\n" : ",\n")
         << "    {\"dataset\": \"" << row.dataset << "\", \"impl\": \""
-        << row.impl << "\", "
+        << row.impl << "\", \"model\": \"" << row.model << "\", "
         << StrPrintf("\"train_sim_seconds\": %.17g, "
                      "\"train_wall_seconds\": %.17g, "
                      "\"predict_sim_seconds\": %.17g, "
@@ -249,6 +252,7 @@ Result<RunResult> RunImpl(Impl impl, const SyntheticSpec& spec,
   ImplSetup setup = MakeSetup(impl, spec);
   setup.executor.SetSpanRecorder(BenchTrace());
   RunResult result;
+  result.model_name = setup.executor.model().name;
 
   MpSvmModel model;
   if (setup.gmp_algorithm) {

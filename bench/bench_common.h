@@ -9,6 +9,8 @@
 //   --host-threads=<n>   real worker threads for executor hot paths (wall
 //                        clock only; sim seconds and models are byte-
 //                        identical for every value — docs/performance.md)
+//   --devices=<n>        simulated devices for cluster-aware benches (other
+//                        benches record it as metadata only)
 // and prints aligned tables matching the paper's rows. Times are reported in
 // simulated seconds on the published cost models (see DESIGN.md); wall
 // seconds are shown alongside as a diagnostic.
@@ -37,6 +39,7 @@ struct Args {
   std::string trace_out;              // empty = no trace dump
   std::string json_out;               // empty = no JSON dump
   int host_threads = 1;               // real threads for executor hot paths
+  int devices = 1;                    // simulated devices (cluster benches)
 
   bool Selected(const std::string& name) const;
 };
@@ -50,14 +53,18 @@ Args ParseArgs(int argc, char** argv);
 struct JsonRow {
   std::string dataset;
   std::string impl;
+  std::string model;  // sim-model name the row ran on (self-describing JSON)
   double train_sim = 0.0;
   double train_wall = 0.0;
   double predict_sim = 0.0;
   double predict_wall = 0.0;
 };
 
-// Writes `rows` to args.json_out as one JSON object (bench name, scale,
-// host_threads, rows[]); no-op when --json was not passed.
+// Writes `rows` to args.json_out as one JSON object with run metadata
+// (bench name, scale, host_threads, devices) and rows[] each carrying
+// dataset / impl / sim-model name, so BENCH_*.json files are comparable
+// across runs without the producing command line; no-op when --json was not
+// passed.
 void WriteBenchJson(const Args& args, const std::string& bench_name,
                     const std::vector<JsonRow>& rows);
 
@@ -109,6 +116,7 @@ struct RunResult {
   double train_error = 0.0;
   double predict_error = 0.0;
   double last_bias = 0.0;  // bias of the last binary SVM (Table 4)
+  std::string model_name;  // scaled sim-model the impl ran on
   MpTrainReport train_report;
   PhaseTimer predict_phases;
 };

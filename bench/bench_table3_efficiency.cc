@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
       JsonRow json_row;
       json_row.dataset = spec.name;
       json_row.impl = ImplName(impl);
+      json_row.model = r.model_name;
       json_row.train_sim = r.train_sim;
       json_row.train_wall = r.train_wall;
       json_row.predict_sim = r.predict_sim;

@@ -1,16 +1,16 @@
 // Command-line tool in the spirit of LibSVM's svm-train / svm-predict,
 // backed by GMP-SVM on the simulated device. Works on LibSVM-format files.
 //
-//   svm_tool train [-c C] [-g gamma] [-e eps] [-b cv_folds]
+//   svm_tool train [-c C] [-g gamma] [-e eps] [-b cv_folds] [--devices N]
 //       [--metrics-out m.prom] [--trace-out t.json]
 //       [--checkpoint-dir d] [--resume] [--chaos-seed s] [--skip-degraded]
 //       <train> <model>
-//   svm_tool predict <test.libsvm> <model.in> [predictions.out]
+//   svm_tool predict [--devices N] <test.libsvm> <model.in> [predictions.out]
 //   svm_tool scale <in.libsvm> <out.libsvm>        (min-max to [-1, 1])
-//   svm_tool cv [-c C] [-g gamma] [-v folds] <train.libsvm>
-//   svm_tool grid [-v folds] <train.libsvm>          (C/gamma grid search)
+//   svm_tool cv [-c C] [-g gamma] [-v folds] [--devices N] <train.libsvm>
+//   svm_tool grid [-v folds] [--devices N] <train.libsvm>  (C/gamma grid)
 //   svm_tool serve [-n N] [-w workers] [-b max_batch] [--chaos-seed s]
-//       [--metrics-out m.prom] [--trace-out t.json] <model.in>
+//       [--devices N] [--metrics-out m.prom] [--trace-out t.json] <model.in>
 //       (micro-batching inference-server smoke: N synthetic requests)
 //
 // --metrics-out dumps the observability registry as Prometheus text;
@@ -22,6 +22,14 @@
 // the byte-identical model; serve answers every accepted request.
 // --checkpoint-dir/--resume persist per-pair training progress so an
 // interrupted run picks up where it left off.
+//
+// --devices N runs on a simulated N-device cluster (docs/scaling.md):
+// train shards the pairwise problems across devices (same model bytes at any
+// N), predict shards the test rows, and serve routes requests across N
+// replicas. cv/grid run their fold training on device 0 — the flag is
+// validated but the results are identical at any N by construction.
+// Checkpoint/resume are single-device concepts; combining them with
+// --devices > 1 is a usage error. Unknown flags are usage errors (exit 2).
 //
 // Exit codes: 0 success; 1 fatal error; 2 usage; 3 degraded completion (the
 // run finished but some pairs were skipped as degraded, or some chaos serve
@@ -38,6 +46,9 @@
 
 #include <memory>
 
+#include "cluster/cluster.h"
+#include "cluster/cluster_predictor.h"
+#include "cluster/cluster_trainer.h"
 #include "core/cross_validation.h"
 #include "core/grid_search.h"
 #include "core/model_io.h"
@@ -51,6 +62,7 @@
 #include "metrics/metrics.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "serve/replica_router.h"
 #include "serve/server.h"
 
 using namespace gmpsvm;  // NOLINT: example brevity
@@ -61,20 +73,35 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  svm_tool train [-c C] [-g gamma] [-e eps] [-b folds]\n"
-               "      [--host-threads N] [--metrics-out m.prom]\n"
+               "      [--host-threads N] [--devices N] [--metrics-out m.prom]\n"
                "      [--trace-out t.json] [--checkpoint-dir d] [--resume]\n"
                "      [--chaos-seed s] [--skip-degraded] <data> <model>\n"
-               "  svm_tool predict [--host-threads N] <data> <model> [out]\n"
+               "  svm_tool predict [--host-threads N] [--devices N]\n"
+               "      <data> <model> [out]\n"
                "  svm_tool scale <in> <out>\n"
-               "  svm_tool cv [-c C] [-g gamma] [-v folds] <data>\n"
-               "  svm_tool grid [-v folds] <data>\n"
+               "  svm_tool cv [-c C] [-g gamma] [-v folds] [--devices N] <data>\n"
+               "  svm_tool grid [-v folds] [--devices N] <data>\n"
                "  svm_tool serve [-n requests] [-w workers] [-b max_batch]\n"
-               "      [--host-threads N] [--chaos-seed s]\n"
+               "      [--host-threads N] [--devices N] [--chaos-seed s]\n"
                "      [--metrics-out m.prom] [--trace-out t.json] <model>\n"
                "--host-threads sets real worker threads for the hot paths;\n"
                "outputs are byte-identical for every value (wall clock only)\n"
+               "--devices shards train/predict/serve across a simulated\n"
+               "cluster; models and probabilities are byte-identical for\n"
+               "every device count (docs/scaling.md). --devices must be >= 1\n"
+               "and excludes --checkpoint-dir/--resume when > 1.\n"
+               "Unknown flags are rejected.\n"
                "exit codes: 0 ok, 1 fatal, 2 usage, 3 degraded completion\n");
   return 2;
+}
+
+// Parses the shared --devices flag inside a command's argument loop. Returns
+// false (a usage error) when the value is missing, not a number, or < 1 —
+// "--devices 0" is explicitly rejected rather than clamped.
+bool ParseDevicesFlag(int argc, char** argv, int* arg, int* devices) {
+  if (*arg + 1 >= argc) return false;
+  *devices = std::atoi(argv[++*arg]);
+  return *devices >= 1;
 }
 
 // Writes `content` to `path`; returns false (with a message) on failure.
@@ -90,6 +117,7 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
 
 int ScaleCommand(int argc, char** argv) {
   if (argc != 2) return Usage();
+  if (argv[0][0] == '-' || argv[1][0] == '-') return Usage();
   auto file = ReadLibsvmFile(argv[0]);
   if (!file.ok()) {
     std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
@@ -113,7 +141,7 @@ int ScaleCommand(int argc, char** argv) {
 
 int CvCommand(int argc, char** argv) {
   double c = 1.0, gamma = 0.5;
-  int folds = 5;
+  int folds = 5, devices = 1;
   std::string data_path;
   for (int arg = 0; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "-c") == 0 && arg + 1 < argc) {
@@ -122,6 +150,10 @@ int CvCommand(int argc, char** argv) {
       gamma = std::atof(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-v") == 0 && arg + 1 < argc) {
       folds = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--devices") == 0) {
+      if (!ParseDevicesFlag(argc, argv, &arg, &devices)) return Usage();
+    } else if (argv[arg][0] == '-') {
+      return Usage();
     } else if (data_path.empty()) {
       data_path = argv[arg];
     } else {
@@ -138,8 +170,14 @@ int CvCommand(int argc, char** argv) {
   options.folds = folds;
   options.train.c = c;
   options.train.kernel.gamma = gamma;
-  SimExecutor gpu(ExecutorModel::TeslaP100());
-  auto cv = CrossValidate(file->dataset, options, &gpu);
+  // Fold training runs on device 0: CV results are identical at any device
+  // count (models are schedule-invariant), so extra devices add nothing here.
+  cluster::SimCluster cluster_devices =
+      cluster::SimCluster::Homogeneous(devices, ExecutorModel::TeslaP100());
+  if (devices > 1) {
+    std::printf("note: cv trains folds on device 0 of %d\n", devices);
+  }
+  auto cv = CrossValidate(file->dataset, options, cluster_devices.device(0));
   if (!cv.ok()) {
     std::fprintf(stderr, "error: %s\n", cv.status().ToString().c_str());
     return 1;
@@ -152,11 +190,15 @@ int CvCommand(int argc, char** argv) {
 }
 
 int GridCommand(int argc, char** argv) {
-  int folds = 3;
+  int folds = 3, devices = 1;
   std::string data_path;
   for (int arg = 0; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "-v") == 0 && arg + 1 < argc) {
       folds = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--devices") == 0) {
+      if (!ParseDevicesFlag(argc, argv, &arg, &devices)) return Usage();
+    } else if (argv[arg][0] == '-') {
+      return Usage();
     } else if (data_path.empty()) {
       data_path = argv[arg];
     } else {
@@ -171,8 +213,13 @@ int GridCommand(int argc, char** argv) {
   }
   GridSearchOptions options;
   options.folds = folds;
-  SimExecutor gpu(ExecutorModel::TeslaP100());
-  auto grid = GridSearch(file->dataset, options, &gpu);
+  // Same device-0 semantics as cv: grid cells are schedule-invariant.
+  cluster::SimCluster cluster_devices =
+      cluster::SimCluster::Homogeneous(devices, ExecutorModel::TeslaP100());
+  if (devices > 1) {
+    std::printf("note: grid trains folds on device 0 of %d\n", devices);
+  }
+  auto grid = GridSearch(file->dataset, options, cluster_devices.device(0));
   if (!grid.ok()) {
     std::fprintf(stderr, "error: %s\n", grid.status().ToString().c_str());
     return 1;
@@ -188,7 +235,7 @@ int GridCommand(int argc, char** argv) {
 
 int TrainCommand(int argc, char** argv) {
   double c = 1.0, gamma = 0.5, eps = 1e-3;
-  int cv_folds = 0, host_threads = 1;
+  int cv_folds = 0, host_threads = 1, devices = 1;
   bool resume = false, skip_degraded = false, chaos = false;
   uint64_t chaos_seed = 0;
   std::string metrics_out, trace_out, checkpoint_dir;
@@ -220,6 +267,10 @@ int TrainCommand(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--chaos-seed") == 0 && arg + 1 < argc) {
       chaos = true;
       chaos_seed = static_cast<uint64_t>(std::atoll(argv[++arg]));
+    } else if (std::strcmp(argv[arg], "--devices") == 0) {
+      if (!ParseDevicesFlag(argc, argv, &arg, &devices)) return Usage();
+    } else if (argv[arg][0] == '-') {
+      return Usage();
     } else if (npos < 2) {
       positional[npos++] = argv[arg];
     } else {
@@ -229,6 +280,9 @@ int TrainCommand(int argc, char** argv) {
   }
   if (npos != 2) return Usage();
   if (resume && checkpoint_dir.empty()) return Usage();
+  // Checkpoint/resume are single-device session concepts (the cluster
+  // trainer's Validate rejects them too); fail fast as a usage error.
+  if (devices > 1 && (resume || !checkpoint_dir.empty())) return Usage();
 
   auto file = ReadLibsvmFile(positional[0]);
   if (!file.ok()) {
@@ -256,6 +310,69 @@ int TrainCommand(int argc, char** argv) {
   obs::MetricsRegistry metrics;
   ExecutorModel device_model = ExecutorModel::TeslaP100();
   device_model.host_threads = host_threads;
+
+  if (devices > 1) {
+    cluster::SimCluster cluster_devices =
+        cluster::SimCluster::Homogeneous(devices, device_model);
+    obs::TraceRecorder recorder;
+    if (!trace_out.empty()) cluster_devices.SetSpanRecorder(&recorder);
+    cluster::ClusterTrainOptions cluster_options;
+    cluster_options.train = options;
+    if (chaos) {
+      cluster_options.fault = fault::FaultPlan::Chaos(chaos_seed);
+      cluster_options.fault_metrics = &metrics;
+      std::printf("chaos enabled (seed %llu)\n",
+                  static_cast<unsigned long long>(chaos_seed));
+    }
+    cluster::ClusterTrainReport report;
+    auto model = cluster::ClusterTrainer(cluster_options)
+                     .Train(file->dataset, &cluster_devices, &report);
+    if (!model.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "trained %d binary SVMs on %d devices in %.3f sim-s makespan "
+        "(%.3f s wall), %lld SVs\n",
+        model->num_pairs(), devices, report.makespan_sim_seconds,
+        report.wall_seconds, static_cast<long long>(model->pool_size()));
+    for (int d = 0; d < cluster_devices.num_devices(); ++d) {
+      const cluster::DeviceUtilization& u =
+          report.devices[static_cast<size_t>(d)];
+      std::printf("  device %d: %d pairs, %.3f sim-s (%.0f%% utilization)%s\n",
+                  d, u.pairs_trained, u.sim_seconds, 100.0 * u.utilization,
+                  u.lost ? " [lost]" : "");
+    }
+    if (report.devices_lost > 0) {
+      std::printf("recovery: %d devices lost, %lld pairs rescheduled\n",
+                  report.devices_lost,
+                  static_cast<long long>(report.pairs_rescheduled));
+    }
+    if (report.merged.pair_retries > 0 || report.merged.pairs_degraded > 0) {
+      std::printf("recovery: %lld pair retries, %lld pairs degraded\n",
+                  static_cast<long long>(report.merged.pair_retries),
+                  static_cast<long long>(report.merged.pairs_degraded));
+    }
+    GMP_CHECK_OK(SaveModel(*model, positional[1]));
+    std::printf("model written to %s\n", positional[1].c_str());
+    if (!metrics_out.empty()) {
+      report.PublishTo(&metrics);
+      for (int d = 0; d < cluster_devices.num_devices(); ++d) {
+        cluster_devices.device(d)->counters().PublishTo(
+            &metrics, {{"device", std::to_string(d)}});
+      }
+      if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+      std::printf("metrics written to %s\n", metrics_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      if (!WriteTextFile(trace_out, recorder.ToChromeJson())) return 1;
+      std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
+                  recorder.size());
+    }
+    return report.merged.pairs_degraded > 0 ? 3 : 0;
+  }
+
   SimExecutor gpu(device_model);
   std::unique_ptr<fault::FaultInjector> injector;
   if (chaos) {
@@ -305,13 +422,17 @@ int TrainCommand(int argc, char** argv) {
 }
 
 int PredictCommand(int argc, char** argv) {
-  int host_threads = 1;
+  int host_threads = 1, devices = 1;
   std::string positional[3];
   int npos = 0;
   for (int arg = 0; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "--host-threads") == 0 && arg + 1 < argc) {
       host_threads = std::atoi(argv[++arg]);
       if (host_threads < 1) return Usage();
+    } else if (std::strcmp(argv[arg], "--devices") == 0) {
+      if (!ParseDevicesFlag(argc, argv, &arg, &devices)) return Usage();
+    } else if (argv[arg][0] == '-') {
+      return Usage();
     } else if (npos < 3) {
       positional[npos++] = argv[arg];
     } else {
@@ -332,9 +453,19 @@ int PredictCommand(int argc, char** argv) {
 
   ExecutorModel device_model = ExecutorModel::TeslaP100();
   device_model.host_threads = host_threads;
-  SimExecutor gpu(device_model);
-  auto pred = MpSvmPredictor(&*model).Predict(file->dataset.features(), &gpu,
-                                              PredictOptions{});
+  Result<PredictResult> pred = Status::Internal("unreachable");
+  if (devices > 1) {
+    // Shard the test rows speed-weighted across the cluster; the merged
+    // probabilities are bit-identical to the single-device path.
+    cluster::SimCluster cluster_devices =
+        cluster::SimCluster::Homogeneous(devices, device_model);
+    pred = cluster::ClusterPredict(*model, file->dataset.features(),
+                                   &cluster_devices, PredictOptions{});
+  } else {
+    SimExecutor gpu(device_model);
+    pred = MpSvmPredictor(&*model).Predict(file->dataset.features(), &gpu,
+                                           PredictOptions{});
+  }
   if (!pred.ok()) {
     std::fprintf(stderr, "prediction failed: %s\n",
                  pred.status().ToString().c_str());
@@ -364,7 +495,7 @@ int PredictCommand(int argc, char** argv) {
 // start the micro-batching server, push synthetic single-row requests, and
 // print the ServeStats table.
 int ServeCommand(int argc, char** argv) {
-  int num_requests = 200;
+  int num_requests = 200, devices = 1;
   bool chaos = false;
   uint64_t chaos_seed = 0;
   ServeOptions options;
@@ -383,10 +514,14 @@ int ServeCommand(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--chaos-seed") == 0 && arg + 1 < argc) {
       chaos = true;
       chaos_seed = static_cast<uint64_t>(std::atoll(argv[++arg]));
+    } else if (std::strcmp(argv[arg], "--devices") == 0) {
+      if (!ParseDevicesFlag(argc, argv, &arg, &devices)) return Usage();
     } else if (std::strcmp(argv[arg], "--metrics-out") == 0 && arg + 1 < argc) {
       metrics_out = argv[++arg];
     } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
       trace_out = argv[++arg];
+    } else if (argv[arg][0] == '-') {
+      return Usage();
     } else if (model_path.empty()) {
       model_path = argv[arg];
     } else {
@@ -439,13 +574,32 @@ int ServeCommand(int argc, char** argv) {
                 static_cast<unsigned long long>(chaos_seed));
   }
 
-  InferenceServer server(&registry, options);
-  GMP_CHECK_OK(server.Start());
+  // --devices > 1 serves through the replica router (one InferenceServer per
+  // device, least-loaded dispatch); --devices 1 keeps the direct server.
+  std::unique_ptr<InferenceServer> server;
+  std::unique_ptr<ReplicaRouter> router;
+  if (devices > 1) {
+    RouterOptions router_options;
+    router_options.serve = options;
+    router_options.devices.assign(static_cast<size_t>(devices),
+                                  options.executor_model);
+    router_options.metrics = &metrics;
+    router = std::make_unique<ReplicaRouter>(&registry, router_options);
+    GMP_CHECK_OK(router->Start());
+    std::printf("routing across %d replicas (%d workers each)\n", devices,
+                options.num_workers);
+  } else {
+    server = std::make_unique<InferenceServer>(&registry, options);
+    GMP_CHECK_OK(server->Start());
+  }
   std::vector<std::future<Result<PredictResponse>>> futures;
   futures.reserve(static_cast<size_t>(num_requests));
   for (int r = 0; r < num_requests; ++r) {
     const int64_t row = r % rows.rows();
-    auto submitted = server.Submit(rows.RowIndices(row), rows.RowValues(row));
+    auto submitted =
+        router != nullptr
+            ? router->Submit(rows.RowIndices(row), rows.RowValues(row))
+            : server->Submit(rows.RowIndices(row), rows.RowValues(row));
     if (!submitted.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    submitted.status().ToString().c_str());
@@ -476,8 +630,17 @@ int ServeCommand(int argc, char** argv) {
     std::printf("faults injected: %lld\n",
                 static_cast<long long>(injector->total_injected()));
   }
-  std::printf("%s\n", server.stats().Snapshot().ToTable().c_str());
-  GMP_CHECK_OK(server.Shutdown());
+  if (router != nullptr) {
+    for (int r = 0; r < router->num_replicas(); ++r) {
+      std::printf("replica %d: %lld requests routed\n%s\n", r,
+                  static_cast<long long>(router->routed(r)),
+                  router->replica(r)->stats().Snapshot().ToTable().c_str());
+    }
+    GMP_CHECK_OK(router->Shutdown());
+  } else {
+    std::printf("%s\n", server->stats().Snapshot().ToTable().c_str());
+    GMP_CHECK_OK(server->Shutdown());
+  }
   if (!metrics_out.empty()) {
     if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
     std::printf("metrics written to %s\n", metrics_out.c_str());

@@ -1,0 +1,50 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+namespace gmpsvm::cluster {
+
+SimCluster::SimCluster(std::vector<ExecutorModel> models) {
+  devices_.reserve(models.size());
+  for (ExecutorModel& model : models) {
+    devices_.push_back(std::make_unique<SimExecutor>(std::move(model)));
+  }
+}
+
+SimCluster SimCluster::Homogeneous(int n, const ExecutorModel& model) {
+  std::vector<ExecutorModel> models(static_cast<size_t>(std::max(n, 0)),
+                                    model);
+  return SimCluster(std::move(models));
+}
+
+double SimCluster::speed(int d) const {
+  const ExecutorModel& m = model(d);
+  const double s = m.compute_units * m.flops_per_unit;
+  return s > 0.0 ? s : 1.0;
+}
+
+std::vector<double> SimCluster::speeds() const {
+  std::vector<double> out(devices_.size());
+  for (int d = 0; d < num_devices(); ++d) out[static_cast<size_t>(d)] = speed(d);
+  return out;
+}
+
+void SimCluster::SetSpanRecorder(obs::SpanRecorder* recorder, int lane_band) {
+  for (int d = 0; d < num_devices(); ++d) {
+    device(d)->SetSpanRecorder(recorder, d * lane_band, lane_band);
+  }
+}
+
+void SimCluster::SynchronizeAll() {
+  for (std::unique_ptr<SimExecutor>& dev : devices_) dev->SynchronizeAll();
+}
+
+double SimCluster::MaxNowSeconds() const {
+  double now = 0.0;
+  for (const std::unique_ptr<SimExecutor>& dev : devices_) {
+    now = std::max(now, dev->NowSeconds());
+  }
+  return now;
+}
+
+}  // namespace gmpsvm::cluster

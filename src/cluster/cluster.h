@@ -1,0 +1,74 @@
+// SimCluster: N independent simulated devices behind one handle.
+//
+// Each device is a full SimExecutor with its own clock, counters, memory
+// budget, streams, and (when the trainer attaches one) its own shared
+// kernel-block cache — exactly the single-device substrate, multiplied.
+// There is NO modeled interconnect between devices: a pair problem trains
+// entirely on one device, and every device pays for its own host->device
+// copy of the data it touches over its own PCIe link (docs/cost_model.md).
+//
+// Tracing: one recorder can observe all devices. Lanes are banded per device
+// — device d's stream spans land in [d * band, (d + 1) * band) — so a merged
+// Perfetto trace shows one row group per device.
+
+#ifndef GMPSVM_CLUSTER_CLUSTER_H_
+#define GMPSVM_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "device/executor.h"
+#include "device/sim_model.h"
+#include "obs/span.h"
+
+namespace gmpsvm::cluster {
+
+// Trace lanes reserved per device in a merged recording.
+inline constexpr int kClusterLaneBand = 16;
+
+class SimCluster {
+ public:
+  // One device per model; heterogeneous clusters are allowed (e.g. a P100
+  // next to a CPU substrate) — the pair scheduler normalizes by speed().
+  explicit SimCluster(std::vector<ExecutorModel> models);
+
+  // n identical devices.
+  static SimCluster Homogeneous(int n, const ExecutorModel& model);
+
+  SimCluster(SimCluster&&) noexcept = default;
+  SimCluster& operator=(SimCluster&&) noexcept = default;
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+
+  SimExecutor* device(int d) { return devices_[static_cast<size_t>(d)].get(); }
+  const SimExecutor* device(int d) const {
+    return devices_[static_cast<size_t>(d)].get();
+  }
+  const ExecutorModel& model(int d) const { return device(d)->model(); }
+
+  // Relative throughput of device d (compute_units * flops_per_unit), used
+  // by the pair scheduler to normalize load across heterogeneous devices.
+  double speed(int d) const;
+  std::vector<double> speeds() const;
+
+  // Attaches `recorder` to every device with a lane band per device, or
+  // detaches (nullptr). The recorder must outlive the attachment.
+  void SetSpanRecorder(obs::SpanRecorder* recorder,
+                       int lane_band = kClusterLaneBand);
+
+  // Joins every stream on every device.
+  void SynchronizeAll();
+
+  // Max simulated time across devices. Devices tick independent clocks, so
+  // this is only meaningful as a makespan when all started from a common
+  // baseline (the cluster trainer snapshots per-device baselines itself).
+  double MaxNowSeconds() const;
+
+ private:
+  std::vector<std::unique_ptr<SimExecutor>> devices_;
+};
+
+}  // namespace gmpsvm::cluster
+
+#endif  // GMPSVM_CLUSTER_CLUSTER_H_

@@ -1,0 +1,85 @@
+#include "cluster/cluster_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace gmpsvm::cluster {
+
+std::vector<int64_t> ShardRows(int64_t num_rows,
+                               const std::vector<double>& device_speeds) {
+  const size_t n_devices = device_speeds.size();
+  std::vector<int64_t> bounds(n_devices + 1, 0);
+  if (n_devices == 0) return bounds;
+  double total = 0.0;
+  for (double s : device_speeds) total += s > 0.0 ? s : 1.0;
+  double cumulative = 0.0;
+  for (size_t d = 0; d < n_devices; ++d) {
+    cumulative += device_speeds[d] > 0.0 ? device_speeds[d] : 1.0;
+    bounds[d + 1] = static_cast<int64_t>(
+        std::llround(static_cast<double>(num_rows) * cumulative / total));
+    // Rounding of a non-decreasing sequence is non-decreasing, but guard
+    // against pathological speed ratios anyway.
+    bounds[d + 1] = std::clamp(bounds[d + 1], bounds[d], num_rows);
+  }
+  bounds[n_devices] = num_rows;
+  return bounds;
+}
+
+Result<PredictResult> ClusterPredict(const MpSvmModel& model,
+                                     const CsrMatrix& test,
+                                     SimCluster* cluster,
+                                     const PredictOptions& options,
+                                     ClusterPredictReport* report) {
+  if (cluster == nullptr || cluster->num_devices() < 1) {
+    return Status::InvalidArgument("cluster must have at least one device");
+  }
+  Stopwatch wall;
+  const int n_devices = cluster->num_devices();
+  const std::vector<int64_t> bounds = ShardRows(test.rows(), cluster->speeds());
+
+  MpSvmPredictor predictor(&model);
+  PredictResult merged;
+  merged.num_instances = test.rows();
+  merged.num_classes = model.num_classes;
+  merged.probabilities.reserve(static_cast<size_t>(test.rows()) *
+                               static_cast<size_t>(model.num_classes));
+  merged.labels.reserve(static_cast<size_t>(test.rows()));
+  if (report != nullptr) {
+    report->device_rows.assign(static_cast<size_t>(n_devices), 0);
+    report->device_sim_seconds.assign(static_cast<size_t>(n_devices), 0.0);
+  }
+
+  // Devices run serially in index order (each device's simulated clock is
+  // independent, so the makespan is unaffected), and chunks are contiguous,
+  // so concatenation preserves row order.
+  double makespan = 0.0;
+  for (int d = 0; d < n_devices; ++d) {
+    const int64_t begin = bounds[static_cast<size_t>(d)];
+    const int64_t end = bounds[static_cast<size_t>(d) + 1];
+    if (report != nullptr) report->device_rows[static_cast<size_t>(d)] = end - begin;
+    if (begin == end) continue;
+    std::vector<int32_t> rows(static_cast<size_t>(end - begin));
+    std::iota(rows.begin(), rows.end(), static_cast<int32_t>(begin));
+    const CsrMatrix chunk = test.SelectRows(rows);
+    GMP_ASSIGN_OR_RETURN(PredictResult part,
+                         predictor.Predict(chunk, cluster->device(d), options));
+    merged.probabilities.insert(merged.probabilities.end(),
+                                part.probabilities.begin(),
+                                part.probabilities.end());
+    merged.labels.insert(merged.labels.end(), part.labels.begin(),
+                         part.labels.end());
+    merged.phases.Merge(part.phases);
+    makespan = std::max(makespan, part.sim_seconds);
+    if (report != nullptr) {
+      report->device_sim_seconds[static_cast<size_t>(d)] = part.sim_seconds;
+    }
+  }
+  merged.sim_seconds = makespan;
+  merged.wall_seconds = wall.ElapsedSeconds();
+  return merged;
+}
+
+}  // namespace gmpsvm::cluster

@@ -1,0 +1,49 @@
+// Sharded batch prediction across cluster devices.
+//
+// Prediction rows are independent (MpSvmPredictor::PredictRows' bit-identity
+// guarantee), so the cluster path simply splits the test matrix into
+// contiguous row chunks sized by relative device speed, predicts each chunk
+// on its device, and concatenates the per-row outputs. Probabilities and
+// labels are bit-identical to a single-device Predict over the same rows;
+// the simulated cost becomes a makespan — the max over the per-device chunk
+// times — instead of one device's total.
+
+#ifndef GMPSVM_CLUSTER_CLUSTER_PREDICTOR_H_
+#define GMPSVM_CLUSTER_CLUSTER_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/model.h"
+#include "core/predictor.h"
+#include "sparse/csr_matrix.h"
+
+namespace gmpsvm::cluster {
+
+struct ClusterPredictReport {
+  // Per device: rows predicted and simulated seconds for its chunk.
+  std::vector<int64_t> device_rows;
+  std::vector<double> device_sim_seconds;
+};
+
+// Row boundaries of the per-device chunks: device d predicts rows
+// [bounds[d], bounds[d+1]). Chunk sizes are proportional to device speeds
+// (cumulative rounding), so faster devices take more rows and the
+// per-device simulated times stay balanced. Deterministic.
+std::vector<int64_t> ShardRows(int64_t num_rows,
+                               const std::vector<double>& device_speeds);
+
+// Predicts every row of `test` across the cluster. The returned
+// PredictResult matches a single-device Predict bit-for-bit in
+// probabilities/labels; sim_seconds is the cluster makespan and phases are
+// merged across devices. `report` may be null.
+Result<PredictResult> ClusterPredict(const MpSvmModel& model,
+                                     const CsrMatrix& test,
+                                     SimCluster* cluster,
+                                     const PredictOptions& options,
+                                     ClusterPredictReport* report = nullptr);
+
+}  // namespace gmpsvm::cluster
+
+#endif  // GMPSVM_CLUSTER_CLUSTER_PREDICTOR_H_

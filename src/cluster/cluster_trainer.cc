@@ -1,0 +1,314 @@
+#include "cluster/cluster_trainer.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace gmpsvm::cluster {
+namespace {
+
+// SplitMix64 finalizer: the standard seed-spreading step (same construction
+// Rng::Fork uses internally). Used directly here because per-pair fault
+// injectors need a derived SEED, not a forked Rng object.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Seed for pair p's injector: a function of the plan seed and the pair index
+// only, never of the device assignment — this is what makes chaos runs
+// device-count invariant.
+uint64_t PairFaultSeed(uint64_t plan_seed, size_t pair_index) {
+  return SplitMix64(plan_seed ^ SplitMix64(0x70A1Bull + pair_index));
+}
+
+// Seed for device d's loss draw (independent of the pair streams).
+uint64_t DeviceFaultSeed(uint64_t plan_seed, int device) {
+  return SplitMix64(plan_seed ^ SplitMix64(0xD00Dull + static_cast<uint64_t>(device)));
+}
+
+}  // namespace
+
+Status ClusterTrainOptions::Validate(int num_classes) const {
+  GMP_RETURN_NOT_OK(train.Validate(num_classes));
+  if (!train.checkpoint.dir.empty() || train.checkpoint.resume) {
+    return Status::InvalidArgument(
+        "cluster training does not support checkpoint/resume; use a single "
+        "device (GmpSvmTrainer) for checkpointed sessions");
+  }
+  if (!(schedule.affinity_discount >= 0.0 && schedule.affinity_discount < 0.5)) {
+    return Status::InvalidArgument(
+        StrPrintf("affinity_discount must be in [0, 0.5), got %g",
+                  schedule.affinity_discount));
+  }
+  if (fault.has_value()) {
+    GMP_RETURN_NOT_OK(fault->Validate());
+    if (fault->interrupt_after_pairs > 0) {
+      return Status::InvalidArgument(
+          "cluster training does not support interrupt_after_pairs (a "
+          "single-device checkpoint/resume concept)");
+    }
+  }
+  return Status::OK();
+}
+
+void ClusterTrainReport::PublishTo(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  merged.PublishTo(registry);
+  registry
+      ->GetGauge("gmpsvm_cluster_devices",
+                 "Devices in the training cluster.")
+      ->Set(static_cast<double>(devices.size()));
+  registry
+      ->GetGauge("gmpsvm_cluster_makespan_sim_seconds",
+                 "Cluster training makespan in simulated seconds.")
+      ->Set(makespan_sim_seconds);
+  registry
+      ->GetCounter("gmpsvm_cluster_pairs_rescheduled_total",
+                   "Pairs rescheduled onto surviving devices after a "
+                   "device loss.")
+      ->Add(static_cast<double>(pairs_rescheduled));
+  registry
+      ->GetCounter("gmpsvm_cluster_devices_lost_total",
+                   "Cluster devices lost to injected device-loss faults.")
+      ->Add(static_cast<double>(devices_lost));
+  for (size_t d = 0; d < devices.size(); ++d) {
+    const obs::Labels labels = {{"device", std::to_string(d)}};
+    registry
+        ->GetGauge("gmpsvm_cluster_device_sim_seconds",
+                   "Simulated seconds a device spent on its pair subset.",
+                   labels)
+        ->Set(devices[d].sim_seconds);
+    registry
+        ->GetGauge("gmpsvm_cluster_device_utilization",
+                   "Device busy fraction of the cluster makespan.", labels)
+        ->Set(devices[d].utilization);
+    registry
+        ->GetGauge("gmpsvm_cluster_device_pairs_trained",
+                   "Binary pairs trained on a device.", labels)
+        ->Set(static_cast<double>(devices[d].pairs_trained));
+  }
+}
+
+Result<MpSvmModel> ClusterTrainer::Train(const Dataset& dataset,
+                                         SimCluster* cluster,
+                                         ClusterTrainReport* report) const {
+  GMP_RETURN_NOT_OK(options_.Validate(dataset.num_classes()));
+  if (cluster == nullptr || cluster->num_devices() < 1) {
+    return Status::InvalidArgument("cluster must have at least one device");
+  }
+  Stopwatch wall;
+  const int n_devices = cluster->num_devices();
+  const std::vector<std::pair<int, int>> pairs = dataset.ClassPairs();
+
+  std::vector<size_t> all_pairs(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) all_pairs[p] = p;
+
+  // Device-loss draws: once per non-primary device, from a stream that
+  // depends only on the plan seed and the device index. Device 0 never dies.
+  std::vector<bool> lost(static_cast<size_t>(n_devices), false);
+  int devices_lost = 0;
+  if (options_.fault.has_value() && options_.fault->device_loss_prob > 0.0) {
+    for (int d = 1; d < n_devices; ++d) {
+      fault::FaultPlan device_plan = *options_.fault;
+      device_plan.seed = DeviceFaultSeed(options_.fault->seed, d);
+      fault::FaultInjector device_injector(device_plan,
+                                           options_.fault_metrics);
+      if (device_injector.ShouldInject(fault::Site::kDeviceLoss)) {
+        lost[static_cast<size_t>(d)] = true;
+        ++devices_lost;
+      }
+    }
+  }
+
+  PairAssignment assignment = SchedulePairs(
+      dataset, all_pairs, cluster->speeds(), {}, options_.schedule);
+
+  // A lost device fails at a pair boundary after completing the first half
+  // of its queue; it keeps the completed pairs and the orphaned remainder is
+  // rescheduled LPT onto the survivors, on top of the load they already
+  // carry.
+  int64_t pairs_rescheduled = 0;
+  {
+    std::vector<size_t> orphans;
+    for (int d = 1; d < n_devices; ++d) {
+      if (!lost[static_cast<size_t>(d)]) continue;
+      std::vector<size_t>& queue = assignment.device_pairs[static_cast<size_t>(d)];
+      const size_t keep = queue.size() / 2;
+      orphans.insert(orphans.end(), queue.begin() + static_cast<long>(keep),
+                     queue.end());
+      queue.resize(keep);
+    }
+    if (!orphans.empty()) {
+      pairs_rescheduled = static_cast<int64_t>(orphans.size());
+      std::vector<double> initial = assignment.device_load;
+      for (int d = 0; d < n_devices; ++d) {
+        if (lost[static_cast<size_t>(d)]) {
+          initial[static_cast<size_t>(d)] =
+              std::numeric_limits<double>::infinity();
+        }
+      }
+      const PairAssignment resched =
+          SchedulePairs(dataset, orphans, cluster->speeds(),
+                        std::move(initial), options_.schedule);
+      for (int d = 0; d < n_devices; ++d) {
+        if (lost[static_cast<size_t>(d)]) continue;
+        std::vector<size_t>& queue =
+            assignment.device_pairs[static_cast<size_t>(d)];
+        const std::vector<size_t>& extra =
+            resched.device_pairs[static_cast<size_t>(d)];
+        queue.insert(queue.end(), extra.begin(), extra.end());
+        std::sort(queue.begin(), queue.end());
+        assignment.device_load[static_cast<size_t>(d)] =
+            resched.device_load[static_cast<size_t>(d)];
+      }
+    }
+  }
+
+  // Per-pair injector factory: injectors depend on the pair index only, so
+  // the fault sequence a pair experiences is the same on any device.
+  PairFaultInjectorFactory injector_factory;
+  if (options_.fault.has_value()) {
+    const fault::FaultPlan base_plan = *options_.fault;
+    obs::MetricsRegistry* fault_metrics = options_.fault_metrics;
+    injector_factory =
+        [base_plan, fault_metrics](size_t pair_index)
+        -> std::unique_ptr<fault::FaultInjector> {
+      fault::FaultPlan plan = base_plan;
+      plan.seed = PairFaultSeed(base_plan.seed, pair_index);
+      // Pair injectors never consult kDeviceLoss (the trainer draws losses
+      // separately above), so the probability staying set is harmless.
+      return std::make_unique<fault::FaultInjector>(plan, fault_metrics);
+    };
+  }
+
+  // Baselines so elapsed sim time / counter deltas are attributable to this
+  // run even on reused executors.
+  std::vector<double> base_seconds(static_cast<size_t>(n_devices), 0.0);
+  std::vector<int64_t> base_kernel_computed(static_cast<size_t>(n_devices), 0);
+  std::vector<int64_t> base_kernel_reused(static_cast<size_t>(n_devices), 0);
+  for (int d = 0; d < n_devices; ++d) {
+    SimExecutor* dev = cluster->device(d);
+    dev->SynchronizeAll();
+    base_seconds[static_cast<size_t>(d)] = dev->NowSeconds();
+    base_kernel_computed[static_cast<size_t>(d)] =
+        dev->counters().kernel_values_computed;
+    base_kernel_reused[static_cast<size_t>(d)] =
+        dev->counters().kernel_values_reused;
+  }
+
+  // One thread per device: each device is an independent simulator, so this
+  // is wall-clock parallelism only — simulated results are identical to
+  // running the devices one after another.
+  using DeviceResult = Result<std::vector<PairTrainOutcome>>;
+  std::vector<DeviceResult> device_results(
+      static_cast<size_t>(n_devices), DeviceResult(std::vector<PairTrainOutcome>{}));
+  const auto run_device = [&](int d) {
+    device_results[static_cast<size_t>(d)] = TrainGmpPairSubset(
+        dataset, options_.train, cluster->device(d),
+        assignment.device_pairs[static_cast<size_t>(d)], injector_factory);
+  };
+  if (n_devices == 1) {
+    run_device(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(n_devices));
+    for (int d = 0; d < n_devices; ++d) threads.emplace_back(run_device, d);
+    for (std::thread& th : threads) th.join();
+  }
+
+  // Propagate failures in device-index order for a deterministic error.
+  for (int d = 0; d < n_devices; ++d) {
+    if (!device_results[static_cast<size_t>(d)].ok()) {
+      return device_results[static_cast<size_t>(d)].status();
+    }
+  }
+
+  // Re-key outcomes by global pair index.
+  std::vector<PairTrainOutcome> by_pair(pairs.size());
+  std::vector<int> pair_device(pairs.size(), -1);
+  for (int d = 0; d < n_devices; ++d) {
+    for (PairTrainOutcome& outcome : *device_results[static_cast<size_t>(d)]) {
+      pair_device[outcome.pair_index] = d;
+      by_pair[outcome.pair_index] = std::move(outcome);
+    }
+  }
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (pair_device[p] < 0) {
+      return Status::Internal(
+          StrPrintf("pair %zu was scheduled on no device", p));
+    }
+  }
+
+  std::vector<PairCheckpoint> checkpoints;
+  checkpoints.reserve(pairs.size());
+  for (const PairTrainOutcome& outcome : by_pair) {
+    checkpoints.push_back(outcome.checkpoint);
+  }
+
+  std::vector<double> elapsed(static_cast<size_t>(n_devices), 0.0);
+  double makespan = 0.0;
+  for (int d = 0; d < n_devices; ++d) {
+    elapsed[static_cast<size_t>(d)] = cluster->device(d)->NowSeconds() -
+                                      base_seconds[static_cast<size_t>(d)];
+    makespan = std::max(makespan, elapsed[static_cast<size_t>(d)]);
+  }
+
+  if (report != nullptr) {
+    report->makespan_sim_seconds = makespan;
+    report->wall_seconds = wall.ElapsedSeconds();
+    report->pairs_rescheduled = pairs_rescheduled;
+    report->devices_lost = devices_lost;
+    report->pair_device = std::move(pair_device);
+
+    // Merge per-pair statistics in global ClassPairs() order — the same
+    // order (and sigmoid-before-solver sequence) the single-device trainer
+    // uses, so merged reports line up across device counts.
+    MpTrainReport& merged = report->merged;
+    for (const PairTrainOutcome& outcome : by_pair) {
+      if (outcome.sigmoid_done) {
+        merged.phases.Add("sigmoid", outcome.sigmoid_seconds);
+      }
+      merged.solver.Merge(outcome.stats);
+      merged.phases.Merge(outcome.stats.phases);
+      merged.pair_retries += outcome.retries;
+      if (outcome.degraded) ++merged.pairs_degraded;
+    }
+    merged.sim_seconds = makespan;
+    merged.wall_seconds = report->wall_seconds;
+    for (int d = 0; d < n_devices; ++d) {
+      const ExecutorCounters& counters = cluster->device(d)->counters();
+      merged.kernel_values_computed +=
+          counters.kernel_values_computed -
+          base_kernel_computed[static_cast<size_t>(d)];
+      merged.kernel_values_reused += counters.kernel_values_reused -
+                                     base_kernel_reused[static_cast<size_t>(d)];
+      merged.peak_device_bytes =
+          std::max(merged.peak_device_bytes, counters.peak_bytes_in_use);
+    }
+
+    report->devices.resize(static_cast<size_t>(n_devices));
+    for (int d = 0; d < n_devices; ++d) {
+      DeviceUtilization& util = report->devices[static_cast<size_t>(d)];
+      util.model_name = cluster->model(d).name;
+      util.pairs_trained = static_cast<int>(
+          assignment.device_pairs[static_cast<size_t>(d)].size());
+      util.lost = lost[static_cast<size_t>(d)];
+      util.sim_seconds = elapsed[static_cast<size_t>(d)];
+      util.utilization = makespan > 0.0
+                             ? elapsed[static_cast<size_t>(d)] / makespan
+                             : 0.0;
+    }
+    report->pair_outcomes = std::move(by_pair);
+  }
+
+  return AssembleModelFromPairs(dataset, options_.train, checkpoints);
+}
+
+}  // namespace gmpsvm::cluster

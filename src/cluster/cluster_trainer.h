@@ -1,0 +1,120 @@
+// Cluster training: shard the k(k-1)/2 pair problems across devices.
+//
+// The trainer schedules pairs with the cost-model-aware pair scheduler,
+// trains each device's subset through TrainGmpPairSubset (one std::thread
+// per device — devices are independent simulators, so this is pure
+// wall-clock parallelism), and stitches the per-pair results back together
+// in global ClassPairs() order with AssembleModelFromPairs.
+//
+// Determinism contract (extends PR 4): the model, predicted probabilities,
+// and per-pair COUNTER statistics are byte-identical for devices=1 vs
+// devices=N at any host_threads, clean or under a fault plan; only the
+// simulated makespan and wall clock change. Two mechanisms make that hold:
+//   * pair solutions are schedule-invariant (exact kernel math — see
+//     mp_trainer.h), so the assignment never changes the numbers;
+//   * chaos runs use one fault injector PER PAIR, seeded from the plan seed
+//     and the pair index, so a pair sees the same fault sequence whatever
+//     device trains it. (Per-pair sim-time attribution still depends on the
+//     stream shares of the run, and with share_kernel_blocks on, cache
+//     hit/miss counters depend on co-location — those are the documented
+//     schedule-dependent quantities.)
+//
+// Device loss (fault.device_loss_prob / Site::kDeviceLoss): each non-primary
+// device draws once at the start of the run; a lost device completes the
+// first half of its queue at a pair boundary, keeps those pairs, and its
+// orphaned remainder is rescheduled LPT onto the survivors. Device 0 never
+// dies, so progress is always possible. Every pair still trains exactly once
+// with its own injector, which is why loss does not perturb the model.
+//
+// Out of scope (rejected by Validate): checkpoint/resume and
+// interrupt_after_pairs — both are single-device session concepts; train on
+// one device if you need them.
+
+#ifndef GMPSVM_CLUSTER_CLUSTER_TRAINER_H_
+#define GMPSVM_CLUSTER_CLUSTER_TRAINER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/pair_scheduler.h"
+#include "core/mp_trainer.h"
+#include "fault/fault_injector.h"
+
+namespace gmpsvm::cluster {
+
+struct ClusterTrainOptions {
+  MpTrainOptions train;
+  ScheduleOptions schedule;
+
+  // Optional chaos plan; see the header comment for how it is split into
+  // per-pair injectors and per-device loss draws.
+  std::optional<fault::FaultPlan> fault;
+
+  // When set, per-pair fault injectors publish
+  // gmpsvm_fault_injected_total{site=...} here (the registry is thread-safe;
+  // device threads share it). Null disables fault metrics.
+  obs::MetricsRegistry* fault_metrics = nullptr;
+
+  Status Validate(int num_classes) const;
+};
+
+struct DeviceUtilization {
+  std::string model_name;
+  int pairs_trained = 0;
+  bool lost = false;
+  // Simulated seconds this device spent on its subset (its own clock).
+  double sim_seconds = 0.0;
+  // sim_seconds / cluster makespan, in [0, 1].
+  double utilization = 0.0;
+};
+
+struct ClusterTrainReport {
+  // Cluster makespan: the max per-device simulated time. This is the
+  // headline scaling number bench_cluster_scaling sweeps.
+  double makespan_sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  // Per-pair statistics merged in global ClassPairs() order — the same merge
+  // order a single-device GmpSvmTrainer report uses. merged.sim_seconds is
+  // the makespan.
+  MpTrainReport merged;
+
+  std::vector<DeviceUtilization> devices;
+
+  // Per-pair outcomes in ClassPairs() order (counter fields are
+  // schedule-invariant when share_kernel_blocks is off; see mp_trainer.h).
+  std::vector<PairTrainOutcome> pair_outcomes;
+
+  // Which device each pair trained on, in ClassPairs() order.
+  std::vector<int> pair_device;
+
+  int64_t pairs_rescheduled = 0;
+  int devices_lost = 0;
+
+  // Publishes merged (gmpsvm_train_*) plus gmpsvm_cluster_* gauges, the
+  // per-device series labeled {device=...}.
+  void PublishTo(obs::MetricsRegistry* registry) const;
+};
+
+class ClusterTrainer {
+ public:
+  explicit ClusterTrainer(ClusterTrainOptions options)
+      : options_(std::move(options)) {}
+
+  // Trains the full MP-SVM model across the cluster's devices. `report` may
+  // be null. The model is byte-identical to a single-device GmpSvmTrainer
+  // run for any device count.
+  Result<MpSvmModel> Train(const Dataset& dataset, SimCluster* cluster,
+                           ClusterTrainReport* report) const;
+
+ private:
+  ClusterTrainOptions options_;
+};
+
+}  // namespace gmpsvm::cluster
+
+#endif  // GMPSVM_CLUSTER_CLUSTER_TRAINER_H_

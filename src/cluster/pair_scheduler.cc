@@ -1,0 +1,78 @@
+#include "cluster/pair_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace gmpsvm::cluster {
+
+double EstimatePairCost(const Dataset& dataset, int s, int t) {
+  const double n = static_cast<double>(dataset.ClassRows(s).size() +
+                                       dataset.ClassRows(t).size());
+  return n * n * (static_cast<double>(dataset.dim()) + 16.0);
+}
+
+PairAssignment SchedulePairs(const Dataset& dataset,
+                             const std::vector<size_t>& pair_indices,
+                             const std::vector<double>& device_speeds,
+                             std::vector<double> initial_load,
+                             const ScheduleOptions& options) {
+  const size_t n_devices = device_speeds.size();
+  PairAssignment out;
+  out.device_pairs.resize(n_devices);
+  out.device_load = std::move(initial_load);
+  out.device_load.resize(n_devices, 0.0);
+  if (n_devices == 0 || pair_indices.empty()) return out;
+
+  const std::vector<std::pair<int, int>> pairs = dataset.ClassPairs();
+
+  struct Ranked {
+    size_t pair;
+    double cost;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(pair_indices.size());
+  for (size_t p : pair_indices) {
+    ranked.push_back(
+        {p, EstimatePairCost(dataset, pairs[p].first, pairs[p].second)});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.pair < b.pair;
+  });
+
+  // Classes whose kernel blocks each device would hold given the pairs
+  // assigned so far.
+  std::vector<std::set<int>> resident(n_devices);
+
+  for (const Ranked& r : ranked) {
+    const int s = pairs[r.pair].first;
+    const int t = pairs[r.pair].second;
+    size_t best = 0;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (size_t d = 0; d < n_devices; ++d) {
+      const double speed = device_speeds[d] > 0.0 ? device_speeds[d] : 1.0;
+      const int shared = static_cast<int>(resident[d].count(s)) +
+                         static_cast<int>(resident[d].count(t));
+      const double effective =
+          r.cost * (1.0 - options.affinity_discount * shared);
+      const double load = out.device_load[d] + effective / speed;
+      // Strict < keeps ties on the lowest device index.
+      if (load < best_load) {
+        best_load = load;
+        best = d;
+      }
+    }
+    out.device_pairs[best].push_back(r.pair);
+    out.device_load[best] = best_load;
+    resident[best].insert(s);
+    resident[best].insert(t);
+  }
+
+  for (std::vector<size_t>& list : out.device_pairs) {
+    std::sort(list.begin(), list.end());
+  }
+  return out;
+}
+
+}  // namespace gmpsvm::cluster

@@ -1,0 +1,66 @@
+// Cost-model-aware scheduling of binary-SVM pair problems onto cluster
+// devices.
+//
+// The k(k-1)/2 pairwise problems are independent (Section 3.3.2 caps SMs per
+// pair on ONE device; the cluster layer instead spreads whole pairs across
+// devices). Pair cost is estimated from the class sizes — kernel work is
+// quadratic in the pair's row count — and pairs are placed LPT-style
+// (longest processing time first) onto the device with the lowest resulting
+// normalized load. Devices that already hold one of a pair's class blocks get
+// an affinity discount: co-located pairs sharing a class turn kernel-block
+// recomputation into reuse through the device's shared block cache
+// (Figure 3), so the scheduler prefers keeping a class's pairs together when
+// it does not hurt balance.
+//
+// The schedule affects only WHERE a pair trains, never its solution: pair
+// solutions are schedule-invariant (see mp_trainer.h), so any assignment
+// yields the same model. Everything here is deterministic — ties break on the
+// lowest pair index / device index.
+
+#ifndef GMPSVM_CLUSTER_PAIR_SCHEDULER_H_
+#define GMPSVM_CLUSTER_PAIR_SCHEDULER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace gmpsvm::cluster {
+
+struct ScheduleOptions {
+  // Per resident class shared with the candidate device, the pair's cost is
+  // discounted by this fraction when ranking devices (0 disables affinity;
+  // a pair can share at most its two classes).
+  double affinity_discount = 0.15;
+};
+
+// Estimated relative cost of training pair (s, t): quadratic in the pair's
+// row count, linear in the feature dimension (plus a constant term for the
+// per-row work that does not scale with dim).
+double EstimatePairCost(const Dataset& dataset, int s, int t);
+
+struct PairAssignment {
+  // Per device, the assigned pair indices (into dataset.ClassPairs()),
+  // sorted ascending — each device trains its pairs in global pair order.
+  std::vector<std::vector<size_t>> device_pairs;
+
+  // Per device, the estimated load in cost units normalized by device speed
+  // (including any initial load passed in).
+  std::vector<double> device_load;
+};
+
+// Assigns `pair_indices` to devices. `device_speeds` are relative
+// throughputs (e.g. compute_units * flops_per_unit); non-positive entries
+// are treated as 1. `initial_load` (resized with zeros if shorter than the
+// device count) lets a rescheduling pass account for work devices already
+// carry — pass +infinity for a device that must not receive new work (a lost
+// one). Deterministic for fixed inputs.
+PairAssignment SchedulePairs(const Dataset& dataset,
+                             const std::vector<size_t>& pair_indices,
+                             const std::vector<double>& device_speeds,
+                             std::vector<double> initial_load = {},
+                             const ScheduleOptions& options = {});
+
+}  // namespace gmpsvm::cluster
+
+#endif  // GMPSVM_CLUSTER_PAIR_SCHEDULER_H_

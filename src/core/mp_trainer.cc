@@ -371,6 +371,95 @@ void FillReport(SimExecutor* executor, double sim_base,
   report->peak_device_bytes = executor->counters().peak_bytes_in_use;
 }
 
+// The GMP path for one pair against an arbitrary executor/stream: batched
+// solver (through the shared block cache when one is given), then concurrent
+// sigmoid fitting on the pair's own stream (Section 3.3.2). Shared by
+// GmpSvmTrainer::Train and TrainGmpPairSubset so the single-device and
+// cluster paths run identical numeric code.
+Result<PairCheckpoint> SolveGmpPairImpl(
+    const MpTrainOptions& options, BatchSmoSolver& solver,
+    KernelComputer& computer, SharedBlockCache* cache, SimExecutor* exec,
+    StreamId stream, int s, int t, const BinaryProblem& problem,
+    SolverStats* stats, double* sigmoid_seconds, bool* sigmoid_done) {
+  BinarySolution solution;
+  const double smo_t0 = exec->StreamTime(stream);
+  if (cache != nullptr) {
+    SharedRowSource source(&problem, s, t, cache, &computer);
+    GMP_ASSIGN_OR_RETURN(
+        solution, solver.Solve(problem, computer, &source, exec, stream, stats));
+  } else {
+    GMP_ASSIGN_OR_RETURN(
+        solution, solver.Solve(problem, computer, exec, stream, stats));
+  }
+  RecordPhaseSpan(exec, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
+                  exec->StreamTime(stream));
+
+  // Concurrent sigmoid fitting on the pair's own stream, with parallel
+  // candidate evaluation (Section 3.3.2).
+  std::vector<double> v;
+  if (options.sigmoid_cv_folds >= 2) {
+    GMP_ASSIGN_OR_RETURN(
+        v, CrossValidatedDecisionValues(
+               problem, computer,
+               [&](const BinaryProblem& sub, SimExecutor* e, StreamId str) {
+                 return solver.Solve(sub, computer, e, str, nullptr);
+               },
+               options.sigmoid_cv_folds, /*seed=*/1u, exec, stream));
+  } else {
+    v = TrainingDecisionValues(problem, solution);
+  }
+  const double sigmoid_t0 = exec->StreamTime(stream);
+  GMP_ASSIGN_OR_RETURN(
+      SigmoidParams sigmoid,
+      FitSigmoid(v, problem.y, options.platt, exec, stream,
+                 options.platt_parallel_candidates));
+  RecordPhaseSpan(exec, stream, StrPrintf("sigmoid %dv%d", s, t), sigmoid_t0,
+                  exec->StreamTime(stream));
+  *sigmoid_seconds = exec->StreamTime(stream) - sigmoid_t0;
+  *sigmoid_done = true;
+  return DistillPair(s, t, problem, solution, sigmoid);
+}
+
+// Greedily packs `todo` (indices into `pairs`) into concurrent groups under
+// the executor's memory budget: each pair needs its kernel buffer
+// (min(ws, n_pair) * n_pair doubles) on the device, and a group never exceeds
+// max_concurrent_svms.
+std::vector<std::vector<size_t>> PackPairGroups(
+    const Dataset& dataset, const MpTrainOptions& options,
+    const SimExecutor& executor, const std::vector<size_t>& todo,
+    const std::vector<std::pair<int, int>>& pairs) {
+  const int64_t ws_rows = std::max(2, options.batch.working_set.ws_size);
+  const size_t budget = executor.memory_budget();
+  std::vector<std::vector<size_t>> groups;
+  std::vector<size_t> current;
+  size_t current_bytes = 0;
+  const size_t usable = budget > executor.bytes_in_use()
+                            ? (budget - executor.bytes_in_use()) * 6 / 10
+                            : 0;
+  for (size_t p : todo) {
+    const auto& [s, t] = pairs[p];
+    const int64_t n_pair =
+        static_cast<int64_t>(dataset.ClassRows(s).size() +
+                             dataset.ClassRows(t).size());
+    const size_t need = static_cast<size_t>(std::min<int64_t>(ws_rows, n_pair) *
+                                            n_pair) *
+                        sizeof(double);
+    const bool full = !current.empty() &&
+                      (static_cast<int>(current.size()) >=
+                           std::max(1, options.max_concurrent_svms) ||
+                       current_bytes + need > usable);
+    if (full) {
+      groups.push_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+    current.push_back(p);
+    current_bytes += need;
+  }
+  if (!current.empty()) groups.push_back(std::move(current));
+  return groups;
+}
+
 }  // namespace
 
 Status MpTrainOptions::Validate(int num_classes) const {
@@ -712,39 +801,9 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
   }
 
   // Greedily pack the remaining pairs into concurrent groups under the
-  // memory budget: each pair needs its kernel buffer (ws * n_pair doubles)
-  // on the device.
-  const int64_t ws_rows = std::max(2, options_.batch.working_set.ws_size);
-  const size_t budget = executor->memory_budget();
-  std::vector<std::vector<size_t>> groups;  // indices into `pairs`
-  {
-    std::vector<size_t> current;
-    size_t current_bytes = 0;
-    const size_t usable = budget > executor->bytes_in_use()
-                              ? (budget - executor->bytes_in_use()) * 6 / 10
-                              : 0;
-    for (size_t p : todo) {
-      const auto& [s, t] = pairs[p];
-      const int64_t n_pair =
-          static_cast<int64_t>(dataset.ClassRows(s).size() +
-                               dataset.ClassRows(t).size());
-      const size_t need = static_cast<size_t>(std::min<int64_t>(ws_rows, n_pair) *
-                                              n_pair) *
-                          sizeof(double);
-      const bool full = !current.empty() &&
-                        (static_cast<int>(current.size()) >=
-                             std::max(1, options_.max_concurrent_svms) ||
-                         current_bytes + need > usable);
-      if (full) {
-        groups.push_back(std::move(current));
-        current.clear();
-        current_bytes = 0;
-      }
-      current.push_back(p);
-      current_bytes += need;
-    }
-    if (!current.empty()) groups.push_back(std::move(current));
-  }
+  // memory budget (each pair needs its kernel buffer on the device).
+  const std::vector<std::vector<size_t>> groups =
+      PackPairGroups(dataset, options_, *executor, todo, pairs);
   int64_t completed_this_run = 0;
 
   // Everything one pair needs, against an arbitrary executor/stream so the
@@ -755,43 +814,9 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
                         const BinaryProblem& problem, SolverStats* stats,
                         double* sigmoid_seconds,
                         bool* sigmoid_done) -> Result<PairCheckpoint> {
-    BinarySolution solution;
-    const double smo_t0 = exec->StreamTime(stream);
-    if (cache != nullptr) {
-      SharedRowSource source(&problem, s, t, cache.get(), &computer);
-      GMP_ASSIGN_OR_RETURN(
-          solution, solver.Solve(problem, computer, &source, exec, stream, stats));
-    } else {
-      GMP_ASSIGN_OR_RETURN(
-          solution, solver.Solve(problem, computer, exec, stream, stats));
-    }
-    RecordPhaseSpan(exec, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
-                    exec->StreamTime(stream));
-
-    // Concurrent sigmoid fitting on the pair's own stream, with parallel
-    // candidate evaluation (Section 3.3.2).
-    std::vector<double> v;
-    if (options_.sigmoid_cv_folds >= 2) {
-      GMP_ASSIGN_OR_RETURN(
-          v, CrossValidatedDecisionValues(
-                 problem, computer,
-                 [&](const BinaryProblem& sub, SimExecutor* e, StreamId str) {
-                   return solver.Solve(sub, computer, e, str, nullptr);
-                 },
-                 options_.sigmoid_cv_folds, /*seed=*/1u, exec, stream));
-    } else {
-      v = TrainingDecisionValues(problem, solution);
-    }
-    const double sigmoid_t0 = exec->StreamTime(stream);
-    GMP_ASSIGN_OR_RETURN(
-        SigmoidParams sigmoid,
-        FitSigmoid(v, problem.y, options_.platt, exec, stream,
-                   options_.platt_parallel_candidates));
-    RecordPhaseSpan(exec, stream, StrPrintf("sigmoid %dv%d", s, t), sigmoid_t0,
-                    exec->StreamTime(stream));
-    *sigmoid_seconds = exec->StreamTime(stream) - sigmoid_t0;
-    *sigmoid_done = true;
-    return DistillPair(s, t, problem, solution, sigmoid);
+    return SolveGmpPairImpl(options_, solver, computer, cache.get(), exec,
+                            stream, s, t, problem, stats, sigmoid_seconds,
+                            sigmoid_done);
   };
 
   auto merge_pair_report = [&](const SolverStats& stats, double sigmoid_seconds,
@@ -915,6 +940,130 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
 
   executor->SynchronizeAll();
   FillReport(executor, sim_base, counters_base, wall, report);
+  return builder.Finish();
+}
+
+Result<std::vector<PairTrainOutcome>> TrainGmpPairSubset(
+    const Dataset& dataset, const MpTrainOptions& options,
+    SimExecutor* executor, const std::vector<size_t>& pair_indices,
+    const PairFaultInjectorFactory& injector_factory) {
+  GMP_RETURN_NOT_OK(options.Validate(dataset.num_classes()));
+  const auto pairs = dataset.ClassPairs();
+  for (size_t p : pair_indices) {
+    if (p >= pairs.size()) {
+      return Status::InvalidArgument(
+          StrPrintf("pair index %zu out of range (dataset has %zu pairs)", p,
+                    pairs.size()));
+    }
+  }
+  executor->SynchronizeAll();
+
+  // Each device pays for its own copy of the training data — there is no
+  // modeled device-to-device interconnect (docs/cost_model.md).
+  const double load_t0 = executor->StreamTime(kDefaultStream);
+  executor->Transfer(kDefaultStream,
+                     static_cast<double>(dataset.features().ByteSize()),
+                     TransferDirection::kHostToDevice);
+  RecordPhaseSpan(executor, kDefaultStream, "data_load", load_t0,
+                  executor->StreamTime(kDefaultStream));
+
+  KernelComputer computer(&dataset.features(), options.kernel);
+  BatchSmoSolver solver(options.batch);
+  // Per-device shared block cache: pairs co-located on this device reuse each
+  // other's class segments; there is no cross-device sharing.
+  std::unique_ptr<SharedBlockCache> cache;
+  if (options.share_kernel_blocks) {
+    cache = std::make_unique<SharedBlockCache>(
+        &dataset, &computer, options.shared_cache_bytes, executor);
+  }
+
+  const std::vector<std::vector<size_t>> groups =
+      PackPairGroups(dataset, options, *executor, pair_indices, pairs);
+
+  std::vector<PairTrainOutcome> outcomes;
+  outcomes.reserve(pair_indices.size());
+  fault::FaultInjector* const base_injector = executor->fault_injector();
+
+  for (const auto& group : groups) {
+    const double share = 1.0 / static_cast<double>(group.size());
+    std::vector<StreamId> streams;
+    streams.reserve(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      streams.push_back(executor->CreateStream(share));
+    }
+    for (size_t gi = 0; gi < group.size(); ++gi) {
+      const size_t pair_index = group[gi];
+      const int s = pairs[pair_index].first;
+      const int t = pairs[pair_index].second;
+      const StreamId stream = streams[gi];
+      BinaryProblem problem =
+          dataset.MakePairProblem(s, t, options.c, options.kernel);
+      if (!options.class_weights.empty()) {
+        problem.weight_pos = options.class_weights[static_cast<size_t>(s)];
+        problem.weight_neg = options.class_weights[static_cast<size_t>(t)];
+      }
+
+      std::unique_ptr<fault::FaultInjector> pair_injector;
+      if (injector_factory != nullptr) {
+        pair_injector = injector_factory(pair_index);
+        executor->SetFaultInjector(pair_injector.get());
+      }
+
+      PairTrainOutcome outcome;
+      outcome.pair_index = pair_index;
+      MpTrainReport pair_report;
+      auto attempt = [&]() -> Result<PairCheckpoint> {
+        SolverStats stats;
+        double sigmoid_seconds = 0.0;
+        bool sigmoid_done = false;
+        Result<PairCheckpoint> result = SolveGmpPairImpl(
+            options, solver, computer, cache.get(), executor, stream, s, t,
+            problem, &stats, &sigmoid_seconds, &sigmoid_done);
+        // Work done by failed attempts still counts toward the pair.
+        outcome.stats.Merge(stats);
+        outcome.sigmoid_seconds += sigmoid_seconds;
+        outcome.sigmoid_done = outcome.sigmoid_done || sigmoid_done;
+        return result;
+      };
+      Result<PairCheckpoint> pair = RunPairWithRetry(
+          options, executor, stream, s, t, attempt, &pair_report);
+      if (injector_factory != nullptr) {
+        executor->SetFaultInjector(base_injector);
+      }
+      if (!pair.ok()) return pair.status();
+      outcome.checkpoint = std::move(pair).value();
+      outcome.retries = pair_report.pair_retries;
+      outcome.degraded = outcome.checkpoint.degraded;
+      outcomes.push_back(std::move(outcome));
+    }
+    // Barrier between groups: buffers are reclaimed before the next group.
+    executor->SynchronizeAll();
+  }
+
+  executor->SynchronizeAll();
+  return outcomes;
+}
+
+Result<MpSvmModel> AssembleModelFromPairs(
+    const Dataset& dataset, const MpTrainOptions& options,
+    const std::vector<PairCheckpoint>& pairs_in_order) {
+  GMP_RETURN_NOT_OK(options.Validate(dataset.num_classes()));
+  const auto pairs = dataset.ClassPairs();
+  if (pairs_in_order.size() != pairs.size()) {
+    return Status::InvalidArgument(
+        StrPrintf("got %zu pair checkpoints, dataset has %zu pairs",
+                  pairs_in_order.size(), pairs.size()));
+  }
+  ModelBuilder builder(&dataset, options);
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const PairCheckpoint& pair = pairs_in_order[p];
+    if (pair.class_s != pairs[p].first || pair.class_t != pairs[p].second) {
+      return Status::InvalidArgument(StrPrintf(
+          "pair checkpoint %zu is %dv%d, expected %dv%d", p, pair.class_s,
+          pair.class_t, pairs[p].first, pairs[p].second));
+    }
+    builder.AddEntry(pair);
+  }
   return builder.Finish();
 }
 

@@ -17,11 +17,15 @@
 #define GMPSVM_CORE_MP_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "core/dataset.h"
 #include "core/model.h"
+#include "core/model_io.h"
 #include "device/executor.h"
 #include "fault/retry.h"
 #include "prob/platt.h"
@@ -30,6 +34,10 @@
 #include "solver/solver_stats.h"
 
 namespace gmpsvm {
+
+namespace fault {
+class FaultInjector;
+}  // namespace fault
 
 // What a trainer does with a binary pair whose transient faults outlasted the
 // retry policy.
@@ -164,6 +172,58 @@ struct MpTrainReport {
   // counters labeled {phase=...}, and the kernel-value counters.
   void PublishTo(obs::MetricsRegistry* registry) const;
 };
+
+// --- Multi-device building blocks (used by src/cluster) ----------------------
+//
+// Cluster training splits the k(k-1)/2 pairwise problems across devices:
+// each device trains its assigned subset with TrainGmpPairSubset, then the
+// per-pair results are stitched back together — in global ClassPairs() order,
+// because support-vector pool indices depend on insertion order — with
+// AssembleModelFromPairs. Pair solutions are schedule-invariant (the kernel
+// math is exact), so the assembled model is byte-identical to a single-device
+// GmpSvmTrainer run whatever the assignment.
+
+// One trained pair plus the statistics a multi-device caller merges in global
+// ClassPairs() order. The sim-time fields (stats.phases, sigmoid_seconds)
+// depend on the stream shares of the run that produced them; the counter
+// fields (iterations, kernel rows, retries) are schedule-invariant.
+struct PairTrainOutcome {
+  size_t pair_index = 0;
+  PairCheckpoint checkpoint;
+  SolverStats stats;
+  double sigmoid_seconds = 0.0;
+  bool sigmoid_done = false;
+  int64_t retries = 0;
+  bool degraded = false;
+};
+
+// Optional per-pair fault-injector factory for chaos cluster runs: deriving
+// one injector per pair (seeded from the pair index) keeps fault sequences
+// pair-deterministic regardless of which device trains the pair. Returning
+// nullptr for a pair trains it fault-free. The returned injector is attached
+// to the executor only for that pair's attempts.
+using PairFaultInjectorFactory =
+    std::function<std::unique_ptr<fault::FaultInjector>(size_t pair_index)>;
+
+// Trains the subset of dataset.ClassPairs() named by `pair_indices` on one
+// executor with the GMP-SVM machinery: groups packed under the memory budget,
+// one SM-capped stream per pair in a group, an optional per-executor shared
+// block cache, and the per-pair retry policy. Pair orchestration is serial
+// (devices parallelize across executors; op bodies still use the executor's
+// host pool). `options.checkpoint` is ignored — cluster checkpointing is a
+// documented non-goal. Fails fast on the first pair whose error is not
+// recoverable under the options' failure policy.
+Result<std::vector<PairTrainOutcome>> TrainGmpPairSubset(
+    const Dataset& dataset, const MpTrainOptions& options,
+    SimExecutor* executor, const std::vector<size_t>& pair_indices,
+    const PairFaultInjectorFactory& injector_factory = nullptr);
+
+// Assembles the final model from per-pair checkpoints given in ClassPairs()
+// order. Rejects a vector whose size or pair labels do not match the
+// dataset's pair enumeration.
+Result<MpSvmModel> AssembleModelFromPairs(
+    const Dataset& dataset, const MpTrainOptions& options,
+    const std::vector<PairCheckpoint>& pairs_in_order);
 
 class GmpSvmTrainer {
  public:

@@ -39,7 +39,7 @@
 #include "common/status.h"
 #include "device/counters.h"
 #include "device/sim_model.h"
-#include "device/trace.h"
+#include "obs/span.h"
 
 namespace gmpsvm {
 
@@ -196,9 +196,6 @@ class SimExecutor {
   int SpanLane(StreamId stream) const {
     return lane_base_ + (lane_width_ > 0 ? stream % lane_width_ : stream);
   }
-
-  // DEPRECATED: legacy trace hook; ExecutionTrace is itself a SpanRecorder.
-  void SetTrace(ExecutionTrace* trace) { SetSpanRecorder(trace); }
 
   // Computes the simulated duration of a task under this executor's model
   // given a static compute-unit share. Exposed for tests and the ablation

@@ -8,6 +8,7 @@ namespace {
 constexpr const char* kSiteNames[kNumFaultSites] = {
     "device_submit",  "device_transfer", "device_alloc",  "kernel_row_batch",
     "buffer_evict",   "model_swap",      "latency_spike", "train_interrupt",
+    "device_loss",
 };
 
 Status CheckProb(const char* field, double p) {
@@ -44,6 +45,8 @@ double FaultPlan::ProbFor(Site site) const {
       return latency_spike_prob;
     case Site::kTrainInterrupt:
       return interrupt_after_pairs > 0 ? 1.0 : 0.0;
+    case Site::kDeviceLoss:
+      return device_loss_prob;
   }
   return 0.0;
 }
@@ -56,6 +59,7 @@ Status FaultPlan::Validate() const {
   GMP_RETURN_NOT_OK(CheckProb("evict_poison_prob", evict_poison_prob));
   GMP_RETURN_NOT_OK(CheckProb("swap_fail_prob", swap_fail_prob));
   GMP_RETURN_NOT_OK(CheckProb("latency_spike_prob", latency_spike_prob));
+  GMP_RETURN_NOT_OK(CheckProb("device_loss_prob", device_loss_prob));
   if (!(latency_spike_seconds >= 0.0)) {
     return Status::InvalidArgument(
         StrPrintf("latency_spike_seconds must be >= 0, got %g",
@@ -78,6 +82,9 @@ FaultPlan FaultPlan::Chaos(uint64_t seed) {
   plan.kernel_row_fail_prob = 0.2;
   plan.evict_poison_prob = 0.25;
   plan.latency_spike_prob = 0.05;
+  // High enough that a 4-device chaos run usually loses a device; the cluster
+  // trainer consults it once per non-primary device, never for device 0.
+  plan.device_loss_prob = 0.4;
   plan.max_consecutive_per_site = 2;
   return plan;
 }

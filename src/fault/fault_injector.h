@@ -43,8 +43,10 @@ enum class Site : int {
   kModelSwap,          // ModelRegistry::Register of an existing name fails
   kLatencySpike,       // a charged task additionally stalls its stream
   kTrainInterrupt,     // training aborts after N completed pairs
+  kDeviceLoss,         // a cluster device dies; its unfinished pairs are
+                       // rescheduled onto the surviving devices
 };
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 9;
 
 // Stable lowercase name for `site`, used as the {site=...} metric label.
 const char* SiteName(Site site);
@@ -60,6 +62,9 @@ struct FaultPlan {
   double evict_poison_prob = 0.0;
   double swap_fail_prob = 0.0;
   double latency_spike_prob = 0.0;
+  // Consulted once per non-primary cluster device at the start of a cluster
+  // training run (device 0 never dies, so progress is always possible).
+  double device_loss_prob = 0.0;
 
   // Simulated seconds a latency spike adds to the stream it hits.
   double latency_spike_seconds = 1e-4;

@@ -1,9 +1,8 @@
 // Span recording: one sink for every timeline in the system.
 //
-// The simulated device already produced per-task trace events
-// (device/trace.h); the serving layer timed requests with ad-hoc
-// MonotonicNow() arithmetic. This header generalizes both into named spans
-// pushed at a SpanRecorder:
+// The simulated device emits per-task trace events; the serving layer used
+// to time requests with ad-hoc MonotonicNow() arithmetic. This header
+// generalizes both into named spans pushed at a SpanRecorder:
 //
 //   * device spans — simulated-time intervals on a stream lane. SimExecutor
 //     emits one leaf span per charged task/transfer, and the trainers wrap
@@ -18,10 +17,6 @@
 // simulated-device stream rows, process 1 the wall-clock serve rows. The
 // two processes tick different clocks (simulated vs. wall); rows within a
 // process are mutually comparable.
-//
-// ExecutionTrace (device/trace.h) is now a deprecated shim implementing
-// SpanRecorder; new code should attach a TraceRecorder via
-// SimExecutor::SetSpanRecorder.
 
 #ifndef GMPSVM_OBS_SPAN_H_
 #define GMPSVM_OBS_SPAN_H_
@@ -88,7 +83,7 @@ class TraceRecorder : public SpanRecorder {
   void Clear();
 
   // Total busy simulated time per device stream lane, leaf spans only
-  // (same semantics as ExecutionTrace::BusyTimePerStream).
+  // (phase envelopes and host spans are excluded).
   std::vector<double> BusyTimePerStream() const;
 
   // Merged Chrome trace-event JSON: pid 0 = simulated device (one row per

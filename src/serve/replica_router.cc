@@ -1,0 +1,117 @@
+#include "serve/replica_router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <string>
+#include <utility>
+
+namespace gmpsvm {
+namespace {
+
+// Matches kWorkerLaneStride in server.cc: each worker's simulated device
+// occupies 16 lanes, so a replica's band is 16 lanes per worker.
+constexpr int kLanesPerWorker = 16;
+
+}  // namespace
+
+ReplicaRouter::ReplicaRouter(ModelRegistry* registry, RouterOptions options)
+    : options_(std::move(options)) {
+  std::vector<ExecutorModel> devices = options_.devices;
+  if (devices.empty()) devices.push_back(options_.serve.executor_model);
+  const int workers = std::max(1, options_.serve.num_workers);
+  replicas_.reserve(devices.size());
+  for (size_t r = 0; r < devices.size(); ++r) {
+    ServeOptions serve = options_.serve;
+    serve.executor_model = devices[r];
+    // Private stats registry per replica; router-level series carry the
+    // {device=...} label instead.
+    serve.metrics = nullptr;
+    serve.lane_base = options_.serve.lane_base +
+                      static_cast<int>(r) * workers * kLanesPerWorker;
+    replicas_.push_back(
+        std::make_unique<InferenceServer>(registry, std::move(serve)));
+  }
+  routed_ = std::vector<std::atomic<int64_t>>(replicas_.size());
+}
+
+ReplicaRouter::~ReplicaRouter() { (void)Shutdown(); }
+
+Status ReplicaRouter::Start() {
+  for (std::unique_ptr<InferenceServer>& replica : replicas_) {
+    GMP_RETURN_NOT_OK(replica->Start());
+  }
+  return Status::OK();
+}
+
+Result<std::future<Result<PredictResponse>>> ReplicaRouter::Submit(
+    std::span<const int32_t> indices, std::span<const double> values,
+    Deadline deadline) {
+  // Rank replicas by queue depth (snapshot), ties to the lowest index, and
+  // admit at the first that accepts. Depths move under concurrent Submits —
+  // the ranking is a heuristic, the fallback is the guarantee.
+  std::vector<size_t> order(replicas_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<size_t> depth(replicas_.size());
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    depth[r] = replicas_[r]->queue_depth();
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return depth[a] < depth[b]; });
+
+  Status last = Status::ResourceExhausted("router has no replicas");
+  for (size_t r : order) {
+    Result<std::future<Result<PredictResponse>>> admitted =
+        replicas_[r]->Submit(indices, values, deadline);
+    if (admitted.ok()) {
+      routed_[r].fetch_add(1, std::memory_order_relaxed);
+      NoteRouted(r);
+      return admitted;
+    }
+    last = admitted.status();
+    // Only a full queue justifies spilling to the next replica; malformed
+    // rows or a shut-down server fail the same way everywhere.
+    if (!last.IsResourceExhausted()) return last;
+  }
+  return last;
+}
+
+Result<PredictResponse> ReplicaRouter::Predict(std::span<const int32_t> indices,
+                                               std::span<const double> values,
+                                               Deadline deadline) {
+  GMP_ASSIGN_OR_RETURN(auto future, Submit(indices, values, deadline));
+  while (future.wait_for(deadline.BoundedRemaining(std::chrono::seconds(1))) !=
+         std::future_status::ready) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded("request deadline expired while waiting");
+    }
+  }
+  return future.get();
+}
+
+Status ReplicaRouter::Shutdown() {
+  Status first = Status::OK();
+  for (std::unique_ptr<InferenceServer>& replica : replicas_) {
+    const Status s = replica->Shutdown();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
+void ReplicaRouter::NoteRouted(size_t r) {
+  if (options_.metrics == nullptr) return;
+  const obs::Labels labels = {{"device", std::to_string(r)}};
+  options_.metrics
+      ->GetCounter(
+          "gmpsvm_router_requests_routed_total",
+          "Requests dispatched to a replica by the least-loaded router.",
+          labels)
+      ->Increment();
+  options_.metrics
+      ->GetGauge("gmpsvm_router_replica_queue_depth",
+                 "Peak replica queue depth observed at routing decisions.",
+                 labels)
+      ->SetMax(static_cast<double>(replicas_[r]->queue_depth()));
+}
+
+}  // namespace gmpsvm

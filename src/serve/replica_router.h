@@ -1,0 +1,98 @@
+// ReplicaRouter: sharded serving across cluster devices.
+//
+// One InferenceServer replica per device model, all serving the same
+// ModelRegistry (a hot-swap takes effect on every replica's next batch), with
+// least-loaded dispatch: Submit routes each request to the replica with the
+// shallowest queue (ties to the lowest replica index) and falls through to
+// the next-least-loaded replica when a queue rejects with
+// kResourceExhausted — a request is only rejected when every replica is full.
+//
+// Per-request results stay bit-identical to a direct MpSvmPredictor call
+// whichever replica answers (the single-server guarantee, per replica).
+//
+// Observability: each replica keeps its own private ServeStats registry
+// (reachable via replica(r)->stats()) so per-worker series from different
+// replicas never collide; the router publishes its own routing counters and
+// queue-depth gauges labeled {device=...} into RouterOptions::metrics. When
+// a trace recorder is shared, replica r's lanes are offset by
+// r * 16 * num_workers via ServeOptions::lane_base so the merged trace shows
+// one band per device.
+
+#ifndef GMPSVM_SERVE_REPLICA_ROUTER_H_
+#define GMPSVM_SERVE_REPLICA_ROUTER_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace gmpsvm {
+
+struct RouterOptions {
+  // Template applied to every replica. Its executor_model is ignored when
+  // `devices` is non-empty; its metrics pointer is ignored (replicas keep
+  // private registries — see the header comment); its lane_base is the base
+  // of replica 0's band.
+  ServeOptions serve;
+
+  // One replica per device model. Empty = one replica on
+  // serve.executor_model.
+  std::vector<ExecutorModel> devices;
+
+  // Router-level metrics: gmpsvm_router_* series labeled {device=...}.
+  // Null disables publication.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class ReplicaRouter {
+ public:
+  // The registry must outlive the router.
+  ReplicaRouter(ModelRegistry* registry, RouterOptions options);
+  ~ReplicaRouter();
+
+  ReplicaRouter(const ReplicaRouter&) = delete;
+  ReplicaRouter& operator=(const ReplicaRouter&) = delete;
+
+  // Starts every replica; fails on the first replica that cannot start.
+  Status Start();
+
+  // Least-loaded admission across replicas (see header comment). Fails with
+  // the last replica's kResourceExhausted only when every replica rejected.
+  Result<std::future<Result<PredictResponse>>> Submit(
+      std::span<const int32_t> indices, std::span<const double> values,
+      Deadline deadline = Deadline::Infinite());
+
+  // Submit + wait, flattening admission and per-request errors.
+  Result<PredictResponse> Predict(std::span<const int32_t> indices,
+                                  std::span<const double> values,
+                                  Deadline deadline = Deadline::Infinite());
+
+  // Shuts every replica down (drains accepted requests). Idempotent;
+  // returns the first error.
+  Status Shutdown();
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  InferenceServer* replica(int r) { return replicas_[static_cast<size_t>(r)].get(); }
+  const InferenceServer* replica(int r) const {
+    return replicas_[static_cast<size_t>(r)].get();
+  }
+
+  // Requests dispatched to replica r so far.
+  int64_t routed(int r) const {
+    return routed_[static_cast<size_t>(r)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  void NoteRouted(size_t r);
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<InferenceServer>> replicas_;
+  std::vector<std::atomic<int64_t>> routed_;
+};
+
+}  // namespace gmpsvm
+
+#endif  // GMPSVM_SERVE_REPLICA_ROUTER_H_

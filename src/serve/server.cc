@@ -158,9 +158,11 @@ void InferenceServer::WorkerLoop(int worker_index) {
     executor.SetFaultInjector(options_.fault);
   }
   obs::TraceRecorder* trace = options_.trace;
+  const int host_lane = options_.lane_base + worker_index;
   if (trace != nullptr) {
-    executor.SetSpanRecorder(trace, worker_index * kWorkerLaneStride,
-                             kWorkerLaneStride);
+    executor.SetSpanRecorder(
+        trace, options_.lane_base + worker_index * kWorkerLaneStride,
+        kWorkerLaneStride);
   }
   std::vector<SparseRowView> rows;
 
@@ -172,7 +174,7 @@ void InferenceServer::WorkerLoop(int worker_index) {
     if (trace != nullptr) {
       obs::SpanEvent wait;
       wait.name = "queue_wait";
-      wait.lane = worker_index;
+      wait.lane = host_lane;
       wait.start_seconds = wait_t0;
       wait.end_seconds = trace->HostSecondsNow();
       trace->RecordSpan(wait);
@@ -208,14 +210,14 @@ void InferenceServer::WorkerLoop(int worker_index) {
     Result<PredictResult> result = [&] {
       obs::HostSpan span(trace,
                          StrPrintf("predict batch=%d", batch_size),
-                         worker_index);
+                         host_lane);
       return predictor.PredictRows(rows, &executor, options_.predict);
     }();
     if (options_.metrics != nullptr) {
       executor.counters().PublishTo(
           options_.metrics, {{"worker", std::to_string(worker_index)}});
     }
-    obs::HostSpan respond_span(trace, "respond", worker_index);
+    obs::HostSpan respond_span(trace, "respond", host_lane);
     if (!result.ok()) {
       if (result.status().IsUnavailable()) {
         NoteBatchFault();

@@ -1,0 +1,109 @@
+// Cross-validation and grid search must be host-thread invariant: the fold
+// splits, per-cell models, and every reported quality number are byte-equal
+// whether the executor runs its op bodies on 1, 2, or 8 host threads. (The
+// per-pair training determinism is covered by host_determinism_test; this
+// suite pins the composite CV/grid pipelines that PR-goal tooling, svm_tool
+// cv/grid, builds on.)
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "../test_util.h"
+#include "core/cross_validation.h"
+#include "core/grid_search.h"
+#include "device/executor.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+Dataset CvProxy() {
+  return ValueOrDie(MakeMulticlassBlobs(3, 18, 5, 2.0, 13));
+}
+
+MpTrainOptions SmallTrainOptions() {
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 16;
+  options.batch.working_set.q = 8;
+  return options;
+}
+
+CrossValidationResult RunCv(const Dataset& data, int host_threads) {
+  CrossValidationOptions options;
+  options.folds = 3;
+  options.train = SmallTrainOptions();
+  ExecutorModel model = ExecutorModel::TeslaP100();
+  model.host_threads = host_threads;
+  SimExecutor exec(std::move(model));
+  return ValueOrDie(CrossValidate(data, options, &exec));
+}
+
+GridSearchResult RunGrid(const Dataset& data, int host_threads) {
+  GridSearchOptions options;
+  options.c_values = {0.5, 2.0};
+  options.gamma_values = {0.1, 1.0};
+  options.folds = 2;
+  options.train = SmallTrainOptions();
+  ExecutorModel model = ExecutorModel::TeslaP100();
+  model.host_threads = host_threads;
+  SimExecutor exec(std::move(model));
+  return ValueOrDie(GridSearch(data, options, &exec));
+}
+
+TEST(CvGridDeterminismTest, CrossValidationInvariantAcrossHostThreads) {
+  Dataset data = CvProxy();
+  const CrossValidationResult base = RunCv(data, 1);
+  EXPECT_EQ(base.folds, 3);
+  ASSERT_EQ(base.fold_errors.size(), 3u);
+  for (int threads : {2, 8}) {
+    const CrossValidationResult other = RunCv(data, threads);
+    EXPECT_EQ(base.error_rate, other.error_rate) << threads;
+    EXPECT_EQ(base.log_loss, other.log_loss) << threads;
+    EXPECT_EQ(base.brier_score, other.brier_score) << threads;
+    EXPECT_EQ(base.sim_seconds, other.sim_seconds) << threads;
+    ASSERT_EQ(base.fold_errors.size(), other.fold_errors.size()) << threads;
+    EXPECT_EQ(0, std::memcmp(base.fold_errors.data(), other.fold_errors.data(),
+                             base.fold_errors.size() * sizeof(double)))
+        << threads;
+  }
+}
+
+TEST(CvGridDeterminismTest, GridSearchInvariantAcrossHostThreads) {
+  Dataset data = CvProxy();
+  const GridSearchResult base = RunGrid(data, 1);
+  ASSERT_EQ(base.cells.size(), 4u);
+  for (int threads : {2, 8}) {
+    const GridSearchResult other = RunGrid(data, threads);
+    EXPECT_EQ(base.sim_seconds, other.sim_seconds) << threads;
+    ASSERT_EQ(base.cells.size(), other.cells.size()) << threads;
+    for (size_t i = 0; i < base.cells.size(); ++i) {
+      EXPECT_EQ(base.cells[i].c, other.cells[i].c) << threads << " cell " << i;
+      EXPECT_EQ(base.cells[i].gamma, other.cells[i].gamma)
+          << threads << " cell " << i;
+      EXPECT_EQ(base.cells[i].error_rate, other.cells[i].error_rate)
+          << threads << " cell " << i;
+      EXPECT_EQ(base.cells[i].log_loss, other.cells[i].log_loss)
+          << threads << " cell " << i;
+      EXPECT_EQ(base.cells[i].brier_score, other.cells[i].brier_score)
+          << threads << " cell " << i;
+    }
+    EXPECT_EQ(base.best.c, other.best.c) << threads;
+    EXPECT_EQ(base.best.gamma, other.best.gamma) << threads;
+    EXPECT_EQ(base.best.error_rate, other.best.error_rate) << threads;
+  }
+}
+
+TEST(CvGridDeterminismTest, GridBestIsTheMinimumErrorCell) {
+  Dataset data = CvProxy();
+  const GridSearchResult grid = RunGrid(data, 4);
+  for (const GridCellResult& cell : grid.cells) {
+    EXPECT_LE(grid.best.error_rate, cell.error_rate);
+  }
+}
+
+}  // namespace
+}  // namespace gmpsvm

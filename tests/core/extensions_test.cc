@@ -13,7 +13,7 @@
 #include "core/ova_trainer.h"
 #include "core/predictor.h"
 #include "core/sigmoid_cv.h"
-#include "device/trace.h"
+#include "obs/span.h"
 #include "metrics/metrics.h"
 #include "common/rng.h"
 #include "solver/batch_smo_solver.h"
@@ -154,10 +154,10 @@ TEST(OvaTrainerTest, OvaProblemsAreLargerThanPairwise) {
             e2.counters().kernel_values_computed / 10);
 }
 
-TEST(ExecutionTraceTest, RecordsChargesAndTransfers) {
+TEST(DeviceTraceTest, RecordsChargesAndTransfers) {
   SimExecutor exec = Gpu();
-  ExecutionTrace trace;
-  exec.SetTrace(&trace);
+  obs::TraceRecorder trace;
+  exec.SetSpanRecorder(&trace);
   TaskCost cost;
   cost.flops = 1e6;
   cost.parallel_items = 1000;
@@ -171,10 +171,10 @@ TEST(ExecutionTraceTest, RecordsChargesAndTransfers) {
   EXPECT_DOUBLE_EQ(trace.events()[0].end_seconds, trace.events()[1].start_seconds);
 }
 
-TEST(ExecutionTraceTest, BusyTimeAndJsonExport) {
+TEST(DeviceTraceTest, BusyTimeAndJsonExport) {
   SimExecutor exec = Gpu();
-  ExecutionTrace trace;
-  exec.SetTrace(&trace);
+  obs::TraceRecorder trace;
+  exec.SetSpanRecorder(&trace);
   StreamId s1 = exec.CreateStream(0.5);
   TaskCost cost;
   cost.flops = 1e7;
@@ -190,18 +190,18 @@ TEST(ExecutionTraceTest, BusyTimeAndJsonExport) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
-TEST(ExecutionTraceTest, TrainerProducesOverlappingStreams) {
+TEST(DeviceTraceTest, TrainerProducesOverlappingStreams) {
   auto data = ValueOrDie(MakeMulticlassBlobs(4, 20, 5, 2.0, 31));
   SimExecutor exec = Gpu();
-  ExecutionTrace trace;
-  exec.SetTrace(&trace);
+  obs::TraceRecorder trace;
+  exec.SetSpanRecorder(&trace);
   MpTrainOptions options = SmallOptions();
   options.max_concurrent_svms = 6;
   ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr));
   // Concurrent training used more than the default stream.
-  int max_stream = 0;
-  for (const auto& e : trace.events()) max_stream = std::max(max_stream, e.stream);
-  EXPECT_GT(max_stream, 0);
+  int max_lane = 0;
+  for (const auto& e : trace.events()) max_lane = std::max(max_lane, e.lane);
+  EXPECT_GT(max_lane, 0);
 }
 
 TEST(ShrinkingTest, SameClassifierWithAndWithout) {

@@ -1,0 +1,203 @@
+// The cluster determinism contract (docs/scaling.md): trained models,
+// predicted probabilities, and per-pair COUNTER statistics are byte-identical
+// for devices=1 vs devices=N at any host_threads — clean and under a chaos
+// fault plan that includes device loss. Only the simulated makespan and the
+// wall clock may change.
+//
+// Counter comparisons run with share_kernel_blocks OFF: with sharing on,
+// cache hit/miss counters depend on which pairs co-locate on a device (the
+// documented schedule-dependent quantity). Models and probabilities are
+// compared with sharing on AND off — those are invariant regardless.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "cluster/cluster.h"
+#include "cluster/cluster_predictor.h"
+#include "cluster/cluster_trainer.h"
+#include "core/model_io.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "fault/fault_injector.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+Dataset Proxy() {
+  return ValueOrDie(MakeMulticlassBlobs(4, 22, 6, 2.5, 42));
+}
+
+MpTrainOptions BaseOptions(bool share_kernel_blocks) {
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 32;
+  options.batch.working_set.q = 16;
+  options.max_concurrent_svms = 4;
+  options.shared_cache_bytes = 64ull << 20;
+  options.share_kernel_blocks = share_kernel_blocks;
+  return options;
+}
+
+struct ClusterRun {
+  std::string model_text;
+  std::vector<double> probabilities;
+  // Schedule-invariant per-pair counters, in ClassPairs() order.
+  std::vector<int64_t> pair_iterations;
+  std::vector<int64_t> pair_kernel_rows;
+  std::vector<int64_t> pair_retries;
+  double makespan = 0.0;
+  int devices_lost = 0;
+};
+
+ClusterRun RunCluster(const Dataset& data, int devices, int host_threads,
+                      bool share_kernel_blocks,
+                      std::optional<fault::FaultPlan> plan) {
+  ExecutorModel model = ExecutorModel::TeslaP100();
+  model.host_threads = host_threads;
+  cluster::SimCluster cluster = cluster::SimCluster::Homogeneous(devices, model);
+
+  cluster::ClusterTrainOptions options;
+  options.train = BaseOptions(share_kernel_blocks);
+  options.fault = std::move(plan);
+  cluster::ClusterTrainReport report;
+  auto svm =
+      ValueOrDie(cluster::ClusterTrainer(options).Train(data, &cluster, &report));
+
+  ClusterRun out;
+  out.model_text = SerializeModel(svm);
+  out.makespan = report.makespan_sim_seconds;
+  out.devices_lost = report.devices_lost;
+  for (const PairTrainOutcome& outcome : report.pair_outcomes) {
+    out.pair_iterations.push_back(outcome.stats.iterations);
+    out.pair_kernel_rows.push_back(outcome.stats.kernel_rows_computed +
+                                   outcome.stats.kernel_rows_reused);
+    out.pair_retries.push_back(outcome.retries);
+  }
+  auto pred = ValueOrDie(cluster::ClusterPredict(svm, data.features(), &cluster,
+                                                 PredictOptions{}));
+  out.probabilities = std::move(pred.probabilities);
+  return out;
+}
+
+void ExpectSameOutputs(const ClusterRun& base, const ClusterRun& other,
+                       const std::string& what, bool compare_counters) {
+  EXPECT_EQ(base.model_text, other.model_text) << what;
+  ASSERT_EQ(base.probabilities.size(), other.probabilities.size()) << what;
+  EXPECT_EQ(0, std::memcmp(base.probabilities.data(),
+                           other.probabilities.data(),
+                           base.probabilities.size() * sizeof(double)))
+      << what;
+  if (!compare_counters) return;
+  EXPECT_EQ(base.pair_iterations, other.pair_iterations) << what;
+  EXPECT_EQ(base.pair_kernel_rows, other.pair_kernel_rows) << what;
+  EXPECT_EQ(base.pair_retries, other.pair_retries) << what;
+}
+
+TEST(ClusterDeterminismTest, CleanRunsInvariantAcrossDeviceAndThreadCounts) {
+  Dataset data = Proxy();
+  const ClusterRun base = RunCluster(data, 1, 1, /*share_kernel_blocks=*/false,
+                                     std::nullopt);
+  struct Config {
+    int devices;
+    int host_threads;
+  };
+  for (const Config& config :
+       {Config{2, 1}, Config{4, 1}, Config{1, 8}, Config{4, 8}}) {
+    const ClusterRun other =
+        RunCluster(data, config.devices, config.host_threads,
+                   /*share_kernel_blocks=*/false, std::nullopt);
+    ExpectSameOutputs(base, other,
+                      "devices=" + std::to_string(config.devices) +
+                          " threads=" + std::to_string(config.host_threads),
+                      /*compare_counters=*/true);
+  }
+}
+
+TEST(ClusterDeterminismTest, SharedCacheRunsKeepModelAndProbabilities) {
+  // With kernel-block sharing on, cache counters become co-location
+  // dependent, but the model and probabilities must not.
+  Dataset data = Proxy();
+  const ClusterRun base = RunCluster(data, 1, 1, /*share_kernel_blocks=*/true,
+                                     std::nullopt);
+  for (int devices : {2, 4}) {
+    const ClusterRun other = RunCluster(data, devices, 1,
+                                        /*share_kernel_blocks=*/true,
+                                        std::nullopt);
+    ExpectSameOutputs(base, other, "shared devices=" + std::to_string(devices),
+                      /*compare_counters=*/false);
+  }
+}
+
+TEST(ClusterDeterminismTest, MatchesSingleDeviceTrainerAndPredictor) {
+  Dataset data = Proxy();
+  MpTrainOptions options = BaseOptions(/*share_kernel_blocks=*/false);
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  auto reference = ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr));
+  auto reference_pred = ValueOrDie(MpSvmPredictor(&reference).Predict(
+      data.features(), &exec, PredictOptions{}));
+
+  const ClusterRun sharded = RunCluster(data, 4, 1,
+                                        /*share_kernel_blocks=*/false,
+                                        std::nullopt);
+  EXPECT_EQ(sharded.model_text, SerializeModel(reference));
+  ASSERT_EQ(sharded.probabilities.size(), reference_pred.probabilities.size());
+  EXPECT_EQ(0, std::memcmp(sharded.probabilities.data(),
+                           reference_pred.probabilities.data(),
+                           sharded.probabilities.size() * sizeof(double)));
+}
+
+TEST(ClusterDeterminismTest, ChaosRunsInvariantAcrossDeviceAndThreadCounts) {
+  // FaultPlan::Chaos exercises every transient site including device loss.
+  // Per-pair injectors are seeded from (plan seed, pair index), so each pair
+  // sees one fault sequence whatever device trains it — retries included.
+  Dataset data = Proxy();
+  const fault::FaultPlan plan = fault::FaultPlan::Chaos(7);
+  const ClusterRun base =
+      RunCluster(data, 1, 1, /*share_kernel_blocks=*/false, plan);
+  struct Config {
+    int devices;
+    int host_threads;
+  };
+  for (const Config& config : {Config{2, 1}, Config{4, 1}, Config{4, 8}}) {
+    const ClusterRun other =
+        RunCluster(data, config.devices, config.host_threads,
+                   /*share_kernel_blocks=*/false, plan);
+    ExpectSameOutputs(base, other,
+                      "chaos devices=" + std::to_string(config.devices) +
+                          " threads=" + std::to_string(config.host_threads),
+                      /*compare_counters=*/true);
+  }
+}
+
+TEST(ClusterDeterminismTest, ChaosRecoversToTheCleanModel) {
+  Dataset data = Proxy();
+  const ClusterRun clean = RunCluster(data, 4, 1, /*share_kernel_blocks=*/false,
+                                      std::nullopt);
+  const ClusterRun chaos = RunCluster(data, 4, 1, /*share_kernel_blocks=*/false,
+                                      fault::FaultPlan::Chaos(7));
+  EXPECT_EQ(chaos.model_text, clean.model_text);
+  ASSERT_EQ(chaos.probabilities.size(), clean.probabilities.size());
+  EXPECT_EQ(0, std::memcmp(chaos.probabilities.data(),
+                           clean.probabilities.data(),
+                           chaos.probabilities.size() * sizeof(double)));
+}
+
+TEST(ClusterDeterminismTest, OnlyTheMakespanChangesWithDeviceCount) {
+  Dataset data = Proxy();
+  const ClusterRun one = RunCluster(data, 1, 1, /*share_kernel_blocks=*/false,
+                                    std::nullopt);
+  const ClusterRun four = RunCluster(data, 4, 1, /*share_kernel_blocks=*/false,
+                                     std::nullopt);
+  ExpectSameOutputs(one, four, "makespan check", /*compare_counters=*/true);
+  EXPECT_LT(four.makespan, one.makespan);
+}
+
+}  // namespace
+}  // namespace gmpsvm

@@ -1,15 +1,17 @@
 // Tests for the span layer: the merged device + host Chrome trace export,
-// busy-time semantics (phase envelopes excluded), lane bases for shared
-// recorders, and the deprecated ExecutionTrace shim.
+// busy-time semantics (phase envelopes excluded), and lane bases for shared
+// recorders. Also guards the removal of the old ExecutionTrace shim: the
+// public docs must not resurrect the deleted header.
 
 #include "obs/span.h"
 
+#include <fstream>
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "device/executor.h"
-#include "device/trace.h"
 
 namespace gmpsvm {
 namespace {
@@ -147,48 +149,21 @@ TEST(TraceRecorderTest, LaneWidthWrapsStreamsIntoBand) {
   EXPECT_LT(span.lane, 20);
 }
 
-// The deprecated shim must behave exactly like the pre-span ExecutionTrace:
-// leaf device events only, same busy-time totals as the new recorder.
-TEST(ExecutionTraceShimTest, KeepsLeafDeviceSpansOnly) {
-  ExecutionTrace legacy;
-  TraceRecorder modern;
-
-  SpanEvent leaf = DeviceSpan(1, 0.0, 0.5);
-  SpanEvent phase = DeviceSpan(1, 0.0, 2.0, /*is_phase=*/true);
-  phase.name = "smo 0v1";
-  SpanEvent host = HostSpanEvent("respond", 0, 0.0, 1.0);
-  for (obs::SpanRecorder* r :
-       {static_cast<obs::SpanRecorder*>(&legacy),
-        static_cast<obs::SpanRecorder*>(&modern)}) {
-    r->RecordSpan(leaf);
-    r->RecordSpan(phase);
-    r->RecordSpan(host);
+// Regression guard for the deleted ExecutionTrace shim (PR 2's deprecation,
+// removed in PR 5): the public API docs must describe SetSpanRecorder /
+// TraceRecorder only, never the old header or class.
+TEST(TraceShimRemovalTest, DocsDoNotMentionTheDeletedShim) {
+  for (const char* rel : {"docs/api.md", "docs/observability.md",
+                          "docs/cost_model.md", "README.md"}) {
+    const std::string path = std::string(GMPSVM_REPO_DIR "/") + rel;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    EXPECT_EQ(text.find("ExecutionTrace"), std::string::npos) << rel;
+    EXPECT_EQ(text.find("device/trace.h"), std::string::npos) << rel;
   }
-
-  EXPECT_EQ(legacy.size(), 1u);  // phase + host dropped
-  ASSERT_EQ(legacy.events().size(), 1u);
-  EXPECT_EQ(legacy.events()[0].stream, 1);
-  EXPECT_DOUBLE_EQ(legacy.events()[0].end_seconds, 0.5);
-
-  const std::vector<double> legacy_busy = legacy.BusyTimePerStream();
-  const std::vector<double> modern_busy = modern.BusyTimePerStream();
-  ASSERT_EQ(legacy_busy.size(), modern_busy.size());
-  for (size_t i = 0; i < legacy_busy.size(); ++i) {
-    EXPECT_DOUBLE_EQ(legacy_busy[i], modern_busy[i]) << "stream " << i;
-  }
-}
-
-TEST(ExecutionTraceShimTest, SetTraceStillRecordsChargedTasks) {
-  ExecutionTrace trace;
-  SimExecutor exec(ExecutorModel::TeslaP100());
-  exec.SetTrace(&trace);
-  TaskCost cost;
-  cost.flops = 1e9;
-  exec.Charge(kDefaultStream, cost);
-  exec.Transfer(kDefaultStream, 1 << 20, TransferDirection::kHostToDevice);
-  ASSERT_EQ(trace.size(), 2u);
-  EXPECT_FALSE(trace.events()[0].is_transfer);
-  EXPECT_TRUE(trace.events()[1].is_transfer);
 }
 
 }  // namespace

@@ -1,0 +1,183 @@
+// ReplicaRouter: least-loaded dispatch across per-device replicas, spill on
+// full queues, bit-identical answers whichever replica serves, router-level
+// metrics, and clean shutdown.
+
+#include "serve/replica_router.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "obs/metrics.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+MpSvmModel TrainSmallModel(uint64_t seed, int k = 3) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(k, 20, 6, 2.5, seed));
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 16;
+  options.batch.working_set.q = 8;
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  return ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr));
+}
+
+struct RouterFixture {
+  Dataset test;
+  ModelRegistry registry;
+  std::unique_ptr<ReplicaRouter> router;
+
+  explicit RouterFixture(RouterOptions options, uint64_t seed = 42) {
+    test = ValueOrDie(MakeMulticlassBlobs(3, 25, 6, 2.5, seed + 1));
+    ValueOrDie(registry.Register(options.serve.model_name, TrainSmallModel(seed)));
+    router = std::make_unique<ReplicaRouter>(&registry, options);
+    GMP_CHECK_OK(router->Start());
+  }
+
+  std::future<Result<PredictResponse>> SubmitRow(int64_t row) {
+    const CsrMatrix& m = test.features();
+    return ValueOrDie(router->Submit(m.RowIndices(row), m.RowValues(row)));
+  }
+};
+
+RouterOptions TwoReplicas() {
+  RouterOptions options;
+  options.serve.num_workers = 1;
+  options.devices.assign(2, options.serve.executor_model);
+  return options;
+}
+
+TEST(ReplicaRouterTest, EmptyDeviceListMeansOneReplica) {
+  RouterOptions options;
+  RouterFixture fx(options);
+  EXPECT_EQ(fx.router->num_replicas(), 1);
+  PredictResponse response = ValueOrDie(fx.SubmitRow(0).get());
+  EXPECT_EQ(response.probabilities.size(), 3u);
+}
+
+TEST(ReplicaRouterTest, AnswersBitIdenticalToDirectPredictOnAnyReplica) {
+  RouterOptions options = TwoReplicas();
+  RouterFixture fx(options);
+
+  const int64_t n = fx.test.size();
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  for (int64_t i = 0; i < n; ++i) futures.push_back(fx.SubmitRow(i));
+
+  auto handle = ValueOrDie(fx.registry.Get(options.serve.model_name));
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  const PredictResult reference = ValueOrDie(
+      MpSvmPredictor(handle.model.get())
+          .Predict(fx.test.features(), &exec, options.serve.predict));
+
+  for (int64_t i = 0; i < n; ++i) {
+    PredictResponse response = ValueOrDie(futures[static_cast<size_t>(i)].get());
+    EXPECT_EQ(response.label, reference.labels[static_cast<size_t>(i)]);
+    ASSERT_EQ(response.probabilities.size(), 3u);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(response.probabilities[static_cast<size_t>(c)],
+                reference.Probability(i, c))
+          << "row " << i << " class " << c;
+    }
+  }
+  // Both replicas took part: least-loaded dispatch over a growing backlog
+  // cannot starve one of them for 75 single-row requests.
+  EXPECT_GT(fx.router->routed(0), 0);
+  EXPECT_GT(fx.router->routed(1), 0);
+  EXPECT_EQ(fx.router->routed(0) + fx.router->routed(1), n);
+}
+
+TEST(ReplicaRouterTest, LeastLoadedAlternatesOverAPausedBacklog) {
+  RouterOptions options = TwoReplicas();
+  RouterFixture fx(options);
+  // With consumption gated, queue depths grow monotonically, so the
+  // least-loaded snapshot alternates deterministically: 4 requests each.
+  fx.router->replica(0)->Pause();
+  fx.router->replica(1)->Pause();
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  for (int64_t i = 0; i < 8; ++i) futures.push_back(fx.SubmitRow(i));
+  EXPECT_EQ(fx.router->routed(0), 4);
+  EXPECT_EQ(fx.router->routed(1), 4);
+  fx.router->replica(0)->Resume();
+  fx.router->replica(1)->Resume();
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status());
+}
+
+TEST(ReplicaRouterTest, SpillsAndRejectsOnlyWhenEveryReplicaIsFull) {
+  RouterOptions options = TwoReplicas();
+  options.serve.queue_capacity = 2;
+  RouterFixture fx(options);
+  fx.router->replica(0)->Pause();
+  fx.router->replica(1)->Pause();
+
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  for (int64_t i = 0; i < 4; ++i) futures.push_back(fx.SubmitRow(i));
+
+  // Both queues are at capacity: the router tries every replica, then
+  // surfaces the full-queue rejection.
+  const CsrMatrix& m = fx.test.features();
+  auto rejected = fx.router->Submit(m.RowIndices(4), m.RowValues(4));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted());
+
+  fx.router->replica(0)->Resume();
+  fx.router->replica(1)->Resume();
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status());
+}
+
+TEST(ReplicaRouterTest, PublishesRoutingMetricsPerDevice) {
+  obs::MetricsRegistry metrics;
+  RouterOptions options = TwoReplicas();
+  options.metrics = &metrics;
+  RouterFixture fx(options);
+
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  for (int64_t i = 0; i < 10; ++i) futures.push_back(fx.SubmitRow(i));
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status());
+
+  double routed_total = 0.0;
+  for (int r = 0; r < fx.router->num_replicas(); ++r) {
+    routed_total +=
+        metrics
+            .GetCounter(
+                "gmpsvm_router_requests_routed_total",
+                "Requests dispatched to a replica by the least-loaded router.",
+                {{"device", std::to_string(r)}})
+            ->Value();
+  }
+  EXPECT_EQ(routed_total, 10.0);
+}
+
+TEST(ReplicaRouterTest, PredictFlattensSubmitAndWait) {
+  RouterOptions options = TwoReplicas();
+  RouterFixture fx(options);
+  const CsrMatrix& m = fx.test.features();
+  PredictResponse response =
+      ValueOrDie(fx.router->Predict(m.RowIndices(0), m.RowValues(0)));
+  EXPECT_EQ(response.probabilities.size(), 3u);
+}
+
+TEST(ReplicaRouterTest, ShutdownDrainsAndIsIdempotent) {
+  RouterOptions options = TwoReplicas();
+  RouterFixture fx(options);
+  std::vector<std::future<Result<PredictResponse>>> futures;
+  for (int64_t i = 0; i < 12; ++i) futures.push_back(fx.SubmitRow(i));
+  GMP_CHECK_OK(fx.router->Shutdown());
+  // Every accepted request still resolves to a terminal result.
+  for (auto& f : futures) GMP_CHECK_OK(f.get().status());
+  GMP_CHECK_OK(fx.router->Shutdown());
+  // A post-shutdown submit is rejected, not queued forever.
+  const CsrMatrix& m = fx.test.features();
+  EXPECT_FALSE(fx.router->Submit(m.RowIndices(0), m.RowValues(0)).ok());
+}
+
+}  // namespace
+}  // namespace gmpsvm
