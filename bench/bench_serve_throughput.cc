@@ -11,17 +11,31 @@
 //     window (max_queue_delay) at a rate near the unbatched capacity,
 //     showing the window trading p50 for throughput headroom.
 //
+// A third section exercises the multi-tenant fleet (src/fleet): four
+// Zipf-weighted tenants (weight 1/rank^1.2) over two models that share
+// support vectors, served open-loop through one FleetServer. It reports
+// per-tenant percentiles, proves the cross-tenant SV store reduces kernel
+// evaluations while keeping every probability byte-identical to the
+// sharing-off run, and shows quota/priority shedding holding the hot
+// tenant's p99 under 2x overload. --json=<path> dumps the fleet section
+// machine-readably.
+//
 // Defaults to the Connect-4 proxy for a quick run; use
 // --datasets=MNIST,News20 (etc.) for the other multi-class proxies.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "fleet/fleet_server.h"
 #include "serve/server.h"
 
 using namespace gmpsvm;         // NOLINT
@@ -96,6 +110,94 @@ LoadResult RunOpenLoop(ModelRegistry* registry, const CsrMatrix& rows,
       static_cast<double>(result.snap.completed) / result.wall_seconds;
   GMP_CHECK_OK(server.Shutdown());
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant fleet section.
+
+// One precomputed request: which tenant issues it and which test row it
+// carries. Precomputing the sequence once makes the sharing-on and
+// sharing-off runs submit literally the same requests in the same order.
+struct FleetWorkItem {
+  size_t tenant;
+  int64_t row;
+};
+
+struct FleetLoadResult {
+  double wall_seconds = 0.0;
+  uint64_t shed = 0;      // kUnavailable at Submit (quota / overload)
+  uint64_t rejected = 0;  // kResourceExhausted at Submit (queues full)
+  // Probabilities per workload index; empty where the request was shed,
+  // rejected, or failed. Byte-compared across runs.
+  std::vector<std::vector<double>> probs;
+  fleet::FleetStatsSnapshot snap;
+};
+
+// Replays `workload` through a fresh fleet built from `base`: tenant i runs
+// models[i % models.size()]. rate_rps > 0 paces submissions open-loop on a
+// fixed schedule; 0 submits as fast as the dispatcher can (still open loop —
+// the dispatcher never waits for completions).
+FleetLoadResult RunFleet(const fleet::FleetOptions& base,
+                         const std::vector<fleet::TenantSpec>& tenants,
+                         const std::vector<MpSvmModel>& models,
+                         const CsrMatrix& rows,
+                         const std::vector<FleetWorkItem>& workload,
+                         double rate_rps) {
+  fleet::FleetServer server(base);
+  GMP_CHECK_OK(server.Start());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    ValueOrDie(server.AddTenant(tenants[t], MpSvmModel(models[t % models.size()])));
+  }
+
+  FleetLoadResult result;
+  result.probs.resize(workload.size());
+  const auto interval = std::chrono::duration<double>(
+      rate_rps > 0 ? 1.0 / rate_rps : 0.0);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::pair<size_t, std::future<Result<PredictResponse>>>> pending;
+  pending.reserve(workload.size());
+  for (size_t r = 0; r < workload.size(); ++r) {
+    if (rate_rps > 0) {
+      std::this_thread::sleep_until(
+          start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              interval * static_cast<double>(r)));
+    }
+    if (r % 64 == 0) server.ScaleTick();
+    const FleetWorkItem& item = workload[r];
+    auto submitted = server.Submit(tenants[item.tenant].name,
+                                   rows.RowIndices(item.row),
+                                   rows.RowValues(item.row));
+    if (!submitted.ok()) {
+      if (submitted.status().code() == StatusCode::kUnavailable) {
+        ++result.shed;
+      } else if (submitted.status().code() == StatusCode::kResourceExhausted) {
+        ++result.rejected;
+      } else {
+        GMP_CHECK_OK(submitted.status());
+      }
+      continue;
+    }
+    pending.emplace_back(r, std::move(*submitted));
+  }
+  for (auto& [index, future] : pending) {
+    auto response = future.get();
+    if (response.ok()) result.probs[index] = std::move(response->probabilities);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  GMP_CHECK_OK(server.Shutdown());
+  result.snap = server.Snapshot();
+  return result;
+}
+
+const fleet::TenantStatsSnapshot* FindTenantSnap(
+    const fleet::FleetStatsSnapshot& snap, const std::string& name) {
+  for (const auto& tenant : snap.tenants) {
+    if (tenant.tenant == name) return &tenant;
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -177,6 +279,230 @@ int main(int argc, char** argv) {
     open.Print();
     std::printf("\n");
   }
+
+  // -------------------------------------------------------------------------
+  // Multi-tenant fleet: Zipf-weighted tenants over a shared SV store.
+  const SyntheticSpec fleet_spec =
+      SelectSpecs(args, DatasetFilter::kMulticlassOnly).front();
+  std::fprintf(stderr, "[serve] training fleet models on %s ...\n",
+               fleet_spec.name.c_str());
+  Dataset fleet_train = ValueOrDie(GenerateSynthetic(fleet_spec));
+  Dataset fleet_test = ValueOrDie(GenerateSyntheticTest(fleet_spec));
+  std::vector<MpSvmModel> fleet_models;
+  {
+    // Two models over the same training rows (different C): their support
+    // vectors overlap heavily, which is exactly the cross-tenant sharing
+    // opportunity the SV store exploits.
+    SimExecutor exec = MakeGpuExecutor(fleet_spec);
+    fleet_models.push_back(ValueOrDie(
+        GmpSvmTrainer(GmpOptionsFor(fleet_spec)).Train(fleet_train, &exec,
+                                                       nullptr)));
+    MpTrainOptions second = GmpOptionsFor(fleet_spec);
+    second.c *= 4.0;
+    fleet_models.push_back(ValueOrDie(
+        GmpSvmTrainer(second).Train(fleet_train, &exec, nullptr)));
+  }
+  const CsrMatrix& fleet_rows = fleet_test.features();
+
+  // Zipf(1.2) tenant popularity: rank r gets weight 1/r^1.2. Tenant i serves
+  // model i % 2, so hot and cool share one model, warm and cold the other.
+  const char* kTenantNames[] = {"hot", "warm", "cool", "cold"};
+  std::vector<fleet::TenantSpec> tenants;
+  for (size_t r = 0; r < 4; ++r) {
+    fleet::TenantSpec spec;
+    spec.name = kTenantNames[r];
+    spec.priority = static_cast<int>(3 - r);
+    spec.weight = 1.0 / std::pow(static_cast<double>(r + 1), 1.2);
+    tenants.push_back(spec);
+  }
+  double fleet_total_weight = 0.0;
+  for (const auto& t : tenants) fleet_total_weight += t.weight;
+
+  // Precompute the request sequence once so every run replays it verbatim.
+  const int kFleetRequests = 480;
+  std::vector<FleetWorkItem> workload;
+  workload.reserve(kFleetRequests);
+  {
+    Rng rng(1234);
+    std::vector<int64_t> next_row(tenants.size(), 0);
+    for (int r = 0; r < kFleetRequests; ++r) {
+      double pick = rng.Uniform() * fleet_total_weight;
+      size_t t = 0;
+      for (; t + 1 < tenants.size(); ++t) {
+        pick -= tenants[t].weight;
+        if (pick < 0.0) break;
+      }
+      workload.push_back(FleetWorkItem{t, next_row[t]++ % fleet_rows.rows()});
+    }
+  }
+
+  // Phase 1 — sharing on vs off, identical workload, shedding disabled so
+  // both runs admit every request.
+  fleet::FleetOptions fleet_base;
+  fleet_base.serve.num_workers = kWorkers;
+  fleet_base.serve.batching.max_batch_size = 16;
+  fleet_base.serve.batching.max_queue_delay = std::chrono::microseconds(200);
+  fleet_base.serve.executor_model =
+      ScaleModel(ExecutorModel::TeslaP100(), WorldScale(fleet_spec));
+  fleet_base.serve.executor_model.host_threads = args.host_threads;
+  fleet_base.initial_replicas = 2;
+  fleet_base.autoscale.min_replicas = 2;
+  fleet_base.autoscale.max_replicas = 2;
+  fleet_base.shed_start_fraction = 1.0;  // no overload shedding in phase 1
+
+  std::printf("%s: fleet, 4 zipf tenants x 2 shared-SV models, %d requests, "
+              "2 replicas x %d workers\n",
+              fleet_spec.name.c_str(), kFleetRequests, kWorkers);
+  fleet::FleetOptions sharing_on = fleet_base;
+  sharing_on.share_support_vectors = true;
+  fleet::FleetOptions sharing_off = fleet_base;
+  sharing_off.share_support_vectors = false;
+  FleetLoadResult on = RunFleet(sharing_on, tenants, fleet_models, fleet_rows,
+                                workload, /*rate_rps=*/0.0);
+  FleetLoadResult off = RunFleet(sharing_off, tenants, fleet_models,
+                                 fleet_rows, workload, /*rate_rps=*/0.0);
+
+  int64_t identical = 0, divergent = 0;
+  for (size_t r = 0; r < workload.size(); ++r) {
+    const auto& a = on.probs[r];
+    const auto& b = off.probs[r];
+    if (a.empty() || b.empty()) continue;
+    const bool same =
+        a.size() == b.size() &&
+        std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+    same ? ++identical : ++divergent;
+  }
+  TablePrinter fleet_table(
+      {"tenant", "weight", "completed", "p50 ms", "p95 ms", "p99 ms"});
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const fleet::TenantStatsSnapshot* snap =
+        FindTenantSnap(on.snap, tenants[t].name);
+    fleet_table.AddRow({tenants[t].name, StrPrintf("%.2f", tenants[t].weight),
+                        StrPrintf("%llu", static_cast<unsigned long long>(
+                                              snap ? snap->completed : 0)),
+                        Ms(snap ? snap->latency_p50 : 0.0),
+                        Ms(snap ? snap->latency_p95 : 0.0),
+                        Ms(snap ? snap->latency_p99 : 0.0)});
+  }
+  fleet_table.Print();
+  const double reduction =
+      off.snap.kernel_values_computed > 0
+          ? 100.0 * (1.0 - static_cast<double>(on.snap.kernel_values_computed) /
+                               static_cast<double>(
+                                   off.snap.kernel_values_computed))
+          : 0.0;
+  std::printf("sv sharing: %lld kernel values computed vs %lld without "
+              "(%.1f%% fewer), %lld reused\n",
+              static_cast<long long>(on.snap.kernel_values_computed),
+              static_cast<long long>(off.snap.kernel_values_computed),
+              reduction,
+              static_cast<long long>(on.snap.kernel_values_reused));
+  std::printf("probabilities byte-identical sharing on vs off: %lld/%lld "
+              "compared, %lld divergent\n",
+              static_cast<long long>(identical),
+              static_cast<long long>(identical + divergent),
+              static_cast<long long>(divergent));
+  if (divergent > 0) {
+    std::fprintf(stderr, "FAIL: SV sharing changed prediction bytes\n");
+    return 1;
+  }
+  if (on.snap.kernel_values_computed >= off.snap.kernel_values_computed) {
+    std::fprintf(stderr,
+                 "FAIL: SV sharing did not reduce kernel evaluations\n");
+    return 1;
+  }
+
+  // Phase 2 — 2x overload: offered rate is twice the measured fleet
+  // capacity. With shedding, the cold tenants' tight quotas and the priority
+  // ladder absorb the overload; without, every tenant fights for the queues.
+  const double capacity =
+      static_cast<double>(identical + divergent) / on.wall_seconds;
+  const double offered = 2.0 * capacity;
+  std::printf("\n%s: fleet under 2x overload, %.0f rps offered "
+              "(capacity ~%.0f rps)\n",
+              fleet_spec.name.c_str(), offered, capacity);
+  fleet::FleetOptions overload_base = fleet_base;
+  overload_base.serve.queue_capacity = 64;
+  fleet::FleetOptions with_shed = overload_base;
+  with_shed.shed_start_fraction = 0.5;
+  std::vector<fleet::TenantSpec> quota_tenants = tenants;
+  for (size_t t = 2; t < quota_tenants.size(); ++t) {
+    quota_tenants[t].quota.rate_per_sec = capacity / 16.0;
+    quota_tenants[t].quota.burst = 4.0;
+  }
+  FleetLoadResult shed_run = RunFleet(with_shed, quota_tenants, fleet_models,
+                                      fleet_rows, workload, offered);
+  FleetLoadResult noshed_run = RunFleet(overload_base, tenants, fleet_models,
+                                        fleet_rows, workload, offered);
+  const fleet::TenantStatsSnapshot* hot_shed =
+      FindTenantSnap(shed_run.snap, "hot");
+  const fleet::TenantStatsSnapshot* hot_noshed =
+      FindTenantSnap(noshed_run.snap, "hot");
+  TablePrinter overload_table({"policy", "hot p50 ms", "hot p99 ms", "shed",
+                               "rejected"});
+  overload_table.AddRow(
+      {"quota+priority shed", Ms(hot_shed ? hot_shed->latency_p50 : 0.0),
+       Ms(hot_shed ? hot_shed->latency_p99 : 0.0),
+       StrPrintf("%llu", static_cast<unsigned long long>(shed_run.shed)),
+       StrPrintf("%llu", static_cast<unsigned long long>(shed_run.rejected))});
+  overload_table.AddRow(
+      {"no shedding", Ms(hot_noshed ? hot_noshed->latency_p50 : 0.0),
+       Ms(hot_noshed ? hot_noshed->latency_p99 : 0.0),
+       StrPrintf("%llu", static_cast<unsigned long long>(noshed_run.shed)),
+       StrPrintf("%llu",
+                 static_cast<unsigned long long>(noshed_run.rejected))});
+  overload_table.Print();
+  if (shed_run.shed == 0) {
+    std::fprintf(stderr, "FAIL: 2x overload shed no requests\n");
+    return 1;
+  }
+
+  if (!args.json_out.empty()) {
+    std::ofstream json(args.json_out);
+    json << "{\n  \"bench\": \"serve_throughput_fleet\",\n";
+    json << StrPrintf("  \"scale\": %g,\n  \"host_threads\": %d,\n",
+                      args.scale, args.host_threads);
+    json << StrPrintf("  \"dataset\": \"%s\",\n  \"requests\": %d,\n",
+                      fleet_spec.name.c_str(), kFleetRequests);
+    json << "  \"tenants\": [\n";
+    for (size_t t = 0; t < tenants.size(); ++t) {
+      const fleet::TenantStatsSnapshot* snap =
+          FindTenantSnap(on.snap, tenants[t].name);
+      json << StrPrintf(
+          "    {\"name\": \"%s\", \"weight\": %.4f, \"priority\": %d, "
+          "\"submitted\": %llu, \"completed\": %llu, \"p50_ms\": %.4f, "
+          "\"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+          tenants[t].name.c_str(), tenants[t].weight, tenants[t].priority,
+          static_cast<unsigned long long>(snap ? snap->submitted : 0),
+          static_cast<unsigned long long>(snap ? snap->completed : 0),
+          (snap ? snap->latency_p50 : 0.0) * 1e3,
+          (snap ? snap->latency_p95 : 0.0) * 1e3,
+          (snap ? snap->latency_p99 : 0.0) * 1e3,
+          t + 1 < tenants.size() ? "," : "");
+    }
+    json << "  ],\n";
+    json << StrPrintf(
+        "  \"sharing\": {\"on_computed\": %lld, \"off_computed\": %lld, "
+        "\"on_reused\": %lld, \"reduction_pct\": %.2f, "
+        "\"byte_identical\": %s, \"compared\": %lld},\n",
+        static_cast<long long>(on.snap.kernel_values_computed),
+        static_cast<long long>(off.snap.kernel_values_computed),
+        static_cast<long long>(on.snap.kernel_values_reused), reduction,
+        divergent == 0 ? "true" : "false",
+        static_cast<long long>(identical + divergent));
+    json << StrPrintf(
+        "  \"overload\": {\"offered_rps\": %.1f, \"capacity_rps\": %.1f, "
+        "\"shed\": {\"hot_p99_ms\": %.4f, \"shed_total\": %llu}, "
+        "\"no_shed\": {\"hot_p99_ms\": %.4f, \"rejected\": %llu}}\n",
+        offered, capacity, (hot_shed ? hot_shed->latency_p99 : 0.0) * 1e3,
+        static_cast<unsigned long long>(shed_run.shed),
+        (hot_noshed ? hot_noshed->latency_p99 : 0.0) * 1e3,
+        static_cast<unsigned long long>(noshed_run.rejected));
+    json << "}\n";
+    std::printf("json written to %s\n", args.json_out.c_str());
+  }
+  std::printf("\n");
+
   std::printf("Note: throughput is bench wall-clock; latency percentiles are\n"
               "end-to-end (admission -> response) from ServeStats.\n");
   DumpObservability(args);

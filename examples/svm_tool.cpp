@@ -12,6 +12,10 @@
 //   svm_tool serve [-n N] [-w workers] [-b max_batch] [--chaos-seed s]
 //       [--devices N] [--metrics-out m.prom] [--trace-out t.json] <model.in>
 //       (micro-batching inference-server smoke: N synthetic requests)
+//   svm_tool serve --fleet-config fleet.cfg [--verify] [...same flags...]
+//       (multi-tenant fleet smoke: tenants/models/quotas come from the
+//       config file — see src/fleet/fleet_config.h; --verify checks every
+//       response byte-for-byte against a direct clean-executor prediction)
 //
 // --metrics-out dumps the observability registry as Prometheus text;
 // --trace-out dumps the merged Chrome trace (open in chrome://tracing or
@@ -49,6 +53,7 @@
 #include "cluster/cluster.h"
 #include "cluster/cluster_predictor.h"
 #include "cluster/cluster_trainer.h"
+#include "common/rng.h"
 #include "core/cross_validation.h"
 #include "core/grid_search.h"
 #include "core/model_io.h"
@@ -59,6 +64,8 @@
 #include "data/synthetic.h"
 #include "device/executor.h"
 #include "fault/fault_injector.h"
+#include "fleet/fleet_config.h"
+#include "fleet/fleet_server.h"
 #include "metrics/metrics.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -84,6 +91,8 @@ int Usage() {
                "  svm_tool serve [-n requests] [-w workers] [-b max_batch]\n"
                "      [--host-threads N] [--devices N] [--chaos-seed s]\n"
                "      [--metrics-out m.prom] [--trace-out t.json] <model>\n"
+               "  svm_tool serve --fleet-config fleet.cfg [--verify]\n"
+               "      [...same serve flags, no positional model...]\n"
                "--host-threads sets real worker threads for the hot paths;\n"
                "outputs are byte-identical for every value (wall clock only)\n"
                "--devices shards train/predict/serve across a simulated\n"
@@ -491,15 +500,256 @@ int PredictCommand(int argc, char** argv) {
   return 0;
 }
 
+// Multi-tenant fleet smoke (`serve --fleet-config`): load every tenant's
+// model into a FleetServer, replay a weighted synthetic workload through the
+// quota/overload gates, tick the autoscaler on a fixed cadence, and print
+// the per-tenant fleet table. With --verify, every successful response is
+// compared byte-for-byte against a direct single-model prediction computed
+// on a clean (fault-free) executor — shared SV store, chaos retries, and
+// replica count must not change a single probability bit.
+int FleetServeCommand(const std::string& config_path, int num_requests,
+                      ServeOptions options, bool chaos, uint64_t chaos_seed,
+                      int devices, const std::string& metrics_out,
+                      const std::string& trace_out, bool verify) {
+  auto config = fleet::LoadFleetConfigFile(config_path);
+  if (!config.ok()) {
+    std::fprintf(stderr, "error: %s\n", config.status().ToString().c_str());
+    return 1;
+  }
+
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder recorder;
+  if (!trace_out.empty()) options.trace = &recorder;
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (chaos) {
+    injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::Chaos(chaos_seed), &metrics);
+    options.fault = injector.get();
+    options.max_request_retries = 4;
+    std::printf("chaos enabled (seed %llu)\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
+
+  fleet::FleetOptions fleet_options;
+  fleet_options.serve = options;
+  fleet_options.initial_replicas = config->replicas;
+  fleet_options.autoscale = config->autoscale;
+  fleet_options.share_support_vectors = config->share_support_vectors;
+  fleet_options.sv_cache_capacity = config->sv_cache_capacity;
+  fleet_options.shed_start_fraction = config->shed_start_fraction;
+  fleet_options.metrics = &metrics;
+  if (devices > 1) {
+    fleet_options.devices.assign(static_cast<size_t>(devices),
+                                 options.executor_model);
+  }
+
+  fleet::FleetServer fleet_server(fleet_options);
+  if (Status started = fleet_server.Start(); !started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // Per-tenant query set plus (under --verify) the reference answers.
+  struct TenantWorkload {
+    std::string name;
+    double weight = 1.0;
+    CsrMatrix rows;
+    int num_classes = 0;
+    std::vector<double> ref_probs;   // row-major [row][class]
+    std::vector<int32_t> ref_labels;
+    int64_t next_row = 0;
+  };
+  std::vector<TenantWorkload> workloads;
+  workloads.reserve(config->tenants.size());
+  for (size_t t = 0; t < config->tenants.size(); ++t) {
+    const fleet::FleetConfigTenant& tenant = config->tenants[t];
+    auto model = LoadModel(tenant.model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: tenant %s: %s\n", tenant.spec.name.c_str(),
+                   model.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("tenant %s: %s (%d classes, %lld SVs) priority=%d rate=%g "
+                "weight=%g\n",
+                tenant.spec.name.c_str(), tenant.model_path.c_str(),
+                model->num_classes,
+                static_cast<long long>(model->support_vectors.rows()),
+                tenant.spec.priority, tenant.spec.quota.rate_per_sec,
+                tenant.spec.weight);
+
+    SyntheticSpec spec;
+    spec.name = "svm_tool-fleet-" + tenant.spec.name;
+    spec.num_classes = model->num_classes;
+    spec.cardinality = 64;
+    spec.dim = std::max<int64_t>(model->support_vectors.cols(), 1);
+    spec.density = 0.5;
+    spec.seed = 99 + static_cast<uint64_t>(t);
+    auto queries = GenerateSynthetic(spec);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "error: %s\n", queries.status().ToString().c_str());
+      return 1;
+    }
+
+    TenantWorkload workload;
+    workload.name = tenant.spec.name;
+    workload.weight = tenant.spec.weight > 0.0 ? tenant.spec.weight : 1.0;
+    workload.rows = queries->features();
+    workload.num_classes = model->num_classes;
+    if (verify) {
+      // Reference path: the plain predictor on a clean executor, no fault
+      // injector, no SV store — what every fleet answer must match exactly.
+      SimExecutor reference_gpu(options.executor_model);
+      auto reference = MpSvmPredictor(&*model).Predict(
+          workload.rows, &reference_gpu, PredictOptions{});
+      if (!reference.ok()) {
+        std::fprintf(stderr, "error: reference prediction for %s: %s\n",
+                     tenant.spec.name.c_str(),
+                     reference.status().ToString().c_str());
+        return 1;
+      }
+      workload.ref_labels = reference->labels;
+      workload.ref_probs.reserve(
+          static_cast<size_t>(reference->num_instances) *
+          static_cast<size_t>(model->num_classes));
+      for (int64_t i = 0; i < reference->num_instances; ++i) {
+        for (int c = 0; c < model->num_classes; ++c) {
+          workload.ref_probs.push_back(reference->Probability(i, c));
+        }
+      }
+    }
+    workloads.push_back(std::move(workload));
+
+    auto version = fleet_server.AddTenant(tenant.spec, std::move(*model));
+    if (!version.ok()) {
+      std::fprintf(stderr, "error: %s\n", version.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  double total_weight = 0.0;
+  for (const TenantWorkload& w : workloads) total_weight += w.weight;
+
+  // Weighted-random tenant sampling with a fixed seed: the request sequence
+  // is a pure function of the config, so reruns are comparable.
+  Rng rng(99);
+  struct PendingReply {
+    size_t tenant;
+    int64_t row;
+    std::future<Result<PredictResponse>> future;
+  };
+  std::vector<PendingReply> pending;
+  pending.reserve(static_cast<size_t>(num_requests));
+  uint64_t shed = 0, rejected = 0;
+  for (int r = 0; r < num_requests; ++r) {
+    if (r % 32 == 0) fleet_server.ScaleTick();
+    double pick = rng.Uniform() * total_weight;
+    size_t t = 0;
+    for (; t + 1 < workloads.size(); ++t) {
+      pick -= workloads[t].weight;
+      if (pick < 0.0) break;
+    }
+    TenantWorkload& w = workloads[t];
+    const int64_t row = w.next_row++ % w.rows.rows();
+    auto submitted =
+        fleet_server.Submit(w.name, w.rows.RowIndices(row), w.rows.RowValues(row));
+    if (!submitted.ok()) {
+      if (submitted.status().code() == StatusCode::kUnavailable) {
+        ++shed;
+        continue;
+      }
+      if (submitted.status().code() == StatusCode::kResourceExhausted) {
+        ++rejected;
+        continue;
+      }
+      std::fprintf(stderr, "error: %s\n",
+                   submitted.status().ToString().c_str());
+      return 1;
+    }
+    pending.push_back(PendingReply{t, row, std::move(*submitted)});
+  }
+
+  int answered = 0, failed = 0, wrong = 0;
+  for (PendingReply& p : pending) {
+    auto response = p.future.get();
+    ++answered;
+    if (!response.ok()) {
+      ++failed;
+      if (!chaos) {
+        std::fprintf(stderr, "request failed: %s\n",
+                     response.status().ToString().c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (verify) {
+      const TenantWorkload& w = workloads[p.tenant];
+      const size_t base =
+          static_cast<size_t>(p.row) * static_cast<size_t>(w.num_classes);
+      const bool probs_match =
+          response->probabilities.size() ==
+              static_cast<size_t>(w.num_classes) &&
+          std::memcmp(response->probabilities.data(), w.ref_probs.data() + base,
+                      static_cast<size_t>(w.num_classes) * sizeof(double)) == 0;
+      if (!probs_match ||
+          response->label != w.ref_labels[static_cast<size_t>(p.row)]) {
+        ++wrong;
+        std::fprintf(stderr,
+                     "wrong answer: tenant %s row %lld diverges from the "
+                     "reference prediction\n",
+                     w.name.c_str(), static_cast<long long>(p.row));
+      }
+    }
+  }
+  fleet_server.ScaleTick();
+
+  std::printf("answered %d requests (%llu shed, %llu rejected, %d failed "
+              "responses)\n",
+              answered, static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(rejected), failed);
+  if (verify) {
+    std::printf("verified %d responses, %d wrong answers\n", answered - failed,
+                wrong);
+  }
+  if (injector != nullptr) {
+    std::printf("faults injected: %lld\n",
+                static_cast<long long>(injector->total_injected()));
+  }
+
+  fleet::FleetStatsSnapshot snapshot = fleet_server.Snapshot();
+  uint64_t shed_quota = 0, shed_overload = 0;
+  for (const fleet::TenantStatsSnapshot& tenant : snapshot.tenants) {
+    shed_quota += tenant.shed_quota;
+    shed_overload += tenant.shed_overload;
+  }
+  std::printf("%s\n", snapshot.ToTable().c_str());
+  std::printf("fleet shed total: %llu (quota %llu, overload %llu)\n",
+              static_cast<unsigned long long>(shed_quota + shed_overload),
+              static_cast<unsigned long long>(shed_quota),
+              static_cast<unsigned long long>(shed_overload));
+
+  GMP_CHECK_OK(fleet_server.Shutdown());
+  if (!metrics_out.empty()) {
+    if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!WriteTextFile(trace_out, recorder.ToChromeJson())) return 1;
+    std::printf("trace written to %s (%zu spans)\n", trace_out.c_str(),
+                recorder.size());
+  }
+  if (wrong > 0) return 1;
+  return failed > 0 ? 3 : 0;
+}
+
 // Smoke the serving path against a saved model: load it into a registry,
 // start the micro-batching server, push synthetic single-row requests, and
 // print the ServeStats table.
 int ServeCommand(int argc, char** argv) {
   int num_requests = 200, devices = 1;
-  bool chaos = false;
+  bool chaos = false, verify = false;
   uint64_t chaos_seed = 0;
   ServeOptions options;
-  std::string model_path, metrics_out, trace_out;
+  std::string model_path, metrics_out, trace_out, fleet_config;
   for (int arg = 0; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "-n") == 0 && arg + 1 < argc) {
       num_requests = std::atoi(argv[++arg]);
@@ -520,6 +770,10 @@ int ServeCommand(int argc, char** argv) {
       metrics_out = argv[++arg];
     } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
       trace_out = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--fleet-config") == 0 && arg + 1 < argc) {
+      fleet_config = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--verify") == 0) {
+      verify = true;
     } else if (argv[arg][0] == '-') {
       return Usage();
     } else if (model_path.empty()) {
@@ -528,7 +782,16 @@ int ServeCommand(int argc, char** argv) {
       return Usage();
     }
   }
-  if (model_path.empty() || num_requests <= 0) return Usage();
+  if (num_requests <= 0) return Usage();
+  if (!fleet_config.empty()) {
+    // Fleet mode takes its models from the config file; a positional model
+    // (and --verify outside fleet mode) is a usage error.
+    if (!model_path.empty()) return Usage();
+    return FleetServeCommand(fleet_config, num_requests, options, chaos,
+                             chaos_seed, devices, metrics_out, trace_out,
+                             verify);
+  }
+  if (model_path.empty() || verify) return Usage();
 
   ModelRegistry registry;
   auto version = registry.LoadFromFile("default", model_path);

@@ -83,6 +83,9 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
   std::vector<double> p;         // tile x k coupled probabilities
   std::vector<double> votes;     // tile x k (voting mode)
   std::vector<int32_t> tile_ids;
+  std::vector<uint8_t> hit;          // kernel-cache mask (one per pool row)
+  std::vector<int32_t> miss_cols;    // pool columns the cache did not hold
+  std::vector<double> miss_values;   // their freshly computed kernel values
 
   for (int64_t tile_begin = 0; tile_begin < n; tile_begin += tile_rows) {
     const int64_t tile_end = std::min(tile_begin + tile_rows, n);
@@ -102,8 +105,51 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
           executor->Allocate(static_cast<size_t>(tile * pool) * sizeof(double)));
       kblock.resize(static_cast<size_t>(tile * pool));
       const double t0 = executor->StreamTime(kDefaultStream);
-      computer.ComputeBlock(tile_ids, pool_rows, executor, kDefaultStream,
-                            kblock.data());
+      if (options.kernel_cache != nullptr && pool > 0) {
+        // Cross-model cache (fleet SV store): gather the kernel values the
+        // store already holds for each test row and batch-compute only the
+        // misses. Each K(row, sv) is a pure per-pair function — a 1 x m miss
+        // block produces bit-identical values to the full tile x pool block —
+        // so this path preserves the byte-identity contract at any hit rate.
+        int64_t gathered = 0;
+        for (int64_t i = 0; i < tile; ++i) {
+          const int32_t row_id = tile_ids[static_cast<size_t>(i)];
+          const SparseRowView row{test.RowIndices(row_id),
+                                  test.RowValues(row_id)};
+          double* out_row = kblock.data() + i * pool;
+          hit.assign(static_cast<size_t>(pool), 0);
+          const int64_t hits = options.kernel_cache->Gather(
+              row, {out_row, static_cast<size_t>(pool)}, hit);
+          gathered += hits;
+          if (hits == pool) continue;
+          miss_cols.clear();
+          for (int64_t j = 0; j < pool; ++j) {
+            if (hit[static_cast<size_t>(j)] == 0) {
+              miss_cols.push_back(static_cast<int32_t>(j));
+            }
+          }
+          miss_values.resize(miss_cols.size());
+          computer.ComputeBlock({&row_id, 1}, miss_cols, executor,
+                                kDefaultStream, miss_values.data());
+          for (size_t m = 0; m < miss_cols.size(); ++m) {
+            out_row[miss_cols[m]] = miss_values[m];
+          }
+          options.kernel_cache->Commit(
+              row, {out_row, static_cast<size_t>(pool)}, hit);
+        }
+        if (gathered > 0) {
+          // Gathered values are host-side reads, not kernel evaluations.
+          TaskCost gather_cost;
+          gather_cost.bytes_read =
+              static_cast<double>(gathered) * sizeof(double);
+          gather_cost.parallel_items = gathered;
+          executor->Charge(kDefaultStream, gather_cost);
+          executor->counters().kernel_values_reused += gathered;
+        }
+      } else {
+        computer.ComputeBlock(tile_ids, pool_rows, executor, kDefaultStream,
+                              kblock.data());
+      }
       result.phases.Add("decision_values",
                         executor->StreamTime(kDefaultStream) - t0);
       // Every further SV reference reuses these values.

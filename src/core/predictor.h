@@ -30,6 +30,43 @@
 
 namespace gmpsvm {
 
+// One sparse instance given as parallel index/value arrays (0-based, strictly
+// increasing indices). The backing storage must outlive the call it is
+// passed to.
+struct SparseRowView {
+  std::span<const int32_t> indices;
+  std::span<const double> values;
+};
+
+// Cross-model kernel-value cache consulted by the shared-kernel predict path.
+// An implementation (the fleet layer's SV store) maps each pool column of the
+// model it was bound to onto a global support-vector identity, so a kernel
+// value computed while serving one model can be served from the cache to any
+// co-resident model referencing the same support vector — Section 3.3.3's
+// sharing applied across models. Because a kernel value is a pure function of
+// (query row, SV row, kernel params) and misses are computed through the same
+// code path as the uncached block, probabilities stay byte-identical whether
+// a cache is attached or not, at any capacity. Implementations must be
+// thread-safe (worker threads share one store).
+class PredictionKernelCache {
+ public:
+  virtual ~PredictionKernelCache() = default;
+
+  // Fills out[j] with the cached K(row, pool[j]) and sets hit[j] = 1 for
+  // every pool column the cache holds; entries it does not hold are left
+  // untouched with hit[j] == 0. `out` and `hit` have one slot per pool row
+  // of the bound model. Returns the number of hits.
+  virtual int64_t Gather(const SparseRowView& row, std::span<double> out,
+                         std::span<uint8_t> hit) = 0;
+
+  // Offers the completed row back after the misses were computed: values[j]
+  // holds K(row, pool[j]) for every j, and hit[j] is the mask Gather
+  // returned (0-entries are fresh values the cache may insert).
+  virtual void Commit(const SparseRowView& row,
+                      std::span<const double> values,
+                      std::span<const uint8_t> hit) = 0;
+};
+
 struct PredictOptions {
   // How the final label is produced:
   //   kProbability — sigmoid + pairwise coupling, label = argmax p (the
@@ -51,6 +88,13 @@ struct PredictOptions {
 
   // Test instances per tile; 0 sizes tiles from the memory budget.
   int64_t tile_rows = 0;
+
+  // Optional cross-model kernel-value cache, consulted only on the shared
+  // path (share_kernel_values). Must outlive the call and be thread-safe.
+  // Cached values are gathered instead of recomputed (counted as
+  // kernel_values_reused on the executor); results are byte-identical with
+  // or without it.
+  PredictionKernelCache* kernel_cache = nullptr;
 
   CouplingOptions coupling;
 };
@@ -75,14 +119,6 @@ struct PredictResult {
   double Probability(int64_t instance, int cls) const {
     return probabilities[static_cast<size_t>(instance) * num_classes + cls];
   }
-};
-
-// One sparse instance given as parallel index/value arrays (0-based, strictly
-// increasing indices). The backing storage must outlive the call it is
-// passed to.
-struct SparseRowView {
-  std::span<const int32_t> indices;
-  std::span<const double> values;
 };
 
 class MpSvmPredictor {

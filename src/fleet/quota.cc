@@ -1,0 +1,36 @@
+#include "fleet/quota.h"
+
+#include <algorithm>
+
+namespace gmpsvm::fleet {
+
+TokenBucket::TokenBucket(const QuotaSpec& spec) : spec_(spec) {
+  if (spec_.rate_per_sec > 0.0) spec_.burst = std::max(1.0, spec_.burst);
+  tokens_ = spec_.burst;  // a fresh tenant starts with a full bucket
+}
+
+double TokenBucket::TokensAt(double now_seconds) const {
+  if (now_seconds <= last_refill_) return tokens_;
+  return std::min(spec_.burst, tokens_ + (now_seconds - last_refill_) *
+                                             spec_.rate_per_sec);
+}
+
+bool TokenBucket::TryAcquire(double now_seconds) {
+  if (unlimited()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = TokensAt(now_seconds);
+  last_refill_ = std::max(last_refill_, now_seconds);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::RetryAfterSeconds(double now_seconds) const {
+  if (unlimited()) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double tokens = TokensAt(now_seconds);
+  if (tokens >= 1.0) return 0.0;
+  return (1.0 - tokens) / spec_.rate_per_sec;
+}
+
+}  // namespace gmpsvm::fleet

@@ -1,0 +1,55 @@
+// Per-tenant admission quotas: a deterministic token bucket.
+//
+// Buckets are clocked by the caller — seconds on any nondecreasing timeline
+// — so tests drive them with synthetic time and the fleet server drives
+// them with its serving stopwatch. One token per admission; a tenant may
+// burst up to `burst` tokens above its sustained rate. A drained bucket is
+// the quota-shed signal: the fleet answers kUnavailable with the
+// RetryAfterSeconds hint instead of queueing the request.
+
+#ifndef GMPSVM_FLEET_QUOTA_H_
+#define GMPSVM_FLEET_QUOTA_H_
+
+#include <mutex>
+
+namespace gmpsvm::fleet {
+
+struct QuotaSpec {
+  // Sustained admissions per second; <= 0 disables the quota (unlimited).
+  double rate_per_sec = 0.0;
+
+  // Bucket capacity: how far above the sustained rate a tenant may burst.
+  // Clamped to >= 1 when a rate is set (a bucket that can never hold one
+  // whole token would shed everything).
+  double burst = 8.0;
+};
+
+class TokenBucket {
+ public:
+  explicit TokenBucket(const QuotaSpec& spec);
+
+  // Refills for the time elapsed since the last refill and takes one token
+  // if available. `now_seconds` must be nondecreasing across calls (a stale
+  // timestamp refills nothing but still spends a ready token). Thread-safe.
+  bool TryAcquire(double now_seconds);
+
+  // Seconds after `now_seconds` until a whole token will have accumulated —
+  // the retry-after hint carried by quota-shed responses. 0 when a token is
+  // already available (or the quota is unlimited).
+  double RetryAfterSeconds(double now_seconds) const;
+
+  bool unlimited() const { return spec_.rate_per_sec <= 0.0; }
+  const QuotaSpec& spec() const { return spec_; }
+
+ private:
+  double TokensAt(double now_seconds) const;  // requires mu_
+
+  QuotaSpec spec_;
+  mutable std::mutex mu_;
+  double tokens_ = 0.0;
+  double last_refill_ = 0.0;
+};
+
+}  // namespace gmpsvm::fleet
+
+#endif  // GMPSVM_FLEET_QUOTA_H_

@@ -1,0 +1,112 @@
+#include "fleet/tenant_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace gmpsvm::fleet {
+namespace {
+
+Status ValidateSpec(const TenantSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("tenant name must be non-empty");
+  }
+  for (char c : spec.name) {
+    if (c == ':' || std::isspace(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(
+          "tenant name must not contain ':' or whitespace: " + spec.name);
+    }
+  }
+  if (spec.priority < 0) {
+    return Status::InvalidArgument("tenant priority must be >= 0: " +
+                                   spec.name);
+  }
+  if (spec.weight < 0.0) {
+    return Status::InvalidArgument("tenant weight must be >= 0: " + spec.name);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string TenantRegistry::ModelKey(const std::string& name) {
+  return "tenant:" + name;
+}
+
+Result<int64_t> TenantRegistry::AddTenant(const TenantSpec& spec,
+                                          MpSvmModel model) {
+  GMP_RETURN_NOT_OK(ValidateSpec(spec));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (specs_.count(spec.name) != 0) {
+    return Status::FailedPrecondition("tenant already exists: " + spec.name);
+  }
+  GMP_ASSIGN_OR_RETURN(int64_t version,
+                       models_.Register(ModelKey(spec.name), std::move(model)));
+  specs_.emplace(spec.name, spec);
+  return version;
+}
+
+Result<int64_t> TenantRegistry::SwapModel(const std::string& name,
+                                          MpSvmModel model) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (specs_.count(name) == 0) {
+      return Status::FailedPrecondition("no such tenant: " + name);
+    }
+  }
+  // The registry's own lock serializes the swap itself; holding mu_ across
+  // it would serialize swaps of *different* tenants for no benefit.
+  return models_.Register(ModelKey(name), std::move(model));
+}
+
+Result<TenantSpec> TenantRegistry::GetSpec(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    return Status::FailedPrecondition("no such tenant: " + name);
+  }
+  return it->second;
+}
+
+Result<ModelHandle> TenantRegistry::GetModel(const std::string& name) const {
+  return models_.Get(ModelKey(name));
+}
+
+bool TenantRegistry::RemoveTenant(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (specs_.erase(name) == 0) return false;
+  models_.Remove(ModelKey(name));
+  return true;
+}
+
+std::vector<std::string> TenantRegistry::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) names.push_back(name);
+  return names;
+}
+
+size_t TenantRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return specs_.size();
+}
+
+int TenantRegistry::max_priority() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int max_priority = 0;
+  for (const auto& [name, spec] : specs_) {
+    max_priority = std::max(max_priority, spec.priority);
+  }
+  return max_priority;
+}
+
+void TenantRegistry::SetValidator(ModelValidator validator) {
+  models_.SetValidator(std::move(validator));
+}
+
+void TenantRegistry::SetFaultInjector(fault::FaultInjector* injector) {
+  models_.SetFaultInjector(injector);
+}
+
+}  // namespace gmpsvm::fleet

@@ -1,0 +1,98 @@
+// TenantRegistry: per-tenant model namespaces over the serving
+// ModelRegistry.
+//
+// Each tenant owns a versioned model chain: AddTenant registers version 1
+// and SwapModel pushes version n+1 through the registry's validator gate
+// (and, under fault injection, the kModelSwap site). A rejected swap leaves
+// the previous version serving — the single-model hot-swap/rollback
+// contract, applied per tenant. Tenant models live under namespaced keys
+// ("tenant:<name>"), so they can never collide with models registered
+// directly on the underlying registry.
+
+#ifndef GMPSVM_FLEET_TENANT_REGISTRY_H_
+#define GMPSVM_FLEET_TENANT_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/quota.h"
+#include "serve/model_registry.h"
+
+namespace gmpsvm::fleet {
+
+struct TenantSpec {
+  std::string name;
+
+  // Load-shedding priority: under fleet overload, lower priorities are shed
+  // first (0 sheds earliest). Negative values are invalid.
+  int priority = 0;
+
+  // Admission quota; rate <= 0 means unlimited.
+  QuotaSpec quota;
+
+  // Expected traffic share, informational (workload generators and config
+  // files use it to weight tenants).
+  double weight = 1.0;
+};
+
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  // The registry key tenant `name`'s models live under.
+  static std::string ModelKey(const std::string& name);
+
+  // Creates the tenant and registers `model` as its version 1. Fails with
+  // kInvalidArgument on a malformed spec (empty name, whitespace or ':' in
+  // the name, negative priority) or a model the validator rejects, and
+  // kFailedPrecondition when the tenant already exists. The tenant is not
+  // created if the model is rejected.
+  Result<int64_t> AddTenant(const TenantSpec& spec, MpSvmModel model);
+
+  // Hot-swaps the tenant's model through the validator/rollback gate (and
+  // the kModelSwap fault site when an injector is attached). Returns the new
+  // version; on rejection the previous version keeps serving.
+  Result<int64_t> SwapModel(const std::string& name, MpSvmModel model);
+
+  Result<TenantSpec> GetSpec(const std::string& name) const;
+
+  // Snapshot of the tenant's current model.
+  Result<ModelHandle> GetModel(const std::string& name) const;
+
+  // Removes the tenant and its registered model; in-flight handles stay
+  // valid. Returns whether the tenant existed.
+  bool RemoveTenant(const std::string& name);
+
+  // Tenant names, sorted.
+  std::vector<std::string> Tenants() const;
+
+  size_t size() const;
+
+  // Highest priority across tenants (0 when none) — the shedding ladder's
+  // top rung.
+  int max_priority() const;
+
+  // Forwarded to the underlying registry; apply before AddTenant to gate
+  // initial registrations too.
+  void SetValidator(ModelValidator validator);
+  void SetFaultInjector(fault::FaultInjector* injector);
+
+  // The underlying registry (what the serving workers resolve against).
+  ModelRegistry* models() { return &models_; }
+
+ private:
+  mutable std::mutex mu_;
+  ModelRegistry models_;
+  std::map<std::string, TenantSpec> specs_;
+};
+
+}  // namespace gmpsvm::fleet
+
+#endif  // GMPSVM_FLEET_TENANT_REGISTRY_H_

@@ -12,24 +12,26 @@ Result<int64_t> ModelRegistry::Register(const std::string& name,
   if (model.num_classes < 2 || model.svms.empty()) {
     return Status::InvalidArgument("cannot register an empty model: " + name);
   }
-  // Every rejection below happens before the entry is touched, so a failed
-  // swap is an automatic rollback: the previous version keeps serving.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (validator_ != nullptr) {
-      Status validated = validator_(model);
-      if (!validated.ok()) {
-        return Status::InvalidArgument("model validation failed for " + name +
-                                       ": " + validated.message());
-      }
-    }
-    if (fault_ != nullptr && models_.count(name) != 0 &&
-        fault_->ShouldInject(fault::Site::kModelSwap)) {
-      return Status::Unavailable("injected hot-swap failure for " + name);
+  auto shared = std::make_shared<const MpSvmModel>(std::move(model));
+  // Validation, the injected-failure gate and the commit share one critical
+  // section: concurrent swaps of the same name fully serialize, so the
+  // version a Register returns always describes the model it carried — a
+  // slower older candidate can never commit over a newer one (the
+  // swap-under-load race). Every rejection happens before the entry is
+  // touched, so a failed swap is an automatic rollback: the previous version
+  // keeps serving.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (validator_ != nullptr) {
+    Status validated = validator_(*shared);
+    if (!validated.ok()) {
+      return Status::InvalidArgument("model validation failed for " + name +
+                                     ": " + validated.message());
     }
   }
-  auto shared = std::make_shared<const MpSvmModel>(std::move(model));
-  std::lock_guard<std::mutex> lock(mu_);
+  if (fault_ != nullptr && models_.count(name) != 0 &&
+      fault_->ShouldInject(fault::Site::kModelSwap)) {
+    return Status::Unavailable("injected hot-swap failure for " + name);
+  }
   const int64_t version = ++next_version_[name];
   models_[name] = Entry{std::move(shared), version};
   return version;

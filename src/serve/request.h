@@ -11,7 +11,9 @@
 #define GMPSVM_SERVE_REQUEST_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "common/deadline.h"
@@ -27,6 +29,12 @@ struct PredictRequest {
 
   // The request is dropped (kDeadlineExceeded) if still queued past this.
   Deadline deadline;
+
+  // Registry name this request resolves against; empty uses the server's
+  // configured default. Micro-batches are formed per model name, so one
+  // batch always predicts against a single model snapshot even when a
+  // multi-tenant fleet funnels many models through one queue.
+  std::string model_name;
 };
 
 // A response only exists for a request that succeeded: failures
@@ -51,12 +59,20 @@ struct PredictResponse {
   double total_seconds = 0.0;
 };
 
+// Invoked exactly once with the request's terminal result, on the thread
+// that fulfils it (a server worker), immediately before the promise is set.
+// Lets a layer above the server (the fleet) account per-tenant outcomes
+// without wrapping every future. May be empty.
+using CompletionCallback =
+    std::function<void(const Result<PredictResponse>&)>;
+
 // A queued request: the client holds the future, the worker fulfils the
 // promise. Movable only.
 struct PendingRequest {
   PredictRequest request;
   std::promise<Result<PredictResponse>> promise;
   MonotonicTime enqueue_time;
+  CompletionCallback on_complete;
 };
 
 }  // namespace gmpsvm

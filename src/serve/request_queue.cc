@@ -46,12 +46,22 @@ size_t RequestQueue::PopBatch(size_t max_batch,
   // deadline) from overflowing the time_point arithmetic.
   const MonotonicTime batch_deadline =
       SafeTimeAdd(items_.front().enqueue_time, max_delay);
+  // Batches are homogeneous in model name so every batch predicts against a
+  // single registry snapshot even when requests for many models share the
+  // queue: the oldest queued request picks the batch's model, and takes
+  // extract only matching requests, leaving the others in admission order
+  // for the next consumer.
+  const std::string batch_model = items_.front().request.model_name;
   size_t popped = 0;
   auto take_available = [&] {
-    while (popped < max_batch && !items_.empty()) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
-      ++popped;
+    for (auto it = items_.begin(); popped < max_batch && it != items_.end();) {
+      if (it->request.model_name == batch_model) {
+        out->push_back(std::move(*it));
+        it = items_.erase(it);
+        ++popped;
+      } else {
+        ++it;
+      }
     }
   };
   take_available();

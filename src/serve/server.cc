@@ -48,6 +48,13 @@ Status InferenceServer::Start() {
 Result<std::future<Result<PredictResponse>>> InferenceServer::Submit(
     std::span<const int32_t> indices, std::span<const double> values,
     Deadline deadline) {
+  return Submit(indices, values, deadline, std::string(), nullptr);
+}
+
+Result<std::future<Result<PredictResponse>>> InferenceServer::Submit(
+    std::span<const int32_t> indices, std::span<const double> values,
+    Deadline deadline, std::string model_name,
+    CompletionCallback on_complete) {
   if (indices.size() != values.size()) {
     stats_.RecordRejected();
     return Status::InvalidArgument("indices/values size mismatch");
@@ -64,6 +71,8 @@ Result<std::future<Result<PredictResponse>>> InferenceServer::Submit(
   item.request.indices.assign(indices.begin(), indices.end());
   item.request.values.assign(values.begin(), values.end());
   item.request.deadline = deadline;
+  item.request.model_name = std::move(model_name);
+  item.on_complete = std::move(on_complete);
   item.enqueue_time = MonotonicNow();
   std::future<Result<PredictResponse>> future = item.promise.get_future();
 
@@ -117,6 +126,7 @@ void InferenceServer::Respond(PendingRequest item,
   if (response.ok()) {
     response->total_seconds = SecondsBetween(item.enqueue_time, MonotonicNow());
   }
+  if (item.on_complete) item.on_complete(response);
   item.promise.set_value(std::move(response));
 }
 
@@ -191,7 +201,13 @@ void InferenceServer::WorkerLoop(int worker_index) {
     const int batch_size = static_cast<int>(batch.requests.size());
     stats_.RecordBatch(batch_size);
 
-    auto handle = registry_->Get(options_.model_name);
+    // The queue forms model-homogeneous batches, so the first request's
+    // model name (empty = server default) speaks for the whole batch.
+    const std::string& batch_model =
+        batch.requests.front().request.model_name.empty()
+            ? options_.model_name
+            : batch.requests.front().request.model_name;
+    auto handle = registry_->Get(batch_model);
     if (!handle.ok()) {
       for (auto& item : batch.requests) {
         stats_.RecordFailed();
@@ -207,11 +223,15 @@ void InferenceServer::WorkerLoop(int worker_index) {
     }
 
     MpSvmPredictor predictor(handle->model.get());
+    PredictOptions predict = options_.predict;
+    if (options_.kernel_cache_resolver) {
+      predict.kernel_cache = options_.kernel_cache_resolver(*handle);
+    }
     Result<PredictResult> result = [&] {
       obs::HostSpan span(trace,
                          StrPrintf("predict batch=%d", batch_size),
                          host_lane);
-      return predictor.PredictRows(rows, &executor, options_.predict);
+      return predictor.PredictRows(rows, &executor, predict);
     }();
     if (options_.metrics != nullptr) {
       executor.counters().PublishTo(
@@ -229,7 +249,7 @@ void InferenceServer::WorkerLoop(int worker_index) {
       // terminal Result.
       for (size_t i = 0; i < batch.requests.size(); ++i) {
         auto single =
-            predictor.PredictRows({&rows[i], 1}, &executor, options_.predict);
+            predictor.PredictRows({&rows[i], 1}, &executor, predict);
         int retries_left = options_.max_request_retries;
         while (!single.ok() && single.status().IsUnavailable() &&
                retries_left > 0 &&
@@ -237,7 +257,7 @@ void InferenceServer::WorkerLoop(int worker_index) {
           --retries_left;
           stats_.RecordRetry();
           single =
-              predictor.PredictRows({&rows[i], 1}, &executor, options_.predict);
+              predictor.PredictRows({&rows[i], 1}, &executor, predict);
         }
         if (single.ok()) {
           PredictResponse response;

@@ -27,6 +27,7 @@
 #define GMPSVM_SERVE_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <span>
@@ -47,8 +48,10 @@
 namespace gmpsvm {
 
 struct ServeOptions {
-  // Name resolved against the registry for every batch (so a hot-swapped
-  // model takes effect on the next batch without a restart).
+  // Name resolved against the registry for batches of requests that do not
+  // carry their own model_name (so a hot-swapped model takes effect on the
+  // next batch without a restart). Requests submitted with an explicit model
+  // name override this per batch — see PredictRequest::model_name.
   std::string model_name = "default";
 
   // Worker threads, each with its own simulated-device executor.
@@ -61,6 +64,14 @@ struct ServeOptions {
 
   // Passed through to MpSvmPredictor for every batch.
   PredictOptions predict;
+
+  // Optional resolver mapping the model snapshot a batch runs against to a
+  // cross-model kernel-value cache binding (the fleet SV store). Returning
+  // nullptr disables caching for that batch. Called on worker threads —
+  // must be thread-safe and outlive the server. Only consulted on the
+  // shared-kernel path; results stay byte-identical either way.
+  std::function<PredictionKernelCache*(const ModelHandle&)>
+      kernel_cache_resolver;
 
   // Simulated device each worker runs on.
   ExecutorModel executor_model = ExecutorModel::TeslaP100();
@@ -127,6 +138,16 @@ class InferenceServer {
   Result<std::future<Result<PredictResponse>>> Submit(
       std::span<const int32_t> indices, std::span<const double> values,
       Deadline deadline = Deadline::Infinite());
+
+  // Multi-model admission: the request resolves against `model_name`
+  // (batches are formed per model, so it never shares a tile with another
+  // model's requests), and `on_complete` — if non-empty — runs on the worker
+  // thread with the terminal result just before the future resolves. An
+  // empty model_name falls back to options().model_name.
+  Result<std::future<Result<PredictResponse>>> Submit(
+      std::span<const int32_t> indices, std::span<const double> values,
+      Deadline deadline, std::string model_name,
+      CompletionCallback on_complete = nullptr);
 
   // Convenience: Submit + wait, flattening admission and per-request errors
   // into one Result.

@@ -1,0 +1,86 @@
+#include "fleet/quota.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gmpsvm::fleet {
+namespace {
+
+TEST(QuotaTest, UnlimitedAlwaysAdmits) {
+  TokenBucket bucket(QuotaSpec{});  // rate 0 = unlimited
+  EXPECT_TRUE(bucket.unlimited());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(0.0));
+  }
+  EXPECT_EQ(bucket.RetryAfterSeconds(0.0), 0.0);
+}
+
+TEST(QuotaTest, BucketStartsFullAndDrains) {
+  TokenBucket bucket(QuotaSpec{/*rate_per_sec=*/10.0, /*burst=*/4.0});
+  // Full burst available immediately, then drained.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+}
+
+TEST(QuotaTest, RefillsAtSustainedRate) {
+  TokenBucket bucket(QuotaSpec{/*rate_per_sec=*/10.0, /*burst=*/2.0});
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  // 0.1 s at 10/s refills exactly one token.
+  EXPECT_TRUE(bucket.TryAcquire(0.1));
+  EXPECT_FALSE(bucket.TryAcquire(0.1));
+  // A long idle period refills only up to the burst cap.
+  EXPECT_TRUE(bucket.TryAcquire(100.0));
+  EXPECT_TRUE(bucket.TryAcquire(100.0));
+  EXPECT_FALSE(bucket.TryAcquire(100.0));
+}
+
+TEST(QuotaTest, RetryAfterHintMatchesRefillTime) {
+  TokenBucket bucket(QuotaSpec{/*rate_per_sec=*/4.0, /*burst=*/1.0});
+  EXPECT_EQ(bucket.RetryAfterSeconds(0.0), 0.0);  // token ready
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  // Drained: a whole token accumulates after 1/rate seconds.
+  EXPECT_NEAR(bucket.RetryAfterSeconds(0.0), 0.25, 1e-12);
+  // Part-way through the refill the hint shrinks accordingly.
+  EXPECT_NEAR(bucket.RetryAfterSeconds(0.1), 0.15, 1e-12);
+  EXPECT_TRUE(bucket.TryAcquire(0.25));
+}
+
+TEST(QuotaTest, StaleTimestampRefillsNothing) {
+  TokenBucket bucket(QuotaSpec{/*rate_per_sec=*/10.0, /*burst=*/1.0});
+  EXPECT_TRUE(bucket.TryAcquire(5.0));
+  // Going "back in time" must not mint tokens.
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(5.0));
+  EXPECT_TRUE(bucket.TryAcquire(5.5));
+}
+
+TEST(QuotaTest, TinyBurstClampedToOneToken) {
+  // A burst below one token could never admit anything; the bucket clamps.
+  TokenBucket bucket(QuotaSpec{/*rate_per_sec=*/10.0, /*burst=*/0.01});
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+}
+
+TEST(QuotaTest, ConcurrentAcquiresNeverOveradmit) {
+  TokenBucket bucket(QuotaSpec{/*rate_per_sec=*/1.0, /*burst=*/64.0});
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 32; ++i) {
+        if (bucket.TryAcquire(0.0)) ++admitted;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // 8 threads x 32 tries against a 64-token bucket with no refill.
+  EXPECT_EQ(admitted.load(), 64);
+}
+
+}  // namespace
+}  // namespace gmpsvm::fleet

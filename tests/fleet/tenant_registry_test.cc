@@ -1,0 +1,145 @@
+#include "fleet/tenant_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/mp_trainer.h"
+#include "fault/fault_injector.h"
+
+namespace gmpsvm::fleet {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+MpSvmModel TrainSmallModel(uint64_t seed, int k = 3) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(k, 15, 5, 2.5, seed));
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 16;
+  options.batch.working_set.q = 8;
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  return ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr));
+}
+
+TenantSpec Spec(const std::string& name, int priority = 0) {
+  TenantSpec spec;
+  spec.name = name;
+  spec.priority = priority;
+  return spec;
+}
+
+TEST(TenantRegistryTest, AddAndGet) {
+  TenantRegistry registry;
+  EXPECT_EQ(ValueOrDie(registry.AddTenant(Spec("acme", 2), TrainSmallModel(1))),
+            1);
+  auto spec = ValueOrDie(registry.GetSpec("acme"));
+  EXPECT_EQ(spec.name, "acme");
+  EXPECT_EQ(spec.priority, 2);
+  auto handle = ValueOrDie(registry.GetModel("acme"));
+  EXPECT_EQ(handle.version, 1);
+  EXPECT_EQ(handle.name, TenantRegistry::ModelKey("acme"));
+  EXPECT_EQ(handle.model->num_classes, 3);
+}
+
+TEST(TenantRegistryTest, RejectsMalformedSpecs) {
+  TenantRegistry registry;
+  EXPECT_TRUE(registry.AddTenant(Spec(""), TrainSmallModel(1))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.AddTenant(Spec("a:b"), TrainSmallModel(1))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.AddTenant(Spec("a b"), TrainSmallModel(1))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.AddTenant(Spec("ok", -1), TrainSmallModel(1))
+                  .status()
+                  .IsInvalidArgument());
+  TenantSpec negative_weight = Spec("w");
+  negative_weight.weight = -1.0;
+  EXPECT_TRUE(registry.AddTenant(negative_weight, TrainSmallModel(1))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(TenantRegistryTest, DuplicateTenantFails) {
+  TenantRegistry registry;
+  ValueOrDie(registry.AddTenant(Spec("acme"), TrainSmallModel(1)));
+  auto dup = registry.AddTenant(Spec("acme"), TrainSmallModel(2));
+  EXPECT_TRUE(dup.status().IsFailedPrecondition());
+}
+
+TEST(TenantRegistryTest, SwapBumpsVersionPerTenant) {
+  TenantRegistry registry;
+  ValueOrDie(registry.AddTenant(Spec("a"), TrainSmallModel(1)));
+  ValueOrDie(registry.AddTenant(Spec("b"), TrainSmallModel(2)));
+  EXPECT_EQ(ValueOrDie(registry.SwapModel("a", TrainSmallModel(3))), 2);
+  EXPECT_EQ(ValueOrDie(registry.SwapModel("a", TrainSmallModel(4))), 3);
+  // Tenant b's chain is independent.
+  EXPECT_EQ(ValueOrDie(registry.GetModel("b")).version, 1);
+  // Swapping a tenant that does not exist is an error, not a create.
+  EXPECT_TRUE(registry.SwapModel("ghost", TrainSmallModel(5))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(TenantRegistryTest, ValidatorRejectionLeavesOldVersionServing) {
+  TenantRegistry registry;
+  registry.SetValidator([](const MpSvmModel& model) {
+    return model.num_classes >= 3
+               ? Status::OK()
+               : Status::InvalidArgument("needs >= 3 classes");
+  });
+  ValueOrDie(registry.AddTenant(Spec("acme"), TrainSmallModel(1, /*k=*/3)));
+  auto rejected = registry.SwapModel("acme", TrainSmallModel(2, /*k=*/2));
+  EXPECT_TRUE(rejected.status().IsInvalidArgument());
+  auto handle = ValueOrDie(registry.GetModel("acme"));
+  EXPECT_EQ(handle.version, 1);
+  EXPECT_EQ(handle.model->num_classes, 3);
+  // A rejected initial registration must not create the tenant at all.
+  EXPECT_FALSE(
+      registry.AddTenant(Spec("bad"), TrainSmallModel(3, /*k=*/2)).ok());
+  EXPECT_FALSE(registry.GetSpec("bad").ok());
+}
+
+TEST(TenantRegistryTest, InjectedSwapFaultRollsBack) {
+  fault::FaultPlan plan;
+  plan.swap_fail_prob = 1.0;
+  plan.max_consecutive_per_site = 0;
+  fault::FaultInjector injector(plan);
+
+  TenantRegistry registry;
+  ValueOrDie(registry.AddTenant(Spec("acme"), TrainSmallModel(1)));
+  registry.SetFaultInjector(&injector);
+  auto failed = registry.SwapModel("acme", TrainSmallModel(2));
+  EXPECT_TRUE(failed.status().IsUnavailable()) << failed.status().ToString();
+  EXPECT_EQ(ValueOrDie(registry.GetModel("acme")).version, 1);
+  registry.SetFaultInjector(nullptr);
+  EXPECT_EQ(ValueOrDie(registry.SwapModel("acme", TrainSmallModel(2))), 2);
+}
+
+TEST(TenantRegistryTest, NamespacesCannotCollideWithDirectModels) {
+  TenantRegistry registry;
+  ValueOrDie(registry.AddTenant(Spec("acme"), TrainSmallModel(1)));
+  // A model registered directly under a plain name is a different key space.
+  ValueOrDie(registry.models()->Register("acme", TrainSmallModel(2)));
+  EXPECT_EQ(registry.models()->size(), 2u);
+  EXPECT_EQ(TenantRegistry::ModelKey("acme"), "tenant:acme");
+}
+
+TEST(TenantRegistryTest, RemoveAndEnumerate) {
+  TenantRegistry registry;
+  ValueOrDie(registry.AddTenant(Spec("b", 1), TrainSmallModel(1)));
+  ValueOrDie(registry.AddTenant(Spec("a", 4), TrainSmallModel(2)));
+  EXPECT_EQ(registry.Tenants(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(registry.max_priority(), 4);
+  EXPECT_TRUE(registry.RemoveTenant("a"));
+  EXPECT_FALSE(registry.RemoveTenant("a"));
+  EXPECT_EQ(registry.max_priority(), 1);
+  EXPECT_FALSE(registry.GetModel("a").ok());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gmpsvm::fleet

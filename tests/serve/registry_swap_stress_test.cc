@@ -1,0 +1,263 @@
+// Registry swap-under-load stress (run under TSan in CI): concurrent
+// Register calls against one name must serialize the whole
+// validate -> fault-gate -> commit sequence, so every success gets a unique
+// contiguous version and the final snapshot is exactly the last committed
+// model — even with validator rejections and injected swap faults rolling
+// back attempts mid-stream. Readers and a live server observe only
+// monotonic versions and bit-exact snapshots throughout.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "fault/fault_injector.h"
+#include "serve/server.h"
+
+namespace gmpsvm {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+MpSvmModel TrainModel(uint64_t seed, int k = 3) {
+  auto data = ValueOrDie(MakeMulticlassBlobs(k, 20, 6, 2.5, seed));
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 16;
+  options.batch.working_set.q = 8;
+  SimExecutor exec(ExecutorModel::TeslaP100());
+  return ValueOrDie(GmpSvmTrainer(options).Train(data, &exec, nullptr));
+}
+
+// Tags a copy of `base` so concurrent registrations are distinguishable:
+// the first SVM's bias doubles as the attempt marker.
+MpSvmModel Tagged(const MpSvmModel& base, double marker) {
+  MpSvmModel model = base;
+  model.svms[0].bias = marker;
+  return model;
+}
+
+double MarkerOf(const ModelHandle& handle) {
+  return handle.model->svms[0].bias;
+}
+
+TEST(RegistrySwapStressTest, ConcurrentSwapsGetUniqueContiguousVersions) {
+  const MpSvmModel base = TrainModel(1);
+  ModelRegistry registry;
+  // The validator sees candidates from every thread; negative markers are
+  // the deliberately-bad swaps that must roll back without a version.
+  registry.SetValidator([](const MpSvmModel& model) {
+    return model.svms[0].bias >= 0.0
+               ? Status::OK()
+               : Status::InvalidArgument("negative marker");
+  });
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 30;
+  std::mutex mu;
+  std::map<int64_t, double> committed;  // version -> marker
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    int64_t last = 0;
+    while (!done.load()) {
+      auto handle = registry.Get("shared");
+      if (!handle.ok()) continue;  // nothing registered yet
+      // Versions move forward only, and a snapshot is never half-installed.
+      EXPECT_GE(handle->version, last);
+      EXPECT_TRUE(handle->valid());
+      EXPECT_GE(MarkerOf(*handle), 0.0);
+      last = handle->version;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const double marker = w * 1000 + i + 1;
+        if (i % 5 == 4) {
+          auto rejected = registry.Register("shared", Tagged(base, -marker));
+          EXPECT_TRUE(rejected.status().IsInvalidArgument());
+          continue;
+        }
+        auto version = registry.Register("shared", Tagged(base, marker));
+        ASSERT_TRUE(version.ok()) << version.status().ToString();
+        std::lock_guard<std::mutex> lock(mu);
+        auto [it, inserted] = committed.emplace(*version, marker);
+        // Two commits must never report the same version.
+        EXPECT_TRUE(inserted) << "duplicate version " << *version;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true);
+  reader.join();
+
+  // Successful swaps number a gapless 1..N.
+  const int64_t successes = static_cast<int64_t>(committed.size());
+  EXPECT_EQ(successes, kWriters * (kPerWriter - kPerWriter / 5));
+  EXPECT_EQ(committed.begin()->first, 1);
+  EXPECT_EQ(committed.rbegin()->first, successes);
+
+  // The registry serves exactly the last committed model.
+  auto final_handle = ValueOrDie(registry.Get("shared"));
+  EXPECT_EQ(final_handle.version, successes);
+  EXPECT_EQ(MarkerOf(final_handle), committed.rbegin()->second);
+}
+
+TEST(RegistrySwapStressTest, InjectedSwapFaultsRollBackUnderConcurrency) {
+  const MpSvmModel base = TrainModel(2);
+  ModelRegistry registry;
+  ValueOrDie(registry.Register("shared", Tagged(base, 0.0)));  // version 1
+
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.swap_fail_prob = 0.5;
+  plan.max_consecutive_per_site = 2;
+  fault::FaultInjector injector(plan);
+  registry.SetFaultInjector(&injector);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 25;
+  std::mutex mu;
+  std::map<int64_t, double> committed{{1, 0.0}};
+  std::atomic<int> faulted{0};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const double marker = w * 1000 + i + 1;
+        auto version = registry.Register("shared", Tagged(base, marker));
+        if (!version.ok()) {
+          // An injected fault is the only legal failure, and it must leave
+          // no trace: no version consumed, previous snapshot still serving.
+          EXPECT_TRUE(version.status().IsUnavailable())
+              << version.status().ToString();
+          ++faulted;
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(committed.emplace(*version, marker).second);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  registry.SetFaultInjector(nullptr);
+
+  EXPECT_GT(faulted.load(), 0);  // the plan actually fired
+  const int64_t successes = static_cast<int64_t>(committed.size());
+  EXPECT_EQ(committed.rbegin()->first, successes);  // gapless despite faults
+  auto final_handle = ValueOrDie(registry.Get("shared"));
+  EXPECT_EQ(final_handle.version, successes);
+  EXPECT_EQ(MarkerOf(final_handle), committed.rbegin()->second);
+}
+
+TEST(RegistrySwapStressTest, PredictStaysConsistentAcrossNamespaceSwaps) {
+  // A server pinned to one namespace answers under fire while that
+  // namespace hot-swaps between two known models (with periodic validator
+  // rejections rolling back mid-stream) and a sibling namespace churns
+  // independently. Every response must be bit-identical to the snapshot its
+  // version names.
+  const MpSvmModel model_a = TrainModel(3);
+  const MpSvmModel model_b = TrainModel(4);
+  const MpSvmModel bad = TrainModel(5, /*k=*/2);
+  auto test = ValueOrDie(MakeMulticlassBlobs(3, 25, 6, 2.5, 99));
+
+  ServeOptions options;
+  options.model_name = "tenant:a";
+  options.num_workers = 3;
+  options.batching.max_batch_size = 8;
+  options.batching.max_queue_delay = microseconds(200);
+
+  SimExecutor ref_exec(ExecutorModel::TeslaP100());
+  const PredictResult ref_a = ValueOrDie(MpSvmPredictor(&model_a).Predict(
+      test.features(), &ref_exec, options.predict));
+  const PredictResult ref_b = ValueOrDie(MpSvmPredictor(&model_b).Predict(
+      test.features(), &ref_exec, options.predict));
+
+  ModelRegistry registry;
+  registry.SetValidator([](const MpSvmModel& model) {
+    return model.num_classes >= 3
+               ? Status::OK()
+               : Status::InvalidArgument("needs >= 3 classes");
+  });
+  ValueOrDie(registry.Register("tenant:a", model_a));  // version 1 = A
+  ValueOrDie(registry.Register("tenant:b", model_a));
+  InferenceServer server(&registry, options);
+  GMP_CHECK_OK(server.Start());
+
+  std::atomic<bool> clients_done{false};
+  // Served namespace: versions alternate B (even) / A (odd); a rejected
+  // candidate every third swap must not disturb the parity.
+  std::thread swapper_a([&] {
+    for (int i = 0; i < 20 && !clients_done.load(); ++i) {
+      if (i % 3 == 2) {
+        EXPECT_TRUE(registry.Register("tenant:a", bad)
+                        .status()
+                        .IsInvalidArgument());
+      }
+      const MpSvmModel& next = (i % 2 == 0) ? model_b : model_a;
+      ValueOrDie(registry.Register("tenant:a", next));
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+  });
+  // Sibling namespace churn: must be invisible to tenant:a's clients.
+  std::thread swapper_b([&] {
+    for (int i = 0; i < 40 && !clients_done.load(); ++i) {
+      const MpSvmModel& next = (i % 2 == 0) ? model_b : model_a;
+      ValueOrDie(registry.Register("tenant:b", next));
+    }
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kPerClient; ++r) {
+        const int64_t row = (c * kPerClient + r) % test.size();
+        auto result = server.Predict(test.features().RowIndices(row),
+                                     test.features().RowValues(row));
+        if (!result.ok()) {
+          ++mismatches;
+          continue;
+        }
+        const PredictResult& ref =
+            (result->model_version % 2 == 1) ? ref_a : ref_b;
+        bool match = result->label == ref.labels[static_cast<size_t>(row)] &&
+                     result->probabilities.size() == 3u;
+        for (int k = 0; match && k < 3; ++k) {
+          match = result->probabilities[static_cast<size_t>(k)] ==
+                  ref.Probability(row, k);
+        }
+        if (!match) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  clients_done.store(true);
+  swapper_a.join();
+  swapper_b.join();
+  GMP_CHECK_OK(server.Shutdown());
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServeStatsSnapshot snap = server.stats().Snapshot();
+  EXPECT_EQ(snap.completed, static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(snap.failed, 0u);
+}
+
+}  // namespace
+}  // namespace gmpsvm
