@@ -20,6 +20,14 @@
 // tenant's p99 under 2x overload. --json=<path> dumps the fleet section
 // machine-readably.
 //
+// A fourth section is the large-k cascade workload: one k = 64 model
+// (2016 pairwise SVMs) served closed-loop with the exact predictor and with
+// the DCSVM-style elimination cascade (docs/cascade.md). The cascade must
+// cut the closed-loop p50 at least in half at k = 64, --cascade=exact must
+// stay byte-identical to the default predictor, and the offline fallback
+// rate is reported. --largek-json=<path> dumps this section machine-readably;
+// --largek-only skips the earlier sections (CI perf-smoke).
+//
 // Defaults to the Connect-4 proxy for a quick run; use
 // --datasets=MNIST,News20 (etc.) for the other multi-class proxies.
 
@@ -35,6 +43,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/predictor.h"
 #include "fleet/fleet_server.h"
 #include "serve/server.h"
 
@@ -200,11 +209,189 @@ const fleet::TenantStatsSnapshot* FindTenantSnap(
   return nullptr;
 }
 
+// ---------------------------------------------------------------------------
+// Large-k cascade section.
+
+// Serves one k = 64 model (64*63/2 = 2016 pairwise SVMs) closed-loop twice —
+// exact coupling over every pair vs the elimination cascade — and checks the
+// cascade halves the p50 while kExact stays byte-identical. Returns a
+// process exit code.
+int RunLargeKSection(const Args& args, const std::string& json_path) {
+  SyntheticSpec spec;
+  spec.name = "LargeK-64";
+  spec.num_classes = 64;
+  spec.cardinality = 64 * 16;
+  spec.dim = 24;
+  spec.density = 1.0;
+  spec.separation = 4.0;
+  spec.c = 4.0;
+  spec.gamma = 0.5;
+  spec.seed = 71;
+  spec.test_cardinality = 128;
+  const int64_t num_pairs =
+      static_cast<int64_t>(spec.num_classes) * (spec.num_classes - 1) / 2;
+
+  std::fprintf(stderr, "[serve] training %s (%d classes, %lld pairs) ...\n",
+               spec.name.c_str(), spec.num_classes,
+               static_cast<long long>(num_pairs));
+  Dataset train = ValueOrDie(GenerateSynthetic(spec));
+  Dataset test = ValueOrDie(GenerateSyntheticTest(spec));
+  SimExecutor train_exec = MakeGpuExecutor(spec);
+  MpSvmModel model = ValueOrDie(
+      GmpSvmTrainer(GmpOptionsFor(spec)).Train(train, &train_exec, nullptr));
+  const CsrMatrix& rows = test.features();
+
+  PredictOptions cascade_predict;
+  cascade_predict.cascade.mode = CascadeOptions::Mode::kEliminate;
+  cascade_predict.cascade.ambiguity_band = 0.05;
+
+  // Offline pass: kExact byte-identity, top-1 agreement, fallback rate.
+  SimExecutor e_default = MakeGpuExecutor(spec);
+  SimExecutor e_exact = MakeGpuExecutor(spec);
+  SimExecutor e_cascade = MakeGpuExecutor(spec);
+  auto offline_default = ValueOrDie(
+      MpSvmPredictor(&model).Predict(rows, &e_default, PredictOptions{}));
+  PredictOptions exact_mode;
+  exact_mode.cascade.mode = CascadeOptions::Mode::kExact;
+  auto offline_exact =
+      ValueOrDie(MpSvmPredictor(&model).Predict(rows, &e_exact, exact_mode));
+  auto offline_cascade = ValueOrDie(
+      MpSvmPredictor(&model).Predict(rows, &e_cascade, cascade_predict));
+  const bool exact_identical =
+      offline_exact.probabilities.size() ==
+          offline_default.probabilities.size() &&
+      std::memcmp(offline_exact.probabilities.data(),
+                  offline_default.probabilities.data(),
+                  offline_default.probabilities.size() * sizeof(double)) == 0 &&
+      offline_exact.labels == offline_default.labels;
+  int64_t agree = 0;
+  for (int64_t i = 0; i < offline_default.num_instances; ++i) {
+    if (offline_default.labels[static_cast<size_t>(i)] ==
+        offline_cascade.labels[static_cast<size_t>(i)]) {
+      ++agree;
+    }
+  }
+  const double agreement =
+      static_cast<double>(agree) /
+      static_cast<double>(offline_default.num_instances);
+  const double fallback_rate =
+      offline_cascade.cascade_rows > 0
+          ? static_cast<double>(offline_cascade.cascade_fallback_rows) /
+                static_cast<double>(offline_cascade.cascade_rows)
+          : 0.0;
+  const double pairs_per_row =
+      static_cast<double>(offline_cascade.cascade_pairs_evaluated) /
+      static_cast<double>(offline_cascade.cascade_rows);
+
+  // Closed loop: same server shape, only the predict options differ.
+  constexpr int kLkClients = 16;
+  constexpr int kLkPerClient = 8;
+  ModelRegistry registry;
+  ValueOrDie(registry.Register("default", std::move(model)));
+  ServeOptions exact_serve;
+  exact_serve.num_workers = 2;
+  exact_serve.batching.max_batch_size = 8;
+  exact_serve.batching.max_queue_delay = std::chrono::microseconds(200);
+  ServeOptions cascade_serve = exact_serve;
+  cascade_serve.predict = cascade_predict;
+
+  std::printf("%s: closed loop, %d clients x %d requests, %d workers, "
+              "%lld pairwise SVMs\n",
+              spec.name.c_str(), kLkClients, kLkPerClient,
+              exact_serve.num_workers, static_cast<long long>(num_pairs));
+  LoadResult exact_run =
+      RunClosedLoop(&registry, rows, exact_serve, kLkClients, kLkPerClient);
+  LoadResult cascade_run =
+      RunClosedLoop(&registry, rows, cascade_serve, kLkClients, kLkPerClient);
+
+  TablePrinter table(
+      {"predictor", "throughput", "p50 ms", "p95 ms", "p99 ms"});
+  table.AddRow({"exact coupling", StrPrintf("%.0f rps", exact_run.achieved_rps),
+                Ms(exact_run.snap.latency_p50), Ms(exact_run.snap.latency_p95),
+                Ms(exact_run.snap.latency_p99)});
+  table.AddRow({"cascade", StrPrintf("%.0f rps", cascade_run.achieved_rps),
+                Ms(cascade_run.snap.latency_p50),
+                Ms(cascade_run.snap.latency_p95),
+                Ms(cascade_run.snap.latency_p99)});
+  table.Print();
+  const double p50_ratio =
+      exact_run.snap.latency_p50 > 0.0
+          ? cascade_run.snap.latency_p50 / exact_run.snap.latency_p50
+          : 1.0;
+  std::printf("cascade p50 = %.2fx exact p50; %.1f pairs evaluated per row "
+              "of %lld; fallback rate %.3f; top-1 agreement %.4f; "
+              "kExact byte-identical: %s\n",
+              p50_ratio, pairs_per_row, static_cast<long long>(num_pairs),
+              fallback_rate, agreement, exact_identical ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    json << "{\n  \"bench\": \"serve_largek_cascade\",\n";
+    json << StrPrintf("  \"dataset\": \"%s\",\n  \"classes\": %d,\n"
+                      "  \"num_pairs\": %lld,\n  \"host_threads\": %d,\n",
+                      spec.name.c_str(), spec.num_classes,
+                      static_cast<long long>(num_pairs), args.host_threads);
+    json << StrPrintf(
+        "  \"exact\": {\"rps\": %.1f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+        "\"p99_ms\": %.4f},\n",
+        exact_run.achieved_rps, exact_run.snap.latency_p50 * 1e3,
+        exact_run.snap.latency_p95 * 1e3, exact_run.snap.latency_p99 * 1e3);
+    json << StrPrintf(
+        "  \"cascade\": {\"rps\": %.1f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"budget\": %d, \"ambiguity_band\": %g},\n",
+        cascade_run.achieved_rps, cascade_run.snap.latency_p50 * 1e3,
+        cascade_run.snap.latency_p95 * 1e3,
+        cascade_run.snap.latency_p99 * 1e3, cascade_predict.cascade.budget,
+        cascade_predict.cascade.ambiguity_band);
+    json << StrPrintf(
+        "  \"p50_ratio\": %.4f,\n  \"pairs_evaluated_per_row\": %.2f,\n"
+        "  \"fallback_rate\": %.4f,\n  \"label_agreement\": %.4f,\n"
+        "  \"exact_mode_byte_identical\": %s\n}\n",
+        p50_ratio, pairs_per_row, fallback_rate, agreement,
+        exact_identical ? "true" : "false");
+    std::printf("largek json written to %s\n", json_path.c_str());
+  }
+  std::printf("\n");
+
+  if (!exact_identical) {
+    std::fprintf(stderr,
+                 "FAIL: --cascade=exact diverged from the default predictor\n");
+    return 1;
+  }
+  if (p50_ratio > 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: cascade p50 is %.2fx exact p50 at k=64 (need <= 0.5x)\n",
+                 p50_ratio);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args = ParseArgs(argc, argv);
+  // Section-local flags, stripped before the shared parser sees them.
+  std::string largek_json;
+  bool largek_only = false;
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--largek-json=")) {
+      largek_json = arg.substr(14);
+    } else if (arg == "--largek-only") {
+      largek_only = true;
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  Args args = ParseArgs(static_cast<int>(kept.size()), kept.data());
   if (args.datasets.empty()) args.datasets = {"Connect-4"};
+  if (largek_only) {
+    const int rc = RunLargeKSection(args, largek_json);
+    DumpObservability(args);
+    return rc;
+  }
   std::printf("SERVING: micro-batched inference throughput vs unbatched "
               "(scale %.2f)\n\n", args.scale);
 
@@ -503,8 +690,10 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  const int largek_rc = RunLargeKSection(args, largek_json);
+
   std::printf("Note: throughput is bench wall-clock; latency percentiles are\n"
               "end-to-end (admission -> response) from ServeStats.\n");
   DumpObservability(args);
-  return 0;
+  return largek_rc;
 }

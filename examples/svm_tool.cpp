@@ -84,12 +84,15 @@ int Usage() {
                "      [--trace-out t.json] [--checkpoint-dir d] [--resume]\n"
                "      [--chaos-seed s] [--skip-degraded] <data> <model>\n"
                "  svm_tool predict [--host-threads N] [--devices N]\n"
+               "      [--cascade exact|eliminate] [--cascade-budget N]\n"
+               "      [--cascade-threshold T] [--cascade-band B]\n"
                "      <data> <model> [out]\n"
                "  svm_tool scale <in> <out>\n"
                "  svm_tool cv [-c C] [-g gamma] [-v folds] [--devices N] <data>\n"
                "  svm_tool grid [-v folds] [--devices N] <data>\n"
                "  svm_tool serve [-n requests] [-w workers] [-b max_batch]\n"
                "      [--host-threads N] [--devices N] [--chaos-seed s]\n"
+               "      [--cascade ...same predict flags...]\n"
                "      [--metrics-out m.prom] [--trace-out t.json] <model>\n"
                "  svm_tool serve --fleet-config fleet.cfg [--verify]\n"
                "      [...same serve flags, no positional model...]\n"
@@ -99,6 +102,9 @@ int Usage() {
                "cluster; models and probabilities are byte-identical for\n"
                "every device count (docs/scaling.md). --devices must be >= 1\n"
                "and excludes --checkpoint-dir/--resume when > 1.\n"
+               "--cascade eliminate enables the class-elimination prediction\n"
+               "cascade (docs/cascade.md); --cascade exact (the default) is\n"
+               "byte-identical to the pre-cascade predictor.\n"
                "Unknown flags are rejected.\n"
                "exit codes: 0 ok, 1 fatal, 2 usage, 3 degraded completion\n");
   return 2;
@@ -111,6 +117,51 @@ bool ParseDevicesFlag(int argc, char** argv, int* arg, int* devices) {
   if (*arg + 1 >= argc) return false;
   *devices = std::atoi(argv[++*arg]);
   return *devices >= 1;
+}
+
+// Parses the cascade flags shared by predict and serve. Returns 1 when the
+// token (plus any value) was consumed, 0 when it is not a cascade flag, and
+// -1 on a missing or malformed value ("--cascade=eliminate" is accepted as a
+// spelling of "--cascade eliminate"). Range checking is left to
+// PredictOptions::Validate(), which names the offending field.
+int ParseCascadeArg(int argc, char** argv, int* arg, CascadeOptions* cascade) {
+  const char* token = argv[*arg];
+  const auto set_mode = [cascade](const char* value) {
+    if (std::strcmp(value, "exact") == 0) {
+      cascade->mode = CascadeOptions::Mode::kExact;
+      return true;
+    }
+    if (std::strcmp(value, "eliminate") == 0) {
+      cascade->mode = CascadeOptions::Mode::kEliminate;
+      return true;
+    }
+    std::fprintf(stderr, "error: --cascade must be exact|eliminate, got %s\n",
+                 value);
+    return false;
+  };
+  if (std::strncmp(token, "--cascade=", 10) == 0) {
+    return set_mode(token + 10) ? 1 : -1;
+  }
+  if (std::strcmp(token, "--cascade") == 0) {
+    if (*arg + 1 >= argc) return -1;
+    return set_mode(argv[++*arg]) ? 1 : -1;
+  }
+  if (std::strcmp(token, "--cascade-budget") == 0) {
+    if (*arg + 1 >= argc) return -1;
+    cascade->budget = std::atoi(argv[++*arg]);
+    return 1;
+  }
+  if (std::strcmp(token, "--cascade-threshold") == 0) {
+    if (*arg + 1 >= argc) return -1;
+    cascade->elimination_threshold = std::atof(argv[++*arg]);
+    return 1;
+  }
+  if (std::strcmp(token, "--cascade-band") == 0) {
+    if (*arg + 1 >= argc) return -1;
+    cascade->ambiguity_band = std::atof(argv[++*arg]);
+    return 1;
+  }
+  return 0;
 }
 
 // Writes `content` to `path`; returns false (with a message) on failure.
@@ -432,10 +483,14 @@ int TrainCommand(int argc, char** argv) {
 
 int PredictCommand(int argc, char** argv) {
   int host_threads = 1, devices = 1;
+  PredictOptions predict;
   std::string positional[3];
   int npos = 0;
   for (int arg = 0; arg < argc; ++arg) {
-    if (std::strcmp(argv[arg], "--host-threads") == 0 && arg + 1 < argc) {
+    const int cascade_arg = ParseCascadeArg(argc, argv, &arg, &predict.cascade);
+    if (cascade_arg != 0) {
+      if (cascade_arg < 0) return Usage();
+    } else if (std::strcmp(argv[arg], "--host-threads") == 0 && arg + 1 < argc) {
       host_threads = std::atoi(argv[++arg]);
       if (host_threads < 1) return Usage();
     } else if (std::strcmp(argv[arg], "--devices") == 0) {
@@ -449,6 +504,10 @@ int PredictCommand(int argc, char** argv) {
     }
   }
   if (npos < 2) return Usage();
+  if (Status valid = predict.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 2;
+  }
   auto model = LoadModel(positional[1]);
   if (!model.ok()) {
     std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
@@ -469,11 +528,11 @@ int PredictCommand(int argc, char** argv) {
     cluster::SimCluster cluster_devices =
         cluster::SimCluster::Homogeneous(devices, device_model);
     pred = cluster::ClusterPredict(*model, file->dataset.features(),
-                                   &cluster_devices, PredictOptions{});
+                                   &cluster_devices, predict);
   } else {
     SimExecutor gpu(device_model);
     pred = MpSvmPredictor(&*model).Predict(file->dataset.features(), &gpu,
-                                           PredictOptions{});
+                                           predict);
   }
   if (!pred.ok()) {
     std::fprintf(stderr, "prediction failed: %s\n",
@@ -485,6 +544,14 @@ int PredictCommand(int argc, char** argv) {
     std::printf("error rate: %.4f%% over %lld instances (%.3f sim-s)\n",
                 100.0 * *err, static_cast<long long>(pred->num_instances),
                 pred->sim_seconds);
+  }
+  if (predict.cascade.mode == CascadeOptions::Mode::kEliminate) {
+    std::printf("cascade: %lld rows, %lld pair evals, %lld classes "
+                "eliminated, %lld exact fallbacks\n",
+                static_cast<long long>(pred->cascade_rows),
+                static_cast<long long>(pred->cascade_pairs_evaluated),
+                static_cast<long long>(pred->cascade_classes_eliminated),
+                static_cast<long long>(pred->cascade_fallback_rows));
   }
   if (npos == 3) {
     std::ofstream out(positional[2]);
@@ -598,9 +665,15 @@ int FleetServeCommand(const std::string& config_path, int num_requests,
     if (verify) {
       // Reference path: the plain predictor on a clean executor, no fault
       // injector, no SV store — what every fleet answer must match exactly.
+      // The tenant's effective options (its override, else the fleet-wide
+      // serve options) decide the reference too, so cascade/voting tenants
+      // verify against the same pipeline their batches run.
       SimExecutor reference_gpu(options.executor_model);
+      const PredictOptions reference_options =
+          tenant.spec.predict.has_value() ? *tenant.spec.predict
+                                          : options.predict;
       auto reference = MpSvmPredictor(&*model).Predict(
-          workload.rows, &reference_gpu, PredictOptions{});
+          workload.rows, &reference_gpu, reference_options);
       if (!reference.ok()) {
         std::fprintf(stderr, "error: reference prediction for %s: %s\n",
                      tenant.spec.name.c_str(),
@@ -751,7 +824,11 @@ int ServeCommand(int argc, char** argv) {
   ServeOptions options;
   std::string model_path, metrics_out, trace_out, fleet_config;
   for (int arg = 0; arg < argc; ++arg) {
-    if (std::strcmp(argv[arg], "-n") == 0 && arg + 1 < argc) {
+    const int cascade_arg =
+        ParseCascadeArg(argc, argv, &arg, &options.predict.cascade);
+    if (cascade_arg != 0) {
+      if (cascade_arg < 0) return Usage();
+    } else if (std::strcmp(argv[arg], "-n") == 0 && arg + 1 < argc) {
       num_requests = std::atoi(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-w") == 0 && arg + 1 < argc) {
       options.num_workers = std::atoi(argv[++arg]);

@@ -72,6 +72,10 @@ Result<PredictResult> ClusterPredict(const MpSvmModel& model,
     merged.labels.insert(merged.labels.end(), part.labels.begin(),
                          part.labels.end());
     merged.phases.Merge(part.phases);
+    merged.cascade_rows += part.cascade_rows;
+    merged.cascade_fallback_rows += part.cascade_fallback_rows;
+    merged.cascade_pairs_evaluated += part.cascade_pairs_evaluated;
+    merged.cascade_classes_eliminated += part.cascade_classes_eliminated;
     makespan = std::max(makespan, part.sim_seconds);
     if (report != nullptr) {
       report->device_sim_seconds[static_cast<size_t>(d)] = part.sim_seconds;

@@ -43,6 +43,19 @@ struct BinarySvmEntry {
   int64_t num_svs() const { return static_cast<int64_t>(sv_pool_index.size()); }
 };
 
+// Per-pair statistics driving the prediction-time class-elimination cascade
+// (docs/cascade.md). `score` orders pairs most-discriminative-first for the
+// elimination scan; the class priors are kept for introspection and tooling.
+// Stamped at training time as a pure function of the dataset's class priors
+// and the pair's Platt slope, so every trainer produces identical stats for
+// the same data. Models serialized before v2 load with no stats; the cascade
+// then scans pairs in index order.
+struct PairCascadeStats {
+  double score = 0.0;
+  double prior_s = 0.0;
+  double prior_t = 0.0;
+};
+
 struct MpSvmModel {
   int num_classes = 0;
   double c = 1.0;
@@ -58,8 +71,16 @@ struct MpSvmModel {
   // Binary SVMs in pair order (0,1), (0,2), ..., (1,2), ...
   std::vector<BinarySvmEntry> svms;
 
+  // Cascade statistics, parallel to `svms` when present (see
+  // PairCascadeStats); empty for models loaded from v1 files.
+  std::vector<PairCascadeStats> cascade;
+
   int num_pairs() const { return static_cast<int>(svms.size()); }
   int64_t pool_size() const { return support_vectors.rows(); }
+
+  bool has_cascade_stats() const {
+    return !svms.empty() && cascade.size() == svms.size();
+  }
 
   // Total support-vector references across SVMs (>= pool_size when shared).
   int64_t total_sv_references() const {

@@ -10,7 +10,11 @@
 namespace gmpsvm {
 namespace {
 
-constexpr char kMagic[] = "gmpsvm_model_v1";
+// v1: header + svms + pool. v2 adds an optional `cascade <n>` section (one
+// score/prior triple per binary SVM) between the svm entries and pool_rows;
+// v1 files still load, yielding a model with no cascade stats.
+constexpr char kMagicV1[] = "gmpsvm_model_v1";
+constexpr char kMagic[] = "gmpsvm_model_v2";
 constexpr char kPairMagic[] = "gmpsvm_pair_checkpoint_v1";
 constexpr char kManifestMagic[] = "gmpsvm_checkpoint_v1";
 
@@ -55,6 +59,13 @@ std::string SerializeModel(const MpSvmModel& model) {
     }
     out << "\n";
   }
+  if (model.has_cascade_stats()) {
+    out << "cascade " << model.cascade.size() << "\n";
+    for (const PairCascadeStats& stats : model.cascade) {
+      out << stats.score << " " << stats.prior_s << " " << stats.prior_t
+          << "\n";
+    }
+  }
   out << "pool_rows";
   for (int32_t row : model.pool_source_rows) out << " " << row;
   out << "\n";
@@ -78,7 +89,8 @@ Result<MpSvmModel> DeserializeModel(const std::string& text) {
     return Status::IoError("model parse error: " + what);
   };
 
-  if (!std::getline(in, line) || StripWhitespace(line) != kMagic) {
+  if (!std::getline(in, line) ||
+      (StripWhitespace(line) != kMagic && StripWhitespace(line) != kMagicV1)) {
     return fail("bad magic");
   }
   MpSvmModel model;
@@ -141,7 +153,22 @@ Result<MpSvmModel> DeserializeModel(const std::string& text) {
     model.svms.push_back(std::move(entry));
   }
 
-  if (!(in >> word) || word != "pool_rows") return fail("pool_rows");
+  if (!(in >> word)) return fail("pool_rows");
+  if (word == "cascade") {
+    // Optional v2 section; one stats triple per binary SVM.
+    size_t count = 0;
+    if (!(in >> count) || count != num_svms) return fail("cascade count");
+    model.cascade.reserve(count);
+    for (size_t s = 0; s < count; ++s) {
+      PairCascadeStats stats;
+      if (!(in >> stats.score >> stats.prior_s >> stats.prior_t)) {
+        return fail("cascade entry");
+      }
+      model.cascade.push_back(stats);
+    }
+    if (!(in >> word)) return fail("pool_rows");
+  }
+  if (word != "pool_rows") return fail("pool_rows");
   model.pool_source_rows.resize(static_cast<size_t>(pool_rows));
   for (int64_t r = 0; r < pool_rows; ++r) {
     if (!(in >> model.pool_source_rows[static_cast<size_t>(r)])) {

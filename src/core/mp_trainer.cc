@@ -1,6 +1,7 @@
 #include "core/mp_trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <functional>
 #include <map>
@@ -69,6 +70,26 @@ class ModelBuilder {
   MpSvmModel Finish() {
     model_.support_vectors = dataset_->features().SelectRows(pool_rows_);
     model_.pool_source_rows = std::move(pool_rows_);
+    // Cascade statistics (docs/cascade.md): a pure function of the dataset's
+    // class priors and each pair's Platt slope, so sequential, pair-parallel,
+    // cluster, and resumed runs all stamp identical stats. |sigmoid.a| is the
+    // calibrated sharpness of the pair's decision boundary (degraded pairs
+    // have a zero slope and sort last); weighting by the priors puts pairs
+    // that can eliminate the most probability mass first.
+    const double total = static_cast<double>(dataset_->size());
+    model_.cascade.clear();
+    model_.cascade.reserve(model_.svms.size());
+    for (const BinarySvmEntry& svm : model_.svms) {
+      PairCascadeStats stats;
+      if (total > 0.0) {
+        stats.prior_s =
+            static_cast<double>(dataset_->ClassRows(svm.class_s).size()) / total;
+        stats.prior_t =
+            static_cast<double>(dataset_->ClassRows(svm.class_t).size()) / total;
+      }
+      stats.score = std::abs(svm.sigmoid.a) * (stats.prior_s + stats.prior_t);
+      model_.cascade.push_back(stats);
+    }
     return std::move(model_);
   }
 

@@ -1,6 +1,7 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <numeric>
 
 #include "common/logging.h"
@@ -17,9 +18,57 @@ inline double& RAt(std::vector<double>& r, int k, int64_t i, int s, int t) {
 
 }  // namespace
 
+Status CascadeOptions::Validate() const {
+  if (budget < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("cascade.budget must be >= 0, got %d", budget));
+  }
+  if (!(elimination_threshold > 0.0)) {
+    return Status::InvalidArgument(
+        StrPrintf("cascade.elimination_threshold must be positive, got %g",
+                  elimination_threshold));
+  }
+  if (!(ambiguity_band >= 0.0 && ambiguity_band <= 1.0)) {
+    return Status::InvalidArgument(StrPrintf(
+        "cascade.ambiguity_band must be in [0, 1], got %g", ambiguity_band));
+  }
+  return Status::OK();
+}
+
+Status PredictOptions::Validate() const {
+  if (max_concurrent_svms < 1) {
+    return Status::InvalidArgument(StrPrintf(
+        "max_concurrent_svms must be >= 1, got %d", max_concurrent_svms));
+  }
+  if (tile_rows < 0) {
+    return Status::InvalidArgument(
+        StrPrintf("tile_rows must be >= 0, got %" PRId64, tile_rows));
+  }
+  if (coupling.max_iterations < 1) {
+    return Status::InvalidArgument(StrPrintf(
+        "coupling.max_iterations must be >= 1, got %d", coupling.max_iterations));
+  }
+  if (!(coupling.eps > 0.0)) {
+    return Status::InvalidArgument(
+        StrPrintf("coupling.eps must be positive, got %g", coupling.eps));
+  }
+  GMP_RETURN_NOT_OK(cascade.Validate());
+  if (cascade.mode == CascadeOptions::Mode::kEliminate &&
+      decision == Decision::kVoting) {
+    return Status::InvalidArgument(
+        "cascade.mode=eliminate requires decision=probability (voting has no "
+        "coupling stage for the cascade to shrink)");
+  }
+  return Status::OK();
+}
+
 Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
                                               SimExecutor* executor,
                                               const PredictOptions& options) const {
+  GMP_RETURN_NOT_OK(options.Validate());
+  if (options.cascade.mode == CascadeOptions::Mode::kEliminate) {
+    return PredictCascade(test, executor, options);
+  }
   const MpSvmModel& model = *model_;
   const int k = model.num_classes;
   const int64_t n = test.rows();
@@ -302,17 +351,495 @@ Result<PredictResult> MpSvmPredictor::PredictRows(
   return Predict(tile, executor, options);
 }
 
+// DCSVM-style class-elimination cascade (docs/cascade.md). Per row: scan
+// pairs most-discriminative-first, evaluating at most `budget` binary SVMs
+// with lazily computed kernel values; eliminate classes whose accumulated
+// pairwise loss crosses the threshold; complete the surviving clique and
+// couple it exactly; rerun ambiguous rows through the full exact pipeline.
+// Every per-row computation is a pure function of that row, kernel values are
+// computed through the same scatter-gather arithmetic as the exact block, and
+// all charges/counters are aggregated from per-row integer counts in row
+// order — so results AND accounting are byte-identical at any host-thread or
+// device count, and fallback rows are byte-identical to kExact output.
+Result<PredictResult> MpSvmPredictor::PredictCascade(
+    const CsrMatrix& test, SimExecutor* executor,
+    const PredictOptions& options) const {
+  const MpSvmModel& model = *model_;
+  const int k = model.num_classes;
+  const int64_t n = test.rows();
+  const int64_t pool = model.pool_size();
+  const int num_pairs = model.num_pairs();
+  if (k < 2 || model.svms.empty()) {
+    return Status::FailedPrecondition("model is empty");
+  }
+  if (test.cols() != model.support_vectors.cols()) {
+    return Status::InvalidArgument("test dimensionality mismatch with model");
+  }
+
+  Stopwatch wall;
+  executor->SynchronizeAll();
+  const double sim_base = executor->NowSeconds();
+
+  PredictResult result;
+  result.num_instances = n;
+  result.num_classes = k;
+  result.probabilities.assign(static_cast<size_t>(n) * k, 0.0);
+  result.labels.assign(static_cast<size_t>(n), 0);
+  if (n == 0) return result;
+
+  executor->Transfer(kDefaultStream,
+                     static_cast<double>(test.ByteSize() + model.ByteSize()),
+                     TransferDirection::kHostToDevice);
+
+  KernelComputer computer(&test, &model.support_vectors, model.kernel);
+  const double fpv = computer.function().FlopsPerValue();
+
+  // Elimination scan order: most discriminative pairs first; models without
+  // cascade stats (v1 files) degrade to pair-index order. Stable sort breaks
+  // score ties by pair index.
+  std::vector<int32_t> order(static_cast<size_t>(num_pairs));
+  std::iota(order.begin(), order.end(), 0);
+  if (model.has_cascade_stats()) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&model](int32_t a, int32_t b) {
+                       return model.cascade[static_cast<size_t>(a)].score >
+                              model.cascade[static_cast<size_t>(b)].score;
+                     });
+  }
+
+  const int budget = options.cascade.budget > 0
+                         ? std::min(options.cascade.budget, num_pairs)
+                         : std::min(num_pairs, 4 * k);
+  const double threshold = options.cascade.elimination_threshold;
+  const double band = options.cascade.ambiguity_band;
+  const bool force_exact_rows = band >= 1.0;
+
+  // Tile size: same policy as the exact path (the kernel-row buffer is
+  // tile x pool whether values arrive lazily or as one block).
+  int64_t tile_rows = options.tile_rows;
+  if (tile_rows <= 0) {
+    const size_t free_bytes = executor->memory_budget() > executor->bytes_in_use()
+                                  ? executor->memory_budget() - executor->bytes_in_use()
+                                  : 0;
+    tile_rows = static_cast<int64_t>(
+        free_bytes / 4 / (sizeof(double) * std::max<int64_t>(1, pool)));
+    tile_rows = std::clamp<int64_t>(tile_rows, 1, n);
+  }
+
+  const bool share = options.share_kernel_values;
+  const bool use_cache = share && options.kernel_cache != nullptr && pool > 0;
+
+  // Per-row accounting, aggregated serially after the parallel loop so that
+  // charges and executor counters never depend on the thread partition.
+  struct RowCounters {
+    int64_t elim_nnz = 0;    // target nnz streamed in the elimination stage
+    int64_t elim_fresh = 0;  // kernel values computed in the elimination stage
+    int64_t elim_refs = 0;   // SV references gathered in the elimination stage
+    int64_t elim_evals = 0;  // binary evals (incl. survivor-clique completion)
+    int64_t fb_nnz = 0;      // fallback: nnz to complete the kernel row
+    int64_t fb_fresh = 0;    // fallback: kernel values computed
+    int64_t fb_refs = 0;     // fallback: SV references gathered
+    int64_t coup_cube = 0;   // coupled subset size cubed (coupling flops)
+    int64_t eliminated = 0;  // classes eliminated (non-fallback rows)
+    uint8_t fallback = 0;
+  };
+
+  std::vector<double> kblock;     // tile x pool lazy kernel-row buffer
+  std::vector<uint8_t> computed;  // which entries of kblock hold valid values
+  std::vector<uint8_t> gmask;     // cache Gather hit mask (Commit contract)
+  std::vector<int32_t> tile_ids;
+  std::vector<RowCounters> rc;
+  std::vector<Status> row_status;
+
+  for (int64_t tile_begin = 0; tile_begin < n; tile_begin += tile_rows) {
+    const int64_t tile_end = std::min(tile_begin + tile_rows, n);
+    const int64_t tile = tile_end - tile_begin;
+    tile_ids.resize(static_cast<size_t>(tile));
+    std::iota(tile_ids.begin(), tile_ids.end(), static_cast<int32_t>(tile_begin));
+    rc.assign(static_cast<size_t>(tile), RowCounters{});
+    row_status.assign(static_cast<size_t>(tile), Status::OK());
+
+    const double elim_t0 = executor->StreamTime(kDefaultStream);
+    DeviceAllocation block_reservation;
+    int64_t gathered = 0;
+    if (share) {
+      GMP_ASSIGN_OR_RETURN(
+          block_reservation,
+          executor->Allocate(static_cast<size_t>(tile * pool) * sizeof(double)));
+      kblock.assign(static_cast<size_t>(tile * pool), 0.0);
+      computed.assign(static_cast<size_t>(tile * pool), 0);
+      if (use_cache) {
+        // Serial Gather in row order, commits deferred to after the parallel
+        // loop — cache traffic stays deterministic at any thread count.
+        gmask.assign(static_cast<size_t>(tile * pool), 0);
+        for (int64_t i = 0; i < tile; ++i) {
+          const int32_t row_id = tile_ids[static_cast<size_t>(i)];
+          const SparseRowView row{test.RowIndices(row_id),
+                                  test.RowValues(row_id)};
+          gathered += options.kernel_cache->Gather(
+              row, {kblock.data() + i * pool, static_cast<size_t>(pool)},
+              {gmask.data() + i * pool, static_cast<size_t>(pool)});
+        }
+        std::copy(gmask.begin(), gmask.end(), computed.begin());
+      }
+    }
+
+    // Elimination + survivor coupling + per-row exact fallback. Rows write
+    // disjoint slices of kblock/computed/result and their own counters slot.
+    executor->HostParallelFor(
+        tile, /*min_chunk=*/1, [&](int64_t begin, int64_t end) {
+          std::vector<int32_t> pending;
+          std::vector<double> fresh_vals;
+          std::vector<double> ktmp;
+          std::vector<double> rpair(static_cast<size_t>(num_pairs), 0.0);
+          std::vector<uint8_t> rdone(static_cast<size_t>(num_pairs), 0);
+          std::vector<double> loss(static_cast<size_t>(k), 0.0);
+          std::vector<int32_t> cevals(static_cast<size_t>(k), 0);
+          std::vector<uint8_t> alive(static_cast<size_t>(k), 1);
+          std::vector<int32_t> survivors;
+          std::vector<double> rsub, psub, rfull;
+
+          for (int64_t i = begin; i < end; ++i) {
+            const int32_t row_id = tile_ids[static_cast<size_t>(i)];
+            RowCounters& c = rc[static_cast<size_t>(i)];
+            double* krow = share ? kblock.data() + i * pool : nullptr;
+            uint8_t* cmask = share ? computed.data() + i * pool : nullptr;
+
+            // One binary SVM's decision value, computing missing kernel
+            // values lazily (shared) or per evaluation (ablation). The
+            // accumulation order matches the exact path: acc over the SV
+            // list in order, v = bias + acc.
+            const auto eval = [&](const BinarySvmEntry& svm, int64_t* nnz,
+                                  int64_t* fresh, int64_t* refs) -> double {
+              const int64_t nsv = svm.num_svs();
+              double acc = 0.0;
+              if (share) {
+                pending.clear();
+                for (int64_t m = 0; m < nsv; ++m) {
+                  const int32_t col = svm.sv_pool_index[static_cast<size_t>(m)];
+                  if (cmask[col] == 0) {
+                    pending.push_back(col);
+                    cmask[col] = 1;
+                  }
+                }
+                if (!pending.empty()) {
+                  fresh_vals.resize(pending.size());
+                  *nnz += computer.ComputeRowTargetsHost(row_id, pending,
+                                                         fresh_vals.data());
+                  for (size_t j = 0; j < pending.size(); ++j) {
+                    krow[pending[j]] = fresh_vals[j];
+                  }
+                  *fresh += static_cast<int64_t>(pending.size());
+                }
+                for (int64_t m = 0; m < nsv; ++m) {
+                  acc += svm.sv_coef[static_cast<size_t>(m)] *
+                         krow[svm.sv_pool_index[static_cast<size_t>(m)]];
+                }
+              } else {
+                if (nsv > 0) {
+                  ktmp.resize(static_cast<size_t>(nsv));
+                  *nnz += computer.ComputeRowTargetsHost(
+                      row_id, svm.sv_pool_index, ktmp.data());
+                  *fresh += nsv;
+                }
+                for (int64_t m = 0; m < nsv; ++m) {
+                  acc += svm.sv_coef[static_cast<size_t>(m)] *
+                         ktmp[static_cast<size_t>(m)];
+                }
+              }
+              *refs += nsv;
+              return svm.bias + acc;
+            };
+
+            // --- Elimination scan ---------------------------------------
+            std::fill(loss.begin(), loss.end(), 0.0);
+            std::fill(cevals.begin(), cevals.end(), 0);
+            std::fill(alive.begin(), alive.end(), 1);
+            std::fill(rdone.begin(), rdone.end(), 0);
+            int alive_count = k;
+            // A class dies only once its accumulated loss crosses the
+            // threshold AND it is losing its evaluated pairs on average
+            // (mean r against it above 0.5). The absolute threshold alone
+            // would eliminate a class that wins every pair at modest
+            // sigmoid confidence — e.g. r = 0.7 seven times accumulates
+            // 2.1 loss while never losing a single comparison.
+            const auto eliminated = [&](int cls) {
+              return loss[static_cast<size_t>(cls)] >= threshold &&
+                     2.0 * loss[static_cast<size_t>(cls)] >
+                         static_cast<double>(cevals[static_cast<size_t>(cls)]);
+            };
+            for (int oi = 0;
+                 oi < num_pairs && c.elim_evals < budget && alive_count > 1;
+                 ++oi) {
+              const int32_t pi = order[static_cast<size_t>(oi)];
+              const BinarySvmEntry& svm = model.svms[static_cast<size_t>(pi)];
+              if (alive[static_cast<size_t>(svm.class_s)] == 0 ||
+                  alive[static_cast<size_t>(svm.class_t)] == 0) {
+                continue;
+              }
+              const double v =
+                  eval(svm, &c.elim_nnz, &c.elim_fresh, &c.elim_refs);
+              const double r = svm.sigmoid.Probability(v);
+              rpair[static_cast<size_t>(pi)] = r;
+              rdone[static_cast<size_t>(pi)] = 1;
+              ++c.elim_evals;
+              loss[static_cast<size_t>(svm.class_s)] += 1.0 - r;
+              loss[static_cast<size_t>(svm.class_t)] += r;
+              ++cevals[static_cast<size_t>(svm.class_s)];
+              ++cevals[static_cast<size_t>(svm.class_t)];
+              if (alive_count > 1 && eliminated(svm.class_s)) {
+                alive[static_cast<size_t>(svm.class_s)] = 0;
+                --alive_count;
+              }
+              if (alive_count > 1 &&
+                  alive[static_cast<size_t>(svm.class_t)] != 0 &&
+                  eliminated(svm.class_t)) {
+                alive[static_cast<size_t>(svm.class_t)] = 0;
+                --alive_count;
+              }
+            }
+
+            // --- Survivor-clique coupling -------------------------------
+            survivors.clear();
+            for (int cls = 0; cls < k; ++cls) {
+              if (alive[static_cast<size_t>(cls)] != 0) survivors.push_back(cls);
+            }
+            const int ks = static_cast<int>(survivors.size());
+            double margin = 1.0;
+            if (ks == 1) {
+              psub.assign(1, 1.0);
+              c.coup_cube += 1;
+            } else {
+              for (int a = 0; a < ks; ++a) {
+                for (int b = a + 1; b < ks; ++b) {
+                  const int pi = model.PairIndex(survivors[static_cast<size_t>(a)],
+                                                 survivors[static_cast<size_t>(b)]);
+                  if (rdone[static_cast<size_t>(pi)] != 0) continue;
+                  const BinarySvmEntry& svm = model.svms[static_cast<size_t>(pi)];
+                  const double v =
+                      eval(svm, &c.elim_nnz, &c.elim_fresh, &c.elim_refs);
+                  rpair[static_cast<size_t>(pi)] = svm.sigmoid.Probability(v);
+                  rdone[static_cast<size_t>(pi)] = 1;
+                  ++c.elim_evals;
+                }
+              }
+              rsub.assign(static_cast<size_t>(ks) * ks, 0.0);
+              for (int a = 0; a < ks; ++a) {
+                for (int b = a + 1; b < ks; ++b) {
+                  const int pi = model.PairIndex(survivors[static_cast<size_t>(a)],
+                                                 survivors[static_cast<size_t>(b)]);
+                  const double r = rpair[static_cast<size_t>(pi)];
+                  rsub[static_cast<size_t>(a) * ks + b] = r;
+                  rsub[static_cast<size_t>(b) * ks + a] = 1.0 - r;
+                }
+              }
+              Result<std::vector<double>> sub =
+                  CoupleProbabilities(rsub, ks, options.coupling);
+              if (!sub.ok()) {
+                row_status[static_cast<size_t>(i)] = sub.status();
+                continue;
+              }
+              psub = std::move(sub.value());
+              c.coup_cube += static_cast<int64_t>(ks) * ks * ks;
+              double top1 = -1.0, top2 = -1.0;
+              for (double p : psub) {
+                if (p > top1) {
+                  top2 = top1;
+                  top1 = p;
+                } else if (p > top2) {
+                  top2 = p;
+                }
+              }
+              margin = top1 - top2;
+            }
+
+            double* out_row =
+                result.probabilities.data() + (tile_begin + i) * k;
+            if (margin < band || force_exact_rows) {
+              // --- Exact fallback ---------------------------------------
+              // Complete the kernel row, evaluate every pair, couple the
+              // full k x k matrix — identical arithmetic to the exact path,
+              // so these rows are byte-for-byte what kExact returns.
+              c.fallback = 1;
+              if (share) {
+                pending.clear();
+                for (int64_t col = 0; col < pool; ++col) {
+                  if (cmask[col] == 0) {
+                    pending.push_back(static_cast<int32_t>(col));
+                    cmask[col] = 1;
+                  }
+                }
+                if (!pending.empty()) {
+                  fresh_vals.resize(pending.size());
+                  c.fb_nnz += computer.ComputeRowTargetsHost(
+                      row_id, pending, fresh_vals.data());
+                  for (size_t j = 0; j < pending.size(); ++j) {
+                    krow[pending[j]] = fresh_vals[j];
+                  }
+                  c.fb_fresh += static_cast<int64_t>(pending.size());
+                }
+              }
+              rfull.assign(static_cast<size_t>(k) * k, 0.0);
+              for (const BinarySvmEntry& svm : model.svms) {
+                const int64_t nsv = svm.num_svs();
+                double v;
+                if (share) {
+                  double acc = 0.0;
+                  for (int64_t m = 0; m < nsv; ++m) {
+                    acc += svm.sv_coef[static_cast<size_t>(m)] *
+                           krow[svm.sv_pool_index[static_cast<size_t>(m)]];
+                  }
+                  v = svm.bias + acc;
+                  c.fb_refs += nsv;
+                } else {
+                  v = eval(svm, &c.fb_nnz, &c.fb_fresh, &c.fb_refs);
+                }
+                const double prob_s = svm.sigmoid.Probability(v);
+                rfull[static_cast<size_t>(svm.class_s) * k + svm.class_t] =
+                    prob_s;
+                rfull[static_cast<size_t>(svm.class_t) * k + svm.class_s] =
+                    1.0 - prob_s;
+              }
+              Result<std::vector<double>> full =
+                  CoupleProbabilities(rfull, k, options.coupling);
+              if (!full.ok()) {
+                row_status[static_cast<size_t>(i)] = full.status();
+                continue;
+              }
+              c.coup_cube += static_cast<int64_t>(k) * k * k;
+              std::copy(full.value().begin(), full.value().end(), out_row);
+            } else {
+              for (int a = 0; a < ks; ++a) {
+                out_row[survivors[static_cast<size_t>(a)]] =
+                    psub[static_cast<size_t>(a)];
+              }
+              c.eliminated = k - ks;
+            }
+            result.labels[static_cast<size_t>(tile_begin + i)] =
+                static_cast<int32_t>(std::max_element(out_row, out_row + k) -
+                                     out_row);
+          }
+        });
+
+    for (const Status& status : row_status) {
+      GMP_RETURN_NOT_OK(status);
+    }
+
+    // Aggregate counters in row order and charge the stages. All totals are
+    // integer-derived, so they are invariant to the thread partition.
+    int64_t elim_nnz = 0, elim_fresh = 0, elim_refs = 0, elim_evals = 0;
+    int64_t fb_nnz = 0, fb_fresh = 0, fb_refs = 0, fb_rows = 0;
+    int64_t coup = 0, eliminated = 0;
+    for (const RowCounters& c : rc) {
+      elim_nnz += c.elim_nnz;
+      elim_fresh += c.elim_fresh;
+      elim_refs += c.elim_refs;
+      elim_evals += c.elim_evals;
+      fb_nnz += c.fb_nnz;
+      fb_fresh += c.fb_fresh;
+      fb_refs += c.fb_refs;
+      fb_rows += c.fallback;
+      coup += c.coup_cube;
+      eliminated += c.eliminated;
+    }
+    result.cascade_rows += tile;
+    result.cascade_pairs_evaluated += elim_evals;
+    result.cascade_fallback_rows += fb_rows;
+    result.cascade_classes_eliminated += eliminated;
+
+    executor->counters().kernel_values_computed += elim_fresh + fb_fresh;
+    // References served without a kernel evaluation — from this row's earlier
+    // pairs or from the cross-model cache (cache hits reduce `fresh`, so
+    // their references land here automatically).
+    executor->counters().kernel_values_reused +=
+        (elim_refs + fb_refs) - (elim_fresh + fb_fresh);
+
+    {
+      TaskCost cost;
+      cost.parallel_items = tile;
+      cost.flops = 2.0 * static_cast<double>(elim_nnz) +
+                   fpv * static_cast<double>(elim_fresh) +
+                   2.0 * static_cast<double>(elim_refs) +
+                   10.0 * static_cast<double>(elim_evals);
+      cost.bytes_read =
+          static_cast<double>(elim_nnz + elim_refs) *
+              (sizeof(double) + sizeof(int32_t)) +
+          static_cast<double>(gathered) * sizeof(double);
+      cost.bytes_written = static_cast<double>(elim_fresh) * sizeof(double);
+      executor->Charge(kDefaultStream, cost);
+      result.phases.Add("elimination",
+                        executor->StreamTime(kDefaultStream) - elim_t0);
+    }
+    if (fb_rows > 0) {
+      const double t1 = executor->StreamTime(kDefaultStream);
+      TaskCost dv;
+      dv.parallel_items = fb_rows;
+      dv.flops = 2.0 * static_cast<double>(fb_nnz) +
+                 fpv * static_cast<double>(fb_fresh) +
+                 2.0 * static_cast<double>(fb_refs);
+      dv.bytes_read = static_cast<double>(fb_nnz + fb_refs) *
+                      (sizeof(double) + sizeof(int32_t));
+      dv.bytes_written = static_cast<double>(fb_fresh) * sizeof(double);
+      executor->Charge(kDefaultStream, dv);
+      result.phases.Add("decision_values",
+                        executor->StreamTime(kDefaultStream) - t1);
+
+      const double t2 = executor->StreamTime(kDefaultStream);
+      TaskCost sg;
+      sg.parallel_items = fb_rows;
+      sg.flops = 10.0 * static_cast<double>(fb_rows * num_pairs);
+      sg.bytes_read = static_cast<double>(fb_rows * num_pairs) * sizeof(double);
+      executor->Charge(kDefaultStream, sg);
+      result.phases.Add("sigmoid", executor->StreamTime(kDefaultStream) - t2);
+    }
+    {
+      const double t3 = executor->StreamTime(kDefaultStream);
+      TaskCost cc;
+      cc.parallel_items = tile;
+      cc.flops = (2.0 / 3.0) * static_cast<double>(coup);
+      cc.bytes_written = static_cast<double>(tile * k) * sizeof(double);
+      executor->Charge(kDefaultStream, cc);
+      result.phases.Add("coupling", executor->StreamTime(kDefaultStream) - t3);
+    }
+
+    if (use_cache) {
+      // Only rows whose kernel row ended complete (fallback rows) may be
+      // offered back — Commit's contract requires the full row. Serial, in
+      // row order, for deterministic cache contents.
+      for (int64_t i = 0; i < tile; ++i) {
+        if (rc[static_cast<size_t>(i)].fallback == 0) continue;
+        const int32_t row_id = tile_ids[static_cast<size_t>(i)];
+        const SparseRowView row{test.RowIndices(row_id), test.RowValues(row_id)};
+        options.kernel_cache->Commit(
+            row, {kblock.data() + i * pool, static_cast<size_t>(pool)},
+            {gmask.data() + i * pool, static_cast<size_t>(pool)});
+      }
+    }
+    executor->SynchronizeAll();
+  }
+
+  result.sim_seconds = executor->NowSeconds() - sim_base;
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
 Result<std::vector<double>> MpSvmPredictor::PredictOne(
     std::span<const int32_t> indices, std::span<const double> values,
-    SimExecutor* executor) const {
-  PredictOptions options;
-  options.concurrent_svms = false;  // one instance cannot feed many streams
+    SimExecutor* executor, const PredictOptions& options) const {
   const SparseRowView row{indices, values};
   GMP_ASSIGN_OR_RETURN(PredictResult result,
                        PredictRows({&row, 1}, executor, options));
   std::vector<double> p(result.probabilities.begin(),
                         result.probabilities.begin() + model_->num_classes);
   return p;
+}
+
+Result<std::vector<double>> MpSvmPredictor::PredictOne(
+    std::span<const int32_t> indices, std::span<const double> values,
+    SimExecutor* executor) const {
+  PredictOptions options;
+  options.concurrent_svms = false;  // one instance cannot feed many streams
+  return PredictOne(indices, values, executor, options);
 }
 
 }  // namespace gmpsvm

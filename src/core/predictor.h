@@ -67,6 +67,39 @@ class PredictionKernelCache {
                       std::span<const uint8_t> hit) = 0;
 };
 
+// Prediction-time class-elimination cascade (DCSVM-style; docs/cascade.md).
+// In kEliminate mode an elimination stage scans pairs most-discriminative-
+// first (the model's PairCascadeStats order), evaluates at most `budget`
+// binary SVMs per row, and eliminates classes whose accumulated pairwise
+// loss crosses `elimination_threshold`; exact Wu coupling then runs on the
+// surviving class subset only. Rows whose coupled survivor margin falls
+// inside `ambiguity_band` are recomputed through the full exact pipeline
+// (bit-identical to kExact for those rows). kExact is byte-for-byte the
+// pre-cascade predictor.
+struct CascadeOptions {
+  enum class Mode { kExact, kEliminate };
+  Mode mode = Mode::kExact;
+
+  // Elimination-stage budget: binary-SVM evaluations per row. 0 sizes it
+  // automatically (4k evaluations, capped at the pair count). Completing the
+  // surviving clique before coupling may evaluate beyond the budget.
+  int budget = 0;
+
+  // A class is eliminated once its accumulated loss reaches this value. Each
+  // evaluated pair (s,t) with local probability r = P(s | {s,t}) adds 1 - r
+  // to class s and r to class t, so the default needs strictly more than one
+  // decisively-lost pair before a class drops out.
+  double elimination_threshold = 1.0;
+
+  // Exact-fallback guard: rows whose top-1/top-2 coupled probability margin
+  // is below this band rerun the full exact pipeline. 1.0 forces the exact
+  // path for every row; 0 never falls back.
+  double ambiguity_band = 0.05;
+
+  // kInvalidArgument naming the offending field, or OK.
+  Status Validate() const;
+};
+
 struct PredictOptions {
   // How the final label is produced:
   //   kProbability — sigmoid + pairwise coupling, label = argmax p (the
@@ -97,6 +130,16 @@ struct PredictOptions {
   PredictionKernelCache* kernel_cache = nullptr;
 
   CouplingOptions coupling;
+
+  // Class-elimination cascade; the default (kExact) reproduces the full
+  // pipeline bit for bit.
+  CascadeOptions cascade;
+
+  // Fail-fast validation, mirroring MpTrainOptions::Validate: checks every
+  // field (including the nested cascade options) and returns
+  // kInvalidArgument naming the first offending one. Every predictor entry
+  // point and serve-option validation call this before doing work.
+  Status Validate() const;
 };
 
 struct PredictResult {
@@ -113,8 +156,17 @@ struct PredictResult {
   double sim_seconds = 0.0;
   double wall_seconds = 0.0;
 
-  // Attribution: "decision_values", "sigmoid", "coupling" (Figure 12).
+  // Attribution: "decision_values", "sigmoid", "coupling" (Figure 12), plus
+  // "elimination" for the cascade's elimination stage.
   PhaseTimer phases;
+
+  // Cascade accounting (kEliminate mode; all zero under kExact). Counts are
+  // pure per-row functions of the inputs, so they are byte-identical at any
+  // host-thread or device count.
+  int64_t cascade_rows = 0;               // rows that ran the elimination stage
+  int64_t cascade_fallback_rows = 0;      // rows rerun through the exact path
+  int64_t cascade_pairs_evaluated = 0;    // elimination-stage binary evals
+  int64_t cascade_classes_eliminated = 0; // summed over non-fallback rows
 
   double Probability(int64_t instance, int cls) const {
     return probabilities[static_cast<size_t>(instance) * num_classes + cls];
@@ -141,14 +193,30 @@ class MpSvmPredictor {
                                     const PredictOptions& options) const;
 
   // Convenience single-instance path: `indices`/`values` are the sparse
-  // features (0-based, strictly increasing). Returns the k coupled
-  // probabilities. Batch Predict()/PredictRows() amortizes far better; use
-  // this for interactive/online settings.
+  // features (0-based, strictly increasing). Returns the k probabilities
+  // under the same options surface as Predict/PredictRows — decision mode,
+  // cascade, coupling, and kernel cache all apply (concurrent_svms buys
+  // nothing for a single row but does not change results). Batch
+  // Predict()/PredictRows() amortizes far better; use this for
+  // interactive/online settings.
+  Result<std::vector<double>> PredictOne(std::span<const int32_t> indices,
+                                         std::span<const double> values,
+                                         SimExecutor* executor,
+                                         const PredictOptions& options) const;
+
+  // Deprecated forwarding overload (pre-unification signature); forwards to
+  // the options overload with sequential SVM evaluation, reproducing the
+  // legacy behavior byte for byte. Will be removed next release — migrate to
+  // PredictOne(indices, values, executor, options).
   Result<std::vector<double>> PredictOne(std::span<const int32_t> indices,
                                          std::span<const double> values,
                                          SimExecutor* executor) const;
 
  private:
+  Result<PredictResult> PredictCascade(const CsrMatrix& test,
+                                       SimExecutor* executor,
+                                       const PredictOptions& options) const;
+
   const MpSvmModel* model_;
 };
 

@@ -47,6 +47,13 @@ Result<bool> ParseBoolField(int line, std::string_view key,
                                    value.data()));
 }
 
+// Lazily materializes the tenant's PredictOptions override (fleet defaults
+// until a predict key appears on the line).
+PredictOptions& TenantPredict(FleetConfigTenant& tenant) {
+  if (!tenant.spec.predict.has_value()) tenant.spec.predict.emplace();
+  return *tenant.spec.predict;
+}
+
 // Parses one `tenant <name> key=value...` line.
 Result<FleetConfigTenant> ParseTenantLine(
     int line, const std::vector<std::string_view>& tokens) {
@@ -79,6 +86,36 @@ Result<FleetConfigTenant> ParseTenantLine(
     } else if (key == "weight") {
       GMP_ASSIGN_OR_RETURN(tenant.spec.weight,
                            ParseDoubleField(line, key, value));
+    } else if (key == "decision") {
+      if (value == "probability") {
+        TenantPredict(tenant).decision = PredictOptions::Decision::kProbability;
+      } else if (value == "voting") {
+        TenantPredict(tenant).decision = PredictOptions::Decision::kVoting;
+      } else {
+        return LineError(line,
+                         StrPrintf("decision must be probability|voting, got "
+                                   "'%.*s'",
+                                   static_cast<int>(value.size()), value.data()));
+      }
+    } else if (key == "cascade") {
+      if (value == "exact") {
+        TenantPredict(tenant).cascade.mode = CascadeOptions::Mode::kExact;
+      } else if (value == "eliminate") {
+        TenantPredict(tenant).cascade.mode = CascadeOptions::Mode::kEliminate;
+      } else {
+        return LineError(line,
+                         StrPrintf("cascade must be exact|eliminate, got '%.*s'",
+                                   static_cast<int>(value.size()), value.data()));
+      }
+    } else if (key == "cascade_budget") {
+      GMP_ASSIGN_OR_RETURN(TenantPredict(tenant).cascade.budget,
+                           ParseIntField(line, key, value));
+    } else if (key == "cascade_threshold") {
+      GMP_ASSIGN_OR_RETURN(TenantPredict(tenant).cascade.elimination_threshold,
+                           ParseDoubleField(line, key, value));
+    } else if (key == "cascade_band") {
+      GMP_ASSIGN_OR_RETURN(TenantPredict(tenant).cascade.ambiguity_band,
+                           ParseDoubleField(line, key, value));
     } else {
       return LineError(line, StrPrintf("unknown tenant key '%.*s'",
                                        static_cast<int>(key.size()),
@@ -87,6 +124,12 @@ Result<FleetConfigTenant> ParseTenantLine(
   }
   if (tenant.model_path.empty()) {
     return LineError(line, "tenant " + tenant.spec.name + " needs model=<path>");
+  }
+  if (tenant.spec.predict.has_value()) {
+    // Registration would reject these anyway; failing here keeps the line
+    // number in the diagnostic.
+    const Status status = tenant.spec.predict->Validate();
+    if (!status.ok()) return LineError(line, status.message());
   }
   return tenant;
 }

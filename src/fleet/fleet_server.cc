@@ -71,6 +71,19 @@ Status FleetServer::AddReplicaLocked() {
       return sv_store_.Bind(handle);
     };
   }
+  // Per-tenant PredictOptions overrides: batches resolve their tenant from
+  // the namespaced model key ("tenant:<name>"); tenants without an override
+  // (and non-tenant keys) keep the fleet-wide serve.predict.
+  serve.predict_options_resolver =
+      [this](const std::string& model_name) -> std::optional<PredictOptions> {
+    const std::string prefix = TenantRegistry::ModelKey("");
+    if (model_name.compare(0, prefix.size(), prefix) != 0) {
+      return std::nullopt;
+    }
+    Result<TenantSpec> spec = tenants_.GetSpec(model_name.substr(prefix.size()));
+    if (!spec.ok()) return std::nullopt;
+    return spec->predict;
+  };
   replica.server =
       std::make_unique<InferenceServer>(tenants_.models(), std::move(serve));
   GMP_RETURN_NOT_OK(replica.server->Start());

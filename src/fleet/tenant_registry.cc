@@ -24,6 +24,13 @@ Status ValidateSpec(const TenantSpec& spec) {
   if (spec.weight < 0.0) {
     return Status::InvalidArgument("tenant weight must be >= 0: " + spec.name);
   }
+  if (spec.predict.has_value()) {
+    const Status status = spec.predict->Validate();
+    if (!status.ok()) {
+      return Status::InvalidArgument("tenant " + spec.name +
+                                     " predict options: " + status.message());
+    }
+  }
   return Status::OK();
 }
 

@@ -15,10 +15,12 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/predictor.h"
 #include "fleet/quota.h"
 #include "serve/model_registry.h"
 
@@ -37,6 +39,13 @@ struct TenantSpec {
   // Expected traffic share, informational (workload generators and config
   // files use it to weight tenants).
   double weight = 1.0;
+
+  // Per-tenant PredictOptions override: every batch of this tenant's
+  // requests runs with these options instead of the fleet-wide defaults
+  // (decision rule, cascade mode/knobs, coupling — the whole struct).
+  // Validated at registration, so a tenant can never be created with options
+  // its batches would reject at predict time.
+  std::optional<PredictOptions> predict;
 };
 
 class TenantRegistry {

@@ -60,6 +60,19 @@ void KernelComputer::ComputeBlock(std::span<const int32_t> batch,
       static_cast<int64_t>(batch.size() * targets.size());
 }
 
+int64_t KernelComputer::ComputeRowTargetsHost(int64_t row,
+                                              std::span<const int32_t> targets,
+                                              double* out) const {
+  if (targets.empty()) return 0;
+  const int64_t nnz = ScatterRowDots(*a_, row, *b_, targets, out);
+  const double norm_row = norms_a_[static_cast<size_t>(row)];
+  for (size_t j = 0; j < targets.size(); ++j) {
+    out[j] = function_.FromDot(out[j], norm_row,
+                               norms_b_[static_cast<size_t>(targets[j])]);
+  }
+  return nnz;
+}
+
 double KernelComputer::Compute(int64_t row_a, int64_t row_b) const {
   double dot;
   if (symmetric_) {

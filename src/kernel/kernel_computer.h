@@ -40,6 +40,16 @@ class KernelComputer {
   // Single kernel value (host-side, uncharged). For tests and reference code.
   double Compute(int64_t row_a, int64_t row_b) const;
 
+  // Kernel values K(a.row(row), b.row(targets[j])) for an arbitrary target
+  // subset, computed on the host without charging the executor. Each value is
+  // bit-identical to the corresponding entry of a ComputeBlock block (same
+  // scatter-gather accumulation order), which is what lets lazy per-row
+  // consumers — the prediction cascade — stay byte-compatible with the
+  // batched path. Returns the total nnz streamed from the target rows; the
+  // caller charges aggregate costs from it.
+  int64_t ComputeRowTargetsHost(int64_t row, std::span<const int32_t> targets,
+                                double* out) const;
+
   // K(x_i, x_i) for a row of `a`.
   double SelfKernelA(int64_t row) const {
     return function_.SelfKernel(norms_a_[static_cast<size_t>(row)]);

@@ -37,6 +37,9 @@ Status InferenceServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (shut_down_) return Status::FailedPrecondition("server was shut down");
   if (started_) return Status::FailedPrecondition("server already started");
+  // Fail fast on malformed serve-wide prediction options instead of failing
+  // every batch on a worker thread.
+  GMP_RETURN_NOT_OK(options_.predict.Validate());
   started_ = true;
   workers_ = std::make_unique<ThreadPool>(options_.num_workers);
   for (int w = 0; w < options_.num_workers; ++w) {
@@ -224,6 +227,12 @@ void InferenceServer::WorkerLoop(int worker_index) {
 
     MpSvmPredictor predictor(handle->model.get());
     PredictOptions predict = options_.predict;
+    if (options_.predict_options_resolver) {
+      if (std::optional<PredictOptions> per_model =
+              options_.predict_options_resolver(batch_model)) {
+        predict = *std::move(per_model);
+      }
+    }
     if (options_.kernel_cache_resolver) {
       predict.kernel_cache = options_.kernel_cache_resolver(*handle);
     }

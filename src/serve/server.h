@@ -30,6 +30,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -72,6 +73,16 @@ struct ServeOptions {
   // shared-kernel path; results stay byte-identical either way.
   std::function<PredictionKernelCache*(const ModelHandle&)>
       kernel_cache_resolver;
+
+  // Optional resolver for per-model PredictOptions overrides (the fleet's
+  // per-tenant cascade/decision knobs). Consulted once per batch with the
+  // batch's resolved model name; returning nullopt keeps the server-wide
+  // `predict` above. The returned options replace `predict` wholesale (the
+  // kernel_cache_resolver still applies afterwards) and must already be
+  // valid — the fleet validates them at tenant registration. Called on
+  // worker threads: must be thread-safe and outlive the server.
+  std::function<std::optional<PredictOptions>(const std::string& model_name)>
+      predict_options_resolver;
 
   // Simulated device each worker runs on.
   ExecutorModel executor_model = ExecutorModel::TeslaP100();

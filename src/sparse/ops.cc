@@ -103,6 +103,28 @@ OpStats BatchRowDots2(const CsrMatrix& a, std::span<const int32_t> batch,
   return BatchRowDotsImpl(a, batch, b, targets, out, pool);
 }
 
+int64_t ScatterRowDots(const CsrMatrix& a, int64_t row, const CsrMatrix& b,
+                       std::span<const int32_t> targets, double* out) {
+  std::vector<double>& workspace = ScatterWorkspace(a.cols());
+  const auto idx = a.RowIndices(row);
+  const auto val = a.RowValues(row);
+  for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = val[p];
+  int64_t nnz_targets = 0;
+  for (size_t tj = 0; tj < targets.size(); ++tj) {
+    const int64_t trow = targets[tj];
+    const auto tidx = b.RowIndices(trow);
+    const auto tval = b.RowValues(trow);
+    double dot = 0.0;
+    for (size_t p = 0; p < tidx.size(); ++p) {
+      dot += workspace[tidx[p]] * tval[p];
+    }
+    out[tj] = dot;
+    nnz_targets += static_cast<int64_t>(tidx.size());
+  }
+  for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = 0.0;
+  return nnz_targets;
+}
+
 OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
                           std::span<const int32_t> targets, double* out,
                           ThreadPool* pool) {

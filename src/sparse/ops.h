@@ -57,6 +57,16 @@ OpStats BatchRowDots2(const CsrMatrix& a, std::span<const int32_t> batch,
                       const CsrMatrix& b, std::span<const int32_t> targets,
                       double* out, ThreadPool* pool = nullptr);
 
+// Single-row slice of BatchRowDots2: dots a.row(row) against an arbitrary
+// subset of b's rows through the same scatter workspace, so out[j] is
+// bit-identical to the (row, targets[j]) entry of any batched block —
+// regardless of which other targets are requested alongside it. Pure host
+// computation with no OpStats; callers doing lazy per-row work (the
+// prediction cascade) account costs in aggregate from the returned total nnz
+// of the target rows streamed.
+int64_t ScatterRowDots(const CsrMatrix& a, int64_t row, const CsrMatrix& b,
+                       std::span<const int32_t> targets, double* out);
+
 // Dense counterpart over DenseMatrix rows; O(|batch| * |targets| * dim).
 OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
                           std::span<const int32_t> targets, double* out,

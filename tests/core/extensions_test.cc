@@ -428,7 +428,7 @@ TEST(PredictOneTest, MatchesBatchPrediction) {
   for (int64_t row : {int64_t{0}, data.size() / 2, data.size() - 1}) {
     auto idx = data.features().RowIndices(row);
     auto val = data.features().RowValues(row);
-    auto p = ValueOrDie(predictor.PredictOne(idx, val, &exec));
+    auto p = ValueOrDie(predictor.PredictOne(idx, val, &exec, PredictOptions{}));
     ASSERT_EQ(p.size(), 3u);
     for (int c = 0; c < 3; ++c) {
       EXPECT_NEAR(p[static_cast<size_t>(c)], batch.Probability(row, c), 1e-9);
@@ -442,7 +442,8 @@ TEST(PredictOneTest, RejectsMismatchedSpans) {
   auto model = ValueOrDie(GmpSvmTrainer(SmallOptions()).Train(data, &exec, nullptr));
   std::vector<int32_t> idx = {0, 1};
   std::vector<double> val = {1.0};
-  EXPECT_FALSE(MpSvmPredictor(&model).PredictOne(idx, val, &exec).ok());
+  EXPECT_FALSE(
+      MpSvmPredictor(&model).PredictOne(idx, val, &exec, PredictOptions{}).ok());
 }
 
 }  // namespace

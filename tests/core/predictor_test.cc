@@ -276,9 +276,57 @@ TEST(MpSvmPredictorTest, PredictOneMatchesBatchRow) {
   auto batch = ValueOrDie(
       MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, sequential));
   auto one = ValueOrDie(MpSvmPredictor(&fx.model).PredictOne(
-      fx.test.features().RowIndices(0), fx.test.features().RowValues(0), &e2));
+      fx.test.features().RowIndices(0), fx.test.features().RowValues(0), &e2,
+      sequential));
   ASSERT_EQ(one.size(), 3u);
   for (int c = 0; c < 3; ++c) EXPECT_EQ(one[static_cast<size_t>(c)], batch.Probability(0, c));
+}
+
+TEST(MpSvmPredictorTest, DeprecatedPredictOneOverloadStillMatches) {
+  // The pre-unification 3-argument PredictOne must keep returning the same
+  // bytes as the options overload with sequential evaluation.
+  TrainedFixture fx = MakeFixture(3, 67);
+  SimExecutor e1 = Gpu(), e2 = Gpu();
+  PredictOptions sequential;
+  sequential.concurrent_svms = false;
+  const auto idx = fx.test.features().RowIndices(1);
+  const auto val = fx.test.features().RowValues(1);
+  MpSvmPredictor predictor(&fx.model);
+  auto legacy = ValueOrDie(predictor.PredictOne(idx, val, &e1));
+  auto unified = ValueOrDie(predictor.PredictOne(idx, val, &e2, sequential));
+  EXPECT_EQ(legacy, unified);
+}
+
+TEST(MpSvmPredictorTest, PredictOneCarriesCascadeOptions) {
+  // The unified entry point exposes the whole options surface: a cascade
+  // PredictOne call must reproduce the cascade batch path's row exactly.
+  TrainedFixture fx = MakeFixture(4, 71);
+  SimExecutor e1 = Gpu(), e2 = Gpu();
+  PredictOptions cascade;
+  cascade.cascade.mode = CascadeOptions::Mode::kEliminate;
+  cascade.cascade.ambiguity_band = 0.0;
+  auto batch = ValueOrDie(
+      MpSvmPredictor(&fx.model).Predict(fx.test.features(), &e1, cascade));
+  auto one = ValueOrDie(MpSvmPredictor(&fx.model).PredictOne(
+      fx.test.features().RowIndices(0), fx.test.features().RowValues(0), &e2,
+      cascade));
+  ASSERT_EQ(one.size(), 4u);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(one[static_cast<size_t>(c)], batch.Probability(0, c));
+  }
+}
+
+TEST(MpSvmPredictorTest, ValidateRejectsBadOptions) {
+  TrainedFixture fx = MakeFixture(3, 73);
+  SimExecutor exec = Gpu();
+  MpSvmPredictor predictor(&fx.model);
+  PredictOptions bad;
+  bad.max_concurrent_svms = 0;
+  auto result = predictor.Predict(fx.test.features(), &exec, bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("max_concurrent_svms"),
+            std::string::npos);
 }
 
 TEST(MpSvmPredictorTest, TrainingErrorLowOnSeparableData) {

@@ -10,6 +10,7 @@
 #include "../test_util.h"
 #include "core/mp_trainer.h"
 #include "core/predictor.h"
+#include "fleet/fleet_config.h"
 
 namespace gmpsvm::fleet {
 namespace {
@@ -277,6 +278,122 @@ TEST(FleetServerTest, SwapGoesThroughValidatorAndServesTheNewVersion) {
       fleet.Predict("acme", rows.RowIndices(0), rows.RowValues(0)));
   EXPECT_EQ(after.model_version, 2);
   EXPECT_TRUE(fleet.Shutdown().ok());
+}
+
+TEST(FleetServerTest, PerTenantPredictOverridesApply) {
+  // Three tenants sharing one model but diverging in prediction options: the
+  // fleet default (probability + exact), a voting tenant, and a cascade
+  // tenant. Each tenant's answers must match the offline predictor run with
+  // that tenant's effective options, byte for byte.
+  FleetOptions options;
+  options.serve.num_workers = 1;
+  options.initial_replicas = 1;
+  FleetServer fleet(options);
+  ASSERT_TRUE(fleet.Start().ok());
+
+  TenantSpec vote_spec = Spec("voter");
+  vote_spec.predict.emplace();
+  vote_spec.predict->decision = PredictOptions::Decision::kVoting;
+  TenantSpec cascade_spec = Spec("pruner");
+  cascade_spec.predict.emplace();
+  cascade_spec.predict->cascade.mode = CascadeOptions::Mode::kEliminate;
+  cascade_spec.predict->cascade.ambiguity_band = 0.0;
+  ValueOrDie(fleet.AddTenant(Spec("plain"), MpSvmModel(SharedModel())));
+  ValueOrDie(fleet.AddTenant(vote_spec, MpSvmModel(SharedModel())));
+  ValueOrDie(fleet.AddTenant(cascade_spec, MpSvmModel(SharedModel())));
+
+  auto queries = ValueOrDie(MakeMulticlassBlobs(3, 4, 5, 2.5, 43));
+  const CsrMatrix& rows = queries.features();
+  const auto reference_for = [&](const PredictOptions& predict) {
+    SimExecutor exec(ExecutorModel::TeslaP100());
+    return ValueOrDie(MpSvmPredictor(&SharedModel())
+                          .Predict(queries.features(), &exec, predict));
+  };
+  PredictOptions voting;
+  voting.decision = PredictOptions::Decision::kVoting;
+  const PredictResult plain_ref = reference_for(PredictOptions{});
+  const PredictResult vote_ref = reference_for(voting);
+  const PredictResult cascade_ref = reference_for(*cascade_spec.predict);
+
+  const auto expect_matches = [&](const std::string& tenant,
+                                  const PredictResult& reference) {
+    for (int64_t i = 0; i < queries.size(); ++i) {
+      auto response = ValueOrDie(
+          fleet.Predict(tenant, rows.RowIndices(i), rows.RowValues(i)));
+      ASSERT_EQ(response.probabilities.size(),
+                static_cast<size_t>(reference.num_classes));
+      EXPECT_EQ(std::memcmp(
+                    response.probabilities.data(),
+                    reference.probabilities.data() + i * reference.num_classes,
+                    sizeof(double) * reference.num_classes),
+                0)
+          << tenant << " row " << i;
+      EXPECT_EQ(response.label, reference.labels[i]) << tenant << " row " << i;
+    }
+  };
+  expect_matches("plain", plain_ref);
+  expect_matches("voter", vote_ref);
+  expect_matches("pruner", cascade_ref);
+  // Voting and probability disagree on the probability vector itself (vote
+  // fractions vs coupled probabilities), proving the override really applied.
+  EXPECT_NE(0, std::memcmp(vote_ref.probabilities.data(),
+                           plain_ref.probabilities.data(),
+                           sizeof(double) * vote_ref.probabilities.size()));
+  EXPECT_TRUE(fleet.Shutdown().ok());
+}
+
+TEST(FleetServerTest, AddTenantRejectsInvalidPredictOverride) {
+  FleetServer fleet(FleetOptions{});
+  TenantSpec spec = Spec("broken");
+  spec.predict.emplace();
+  spec.predict->cascade.budget = -5;
+  auto result = fleet.AddTenant(spec, MpSvmModel(SharedModel()));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("broken"), std::string::npos);
+  EXPECT_NE(result.status().message().find("cascade.budget"),
+            std::string::npos);
+}
+
+TEST(FleetConfigTest, ParsesPerTenantPredictKeys) {
+  auto config = ValueOrDie(ParseFleetConfig(
+      "replicas 1\n"
+      "tenant plain model=a.model\n"
+      "tenant voter model=b.model decision=voting weight=2\n"
+      "tenant pruner model=c.model cascade=eliminate cascade_budget=16 "
+      "cascade_threshold=1.5 cascade_band=0.1\n"));
+  ASSERT_EQ(config.tenants.size(), 3u);
+  EXPECT_FALSE(config.tenants[0].spec.predict.has_value());
+  ASSERT_TRUE(config.tenants[1].spec.predict.has_value());
+  EXPECT_EQ(config.tenants[1].spec.predict->decision,
+            PredictOptions::Decision::kVoting);
+  ASSERT_TRUE(config.tenants[2].spec.predict.has_value());
+  const PredictOptions& pruner = *config.tenants[2].spec.predict;
+  EXPECT_EQ(pruner.cascade.mode, CascadeOptions::Mode::kEliminate);
+  EXPECT_EQ(pruner.cascade.budget, 16);
+  EXPECT_DOUBLE_EQ(pruner.cascade.elimination_threshold, 1.5);
+  EXPECT_DOUBLE_EQ(pruner.cascade.ambiguity_band, 0.1);
+}
+
+TEST(FleetConfigTest, RejectsBadPredictKeysWithLineNumber) {
+  auto bad_mode = ParseFleetConfig("tenant t model=a.model cascade=maybe\n");
+  ASSERT_FALSE(bad_mode.ok());
+  EXPECT_NE(bad_mode.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(bad_mode.status().message().find("exact|eliminate"),
+            std::string::npos);
+
+  auto bad_decision =
+      ParseFleetConfig("replicas 1\ntenant t model=a.model decision=coinflip\n");
+  ASSERT_FALSE(bad_decision.ok());
+  EXPECT_NE(bad_decision.status().message().find("line 2"), std::string::npos);
+
+  // Structurally valid keys but invalid values fail Validate() at the line.
+  auto bad_band = ParseFleetConfig(
+      "tenant t model=a.model cascade=eliminate cascade_band=2.0\n");
+  ASSERT_FALSE(bad_band.ok());
+  EXPECT_NE(bad_band.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(bad_band.status().message().find("cascade.ambiguity_band"),
+            std::string::npos);
 }
 
 }  // namespace

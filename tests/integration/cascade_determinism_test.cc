@@ -1,0 +1,177 @@
+// The cascade determinism contract (docs/cascade.md): kEliminate prediction
+// is a pure per-row function, so its probabilities, labels, AND cascade
+// counters (pairs evaluated, classes eliminated, exact fallbacks) are
+// byte-identical for devices=1 vs devices=N at any host_threads — on a
+// cleanly trained model and on one trained under a chaos fault plan. kExact
+// stays byte-for-byte the pre-cascade predictor at every topology.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "../test_util.h"
+#include "cluster/cluster.h"
+#include "cluster/cluster_predictor.h"
+#include "cluster/cluster_trainer.h"
+#include "core/model_io.h"
+#include "core/mp_trainer.h"
+#include "core/predictor.h"
+#include "fault/fault_injector.h"
+
+namespace gmpsvm {
+namespace {
+
+using ::gmpsvm::testing::MakeMulticlassBlobs;
+
+Dataset Proxy() {
+  return ValueOrDie(MakeMulticlassBlobs(5, 20, 6, 2.5, 101));
+}
+
+Dataset Queries() {
+  return ValueOrDie(MakeMulticlassBlobs(5, 8, 6, 2.5, 1101));
+}
+
+MpTrainOptions BaseOptions() {
+  MpTrainOptions options;
+  options.kernel.gamma = 0.3;
+  options.batch.working_set.ws_size = 32;
+  options.batch.working_set.q = 16;
+  options.max_concurrent_svms = 4;
+  options.shared_cache_bytes = 64ull << 20;
+  options.share_kernel_blocks = false;
+  return options;
+}
+
+PredictOptions CascadeOptionsUnderTest() {
+  PredictOptions options;
+  options.cascade.mode = CascadeOptions::Mode::kEliminate;
+  options.cascade.ambiguity_band = 0.05;  // a mix of pruned and fallback rows
+  return options;
+}
+
+struct CascadeRun {
+  std::string model_text;
+  std::vector<double> probabilities;
+  std::vector<int32_t> labels;
+  int64_t pairs_evaluated = 0;
+  int64_t classes_eliminated = 0;
+  int64_t fallback_rows = 0;
+};
+
+CascadeRun RunCascade(const Dataset& train, const CsrMatrix& queries,
+                      int devices, int host_threads,
+                      std::optional<fault::FaultPlan> plan) {
+  ExecutorModel model = ExecutorModel::TeslaP100();
+  model.host_threads = host_threads;
+  cluster::SimCluster cluster = cluster::SimCluster::Homogeneous(devices, model);
+
+  cluster::ClusterTrainOptions options;
+  options.train = BaseOptions();
+  options.fault = std::move(plan);
+  auto svm =
+      ValueOrDie(cluster::ClusterTrainer(options).Train(train, &cluster, nullptr));
+
+  CascadeRun out;
+  out.model_text = SerializeModel(svm);
+  auto pred = ValueOrDie(cluster::ClusterPredict(svm, queries, &cluster,
+                                                 CascadeOptionsUnderTest()));
+  out.probabilities = std::move(pred.probabilities);
+  out.labels = std::move(pred.labels);
+  out.pairs_evaluated = pred.cascade_pairs_evaluated;
+  out.classes_eliminated = pred.cascade_classes_eliminated;
+  out.fallback_rows = pred.cascade_fallback_rows;
+  return out;
+}
+
+void ExpectSameRun(const CascadeRun& base, const CascadeRun& other,
+                   const std::string& what) {
+  EXPECT_EQ(base.model_text, other.model_text) << what;
+  ASSERT_EQ(base.probabilities.size(), other.probabilities.size()) << what;
+  EXPECT_EQ(0, std::memcmp(base.probabilities.data(),
+                           other.probabilities.data(),
+                           base.probabilities.size() * sizeof(double)))
+      << what;
+  EXPECT_EQ(base.labels, other.labels) << what;
+  EXPECT_EQ(base.pairs_evaluated, other.pairs_evaluated) << what;
+  EXPECT_EQ(base.classes_eliminated, other.classes_eliminated) << what;
+  EXPECT_EQ(base.fallback_rows, other.fallback_rows) << what;
+}
+
+struct Config {
+  int devices;
+  int host_threads;
+};
+
+TEST(CascadeDeterminismTest, CleanRunsInvariantAcrossTopologies) {
+  Dataset train = Proxy();
+  const CsrMatrix queries = Queries().features();
+  const CascadeRun base = RunCascade(train, queries, 1, 1, std::nullopt);
+  // The band should exercise both sides of the fallback split.
+  EXPECT_GT(base.pairs_evaluated, 0);
+  for (const Config& config :
+       {Config{2, 1}, Config{4, 1}, Config{1, 8}, Config{4, 8}}) {
+    const CascadeRun other = RunCascade(train, queries, config.devices,
+                                        config.host_threads, std::nullopt);
+    ExpectSameRun(base, other,
+                  "devices=" + std::to_string(config.devices) +
+                      " threads=" + std::to_string(config.host_threads));
+  }
+}
+
+TEST(CascadeDeterminismTest, ChaosRunsInvariantAcrossTopologies) {
+  Dataset train = Proxy();
+  const CsrMatrix queries = Queries().features();
+  const fault::FaultPlan plan = fault::FaultPlan::Chaos(11);
+  const CascadeRun base = RunCascade(train, queries, 1, 1, plan);
+  for (const Config& config : {Config{2, 1}, Config{4, 1}, Config{4, 8}}) {
+    const CascadeRun other =
+        RunCascade(train, queries, config.devices, config.host_threads, plan);
+    ExpectSameRun(base, other,
+                  "chaos devices=" + std::to_string(config.devices) +
+                      " threads=" + std::to_string(config.host_threads));
+  }
+}
+
+TEST(CascadeDeterminismTest, ChaosTrainingYieldsCleanCascadePredictions) {
+  Dataset train = Proxy();
+  const CsrMatrix queries = Queries().features();
+  const CascadeRun clean = RunCascade(train, queries, 4, 8, std::nullopt);
+  const CascadeRun chaos =
+      RunCascade(train, queries, 4, 8, fault::FaultPlan::Chaos(11));
+  ExpectSameRun(clean, chaos, "chaos vs clean");
+}
+
+TEST(CascadeDeterminismTest, ExactModeMatchesDefaultAtEveryTopology) {
+  Dataset train = Proxy();
+  const CsrMatrix queries = Queries().features();
+  ExecutorModel model = ExecutorModel::TeslaP100();
+  cluster::SimCluster reference_cluster =
+      cluster::SimCluster::Homogeneous(1, model);
+  cluster::ClusterTrainOptions options;
+  options.train = BaseOptions();
+  auto svm = ValueOrDie(
+      cluster::ClusterTrainer(options).Train(train, &reference_cluster, nullptr));
+
+  auto reference = ValueOrDie(cluster::ClusterPredict(
+      svm, queries, &reference_cluster, PredictOptions{}));
+  for (int devices : {1, 2, 4}) {
+    cluster::SimCluster cluster = cluster::SimCluster::Homogeneous(devices, model);
+    PredictOptions exact;
+    exact.cascade.mode = CascadeOptions::Mode::kExact;
+    auto result =
+        ValueOrDie(cluster::ClusterPredict(svm, queries, &cluster, exact));
+    ASSERT_EQ(result.probabilities.size(), reference.probabilities.size());
+    EXPECT_EQ(0, std::memcmp(result.probabilities.data(),
+                             reference.probabilities.data(),
+                             result.probabilities.size() * sizeof(double)))
+        << "exact devices=" << devices;
+    EXPECT_EQ(result.labels, reference.labels) << "exact devices=" << devices;
+    EXPECT_EQ(result.cascade_rows, 0);
+  }
+}
+
+}  // namespace
+}  // namespace gmpsvm
