@@ -53,6 +53,8 @@
 #include "cluster/cluster.h"
 #include "cluster/cluster_predictor.h"
 #include "cluster/cluster_trainer.h"
+#include "online/delta.h"
+#include "online/retrain_daemon.h"
 #include "common/rng.h"
 #include "core/cross_validation.h"
 #include "core/grid_search.h"
@@ -96,6 +98,14 @@ int Usage() {
                "      [--metrics-out m.prom] [--trace-out t.json] <model>\n"
                "  svm_tool serve --fleet-config fleet.cfg [--verify]\n"
                "      [...same serve flags, no positional model...]\n"
+               "  svm_tool make-delta [--relabel N] [--add N] [--from C]\n"
+               "      [--to C] [--seed S] <data> <out.delta>\n"
+               "  svm_tool retrain-daemon --delta-dir d [--requests N]\n"
+               "      [--brier-threshold T] [--canary-fraction F]\n"
+               "      [--canary-tolerance L]\n"
+               "      [--host-threads N] [--devices N] [--chaos-seed s]\n"
+               "      [--metrics-out m.prom] [--model-out model.out]\n"
+               "      <data> <model>\n"
                "--host-threads sets real worker threads for the hot paths;\n"
                "outputs are byte-identical for every value (wall clock only)\n"
                "--devices shards train/predict/serve across a simulated\n"
@@ -993,6 +1003,250 @@ int ServeCommand(int argc, char** argv) {
   return failed > 0 ? 3 : 0;
 }
 
+// Writes a drift delta against a LibSVM base: relabels N rows of class
+// --from to class --to (the incumbent model keeps predicting the old label on
+// those rows, so serving them drives the Brier window up) and optionally
+// appends N copies of class --to rows labeled --from. Row choices come from a
+// seeded Rng, so the same flags always produce the same delta bytes.
+int MakeDeltaCommand(int argc, char** argv) {
+  int relabel = 32, add = 0, from = 0, to = 1;
+  uint64_t seed = 1;
+  std::string positional[2];
+  int npos = 0;
+  for (int arg = 0; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--relabel") == 0 && arg + 1 < argc) {
+      relabel = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--add") == 0 && arg + 1 < argc) {
+      add = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--from") == 0 && arg + 1 < argc) {
+      from = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--to") == 0 && arg + 1 < argc) {
+      to = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--seed") == 0 && arg + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++arg]));
+    } else if (argv[arg][0] == '-') {
+      return Usage();
+    } else if (npos < 2) {
+      positional[npos++] = argv[arg];
+    } else {
+      return Usage();
+    }
+  }
+  if (npos != 2 || relabel < 0 || add < 0 || relabel + add == 0) return Usage();
+  auto file = ReadLibsvmFile(positional[0]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& base = file->dataset;
+  if (from < 0 || from >= base.num_classes() || to < 0 ||
+      to >= base.num_classes() || from == to) {
+    std::fprintf(stderr, "error: --from/--to must be distinct classes in "
+                 "[0, %d)\n", base.num_classes());
+    return 2;
+  }
+
+  online::DatasetDelta delta;
+  delta.base_fingerprint = online::DatasetFingerprint(base);
+  delta.num_classes = base.num_classes();
+  Rng rng(seed);
+
+  const std::vector<int32_t>& from_rows = base.ClassRows(from);
+  if (relabel > static_cast<int>(from_rows.size())) {
+    std::fprintf(stderr, "error: class %d has only %zu rows to relabel\n",
+                 from, from_rows.size());
+    return 1;
+  }
+  // Sample without replacement: shuffle a copy, take a prefix, keep ops in
+  // ascending row order so the delta text is canonical.
+  std::vector<int32_t> shuffled = from_rows;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.UniformInt(i)]);
+  }
+  shuffled.resize(static_cast<size_t>(relabel));
+  std::sort(shuffled.begin(), shuffled.end());
+  for (int32_t row : shuffled) {
+    online::DeltaOp op;
+    op.kind = online::DeltaOp::Kind::kRelabel;
+    op.row = row;
+    op.old_label = from;
+    op.new_label = to;
+    delta.ops.push_back(std::move(op));
+  }
+
+  const std::vector<int32_t>& to_rows = base.ClassRows(to);
+  for (int a = 0; a < add; ++a) {
+    const int32_t source =
+        to_rows[static_cast<size_t>(rng.UniformInt(to_rows.size()))];
+    online::DeltaOp op;
+    op.kind = online::DeltaOp::Kind::kAdd;
+    op.label = from;
+    const auto idx = base.features().RowIndices(source);
+    const auto val = base.features().RowValues(source);
+    op.indices.assign(idx.begin(), idx.end());
+    op.values.assign(val.begin(), val.end());
+    delta.ops.push_back(std::move(op));
+  }
+
+  if (Status saved = online::SaveDelta(delta, positional[1]); !saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("delta written to %s: %d relabels %d->%d, %d adds, base "
+              "fingerprint %llu\n",
+              positional[1].c_str(), relabel, from, to, add,
+              static_cast<unsigned long long>(delta.base_fingerprint));
+  return 0;
+}
+
+// The continual-learning loop end to end (docs/online.md): register the
+// model, process every *.delta in --delta-dir in sorted filename order,
+// serve seeded traffic, and when the drift window arms, warm-retrain the
+// affected pairs across the cluster, canary the candidate, and hot-swap it
+// through the registry's validator/fault gate. --chaos-seed injects faults
+// into every phase; the swapped model bytes are identical to the clean run's
+// at any --devices / --host-threads combination.
+int RetrainDaemonCommand(int argc, char** argv) {
+  int host_threads = 1, devices = 1;
+  int64_t requests = 96;
+  double brier_threshold = 0.3, canary_fraction = 0.25;
+  // A retrain absorbing real drift legitimately moves probabilities all the
+  // way on the relabeled rows, so the tool's default disagreement gate is
+  // wide open and the candidate-vs-incumbent Brier check does the guarding;
+  // tighten with --canary-tolerance to gate on raw disagreement too.
+  double canary_tolerance = 1.0;
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
+  std::string delta_dir, metrics_out, model_out;
+  std::string positional[2];
+  int npos = 0;
+  for (int arg = 0; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--delta-dir") == 0 && arg + 1 < argc) {
+      delta_dir = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--requests") == 0 && arg + 1 < argc) {
+      requests = std::atoll(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--brier-threshold") == 0 &&
+               arg + 1 < argc) {
+      brier_threshold = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--canary-fraction") == 0 &&
+               arg + 1 < argc) {
+      canary_fraction = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--canary-tolerance") == 0 &&
+               arg + 1 < argc) {
+      canary_tolerance = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--host-threads") == 0 && arg + 1 < argc) {
+      host_threads = std::atoi(argv[++arg]);
+      if (host_threads < 1) return Usage();
+    } else if (std::strcmp(argv[arg], "--devices") == 0) {
+      if (!ParseDevicesFlag(argc, argv, &arg, &devices)) return Usage();
+    } else if (std::strcmp(argv[arg], "--chaos-seed") == 0 && arg + 1 < argc) {
+      chaos = true;
+      chaos_seed = static_cast<uint64_t>(std::atoll(argv[++arg]));
+    } else if (std::strcmp(argv[arg], "--metrics-out") == 0 && arg + 1 < argc) {
+      metrics_out = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--model-out") == 0 && arg + 1 < argc) {
+      model_out = argv[++arg];
+    } else if (argv[arg][0] == '-') {
+      return Usage();
+    } else if (npos < 2) {
+      positional[npos++] = argv[arg];
+    } else {
+      return Usage();
+    }
+  }
+  if (npos != 2 || delta_dir.empty()) return Usage();
+
+  auto file = ReadLibsvmFile(positional[0]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  auto model = LoadModel(positional[1]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  if (model->num_classes != file->dataset.num_classes()) {
+    std::fprintf(stderr, "error: model has %d classes, data has %d\n",
+                 model->num_classes, file->dataset.num_classes());
+    return 1;
+  }
+
+  obs::MetricsRegistry metrics;
+  ExecutorModel device_model = ExecutorModel::TeslaP100();
+  device_model.host_threads = host_threads;
+  cluster::SimCluster cluster_devices =
+      cluster::SimCluster::Homogeneous(devices, device_model);
+  ModelRegistry registry;
+
+  online::RetrainDaemonOptions options;
+  options.delta_dir = delta_dir;
+  options.requests_per_round = requests;
+  options.drift.brier_threshold = brier_threshold;
+  options.drift.metrics = &metrics;
+  options.canary.traffic_fraction = canary_fraction;
+  options.canary.tolerance = canary_tolerance;
+  options.metrics = &metrics;
+  // Warm retraining reuses the solver configuration the saved model carries;
+  // everything else (eps, working set) stays at the defaults, identically on
+  // every run, which is all byte-identity needs.
+  options.retrain.train.c = model->c;
+  options.retrain.train.kernel = model->kernel;
+  options.retrain.train.host_threads = host_threads;
+  if (chaos) {
+    options.fault = fault::FaultPlan::Chaos(chaos_seed);
+    options.retrain.fault = fault::FaultPlan::Chaos(chaos_seed);
+    options.retrain.fault_metrics = &metrics;
+    std::printf("chaos enabled (seed %llu)\n",
+                static_cast<unsigned long long>(chaos_seed));
+  }
+
+  online::RetrainDaemon daemon(options, &registry, &cluster_devices);
+  auto report = daemon.Run(file->dataset, std::move(*model));
+  if (!report.ok()) {
+    std::fprintf(stderr, "error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "deltas: %lld applied, %lld skipped\n"
+      "served: %lld requests (%lld dropped), %lld canary-sampled\n"
+      "drift: %lld arms (window brier %.4f), %lld retrains\n"
+      "pairs: %lld retrained, %lld carried, %lld retries\n"
+      "swaps: %lld committed, %lld rollbacks (final version %lld)\n",
+      static_cast<long long>(report->deltas_applied),
+      static_cast<long long>(report->deltas_skipped),
+      static_cast<long long>(report->requests_served),
+      static_cast<long long>(report->requests_dropped),
+      static_cast<long long>(report->canary_sampled),
+      static_cast<long long>(report->drift_arms), report->final_window_brier,
+      static_cast<long long>(report->retrains),
+      static_cast<long long>(report->pairs_retrained),
+      static_cast<long long>(report->pairs_carried),
+      static_cast<long long>(report->pair_retries),
+      static_cast<long long>(report->swaps_committed),
+      static_cast<long long>(report->rollbacks),
+      static_cast<long long>(report->final_model_version));
+  if (report->delta_parse_retries + report->canary_retries +
+          report->swap_retries > 0) {
+    std::printf("recovery: %lld delta-parse retries, %lld canary retries, "
+                "%lld swap retries\n",
+                static_cast<long long>(report->delta_parse_retries),
+                static_cast<long long>(report->canary_retries),
+                static_cast<long long>(report->swap_retries));
+  }
+  if (!model_out.empty()) {
+    auto handle = registry.Get("online");
+    GMP_CHECK_OK(handle.status());
+    GMP_CHECK_OK(SaveModel(*handle->model, model_out));
+    std::printf("final model written to %s\n", model_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return report->requests_dropped > 0 ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1003,5 +1257,11 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "cv") == 0) return CvCommand(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "grid") == 0) return GridCommand(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "serve") == 0) return ServeCommand(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "make-delta") == 0) {
+    return MakeDeltaCommand(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "retrain-daemon") == 0) {
+    return RetrainDaemonCommand(argc - 2, argv + 2);
+  }
   return Usage();
 }

@@ -2,7 +2,9 @@
 
 #include <cinttypes>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/string_util.h"
 #include "sparse/csr_matrix.h"
@@ -309,6 +311,7 @@ Result<CheckpointManifest> ParseCheckpointManifest(const std::string& text) {
     return fail("completed count");
   }
   manifest.completed.reserve(num_completed);
+  std::set<std::pair<int, int>> seen;
   for (size_t i = 0; i < num_completed; ++i) {
     int s = 0, t = 0;
     if (!(in >> s >> t)) return fail("completed pair");
@@ -316,6 +319,7 @@ Result<CheckpointManifest> ParseCheckpointManifest(const std::string& text) {
         t >= manifest.num_classes) {
       return fail("completed pair out of range");
     }
+    if (!seen.emplace(s, t).second) return fail("duplicate completed pair");
     manifest.completed.emplace_back(s, t);
   }
   return manifest;

@@ -401,16 +401,25 @@ Result<PairCheckpoint> SolveGmpPairImpl(
     const MpTrainOptions& options, BatchSmoSolver& solver,
     KernelComputer& computer, SharedBlockCache* cache, SimExecutor* exec,
     StreamId stream, int s, int t, const BinaryProblem& problem,
-    SolverStats* stats, double* sigmoid_seconds, bool* sigmoid_done) {
+    SolverStats* stats, double* sigmoid_seconds, bool* sigmoid_done,
+    std::span<const double> initial_alpha = {}) {
   BinarySolution solution;
   const double smo_t0 = exec->StreamTime(stream);
   if (cache != nullptr) {
     SharedRowSource source(&problem, s, t, cache, &computer);
     GMP_ASSIGN_OR_RETURN(
-        solution, solver.Solve(problem, computer, &source, exec, stream, stats));
+        solution,
+        initial_alpha.empty()
+            ? solver.Solve(problem, computer, &source, exec, stream, stats)
+            : solver.SolveWarm(problem, computer, &source, initial_alpha, exec,
+                               stream, stats));
   } else {
     GMP_ASSIGN_OR_RETURN(
-        solution, solver.Solve(problem, computer, exec, stream, stats));
+        solution,
+        initial_alpha.empty()
+            ? solver.Solve(problem, computer, exec, stream, stats)
+            : solver.SolveWarm(problem, computer, initial_alpha, exec, stream,
+                               stats));
   }
   RecordPhaseSpan(exec, stream, StrPrintf("smo %dv%d", s, t), smo_t0,
                   exec->StreamTime(stream));
@@ -967,7 +976,8 @@ Result<MpSvmModel> GmpSvmTrainer::Train(const Dataset& dataset,
 Result<std::vector<PairTrainOutcome>> TrainGmpPairSubset(
     const Dataset& dataset, const MpTrainOptions& options,
     SimExecutor* executor, const std::vector<size_t>& pair_indices,
-    const PairFaultInjectorFactory& injector_factory) {
+    const PairFaultInjectorFactory& injector_factory,
+    const PairWarmStartProvider& warm_start) {
   GMP_RETURN_NOT_OK(options.Validate(dataset.num_classes()));
   const auto pairs = dataset.ClassPairs();
   for (size_t p : pair_indices) {
@@ -1033,13 +1043,16 @@ Result<std::vector<PairTrainOutcome>> TrainGmpPairSubset(
       PairTrainOutcome outcome;
       outcome.pair_index = pair_index;
       MpTrainReport pair_report;
+      const std::vector<double> warm_alpha =
+          warm_start != nullptr ? warm_start(pair_index, problem)
+                                : std::vector<double>{};
       auto attempt = [&]() -> Result<PairCheckpoint> {
         SolverStats stats;
         double sigmoid_seconds = 0.0;
         bool sigmoid_done = false;
         Result<PairCheckpoint> result = SolveGmpPairImpl(
             options, solver, computer, cache.get(), executor, stream, s, t,
-            problem, &stats, &sigmoid_seconds, &sigmoid_done);
+            problem, &stats, &sigmoid_seconds, &sigmoid_done, warm_alpha);
         // Work done by failed attempts still counts toward the pair.
         outcome.stats.Merge(stats);
         outcome.sigmoid_seconds += sigmoid_seconds;

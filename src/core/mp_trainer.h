@@ -205,6 +205,16 @@ struct PairTrainOutcome {
 using PairFaultInjectorFactory =
     std::function<std::unique_ptr<fault::FaultInjector>(size_t pair_index)>;
 
+// Optional warm-start provider: returns the seed alphas for a pair's problem
+// (one per problem row, mapped onto the new problem's row order), or an empty
+// vector to solve cold. The online pipeline derives the seeds from the
+// previous model's PairCheckpoint; the seeds are clamped into the box and
+// constraint-repaired by BatchSmoSolver::SolveWarm, so any previous solution
+// of overlapping data is a legal seed.
+using PairWarmStartProvider =
+    std::function<std::vector<double>(size_t pair_index,
+                                      const BinaryProblem& problem)>;
+
 // Trains the subset of dataset.ClassPairs() named by `pair_indices` on one
 // executor with the GMP-SVM machinery: groups packed under the memory budget,
 // one SM-capped stream per pair in a group, an optional per-executor shared
@@ -216,7 +226,8 @@ using PairFaultInjectorFactory =
 Result<std::vector<PairTrainOutcome>> TrainGmpPairSubset(
     const Dataset& dataset, const MpTrainOptions& options,
     SimExecutor* executor, const std::vector<size_t>& pair_indices,
-    const PairFaultInjectorFactory& injector_factory = nullptr);
+    const PairFaultInjectorFactory& injector_factory = nullptr,
+    const PairWarmStartProvider& warm_start = nullptr);
 
 // Assembles the final model from per-pair checkpoints given in ClassPairs()
 // order. Rejects a vector whose size or pair labels do not match the

@@ -834,12 +834,4 @@ Result<std::vector<double>> MpSvmPredictor::PredictOne(
   return p;
 }
 
-Result<std::vector<double>> MpSvmPredictor::PredictOne(
-    std::span<const int32_t> indices, std::span<const double> values,
-    SimExecutor* executor) const {
-  PredictOptions options;
-  options.concurrent_svms = false;  // one instance cannot feed many streams
-  return PredictOne(indices, values, executor, options);
-}
-
 }  // namespace gmpsvm

@@ -204,14 +204,6 @@ class MpSvmPredictor {
                                          SimExecutor* executor,
                                          const PredictOptions& options) const;
 
-  // Deprecated forwarding overload (pre-unification signature); forwards to
-  // the options overload with sequential SVM evaluation, reproducing the
-  // legacy behavior byte for byte. Will be removed next release — migrate to
-  // PredictOne(indices, values, executor, options).
-  Result<std::vector<double>> PredictOne(std::span<const int32_t> indices,
-                                         std::span<const double> values,
-                                         SimExecutor* executor) const;
-
  private:
   Result<PredictResult> PredictCascade(const CsrMatrix& test,
                                        SimExecutor* executor,

@@ -8,7 +8,7 @@ namespace {
 constexpr const char* kSiteNames[kNumFaultSites] = {
     "device_submit",  "device_transfer", "device_alloc",  "kernel_row_batch",
     "buffer_evict",   "model_swap",      "latency_spike", "train_interrupt",
-    "device_loss",
+    "device_loss",    "delta_parse",     "canary",
 };
 
 Status CheckProb(const char* field, double p) {
@@ -47,6 +47,10 @@ double FaultPlan::ProbFor(Site site) const {
       return interrupt_after_pairs > 0 ? 1.0 : 0.0;
     case Site::kDeviceLoss:
       return device_loss_prob;
+    case Site::kDeltaParse:
+      return delta_parse_fail_prob;
+    case Site::kCanary:
+      return canary_fail_prob;
   }
   return 0.0;
 }
@@ -60,6 +64,8 @@ Status FaultPlan::Validate() const {
   GMP_RETURN_NOT_OK(CheckProb("swap_fail_prob", swap_fail_prob));
   GMP_RETURN_NOT_OK(CheckProb("latency_spike_prob", latency_spike_prob));
   GMP_RETURN_NOT_OK(CheckProb("device_loss_prob", device_loss_prob));
+  GMP_RETURN_NOT_OK(CheckProb("delta_parse_fail_prob", delta_parse_fail_prob));
+  GMP_RETURN_NOT_OK(CheckProb("canary_fail_prob", canary_fail_prob));
   if (!(latency_spike_seconds >= 0.0)) {
     return Status::InvalidArgument(
         StrPrintf("latency_spike_seconds must be >= 0, got %g",
@@ -85,6 +91,8 @@ FaultPlan FaultPlan::Chaos(uint64_t seed) {
   // High enough that a 4-device chaos run usually loses a device; the cluster
   // trainer consults it once per non-primary device, never for device 0.
   plan.device_loss_prob = 0.4;
+  plan.delta_parse_fail_prob = 0.2;
+  plan.canary_fail_prob = 0.2;
   plan.max_consecutive_per_site = 2;
   return plan;
 }

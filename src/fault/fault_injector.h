@@ -45,8 +45,10 @@ enum class Site : int {
   kTrainInterrupt,     // training aborts after N completed pairs
   kDeviceLoss,         // a cluster device dies; its unfinished pairs are
                        // rescheduled onto the surviving devices
+  kDeltaParse,         // reading a dataset delta file fails transiently
+  kCanary,             // a canary comparison batch fails transiently
 };
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 11;
 
 // Stable lowercase name for `site`, used as the {site=...} metric label.
 const char* SiteName(Site site);
@@ -65,6 +67,10 @@ struct FaultPlan {
   // Consulted once per non-primary cluster device at the start of a cluster
   // training run (device 0 never dies, so progress is always possible).
   double device_loss_prob = 0.0;
+  // Online-pipeline sites: delta-file reads and canary comparison batches
+  // fail transiently (kUnavailable); both are retried under RetryPolicy.
+  double delta_parse_fail_prob = 0.0;
+  double canary_fail_prob = 0.0;
 
   // Simulated seconds a latency spike adds to the stream it hits.
   double latency_spike_seconds = 1e-4;

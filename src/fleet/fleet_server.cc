@@ -18,6 +18,7 @@ SvStoreOptions StoreOptions(const FleetOptions& options,
   SvStoreOptions store;
   store.kernel_value_capacity =
       options.share_support_vectors ? options.sv_cache_capacity : 0;
+  store.retention = options.sv_retention;
   store.metrics = metrics;
   return store;
 }

@@ -70,6 +70,10 @@ struct FleetOptions {
   // kernel block (the reference path results are compared against).
   bool share_support_vectors = true;
   int64_t sv_cache_capacity = 1 << 20;
+  // Which whole query the store retires first on overflow; the
+  // frequency-weighted policy is opt-in, FIFO is the default.
+  SvStoreOptions::RetentionPolicy sv_retention =
+      SvStoreOptions::RetentionPolicy::kFifo;
 
   // Fleet-wide queue fraction where priority shedding begins. At fraction f
   // in (shed_start_fraction, 1], a tenant with priority p (ladder top P) is

@@ -16,9 +16,11 @@
 // batched ComputeBlock path, so probabilities are byte-identical with the
 // store attached or not, at ANY capacity. Hashes only accelerate lookup —
 // every match is confirmed by exact content comparison, so collisions cost
-// time, never correctness. Eviction retires whole queries in interning
-// order (FIFO), which is deterministic for a deterministic request
-// sequence, making hit/miss counters reproducible too.
+// time, never correctness. Eviction retires whole queries under the
+// configured retention policy — interning order (FIFO, the default) or
+// fewest-uses-first with an interning-order tie-break (frequency) — both
+// deterministic for a deterministic request sequence, making hit/miss
+// counters reproducible too.
 
 #ifndef GMPSVM_FLEET_SV_STORE_H_
 #define GMPSVM_FLEET_SV_STORE_H_
@@ -43,6 +45,17 @@ struct SvStoreOptions {
   // value caching entirely (dedup bookkeeping still runs, every Gather
   // misses); < 0 means unbounded.
   int64_t kernel_value_capacity = 1 << 20;
+
+  // Which query to retire when over capacity:
+  //   kFifo      — oldest interned query first (the original policy);
+  //   kFrequency — the query with the fewest Gather uses first, ties broken
+  //                by interning order (all-equal use counts degrade to FIFO
+  //                exactly).
+  // Both are deterministic for a deterministic request sequence, and both
+  // preserve byte-identical probabilities at any capacity — the policy only
+  // moves hit/miss counts.
+  enum class RetentionPolicy { kFifo, kFrequency };
+  RetentionPolicy retention = RetentionPolicy::kFifo;
 
   // Optional registry for gmpsvm_fleet_sv_* series; nullptr disables.
   obs::MetricsRegistry* metrics = nullptr;
@@ -94,6 +107,7 @@ class SvStore {
     std::vector<int32_t> indices;
     std::vector<double> values;
     std::unordered_map<int64_t, double> kernel_values;  // global SV id -> K
+    int64_t uses = 0;  // Gather calls that located this query (kFrequency)
   };
 
   int64_t InternSvLocked(const std::shared_ptr<const MpSvmModel>& owner,

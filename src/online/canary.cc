@@ -1,0 +1,103 @@
+#include "online/canary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace gmpsvm::online {
+
+Status CanaryOptions::Validate() const {
+  if (!(traffic_fraction >= 0.0 && traffic_fraction <= 1.0)) {
+    return Status::InvalidArgument(StrPrintf(
+        "traffic_fraction must be in [0, 1], got %g", traffic_fraction));
+  }
+  if (!(tolerance >= 0.0)) {
+    return Status::InvalidArgument(
+        StrPrintf("tolerance must be >= 0, got %g", tolerance));
+  }
+  if (min_requests < 1) {
+    return Status::InvalidArgument(
+        StrPrintf("min_requests must be >= 1, got %lld",
+                  static_cast<long long>(min_requests)));
+  }
+  return Status::OK();
+}
+
+CanaryComparator::CanaryComparator(int num_classes,
+                                   const CanaryOptions& options, uint64_t seed)
+    : num_classes_(num_classes), options_(options), rng_(Rng(seed).Fork(1)) {}
+
+bool CanaryComparator::ShouldSample() {
+  return rng_.Bernoulli(options_.traffic_fraction);
+}
+
+void CanaryComparator::Record(std::span<const double> incumbent,
+                              std::span<const double> candidate,
+                              int32_t truth) {
+  double linf = 0.0;
+  double incumbent_brier = 0.0;
+  double candidate_brier = 0.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double po = incumbent[static_cast<size_t>(c)];
+    const double pn = candidate[static_cast<size_t>(c)];
+    linf = std::max(linf, std::fabs(pn - po));
+    if (truth >= 0) {
+      const double target = (c == truth) ? 1.0 : 0.0;
+      incumbent_brier += (po - target) * (po - target);
+      candidate_brier += (pn - target) * (pn - target);
+    }
+  }
+  ++sampled_;
+  sum_disagreement_ += linf;
+  max_disagreement_ = std::max(max_disagreement_, linf);
+  if (truth >= 0) {
+    ++labeled_;
+    incumbent_brier_sum_ += incumbent_brier;
+    candidate_brier_sum_ += candidate_brier;
+  }
+}
+
+CanaryVerdict CanaryComparator::Verdict() const {
+  CanaryVerdict verdict;
+  verdict.requests_sampled = sampled_;
+  verdict.labeled_requests = labeled_;
+  verdict.max_disagreement = max_disagreement_;
+  verdict.mean_disagreement =
+      sampled_ > 0 ? sum_disagreement_ / static_cast<double>(sampled_) : 0.0;
+  if (labeled_ > 0) {
+    verdict.incumbent_brier =
+        incumbent_brier_sum_ / static_cast<double>(labeled_);
+    verdict.candidate_brier =
+        candidate_brier_sum_ / static_cast<double>(labeled_);
+  }
+
+  if (sampled_ < options_.min_requests) {
+    verdict.passed = false;
+    verdict.reason = StrPrintf(
+        "sampled %lld requests, need %lld",
+        static_cast<long long>(sampled_),
+        static_cast<long long>(options_.min_requests));
+    return verdict;
+  }
+  if (max_disagreement_ > options_.tolerance) {
+    verdict.passed = false;
+    verdict.reason = StrPrintf(
+        "max disagreement %g exceeds tolerance %g", max_disagreement_,
+        options_.tolerance);
+    return verdict;
+  }
+  if (options_.brier_slack >= 0.0 && labeled_ > 0 &&
+      verdict.candidate_brier > verdict.incumbent_brier + options_.brier_slack) {
+    verdict.passed = false;
+    verdict.reason = StrPrintf(
+        "candidate Brier %g worse than incumbent %g + slack %g",
+        verdict.candidate_brier, verdict.incumbent_brier, options_.brier_slack);
+    return verdict;
+  }
+  verdict.passed = true;
+  verdict.reason = "ok";
+  return verdict;
+}
+
+}  // namespace gmpsvm::online

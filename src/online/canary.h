@@ -1,0 +1,100 @@
+// Canary-gated model comparison for hot-swaps.
+//
+// Before a retrained model replaces the serving one, a configurable fraction
+// of live traffic is shadowed onto the candidate: the old model's answer is
+// what the client receives (the fleet never stops answering), and the
+// candidate's probabilities for the same request are compared side by side.
+// The canary passes when enough requests were sampled, no per-request
+// disagreement exceeded the tolerance, and — when delayed labels are
+// available — the candidate's Brier score over the sampled requests is not
+// worse than the incumbent's by more than the allowed slack.
+//
+// Sampling is a deterministic seeded Bernoulli draw per request, so the same
+// traffic and seed canary the same requests — and produce the same verdict —
+// on any devices x host-threads topology.
+
+#ifndef GMPSVM_ONLINE_CANARY_H_
+#define GMPSVM_ONLINE_CANARY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace gmpsvm::online {
+
+struct CanaryOptions {
+  // Fraction of live traffic shadowed onto the candidate, in [0, 1].
+  double traffic_fraction = 0.25;
+
+  // Maximum allowed per-request probability disagreement, measured as the
+  // L-infinity distance between the two models' class-probability vectors.
+  // Drift-correcting retrains legitimately move probabilities, so this is a
+  // guard against a broken candidate (degraded pairs, corrupted pool), not a
+  // similarity requirement — the default tolerates real model movement.
+  double tolerance = 0.9;
+
+  // Minimum sampled requests before a verdict can pass; a canary that saw
+  // fewer requests fails closed.
+  int64_t min_requests = 8;
+
+  // When labeled canary traffic is recorded, reject a candidate whose Brier
+  // score over the sampled requests exceeds the incumbent's by more than
+  // this slack. < 0 disables the quality gate.
+  double brier_slack = 0.1;
+
+  // kInvalidArgument naming the offending field, or OK.
+  Status Validate() const;
+};
+
+struct CanaryVerdict {
+  bool passed = false;
+  int64_t requests_sampled = 0;
+  double max_disagreement = 0.0;   // max per-request L-inf distance
+  double mean_disagreement = 0.0;  // mean per-request L-inf distance
+  // Brier scores over the labeled sampled requests (0 when none carried
+  // labels).
+  double incumbent_brier = 0.0;
+  double candidate_brier = 0.0;
+  int64_t labeled_requests = 0;
+  std::string reason;  // human-readable pass/fail cause
+};
+
+// Accumulates side-by-side comparisons for one canary phase. Not
+// thread-safe; the daemon drives one comparator per canary round.
+class CanaryComparator {
+ public:
+  CanaryComparator(int num_classes, const CanaryOptions& options,
+                   uint64_t seed);
+
+  // Deterministic per-request sampling decision; call exactly once per
+  // request in arrival order.
+  bool ShouldSample();
+
+  // Records one sampled request's probabilities under both models.
+  // `truth` < 0 means the label has not arrived; the request still counts
+  // toward the disagreement gate but not the Brier gate.
+  void Record(std::span<const double> incumbent,
+              std::span<const double> candidate, int32_t truth = -1);
+
+  // The verdict over everything recorded so far.
+  CanaryVerdict Verdict() const;
+
+ private:
+  int num_classes_;
+  CanaryOptions options_;
+  Rng rng_;
+
+  int64_t sampled_ = 0;
+  int64_t labeled_ = 0;
+  double max_disagreement_ = 0.0;
+  double sum_disagreement_ = 0.0;
+  double incumbent_brier_sum_ = 0.0;
+  double candidate_brier_sum_ = 0.0;
+};
+
+}  // namespace gmpsvm::online
+
+#endif  // GMPSVM_ONLINE_CANARY_H_

@@ -1,0 +1,85 @@
+// Dataset deltas: the append-only change format the online pipeline consumes.
+//
+// A delta records what changed since a base dataset — rows added to a class
+// and rows relabeled between classes — as `model_io`-style text, fingerprinted
+// like the training checkpoints so a delta can never be applied against the
+// wrong base. Applying a delta is deterministic: added rows are appended in
+// op order (existing row ids never move), relabels rewrite labels in place,
+// and the result carries a content fingerprint of its own, so the same base
+// plus the same delta chain yields a byte-identical dataset everywhere.
+//
+// Row-id stability is what makes warm-start retraining sound: a pair (s, t)
+// whose classes a delta never touches has exactly the same ClassRows over
+// exactly the same row content before and after the apply, so its previous
+// PairCheckpoint can be carried into the new model byte for byte.
+//
+// All parse failures are kInvalidArgument (corrupt deltas are caller data
+// errors), never a crash, matching the checkpoint-parsing contract.
+
+#ifndef GMPSVM_ONLINE_DELTA_H_
+#define GMPSVM_ONLINE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace gmpsvm::online {
+
+// One delta operation. kAdd appends a new row with the given label and sparse
+// features; kRelabel changes an existing row's label (the old label is
+// recorded so an apply against a drifted base fails loudly instead of
+// silently corrupting class rows).
+struct DeltaOp {
+  enum class Kind { kAdd, kRelabel };
+  Kind kind = Kind::kAdd;
+
+  // kAdd: the new row's class and features (0-based, strictly increasing).
+  int32_t label = 0;
+  std::vector<int32_t> indices;
+  std::vector<double> values;
+
+  // kRelabel: global row id, expected current label, and the new label.
+  int32_t row = 0;
+  int32_t old_label = 0;
+  int32_t new_label = 0;
+};
+
+struct DatasetDelta {
+  // DatasetFingerprint of the base this delta applies to; ApplyDelta rejects
+  // a mismatch.
+  uint64_t base_fingerprint = 0;
+  int num_classes = 0;
+  std::vector<DeltaOp> ops;
+};
+
+// FNV-1a over a dataset's full content: class count, shape, labels, and the
+// CSR arrays. Pure content hash — independent of the dataset's name — so the
+// same rows and labels always fingerprint identically.
+uint64_t DatasetFingerprint(const Dataset& dataset);
+
+// Text round-trip (`gmpsvm_delta_v1` magic). Serialize uses %.17g-precision
+// doubles so a written delta applies bit-identically after a round trip.
+std::string SerializeDelta(const DatasetDelta& delta);
+Result<DatasetDelta> ParseDelta(const std::string& text);
+
+// File wrappers (open/write failures are kIoError, parse failures stay
+// kInvalidArgument).
+Status SaveDelta(const DatasetDelta& delta, const std::string& path);
+Result<DatasetDelta> LoadDelta(const std::string& path);
+
+// The classes whose pairwise problems the delta invalidates: every added
+// row's label plus both sides of every relabel. Sorted, deduplicated.
+std::vector<int> AffectedClasses(const DatasetDelta& delta);
+
+// Applies the delta to `base`: verifies the base fingerprint and class count,
+// appends added rows in op order, applies relabels (rejecting a mismatched
+// old_label), and returns the new dataset. The result's name is the base name
+// with a "+delta" suffix; existing row ids are preserved verbatim.
+Result<Dataset> ApplyDelta(const Dataset& base, const DatasetDelta& delta);
+
+}  // namespace gmpsvm::online
+
+#endif  // GMPSVM_ONLINE_DELTA_H_

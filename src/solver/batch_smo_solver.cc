@@ -169,6 +169,17 @@ Result<BinarySolution> BatchSmoSolver::SolveWarm(const BinaryProblem& problem,
                    stats);
 }
 
+Result<BinarySolution> BatchSmoSolver::SolveWarm(const BinaryProblem& problem,
+                                                 const KernelComputer& computer,
+                                                 KernelRowSource* source,
+                                                 std::span<const double> initial_alpha,
+                                                 SimExecutor* executor,
+                                                 StreamId stream,
+                                                 SolverStats* stats) const {
+  return SolveImpl(problem, computer, source, initial_alpha, executor, stream,
+                   stats);
+}
+
 Result<BinarySolution> BatchSmoSolver::SolveImpl(const BinaryProblem& problem,
                                                  const KernelComputer& computer,
                                                  KernelRowSource* source,

@@ -105,6 +105,17 @@ class BatchSmoSolver {
                                    SimExecutor* executor, StreamId stream,
                                    SolverStats* stats) const;
 
+  // Warm-started solve against an explicit kernel-row source (the shared
+  // kernel-block path); otherwise identical to SolveWarm above. This is the
+  // online pipeline's retraining entry point: initial_alpha comes from the
+  // previous model's per-pair checkpoint, mapped onto the new problem's rows.
+  Result<BinarySolution> SolveWarm(const BinaryProblem& problem,
+                                   const KernelComputer& computer,
+                                   KernelRowSource* source,
+                                   std::span<const double> initial_alpha,
+                                   SimExecutor* executor, StreamId stream,
+                                   SolverStats* stats) const;
+
  private:
   Result<BinarySolution> SolveImpl(const BinaryProblem& problem,
                                    const KernelComputer& computer,

@@ -165,6 +165,31 @@ TEST(ModelIoTest, MalformedInputsReturnErrorsNeverCrash) {
       {"binary junk", std::string("gmpsvm_model_v1\n\x01\x02\xff\xfe\x00junk",
                                   25)},
       {"valid with junk magic suffix", "x" + valid},
+      // v2 cascade section edges: the count must equal the svm count, every
+      // entry must be a full numeric triple, and the section must still be
+      // followed by pool_rows.
+      {"cascade count mismatch", "gmpsvm_model_v2\nnum_classes 2\nc 1\n"
+                                 "kernel gaussian 0.5 0 3\npool 1 5\nsvms 1\n"
+                                 "svm 0 1 0.0 1.0 0.0 1\n0:1.0\n"
+                                 "cascade 2\n0.5 0.5 0.5\n0.5 0.5 0.5\n"
+                                 "pool_rows 0\n0:1\n"},
+      {"cascade huge count", "gmpsvm_model_v2\nnum_classes 2\nc 1\n"
+                             "kernel gaussian 0.5 0 3\npool 1 5\nsvms 1\n"
+                             "svm 0 1 0.0 1.0 0.0 1\n0:1.0\n"
+                             "cascade 999999999999999999\n"},
+      {"cascade non-numeric entry", "gmpsvm_model_v2\nnum_classes 2\nc 1\n"
+                                    "kernel gaussian 0.5 0 3\npool 1 5\n"
+                                    "svms 1\nsvm 0 1 0.0 1.0 0.0 1\n0:1.0\n"
+                                    "cascade 1\n0.5 abc 0.5\npool_rows 0\n"
+                                    "0:1\n"},
+      {"cascade truncated entry", "gmpsvm_model_v2\nnum_classes 2\nc 1\n"
+                                  "kernel gaussian 0.5 0 3\npool 1 5\nsvms 1\n"
+                                  "svm 0 1 0.0 1.0 0.0 1\n0:1.0\n"
+                                  "cascade 1\n0.5 0.5\n"},
+      {"cascade without pool_rows", "gmpsvm_model_v2\nnum_classes 2\nc 1\n"
+                                    "kernel gaussian 0.5 0 3\npool 1 5\n"
+                                    "svms 1\nsvm 0 1 0.0 1.0 0.0 1\n0:1.0\n"
+                                    "cascade 1\n0.5 0.5 0.5\n"},
   };
   for (const auto& test_case : kCases) {
     auto result = DeserializeModel(test_case.text);

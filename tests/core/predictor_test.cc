@@ -282,21 +282,6 @@ TEST(MpSvmPredictorTest, PredictOneMatchesBatchRow) {
   for (int c = 0; c < 3; ++c) EXPECT_EQ(one[static_cast<size_t>(c)], batch.Probability(0, c));
 }
 
-TEST(MpSvmPredictorTest, DeprecatedPredictOneOverloadStillMatches) {
-  // The pre-unification 3-argument PredictOne must keep returning the same
-  // bytes as the options overload with sequential evaluation.
-  TrainedFixture fx = MakeFixture(3, 67);
-  SimExecutor e1 = Gpu(), e2 = Gpu();
-  PredictOptions sequential;
-  sequential.concurrent_svms = false;
-  const auto idx = fx.test.features().RowIndices(1);
-  const auto val = fx.test.features().RowValues(1);
-  MpSvmPredictor predictor(&fx.model);
-  auto legacy = ValueOrDie(predictor.PredictOne(idx, val, &e1));
-  auto unified = ValueOrDie(predictor.PredictOne(idx, val, &e2, sequential));
-  EXPECT_EQ(legacy, unified);
-}
-
 TEST(MpSvmPredictorTest, PredictOneCarriesCascadeOptions) {
   // The unified entry point exposes the whole options surface: a cascade
   // PredictOne call must reproduce the cascade batch path's row exactly.

@@ -159,6 +159,12 @@ TEST(CheckpointManifestTest, HostileInputsAreInvalidArgument) {
       "gmpsvm_checkpoint_v1\nfingerprint 1\nnum_classes 3\ncompleted 1\n2 "
       "2\n",  // s == t
       "gmpsvm_model_v1\nfingerprint 1\nnum_classes 3\ncompleted 0\n",
+      "gmpsvm_checkpoint_v1\nfingerprint 1\nnum_classes 3\ncompleted 2\n"
+      "0 1\n0 1\n",  // duplicate completed pair
+      "gmpsvm_checkpoint_v1\nfingerprint 1\nnum_classes 3\ncompleted 3\n"
+      "0 1\n0 2\n0 1\n",  // duplicate after a distinct pair
+      "gmpsvm_checkpoint_v1\nfingerprint xyz\nnum_classes 3\ncompleted 0\n",
+      "gmpsvm_checkpoint_v1\nchecksum 1\nnum_classes 3\ncompleted 0\n",
   };
   for (const auto& text : hostile) {
     auto result = ParseCheckpointManifest(text);
