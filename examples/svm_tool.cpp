@@ -73,6 +73,7 @@
 #include "obs/span.h"
 #include "serve/replica_router.h"
 #include "serve/server.h"
+#include "simd/simd.h"
 
 using namespace gmpsvm;  // NOLINT: example brevity
 
@@ -106,6 +107,12 @@ int Usage() {
                "      [--host-threads N] [--devices N] [--chaos-seed s]\n"
                "      [--metrics-out m.prom] [--model-out model.out]\n"
                "      <data> <model>\n"
+               "  svm_tool bench-env      (print detected ISA / SIMD tier)\n"
+               "--simd auto|scalar|avx2|neon selects the host SIMD tier for\n"
+               "every command (global flag, any position; default auto =\n"
+               "best supported). All tiers are byte-identical — docs/\n"
+               "performance.md — so the flag is a speed knob only; asking\n"
+               "for an unsupported tier is a usage error.\n"
                "--host-threads sets real worker threads for the hot paths;\n"
                "outputs are byte-identical for every value (wall clock only)\n"
                "--devices shards train/predict/serve across a simulated\n"
@@ -183,6 +190,14 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
   }
   out << content;
   return true;
+}
+
+// Dumps the observability registry as Prometheus text, publishing the SIMD
+// dispatch counters first so every metrics dump carries the gmpsvm_simd_*
+// series (active tier, per-path call/flop counters, effective GFLOP/s).
+bool WriteMetricsFile(obs::MetricsRegistry* metrics, const std::string& path) {
+  simd::PublishMetrics(metrics);
+  return WriteTextFile(path, metrics->ToPrometheusText());
 }
 
 int ScaleCommand(int argc, char** argv) {
@@ -432,7 +447,7 @@ int TrainCommand(int argc, char** argv) {
         cluster_devices.device(d)->counters().PublishTo(
             &metrics, {{"device", std::to_string(d)}});
       }
-      if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+      if (!WriteMetricsFile(&metrics, metrics_out)) return 1;
       std::printf("metrics written to %s\n", metrics_out.c_str());
     }
     if (!trace_out.empty()) {
@@ -480,7 +495,7 @@ int TrainCommand(int argc, char** argv) {
   if (!metrics_out.empty()) {
     gpu.counters().PublishTo(&metrics);
     report.PublishTo(&metrics);
-    if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+    if (!WriteMetricsFile(&metrics, metrics_out)) return 1;
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {
@@ -812,7 +827,7 @@ int FleetServeCommand(const std::string& config_path, int num_requests,
 
   GMP_CHECK_OK(fleet_server.Shutdown());
   if (!metrics_out.empty()) {
-    if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+    if (!WriteMetricsFile(&metrics, metrics_out)) return 1;
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {
@@ -992,7 +1007,7 @@ int ServeCommand(int argc, char** argv) {
     GMP_CHECK_OK(server->Shutdown());
   }
   if (!metrics_out.empty()) {
-    if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+    if (!WriteMetricsFile(&metrics, metrics_out)) return 1;
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {
@@ -1241,7 +1256,7 @@ int RetrainDaemonCommand(int argc, char** argv) {
     std::printf("final model written to %s\n", model_out.c_str());
   }
   if (!metrics_out.empty()) {
-    if (!WriteTextFile(metrics_out, metrics.ToPrometheusText())) return 1;
+    if (!WriteMetricsFile(&metrics, metrics_out)) return 1;
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   return report->requests_dropped > 0 ? 3 : 0;
@@ -1250,7 +1265,43 @@ int RetrainDaemonCommand(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global --simd flag: accepted anywhere on the command line (before or
+  // after the subcommand), stripped from argv before subcommand parsing so
+  // the per-command loops never see it. Sets the process-wide active tier.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strncmp(argv[i], "--simd=", 7) == 0) {
+      value = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--simd") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --simd needs a value\n");
+        return 2;
+      }
+      value = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    Result<simd::SimdTier> tier = simd::TierFromString(value);
+    if (!tier.ok()) {
+      std::fprintf(stderr, "error: %s\n", tier.status().message().c_str());
+      return 2;
+    }
+    Status set = simd::SetActiveTier(*tier);
+    if (!set.ok()) {
+      std::fprintf(stderr, "error: %s\n", set.message().c_str());
+      return 2;
+    }
+  }
+  argc = kept;
+
   if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "bench-env") == 0) {
+    if (argc != 2) return Usage();
+    std::printf("%s\n", simd::DescribeEnvironment().c_str());
+    return 0;
+  }
   if (std::strcmp(argv[1], "train") == 0) return TrainCommand(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "predict") == 0) return PredictCommand(argc - 2, argv + 2);
   if (std::strcmp(argv[1], "scale") == 0) return ScaleCommand(argc - 2, argv + 2);

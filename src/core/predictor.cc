@@ -16,6 +16,14 @@ inline double& RAt(std::vector<double>& r, int k, int64_t i, int s, int t) {
   return r[(static_cast<size_t>(i) * k + s) * k + t];
 }
 
+// The coupling stage inherits the predict-level SIMD tier unless it was
+// overridden explicitly.
+CouplingOptions ResolveCoupling(const PredictOptions& options) {
+  CouplingOptions coupling = options.coupling;
+  if (coupling.simd == simd::SimdTier::kAuto) coupling.simd = options.simd;
+  return coupling;
+}
+
 }  // namespace
 
 Status CascadeOptions::Validate() const {
@@ -51,6 +59,16 @@ Status PredictOptions::Validate() const {
   if (!(coupling.eps > 0.0)) {
     return Status::InvalidArgument(
         StrPrintf("coupling.eps must be positive, got %g", coupling.eps));
+  }
+  if (!simd::TierSupported(simd)) {
+    return Status::InvalidArgument(
+        StrPrintf("simd tier '%s' is not supported on this CPU",
+                  simd::TierName(simd)));
+  }
+  if (!simd::TierSupported(coupling.simd)) {
+    return Status::InvalidArgument(
+        StrPrintf("coupling.simd tier '%s' is not supported on this CPU",
+                  simd::TierName(coupling.simd)));
   }
   GMP_RETURN_NOT_OK(cascade.Validate());
   if (cascade.mode == CascadeOptions::Mode::kEliminate &&
@@ -96,7 +114,10 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
                      static_cast<double>(test.ByteSize() + model.ByteSize()),
                      TransferDirection::kHostToDevice);
 
-  KernelComputer computer(&test, &model.support_vectors, model.kernel);
+  KernelComputer computer(&test, &model.support_vectors, model.kernel,
+                          options.simd);
+  const simd::SimdOps& ops = simd::OpsFor(options.simd);
+  const CouplingOptions coupling = ResolveCoupling(options);
 
   // Tile size: the shared kernel block (tile x pool doubles) should use at
   // most ~1/4 of the remaining device memory.
@@ -221,16 +242,15 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
       std::vector<double> v(static_cast<size_t>(tile), svm.bias);
       if (options.share_kernel_values) {
         // Gather from the shared block; tile rows write disjoint v entries.
+        // The coefficient-times-kernel-value sum runs through the tier's
+        // canonical gather-dot (the same tree the cascade's lazy path uses).
         executor->HostParallelFor(
             tile, /*min_chunk=*/64, [&](int64_t begin, int64_t end) {
               for (int64_t i = begin; i < end; ++i) {
                 const double* krow = kblock.data() + i * pool;
-                double acc = 0.0;
-                for (int64_t m = 0; m < nsv; ++m) {
-                  acc += svm.sv_coef[static_cast<size_t>(m)] *
-                         krow[svm.sv_pool_index[static_cast<size_t>(m)]];
-                }
-                v[static_cast<size_t>(i)] += acc;
+                v[static_cast<size_t>(i)] +=
+                    ops.gather_dot(svm.sv_coef.data(), svm.sv_pool_index.data(),
+                                   nsv, krow);
               }
             });
         TaskCost cost;
@@ -249,11 +269,8 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
               tile, /*min_chunk=*/64, [&](int64_t begin, int64_t end) {
                 for (int64_t i = begin; i < end; ++i) {
                   const double* krow = kpair.data() + i * nsv;
-                  double acc = 0.0;
-                  for (int64_t m = 0; m < nsv; ++m) {
-                    acc += svm.sv_coef[static_cast<size_t>(m)] * krow[m];
-                  }
-                  v[static_cast<size_t>(i)] += acc;
+                  v[static_cast<size_t>(i)] +=
+                      ops.dot(svm.sv_coef.data(), krow, nsv);
                 }
               });
           TaskCost cost;
@@ -315,8 +332,8 @@ Result<PredictResult> MpSvmPredictor::Predict(const CsrMatrix& test,
     } else {
       const double t2 = executor->StreamTime(kDefaultStream);
       p.resize(static_cast<size_t>(tile) * k);
-      GMP_RETURN_NOT_OK(CoupleBatch(r, k, tile, options.coupling, executor,
-                                    kDefaultStream, p.data()));
+      GMP_RETURN_NOT_OK(
+          CoupleBatch(r, k, tile, coupling, executor, kDefaultStream, p.data()));
       result.phases.Add("coupling", executor->StreamTime(kDefaultStream) - t2);
 
       for (int64_t i = 0; i < tile; ++i) {
@@ -391,8 +408,10 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
                      static_cast<double>(test.ByteSize() + model.ByteSize()),
                      TransferDirection::kHostToDevice);
 
-  KernelComputer computer(&test, &model.support_vectors, model.kernel);
-  const double fpv = computer.function().FlopsPerValue();
+  KernelComputer computer(&test, &model.support_vectors, model.kernel,
+                          options.simd);
+  const simd::SimdOps& ops = simd::OpsFor(options.simd);
+  const CouplingOptions coupling = ResolveCoupling(options);
 
   // Elimination scan order: most discriminative pairs first; models without
   // cascade stats (v1 files) degrade to pair-index order. Stable sort breaks
@@ -431,12 +450,15 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
 
   // Per-row accounting, aggregated serially after the parallel loop so that
   // charges and executor counters never depend on the thread partition.
+  // Kernel-row work is carried as OpStats straight from
+  // ComputeRowTargetsHost, so lazy rows charge flops/bytes exactly like the
+  // batched paths do (satellite of the SIMD-tier change).
   struct RowCounters {
-    int64_t elim_nnz = 0;    // target nnz streamed in the elimination stage
+    OpStats elim_stats;      // elimination-stage kernel-row work
     int64_t elim_fresh = 0;  // kernel values computed in the elimination stage
     int64_t elim_refs = 0;   // SV references gathered in the elimination stage
     int64_t elim_evals = 0;  // binary evals (incl. survivor-clique completion)
-    int64_t fb_nnz = 0;      // fallback: nnz to complete the kernel row
+    OpStats fb_stats;        // fallback: kernel-row completion work
     int64_t fb_fresh = 0;    // fallback: kernel values computed
     int64_t fb_refs = 0;     // fallback: SV references gathered
     int64_t coup_cube = 0;   // coupled subset size cubed (coupling flops)
@@ -507,9 +529,10 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
 
             // One binary SVM's decision value, computing missing kernel
             // values lazily (shared) or per evaluation (ablation). The
-            // accumulation order matches the exact path: acc over the SV
-            // list in order, v = bias + acc.
-            const auto eval = [&](const BinarySvmEntry& svm, int64_t* nnz,
+            // coefficient gather runs through the tier's canonical
+            // gather-dot — the same tree as the exact path — and kernel-row
+            // work is accumulated as OpStats from ComputeRowTargetsHost.
+            const auto eval = [&](const BinarySvmEntry& svm, OpStats* stats,
                                   int64_t* fresh, int64_t* refs) -> double {
               const int64_t nsv = svm.num_svs();
               double acc = 0.0;
@@ -524,28 +547,23 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
                 }
                 if (!pending.empty()) {
                   fresh_vals.resize(pending.size());
-                  *nnz += computer.ComputeRowTargetsHost(row_id, pending,
-                                                         fresh_vals.data());
+                  *stats += computer.ComputeRowTargetsHost(row_id, pending,
+                                                           fresh_vals.data());
                   for (size_t j = 0; j < pending.size(); ++j) {
                     krow[pending[j]] = fresh_vals[j];
                   }
                   *fresh += static_cast<int64_t>(pending.size());
                 }
-                for (int64_t m = 0; m < nsv; ++m) {
-                  acc += svm.sv_coef[static_cast<size_t>(m)] *
-                         krow[svm.sv_pool_index[static_cast<size_t>(m)]];
-                }
+                acc = ops.gather_dot(svm.sv_coef.data(),
+                                     svm.sv_pool_index.data(), nsv, krow);
               } else {
                 if (nsv > 0) {
                   ktmp.resize(static_cast<size_t>(nsv));
-                  *nnz += computer.ComputeRowTargetsHost(
+                  *stats += computer.ComputeRowTargetsHost(
                       row_id, svm.sv_pool_index, ktmp.data());
                   *fresh += nsv;
                 }
-                for (int64_t m = 0; m < nsv; ++m) {
-                  acc += svm.sv_coef[static_cast<size_t>(m)] *
-                         ktmp[static_cast<size_t>(m)];
-                }
+                acc = ops.dot(svm.sv_coef.data(), ktmp.data(), nsv);
               }
               *refs += nsv;
               return svm.bias + acc;
@@ -578,7 +596,7 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
                 continue;
               }
               const double v =
-                  eval(svm, &c.elim_nnz, &c.elim_fresh, &c.elim_refs);
+                  eval(svm, &c.elim_stats, &c.elim_fresh, &c.elim_refs);
               const double r = svm.sigmoid.Probability(v);
               rpair[static_cast<size_t>(pi)] = r;
               rdone[static_cast<size_t>(pi)] = 1;
@@ -617,7 +635,7 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
                   if (rdone[static_cast<size_t>(pi)] != 0) continue;
                   const BinarySvmEntry& svm = model.svms[static_cast<size_t>(pi)];
                   const double v =
-                      eval(svm, &c.elim_nnz, &c.elim_fresh, &c.elim_refs);
+                      eval(svm, &c.elim_stats, &c.elim_fresh, &c.elim_refs);
                   rpair[static_cast<size_t>(pi)] = svm.sigmoid.Probability(v);
                   rdone[static_cast<size_t>(pi)] = 1;
                   ++c.elim_evals;
@@ -634,7 +652,7 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
                 }
               }
               Result<std::vector<double>> sub =
-                  CoupleProbabilities(rsub, ks, options.coupling);
+                  CoupleProbabilities(rsub, ks, coupling);
               if (!sub.ok()) {
                 row_status[static_cast<size_t>(i)] = sub.status();
                 continue;
@@ -671,7 +689,7 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
                 }
                 if (!pending.empty()) {
                   fresh_vals.resize(pending.size());
-                  c.fb_nnz += computer.ComputeRowTargetsHost(
+                  c.fb_stats += computer.ComputeRowTargetsHost(
                       row_id, pending, fresh_vals.data());
                   for (size_t j = 0; j < pending.size(); ++j) {
                     krow[pending[j]] = fresh_vals[j];
@@ -684,15 +702,12 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
                 const int64_t nsv = svm.num_svs();
                 double v;
                 if (share) {
-                  double acc = 0.0;
-                  for (int64_t m = 0; m < nsv; ++m) {
-                    acc += svm.sv_coef[static_cast<size_t>(m)] *
-                           krow[svm.sv_pool_index[static_cast<size_t>(m)]];
-                  }
-                  v = svm.bias + acc;
+                  v = svm.bias + ops.gather_dot(svm.sv_coef.data(),
+                                                svm.sv_pool_index.data(), nsv,
+                                                krow);
                   c.fb_refs += nsv;
                 } else {
-                  v = eval(svm, &c.fb_nnz, &c.fb_fresh, &c.fb_refs);
+                  v = eval(svm, &c.fb_stats, &c.fb_fresh, &c.fb_refs);
                 }
                 const double prob_s = svm.sigmoid.Probability(v);
                 rfull[static_cast<size_t>(svm.class_s) * k + svm.class_t] =
@@ -701,7 +716,7 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
                     1.0 - prob_s;
               }
               Result<std::vector<double>> full =
-                  CoupleProbabilities(rfull, k, options.coupling);
+                  CoupleProbabilities(rfull, k, coupling);
               if (!full.ok()) {
                 row_status[static_cast<size_t>(i)] = full.status();
                 continue;
@@ -725,17 +740,19 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
       GMP_RETURN_NOT_OK(status);
     }
 
-    // Aggregate counters in row order and charge the stages. All totals are
-    // integer-derived, so they are invariant to the thread partition.
-    int64_t elim_nnz = 0, elim_fresh = 0, elim_refs = 0, elim_evals = 0;
-    int64_t fb_nnz = 0, fb_fresh = 0, fb_refs = 0, fb_rows = 0;
+    // Aggregate counters in row order and charge the stages. The OpStats
+    // sums replay the serial row order, so charges are invariant to the
+    // thread partition.
+    OpStats elim_stats, fb_stats;
+    int64_t elim_fresh = 0, elim_refs = 0, elim_evals = 0;
+    int64_t fb_fresh = 0, fb_refs = 0, fb_rows = 0;
     int64_t coup = 0, eliminated = 0;
     for (const RowCounters& c : rc) {
-      elim_nnz += c.elim_nnz;
+      elim_stats += c.elim_stats;
       elim_fresh += c.elim_fresh;
       elim_refs += c.elim_refs;
       elim_evals += c.elim_evals;
-      fb_nnz += c.fb_nnz;
+      fb_stats += c.fb_stats;
       fb_fresh += c.fb_fresh;
       fb_refs += c.fb_refs;
       fb_rows += c.fallback;
@@ -755,17 +772,18 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
         (elim_refs + fb_refs) - (elim_fresh + fb_fresh);
 
     {
+      // Kernel-row work (dots + transforms) comes straight from the OpStats
+      // the lazy rows accumulated — the same accounting the batched paths
+      // use; the gather/sigmoid terms are charged on top.
       TaskCost cost;
       cost.parallel_items = tile;
-      cost.flops = 2.0 * static_cast<double>(elim_nnz) +
-                   fpv * static_cast<double>(elim_fresh) +
-                   2.0 * static_cast<double>(elim_refs) +
+      cost.flops = elim_stats.flops + 2.0 * static_cast<double>(elim_refs) +
                    10.0 * static_cast<double>(elim_evals);
-      cost.bytes_read =
-          static_cast<double>(elim_nnz + elim_refs) *
-              (sizeof(double) + sizeof(int32_t)) +
-          static_cast<double>(gathered) * sizeof(double);
-      cost.bytes_written = static_cast<double>(elim_fresh) * sizeof(double);
+      cost.bytes_read = elim_stats.bytes_read +
+                        static_cast<double>(elim_refs) *
+                            (sizeof(double) + sizeof(int32_t)) +
+                        static_cast<double>(gathered) * sizeof(double);
+      cost.bytes_written = elim_stats.bytes_written;
       executor->Charge(kDefaultStream, cost);
       result.phases.Add("elimination",
                         executor->StreamTime(kDefaultStream) - elim_t0);
@@ -774,12 +792,11 @@ Result<PredictResult> MpSvmPredictor::PredictCascade(
       const double t1 = executor->StreamTime(kDefaultStream);
       TaskCost dv;
       dv.parallel_items = fb_rows;
-      dv.flops = 2.0 * static_cast<double>(fb_nnz) +
-                 fpv * static_cast<double>(fb_fresh) +
-                 2.0 * static_cast<double>(fb_refs);
-      dv.bytes_read = static_cast<double>(fb_nnz + fb_refs) *
-                      (sizeof(double) + sizeof(int32_t));
-      dv.bytes_written = static_cast<double>(fb_fresh) * sizeof(double);
+      dv.flops = fb_stats.flops + 2.0 * static_cast<double>(fb_refs);
+      dv.bytes_read = fb_stats.bytes_read +
+                      static_cast<double>(fb_refs) *
+                          (sizeof(double) + sizeof(int32_t));
+      dv.bytes_written = fb_stats.bytes_written;
       executor->Charge(kDefaultStream, dv);
       result.phases.Add("decision_values",
                         executor->StreamTime(kDefaultStream) - t1);

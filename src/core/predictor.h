@@ -131,6 +131,12 @@ struct PredictOptions {
 
   CouplingOptions coupling;
 
+  // SIMD tier for the host hot paths (kernel dots/transforms, decision-value
+  // gathers; kAuto = the process-wide active tier, i.e. the `--simd=` flag
+  // or hardware detection). Every tier is byte-identical — a speed knob
+  // only. Also seeds coupling.simd when that is left at kAuto.
+  simd::SimdTier simd = simd::SimdTier::kAuto;
+
   // Class-elimination cascade; the default (kExact) reproduces the full
   // pipeline bit for bit.
   CascadeOptions cascade;

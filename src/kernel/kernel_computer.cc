@@ -5,21 +5,47 @@
 namespace gmpsvm {
 namespace {
 
+// Applies the dot->kernel transform of one row in place through the SIMD
+// tier. The vector transforms replay FromDot's exact per-lane op sequence
+// (simd/simd_math.h), so every tier — and the scalar FromDot itself — agrees
+// bitwise.
+void TransformRow(const KernelFunction& fn, const simd::SimdOps& ops,
+                  double norm_row, std::span<const double> norms_b,
+                  std::span<const int32_t> targets, double* row) {
+  const KernelParams& p = fn.params();
+  const int64_t n = static_cast<int64_t>(targets.size());
+  switch (p.type) {
+    case KernelType::kGaussian:
+      ops.gaussian_transform(row, norms_b.data(), targets.data(), n, norm_row,
+                             p.gamma);
+      break;
+    case KernelType::kLinear:
+      break;  // K = dot; nothing to transform
+    case KernelType::kPolynomial:
+      ops.poly_transform(row, n, p.gamma, p.coef0, p.degree);
+      break;
+    case KernelType::kSigmoid:
+      ops.sigmoid_transform(row, n, p.gamma, p.coef0);
+      break;
+  }
+}
+
 // Applies the dot->kernel transform in place and returns the flops charged
 // (a closed form, so the host-parallel row partition cannot perturb it).
-double TransformBlock(const KernelFunction& fn, std::span<const double> norms_a,
+// Records the batched transform on the kernel_transform dispatch path.
+double TransformBlock(const KernelFunction& fn, const simd::SimdOps& ops,
+                      std::span<const double> norms_a,
                       std::span<const int32_t> batch,
                       std::span<const double> norms_b,
                       std::span<const int32_t> targets, double* out,
                       ThreadPool* pool) {
   const size_t num_targets = targets.size();
+  const int64_t t_start = simd::NowNanos();
   const auto rows_body = [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       const double norm_i = norms_a[static_cast<size_t>(batch[static_cast<size_t>(i)])];
-      double* row = out + i * static_cast<int64_t>(num_targets);
-      for (size_t j = 0; j < num_targets; ++j) {
-        row[j] = fn.FromDot(row[j], norm_i, norms_b[static_cast<size_t>(targets[j])]);
-      }
+      TransformRow(fn, ops, norm_i, norms_b, targets,
+                   out + i * static_cast<int64_t>(num_targets));
     }
   };
   if (pool != nullptr && pool->num_threads() > 1) {
@@ -28,14 +54,23 @@ double TransformBlock(const KernelFunction& fn, std::span<const double> norms_a,
   } else {
     rows_body(0, static_cast<int64_t>(batch.size()));
   }
-  return fn.FlopsPerValue() * static_cast<double>(batch.size() * num_targets);
+  const double flops =
+      fn.FlopsPerValue() * static_cast<double>(batch.size() * num_targets);
+  simd::RecordPath(simd::SimdPath::kKernelTransform,
+                   static_cast<int64_t>(batch.size() * num_targets), flops,
+                   simd::NowNanos() - t_start);
+  return flops;
 }
 
 }  // namespace
 
 KernelComputer::KernelComputer(const CsrMatrix* a, const CsrMatrix* b,
-                               KernelParams params)
-    : a_(a), b_(b), function_(params), symmetric_(a == b) {
+                               KernelParams params, simd::SimdTier simd_tier)
+    : a_(a),
+      b_(b),
+      function_(params),
+      ops_(&simd::OpsFor(simd_tier)),
+      symmetric_(a == b) {
   norms_a_ = a_->AllRowSquaredNorms();
   norms_b_ = symmetric_ ? norms_a_ : b_->AllRowSquaredNorms();
 }
@@ -46,9 +81,9 @@ void KernelComputer::ComputeBlock(std::span<const int32_t> batch,
                                   double* out) const {
   if (batch.empty() || targets.empty()) return;
   ThreadPool* pool = executor->host_pool();
-  OpStats stats = BatchRowDots2(*a_, batch, *b_, targets, out, pool);
-  stats.flops +=
-      TransformBlock(function_, norms_a_, batch, norms_b_, targets, out, pool);
+  OpStats stats = BatchRowDots2(*a_, batch, *b_, targets, out, pool, ops_);
+  stats.flops += TransformBlock(function_, *ops_, norms_a_, batch, norms_b_,
+                                targets, out, pool);
 
   TaskCost cost;
   cost.flops = stats.flops;
@@ -60,17 +95,21 @@ void KernelComputer::ComputeBlock(std::span<const int32_t> batch,
       static_cast<int64_t>(batch.size() * targets.size());
 }
 
-int64_t KernelComputer::ComputeRowTargetsHost(int64_t row,
+OpStats KernelComputer::ComputeRowTargetsHost(int64_t row,
                                               std::span<const int32_t> targets,
                                               double* out) const {
-  if (targets.empty()) return 0;
-  const int64_t nnz = ScatterRowDots(*a_, row, *b_, targets, out);
+  if (targets.empty()) return OpStats{};
+  OpStats stats = ScatterRowDots(*a_, row, *b_, targets, out, ops_);
   const double norm_row = norms_a_[static_cast<size_t>(row)];
-  for (size_t j = 0; j < targets.size(); ++j) {
-    out[j] = function_.FromDot(out[j], norm_row,
-                               norms_b_[static_cast<size_t>(targets[j])]);
-  }
-  return nnz;
+  TransformRow(function_, *ops_, norm_row, norms_b_, targets, out);
+  // Counters only for the transform: this runs inside parallel per-row
+  // cascade loops, so no wall time is recorded (see RecordPath's contract).
+  const double transform_flops =
+      function_.FlopsPerValue() * static_cast<double>(targets.size());
+  simd::RecordPath(simd::SimdPath::kKernelTransform,
+                   static_cast<int64_t>(targets.size()), transform_flops);
+  stats.flops += transform_flops;
+  return stats;
 }
 
 double KernelComputer::Compute(int64_t row_a, int64_t row_b) const {
@@ -114,8 +153,10 @@ void DenseKernelComputer::ComputeBlock(std::span<const int32_t> batch,
   if (batch.empty() || targets.empty()) return;
   ThreadPool* pool = executor->host_pool();
   OpStats stats = DenseBatchRowDots(*x_, batch, targets, out, pool);
-  stats.flops +=
-      TransformBlock(function_, norms_, batch, norms_, targets, out, pool);
+  // Dense dots stay scalar (not one of the five tier paths), but the
+  // transform shares the vector path — it is bit-identical to FromDot.
+  stats.flops += TransformBlock(function_, simd::OpsFor(simd::SimdTier::kAuto),
+                                norms_, batch, norms_, targets, out, pool);
 
   TaskCost cost;
   cost.flops = stats.flops;

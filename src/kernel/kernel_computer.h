@@ -15,6 +15,7 @@
 
 #include "device/executor.h"
 #include "kernel/kernel_function.h"
+#include "simd/simd.h"
 #include "sparse/dense_matrix.h"
 #include "sparse/ops.h"
 
@@ -24,11 +25,16 @@ class KernelComputer {
  public:
   // Kernel values between rows of `a` and rows of `b`. The matrices must
   // outlive the computer. `a` and `b` may be the same object (training).
-  KernelComputer(const CsrMatrix* a, const CsrMatrix* b, KernelParams params);
+  // `simd_tier` selects the SIMD kernel tier for dots and transforms
+  // (kAuto = the process-wide active tier, resolved at construction); every
+  // tier produces byte-identical values, so this is a speed knob only.
+  KernelComputer(const CsrMatrix* a, const CsrMatrix* b, KernelParams params,
+                 simd::SimdTier simd_tier = simd::SimdTier::kAuto);
 
   // Convenience for the symmetric (training) case.
-  KernelComputer(const CsrMatrix* x, KernelParams params)
-      : KernelComputer(x, x, params) {}
+  KernelComputer(const CsrMatrix* x, KernelParams params,
+                 simd::SimdTier simd_tier = simd::SimdTier::kAuto)
+      : KernelComputer(x, x, params, simd_tier) {}
 
   const KernelFunction& function() const { return function_; }
 
@@ -43,11 +49,12 @@ class KernelComputer {
   // Kernel values K(a.row(row), b.row(targets[j])) for an arbitrary target
   // subset, computed on the host without charging the executor. Each value is
   // bit-identical to the corresponding entry of a ComputeBlock block (same
-  // scatter-gather accumulation order), which is what lets lazy per-row
-  // consumers — the prediction cascade — stay byte-compatible with the
-  // batched path. Returns the total nnz streamed from the target rows; the
-  // caller charges aggregate costs from it.
-  int64_t ComputeRowTargetsHost(int64_t row, std::span<const int32_t> targets,
+  // scatter-gather accumulation order and transform arithmetic), which is
+  // what lets lazy per-row consumers — the prediction cascade — stay
+  // byte-compatible with the batched path. Returns the OpStats for the row
+  // (the ScatterRowDots charge plus FlopsPerValue() per transformed target),
+  // so callers account lazy rows exactly like one batch row of ComputeBlock.
+  OpStats ComputeRowTargetsHost(int64_t row, std::span<const int32_t> targets,
                                 double* out) const;
 
   // K(x_i, x_i) for a row of `a`.
@@ -63,6 +70,7 @@ class KernelComputer {
   const CsrMatrix* a_;
   const CsrMatrix* b_;
   KernelFunction function_;
+  const simd::SimdOps* ops_;  // resolved tier table; static storage duration
   std::vector<double> norms_a_;
   std::vector<double> norms_b_;
   bool symmetric_;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "simd/simd_math.h"
 
 namespace gmpsvm {
 
@@ -35,16 +36,19 @@ class KernelFunction {
 
   const KernelParams& params() const { return params_; }
 
+  // Uses the deterministic transforms from simd/simd_math.h, so a scalar
+  // FromDot is bit-identical to the vectorized row transforms in every tier.
   double FromDot(double dot, double norm_i, double norm_j) const {
     switch (params_.type) {
       case KernelType::kGaussian:
-        return std::exp(-params_.gamma * (norm_i + norm_j - 2.0 * dot));
+        return simd::GaussianFromDot(dot, norm_i, norm_j, params_.gamma);
       case KernelType::kLinear:
         return dot;
       case KernelType::kPolynomial:
-        return std::pow(params_.gamma * dot + params_.coef0, params_.degree);
+        return simd::PolynomialFromDot(dot, params_.gamma, params_.coef0,
+                                       params_.degree);
       case KernelType::kSigmoid:
-        return std::tanh(params_.gamma * dot + params_.coef0);
+        return simd::SigmoidFromDot(dot, params_.gamma, params_.coef0);
     }
     return 0.0;
   }

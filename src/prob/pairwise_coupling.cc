@@ -12,28 +12,50 @@ namespace {
 
 // Builds the Q matrix of Equation (15):
 //   Q_ss = sum_{u != s} r_us^2,   Q_st = -r_st * r_ts (s != t).
-void BuildQ(std::span<const double> r, int k, std::vector<double>* q) {
-  q->assign(static_cast<size_t>(k) * k, 0.0);
+// No transpose scratch: every off-diagonal entry is a single rounded product
+// (IEEE multiplication commutes, so Q_st and Q_ts are the same bits), and
+// one pass over the upper triangle fills both symmetric halves. The diagonal
+// accumulates column sums of r ⊙ r row-by-row through the tier's elementwise
+// ops: lane s only ever touches column s and the row order u = 0..k-1 is
+// fixed, so every tier adds in the identical per-lane sequence (mul_neg
+// rounds each square once; axpy_neg with factor 1.0 subtracts the negated
+// square, an exact sign flip). Callers leave r's diagonal at zero (it has no
+// meaning in Equation 15), which makes the accumulated r_ss^2 term and its
+// subtraction exact no-ops; a nonzero diagonal would still cancel up to one
+// rounding.
+void BuildQ(std::span<const double> r, int k, const simd::SimdOps& ops,
+            std::vector<double>* q) {
+  q->resize(static_cast<size_t>(k) * k);
+  std::vector<double> diag(static_cast<size_t>(k), 0.0);
+  std::vector<double> sq(static_cast<size_t>(k));
+  for (int u = 0; u < k; ++u) {
+    const double* r_row = r.data() + static_cast<size_t>(u) * k;
+    ops.mul_neg(sq.data(), r_row, r_row, k);       // sq[s] = -(r_us^2)
+    ops.axpy_neg(diag.data(), sq.data(), k, 1.0);  // diag[s] += r_us^2
+  }
   for (int s = 0; s < k; ++s) {
-    double diag = 0.0;
-    for (int u = 0; u < k; ++u) {
-      if (u == s) continue;
-      const double r_us = r[static_cast<size_t>(u) * k + s];
-      diag += r_us * r_us;
-      (*q)[static_cast<size_t>(s) * k + u] =
-          -r[static_cast<size_t>(s) * k + u] * r[static_cast<size_t>(u) * k + s];
+    const double* r_row = r.data() + static_cast<size_t>(s) * k;
+    double* q_row = q->data() + static_cast<size_t>(s) * k;
+    for (int t = s + 1; t < k; ++t) {
+      const double v = -(r_row[t] * r[static_cast<size_t>(t) * k + s]);
+      q_row[t] = v;
+      (*q)[static_cast<size_t>(t) * k + s] = v;
     }
-    (*q)[static_cast<size_t>(s) * k + s] = diag;
+    const double r_ss = r_row[s];
+    q_row[s] = diag[static_cast<size_t>(s)] - r_ss * r_ss;
   }
 }
 
 // Solves Q x = e by Gaussian elimination with partial pivoting, adding a
 // ridge and retrying if a pivot vanishes ("a small value is added to Q when
 // its inversion does not exist"). Returns p = x / sum(x), clamped
-// nonnegative.
-Result<std::vector<double>> SolveDirect(std::span<const double> r, int k) {
+// nonnegative. Row updates and the back-substitution dot run on the SIMD
+// tier (axpy is per-lane exact; the dot uses the canonical blocked tree),
+// so every tier solves bit-identically.
+Result<std::vector<double>> SolveDirect(std::span<const double> r, int k,
+                                        const simd::SimdOps& ops) {
   std::vector<double> q;
-  BuildQ(r, k, &q);
+  BuildQ(r, k, ops, &q);
   const double kRidge0 = 0.0;
   for (double ridge = kRidge0;; ridge = (ridge == 0.0 ? 1e-10 : ridge * 100)) {
     std::vector<double> m = q;
@@ -65,7 +87,7 @@ Result<std::vector<double>> SolveDirect(std::span<const double> r, int k) {
         const size_t rrow = static_cast<size_t>(perm[row]);
         const double factor = m[rrow * k + col] * inv_pivot;
         if (factor == 0.0) continue;
-        for (int c2 = col; c2 < k; ++c2) m[rrow * k + c2] -= factor * m[prow * k + c2];
+        ops.axpy_neg(&m[rrow * k + col], &m[prow * k + col], k - col, factor);
         x[rrow] -= factor * x[prow];
       }
     }
@@ -75,14 +97,14 @@ Result<std::vector<double>> SolveDirect(std::span<const double> r, int k) {
       }
       continue;  // retry with a larger ridge
     }
-    // Back substitution.
+    // Back substitution. The row-times-solution product runs through the
+    // tier's canonical dot so the subtraction order is lane-independent.
     std::vector<double> sol(static_cast<size_t>(k));
     for (int col = k - 1; col >= 0; --col) {
       const size_t prow = static_cast<size_t>(perm[col]);
-      double v = x[prow];
-      for (int c2 = col + 1; c2 < k; ++c2) {
-        v -= m[prow * k + c2] * sol[static_cast<size_t>(c2)];
-      }
+      const double v =
+          x[prow] - ops.dot(m.data() + prow * k + col + 1,
+                            sol.data() + col + 1, k - col - 1);
       sol[static_cast<size_t>(col)] = v / m[prow * k + col];
     }
     // Normalize; clamp tiny negatives from finite precision.
@@ -102,23 +124,35 @@ Result<std::vector<double>> SolveDirect(std::span<const double> r, int k) {
   }
 }
 
-// LibSVM's multiclass_probability fixed-point iteration.
+// LibSVM's multiclass_probability fixed-point iteration. The Q·p matvec and
+// the elementwise rescaling update run on the SIMD tier: the matvec uses the
+// canonical blocked-tree dot, and the update is per-lane exact, so every
+// tier iterates bit-identically.
 Result<std::vector<double>> SolveIterative(std::span<const double> r, int k,
-                                           const CouplingOptions& options) {
+                                           const CouplingOptions& options,
+                                           const simd::SimdOps& ops) {
   std::vector<double> q;
-  BuildQ(r, k, &q);
+  BuildQ(r, k, ops, &q);
   std::vector<double> p(static_cast<size_t>(k), 1.0 / k);
   std::vector<double> qp(static_cast<size_t>(k), 0.0);
   const double eps = options.eps / k;
+
+  // The per-t serial work below runs 3k divisions per sweep if written
+  // naively (diff, the pqp rescale, and the elementwise update); at ~10x the
+  // latency of a multiply they rival the vectorized dot/update work. Hoist
+  // the diagonal reciprocals once and rescale pqp by a squared reciprocal.
+  // This is shared scalar code, so every tier sees the identical sequence.
+  std::vector<double> inv_diag(static_cast<size_t>(k));
+  for (int t = 0; t < k; ++t) {
+    inv_diag[static_cast<size_t>(t)] = 1.0 / q[static_cast<size_t>(t) * k + t];
+  }
 
   int iter = 0;
   for (; iter < std::max(100, options.max_iterations); ++iter) {
     double pqp = 0.0;
     for (int t = 0; t < k; ++t) {
-      double v = 0.0;
-      for (int j = 0; j < k; ++j) {
-        v += q[static_cast<size_t>(t) * k + j] * p[static_cast<size_t>(j)];
-      }
+      const double v = ops.dot(q.data() + static_cast<size_t>(t) * k,
+                               p.data(), k);
       qp[static_cast<size_t>(t)] = v;
       pqp += p[static_cast<size_t>(t)] * v;
     }
@@ -129,18 +163,15 @@ Result<std::vector<double>> SolveIterative(std::span<const double> r, int k,
     if (max_error < eps) break;
 
     for (int t = 0; t < k; ++t) {
-      const double diff = (-qp[static_cast<size_t>(t)] + pqp) /
-                          q[static_cast<size_t>(t) * k + t];
+      const double diff = (-qp[static_cast<size_t>(t)] + pqp) *
+                          inv_diag[static_cast<size_t>(t)];
       p[static_cast<size_t>(t)] += diff;
+      const double inv_opd = 1.0 / (1.0 + diff);
       pqp = (pqp + diff * (diff * q[static_cast<size_t>(t) * k + t] +
-                           2.0 * qp[static_cast<size_t>(t)])) /
-            ((1.0 + diff) * (1.0 + diff));
-      for (int j = 0; j < k; ++j) {
-        qp[static_cast<size_t>(j)] =
-            (qp[static_cast<size_t>(j)] + diff * q[static_cast<size_t>(t) * k + j]) /
-            (1.0 + diff);
-        p[static_cast<size_t>(j)] /= (1.0 + diff);
-      }
+                           2.0 * qp[static_cast<size_t>(t)])) *
+            (inv_opd * inv_opd);
+      ops.coupling_update(qp.data(), p.data(),
+                          q.data() + static_cast<size_t>(t) * k, k, diff);
     }
   }
   if (iter >= std::max(100, options.max_iterations)) {
@@ -158,10 +189,16 @@ Result<std::vector<double>> CoupleProbabilities(std::span<const double> r, int k
     return Status::InvalidArgument(
         StrPrintf("r has %zu entries; expected %d", r.size(), k * k));
   }
+  const simd::SimdOps& ops = simd::OpsFor(options.simd);
+  // Counters only: this runs inside CoupleBatch's parallel loop, which adds
+  // the wall time for the whole batch via RecordPathNanos.
+  simd::RecordPath(simd::SimdPath::kCoupling,
+                   static_cast<int64_t>(k) * k,
+                   (2.0 / 3.0) * static_cast<double>(k) * k * k);
   if (options.method == CouplingMethod::kGaussianElimination) {
-    return SolveDirect(r, k);
+    return SolveDirect(r, k, ops);
   }
-  return SolveIterative(r, k, options);
+  return SolveIterative(r, k, options, ops);
 }
 
 Status CoupleBatch(std::span<const double> r, int k, int64_t count,
@@ -175,6 +212,7 @@ Status CoupleBatch(std::span<const double> r, int k, int64_t count,
   // parallel pass only flags them; a serial rerun reproduces the exact
   // first-failing status a sequential loop would have returned.
   std::atomic<bool> any_failed{false};
+  const int64_t t_start = simd::NowNanos();
   executor->HostParallelFor(
       count, /*min_chunk=*/32, [&](int64_t begin, int64_t end) {
         for (int64_t i = begin; i < end; ++i) {
@@ -199,6 +237,7 @@ Status CoupleBatch(std::span<const double> r, int k, int64_t count,
       std::copy(p.begin(), p.end(), out + i * k);
     }
   }
+  simd::RecordPathNanos(simd::SimdPath::kCoupling, simd::NowNanos() - t_start);
   // One Gaussian elimination is O(k^3); instances are independent.
   TaskCost cost;
   cost.parallel_items = count;

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "device/executor.h"
+#include "simd/simd.h"
 
 namespace gmpsvm {
 
@@ -31,6 +32,9 @@ struct CouplingOptions {
   // Iterative method controls (LibSVM defaults).
   int max_iterations = 100;
   double eps = 0.005;  // scaled by 1/k internally, as in LibSVM
+  // SIMD tier for the solve's inner loops (kAuto = process-wide active
+  // tier). Every tier is byte-identical — a speed knob only.
+  simd::SimdTier simd = simd::SimdTier::kAuto;
 };
 
 // Couples one instance. `r` is k*k row-major; r[s*k + t] = P(s | {s,t}, x)

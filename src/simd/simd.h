@@ -1,0 +1,172 @@
+// SIMD kernel tier: runtime-dispatched vector implementations of the host
+// hot paths (sparse scatter/gather dots, SpMV, kernel-value transforms, the
+// coupling fixed-point update) with a bitwise-reproducibility contract.
+//
+// Determinism contract (docs/performance.md, "SIMD tier"):
+//   * Every reduction uses one canonical blocked-tree order with block size
+//     8, independent of the executing tier's lane width. For a block of
+//     products c0..c7:
+//         s_j = c_j + c_{j+4}   (j = 0..3)
+//         block = (s0 + s2) + (s1 + s3)
+//     and block sums are accumulated left to right into a scalar; the
+//     trailing <8 elements are added sequentially. The scalar tier computes
+//     this exact tree with explicit temporaries; AVX2 (4-lane) and NEON
+//     (2-lane) reach the same tree with vector adds + a fixed horizontal
+//     schedule. No fused multiply-add anywhere, in any tier.
+//   * Elementwise transforms use the deterministic math in simd_math.h —
+//     identical per-lane IEEE op sequences in every tier.
+// Consequence: models, executor counters, charges and traces are
+// byte-identical across tiers, on top of the existing identity at any
+// --host-threads x --devices topology.
+//
+// Selection: DetectBestTier() probes the CPU once (AVX2 on x86-64, NEON on
+// aarch64, scalar otherwise); the process-wide active tier defaults to it
+// and can be overridden with SetActiveTier (the `--simd=` tool flag).
+// Per-request overrides (PredictOptions::simd, fleet tenant config) resolve
+// through OpsFor(tier) without touching the global.
+
+#ifndef GMPSVM_SIMD_SIMD_H_
+#define GMPSVM_SIMD_SIMD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace gmpsvm::obs {
+class MetricsRegistry;
+}  // namespace gmpsvm::obs
+
+namespace gmpsvm::simd {
+
+enum class SimdTier {
+  kAuto = 0,    // resolve to the process-wide active tier
+  kScalar = 1,  // portable reference (the canonical arithmetic definition)
+  kAvx2 = 2,    // x86-64 AVX2, 4 doubles per vector
+  kNeon = 3,    // aarch64 NEON, 2 doubles per vector
+};
+
+// Function table for one tier. All routines are pure host computation; the
+// caller owns cost accounting. Pointers are always non-null within a
+// supported tier's table.
+struct SimdOps {
+  const char* name = "scalar";
+  int lane_width = 1;  // doubles per vector register
+
+  // sum_p vals[p] * dense[idx[p]] in the canonical blocked-tree order.
+  double (*gather_dot)(const double* vals, const int32_t* idx, int64_t n,
+                       const double* dense) = nullptr;
+
+  // Contiguous sum_p a[p] * b[p], same reduction tree as gather_dot (the
+  // two agree bitwise when idx is the identity).
+  double (*dot)(const double* a, const double* b, int64_t n) = nullptr;
+
+  // In-place Gaussian transform over one kernel row:
+  //   out[j] = Exp(-gamma * ((norm_row + norms[targets[j]]) - 2*out[j]))
+  void (*gaussian_transform)(double* out, const double* norms,
+                             const int32_t* targets, int64_t n,
+                             double norm_row, double gamma) = nullptr;
+
+  // out[j] = PowInt(gamma*out[j] + coef0, degree)
+  void (*poly_transform)(double* out, int64_t n, double gamma, double coef0,
+                         int degree) = nullptr;
+
+  // out[j] = Tanh(gamma*out[j] + coef0)
+  void (*sigmoid_transform)(double* out, int64_t n, double gamma,
+                            double coef0) = nullptr;
+
+  // Coupling fixed-point elementwise update (LibSVM iteration). The divide
+  // by (1 + diff) is computed as one scalar reciprocal followed by per-lane
+  // multiplies — divider throughput does not scale with vector width, so a
+  // per-lane divide would cap this op at scalar speed:
+  //   inv = 1 / (1 + diff);  qp[j] = (qp[j] + diff*qrow[j]) * inv;
+  //   p[j] *= inv
+  void (*coupling_update)(double* qp, double* p, const double* qrow,
+                          int64_t n, double diff) = nullptr;
+
+  // y[j] -= factor * x[j] (Gaussian-elimination row update).
+  void (*axpy_neg)(double* y, const double* x, int64_t n,
+                   double factor) = nullptr;
+
+  // out[j] = -(a[j] * b[j]) (coupling Q-matrix off-diagonal row fill).
+  void (*mul_neg)(double* out, const double* a, const double* b,
+                  int64_t n) = nullptr;
+};
+
+// True if `tier` can execute on this CPU (kAuto and kScalar always can).
+bool TierSupported(SimdTier tier);
+
+// Best tier this CPU supports (never kAuto; probed once, then cached).
+SimdTier DetectBestTier();
+
+// Process-wide active tier, resolved (never kAuto). Defaults to
+// DetectBestTier() on first use.
+SimdTier ActiveTier();
+
+// Overrides the active tier; kAuto restores hardware detection.
+// kInvalidArgument if the CPU cannot execute `tier`.
+Status SetActiveTier(SimdTier tier);
+
+// The ops table for `tier`; kAuto resolves through ActiveTier(). The
+// returned reference has static storage duration. Requesting an unsupported
+// tier falls back to scalar (callers that must reject instead use
+// TierSupported / SetActiveTier, which validate).
+const SimdOps& OpsFor(SimdTier tier);
+
+// Flag-value parsing: "auto", "scalar", "avx2", "neon".
+Result<SimdTier> TierFromString(const std::string& name);
+const char* TierName(SimdTier tier);
+
+// Short human-readable CPU/tier description for `svm_tool bench-env` and
+// bench JSON attribution, e.g. "isa=x86-64(avx2) active=avx2 lanes=4".
+std::string DescribeEnvironment();
+
+// ---------------------------------------------------------------------------
+// Per-path dispatch accounting. The five instrumented paths:
+enum class SimdPath {
+  kBatchRowDots = 0,   // batched scatter-dot kernel rows (SpMM)
+  kScatterRowDots,     // lazy cascade kernel rows
+  kSpMV,               // selected-row sparse matrix-vector product
+  kKernelTransform,    // RBF/poly/sigmoid elementwise transforms
+  kCoupling,           // pairwise-coupling solves
+  kNumPaths,
+};
+
+const char* SimdPathName(SimdPath path);
+
+// Monotonic wall-clock nanoseconds (steady_clock) for the nanos argument of
+// RecordPath.
+int64_t NowNanos();
+
+// Records one dispatched op: element count, flop estimate, and (optionally)
+// wall nanoseconds. Wall time is only recorded at coarse call granularity
+// (whole batched ops); fine-grained paths pass 0 and publish counters only.
+// Thread-safe (relaxed atomics); counter values are deterministic, the
+// nanosecond totals are wall-clock diagnostics.
+void RecordPath(SimdPath path, int64_t elements, double flops,
+                int64_t nanos = 0);
+
+// Adds wall time to a path without counting a call — for wrappers (e.g. the
+// batched coupling entry point) timing work whose per-item counters were
+// already recorded by an inner routine.
+void RecordPathNanos(SimdPath path, int64_t nanos);
+
+struct PathStatsSnapshot {
+  int64_t calls = 0;
+  int64_t elements = 0;
+  double flops = 0.0;
+  int64_t nanos = 0;
+};
+PathStatsSnapshot PathStats(SimdPath path);
+
+// Resets all path counters (tests and benches).
+void ResetPathStats();
+
+// Publishes the per-path counters and effective-GFLOP/s gauges into
+// `registry` under gmpsvm_simd_*, plus a gmpsvm_simd_active_tier info
+// gauge. Counters are published as absolute totals (call once per dump).
+void PublishMetrics(obs::MetricsRegistry* registry);
+
+}  // namespace gmpsvm::simd
+
+#endif  // GMPSVM_SIMD_SIMD_H_

@@ -32,11 +32,17 @@ void RunRows(ThreadPool* pool, int64_t n, int64_t min_chunk,
 // Scatter/gather core shared by the two CSR batch-dot variants. Batch rows
 // write disjoint `out` slices, so they are partitioned across the pool; the
 // stats below replay the serial accumulation order so the returned doubles
-// are bit-identical for any pool size.
+// are bit-identical for any pool size. The inner gather-dot runs on the
+// SIMD tier's canonical blocked-tree reduction, so they are also
+// bit-identical across tiers.
 OpStats BatchRowDotsImpl(const CsrMatrix& a, std::span<const int32_t> batch,
                          const CsrMatrix& b, std::span<const int32_t> targets,
-                         double* out, ThreadPool* pool) {
+                         double* out, ThreadPool* pool,
+                         const simd::SimdOps* ops) {
+  const simd::SimdOps& simd_ops =
+      ops != nullptr ? *ops : simd::OpsFor(simd::SimdTier::kAuto);
   const size_t num_targets = targets.size();
+  const int64_t t_start = simd::NowNanos();
   RunRows(pool, static_cast<int64_t>(batch.size()), /*min_chunk=*/1,
           [&](int64_t begin, int64_t end) {
             std::vector<double>& workspace = ScatterWorkspace(a.cols());
@@ -51,16 +57,15 @@ OpStats BatchRowDotsImpl(const CsrMatrix& a, std::span<const int32_t> batch,
                 const int64_t trow = targets[tj];
                 const auto tidx = b.RowIndices(trow);
                 const auto tval = b.RowValues(trow);
-                double dot = 0.0;
-                for (size_t p = 0; p < tidx.size(); ++p) {
-                  dot += workspace[tidx[p]] * tval[p];
-                }
-                out_row[tj] = dot;
+                out_row[tj] = simd_ops.gather_dot(
+                    tval.data(), tidx.data(),
+                    static_cast<int64_t>(tidx.size()), workspace.data());
               }
 
               for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = 0.0;
             }
           });
+  const int64_t t_nanos = simd::NowNanos() - t_start;
 
   // Every batch row streams the same target set, so the per-row nnz total is
   // one value; accumulate it in target order exactly as the compute loop
@@ -86,6 +91,11 @@ OpStats BatchRowDotsImpl(const CsrMatrix& a, std::span<const int32_t> batch,
     nnz_targets_once = nnz_targets;
   }
   stats.bytes_read += nnz_targets_once * (sizeof(double) + sizeof(int32_t));
+  simd::RecordPath(simd::SimdPath::kBatchRowDots,
+                   static_cast<int64_t>(batch.size()) *
+                       static_cast<int64_t>(nnz_targets),
+                   2.0 * static_cast<double>(batch.size()) * nnz_targets,
+                   t_nanos);
   return stats;
 }
 
@@ -93,18 +103,21 @@ OpStats BatchRowDotsImpl(const CsrMatrix& a, std::span<const int32_t> batch,
 
 OpStats BatchRowDots(const CsrMatrix& x, std::span<const int32_t> batch,
                      std::span<const int32_t> targets, double* out,
-                     ThreadPool* pool) {
-  return BatchRowDotsImpl(x, batch, x, targets, out, pool);
+                     ThreadPool* pool, const simd::SimdOps* ops) {
+  return BatchRowDotsImpl(x, batch, x, targets, out, pool, ops);
 }
 
 OpStats BatchRowDots2(const CsrMatrix& a, std::span<const int32_t> batch,
                       const CsrMatrix& b, std::span<const int32_t> targets,
-                      double* out, ThreadPool* pool) {
-  return BatchRowDotsImpl(a, batch, b, targets, out, pool);
+                      double* out, ThreadPool* pool, const simd::SimdOps* ops) {
+  return BatchRowDotsImpl(a, batch, b, targets, out, pool, ops);
 }
 
-int64_t ScatterRowDots(const CsrMatrix& a, int64_t row, const CsrMatrix& b,
-                       std::span<const int32_t> targets, double* out) {
+OpStats ScatterRowDots(const CsrMatrix& a, int64_t row, const CsrMatrix& b,
+                       std::span<const int32_t> targets, double* out,
+                       const simd::SimdOps* ops) {
+  const simd::SimdOps& simd_ops =
+      ops != nullptr ? *ops : simd::OpsFor(simd::SimdTier::kAuto);
   std::vector<double>& workspace = ScatterWorkspace(a.cols());
   const auto idx = a.RowIndices(row);
   const auto val = a.RowValues(row);
@@ -114,15 +127,25 @@ int64_t ScatterRowDots(const CsrMatrix& a, int64_t row, const CsrMatrix& b,
     const int64_t trow = targets[tj];
     const auto tidx = b.RowIndices(trow);
     const auto tval = b.RowValues(trow);
-    double dot = 0.0;
-    for (size_t p = 0; p < tidx.size(); ++p) {
-      dot += workspace[tidx[p]] * tval[p];
-    }
-    out[tj] = dot;
+    out[tj] = simd_ops.gather_dot(tval.data(), tidx.data(),
+                                  static_cast<int64_t>(tidx.size()),
+                                  workspace.data());
     nnz_targets += static_cast<int64_t>(tidx.size());
   }
   for (size_t p = 0; p < idx.size(); ++p) workspace[idx[p]] = 0.0;
-  return nnz_targets;
+
+  // Charged like one batch row of BatchRowDots2: the scattered row and the
+  // streamed target nonzeros read once, one output double per target. Called
+  // from inside parallel per-row loops, so no wall time is recorded here
+  // (counters only — see docs/performance.md).
+  OpStats stats;
+  stats.flops = 2.0 * static_cast<double>(nnz_targets);
+  stats.bytes_read =
+      (static_cast<double>(idx.size()) + static_cast<double>(nnz_targets)) *
+      (sizeof(double) + sizeof(int32_t));
+  stats.bytes_written = static_cast<double>(targets.size()) * sizeof(double);
+  simd::RecordPath(simd::SimdPath::kScatterRowDots, nnz_targets, stats.flops);
+  return stats;
 }
 
 OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
@@ -153,18 +176,23 @@ OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
 }
 
 OpStats SpMV(const CsrMatrix& x, std::span<const int32_t> rows,
-             std::span<const double> v, double* out, ThreadPool* pool) {
+             std::span<const double> v, double* out, ThreadPool* pool,
+             const simd::SimdOps* ops) {
+  const simd::SimdOps& simd_ops =
+      ops != nullptr ? *ops : simd::OpsFor(simd::SimdTier::kAuto);
+  const int64_t t_start = simd::NowNanos();
   RunRows(pool, static_cast<int64_t>(rows.size()), /*min_chunk=*/256,
           [&](int64_t begin, int64_t end) {
             for (int64_t j = begin; j < end; ++j) {
               const int64_t row = rows[static_cast<size_t>(j)];
               const auto idx = x.RowIndices(row);
               const auto val = x.RowValues(row);
-              double dot = 0.0;
-              for (size_t p = 0; p < idx.size(); ++p) dot += val[p] * v[idx[p]];
-              out[j] = dot;
+              out[j] = simd_ops.gather_dot(val.data(), idx.data(),
+                                           static_cast<int64_t>(idx.size()),
+                                           v.data());
             }
           });
+  const int64_t t_nanos = simd::NowNanos() - t_start;
   OpStats stats;
   double nnz_streamed = 0.0;
   for (size_t j = 0; j < rows.size(); ++j) {
@@ -173,6 +201,8 @@ OpStats SpMV(const CsrMatrix& x, std::span<const int32_t> rows,
   stats.flops = 2.0 * nnz_streamed;
   stats.bytes_read = nnz_streamed * (sizeof(double) + sizeof(int32_t));
   stats.bytes_written = static_cast<double>(rows.size()) * sizeof(double);
+  simd::RecordPath(simd::SimdPath::kSpMV,
+                   static_cast<int64_t>(nnz_streamed), stats.flops, t_nanos);
   return stats;
 }
 

@@ -10,6 +10,11 @@
 // partitioned across the pool, while the OpStats accumulation always replays
 // the serial order — results and stats are byte-identical for any pool size,
 // including none.
+//
+// Inner dot products run on the SIMD kernel tier (src/simd): each routine
+// optionally takes a `const simd::SimdOps*` (nullptr = the process-wide
+// active tier). Every tier computes the canonical blocked-tree reduction, so
+// results are additionally byte-identical across tiers — see simd/simd.h.
 
 #ifndef GMPSVM_SPARSE_OPS_H_
 #define GMPSVM_SPARSE_OPS_H_
@@ -18,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "simd/simd.h"
 #include "sparse/csr_matrix.h"
 #include "sparse/dense_matrix.h"
 
@@ -49,23 +55,27 @@ struct OpStats {
 // `out` must have batch.size() * targets.size() entries.
 OpStats BatchRowDots(const CsrMatrix& x, std::span<const int32_t> batch,
                      std::span<const int32_t> targets, double* out,
-                     ThreadPool* pool = nullptr);
+                     ThreadPool* pool = nullptr,
+                     const simd::SimdOps* ops = nullptr);
 
 // As above but dotting rows of `a` (by index `batch`) against rows of `b`
 // (by index `targets`); used for test-instances x support-vectors products.
 OpStats BatchRowDots2(const CsrMatrix& a, std::span<const int32_t> batch,
                       const CsrMatrix& b, std::span<const int32_t> targets,
-                      double* out, ThreadPool* pool = nullptr);
+                      double* out, ThreadPool* pool = nullptr,
+                      const simd::SimdOps* ops = nullptr);
 
 // Single-row slice of BatchRowDots2: dots a.row(row) against an arbitrary
 // subset of b's rows through the same scatter workspace, so out[j] is
 // bit-identical to the (row, targets[j]) entry of any batched block —
 // regardless of which other targets are requested alongside it. Pure host
-// computation with no OpStats; callers doing lazy per-row work (the
-// prediction cascade) account costs in aggregate from the returned total nnz
-// of the target rows streamed.
-int64_t ScatterRowDots(const CsrMatrix& a, int64_t row, const CsrMatrix& b,
-                       std::span<const int32_t> targets, double* out);
+// computation; the returned OpStats charges the row exactly like one batch
+// row of BatchRowDots2 (2 flops per streamed target nonzero; the row and the
+// target nonzeros read once), so lazy per-row consumers — the prediction
+// cascade — account costs like the batched paths do.
+OpStats ScatterRowDots(const CsrMatrix& a, int64_t row, const CsrMatrix& b,
+                       std::span<const int32_t> targets, double* out,
+                       const simd::SimdOps* ops = nullptr);
 
 // Dense counterpart over DenseMatrix rows; O(|batch| * |targets| * dim).
 OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
@@ -76,7 +86,7 @@ OpStats DenseBatchRowDots(const DenseMatrix& x, std::span<const int32_t> batch,
 // vector; out[j] = X.row(rows[j]) · v. Used by decision-value computation.
 OpStats SpMV(const CsrMatrix& x, std::span<const int32_t> rows,
              std::span<const double> v, double* out,
-             ThreadPool* pool = nullptr);
+             ThreadPool* pool = nullptr, const simd::SimdOps* ops = nullptr);
 
 }  // namespace gmpsvm
 

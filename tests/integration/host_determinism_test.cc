@@ -21,6 +21,7 @@
 #include "core/predictor.h"
 #include "fault/fault_injector.h"
 #include "obs/span.h"
+#include "simd/simd.h"
 
 namespace gmpsvm {
 namespace {
@@ -238,6 +239,27 @@ TEST(HostDeterminismTest, ChaosRunsInvariantAcrossThreadCounts) {
                 "chaos threads=2");
   ExpectSameRun(base, TrainPredict(proxy, Trainer::kGmp, 8, /*via_options=*/true, &p3),
                 "chaos threads=8");
+}
+
+TEST(HostDeterminismTest, SimdTierInvariantEndToEnd) {
+  // The SIMD kernel tier is a wall-clock knob only (src/simd/simd.h): the
+  // whole train+predict pipeline must produce byte-identical models, sim
+  // times, counters, traces and probabilities on the scalar reference and on
+  // the best vector tier this CPU has — on top of the thread-count
+  // invariance above (run at 2 threads to compose the two). On a scalar-only
+  // CPU both runs resolve to the same tier and this degenerates to a
+  // self-comparison.
+  const Proxy& proxy = kProxies[0];
+  ASSERT_TRUE(simd::SetActiveTier(simd::SimdTier::kScalar).ok());
+  RunOutput scalar_run =
+      TrainPredict(proxy, Trainer::kGmp, 2, /*via_options=*/true, nullptr);
+  ASSERT_TRUE(simd::SetActiveTier(simd::DetectBestTier()).ok());
+  RunOutput vector_run =
+      TrainPredict(proxy, Trainer::kGmp, 2, /*via_options=*/true, nullptr);
+  ASSERT_TRUE(simd::SetActiveTier(simd::SimdTier::kAuto).ok());
+  ExpectSameRun(scalar_run, vector_run,
+                std::string("simd scalar-vs-") +
+                    simd::TierName(simd::DetectBestTier()));
 }
 
 TEST(HostDeterminismTest, OvaTrainerInvariantAcrossThreadCounts) {

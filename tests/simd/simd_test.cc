@@ -1,0 +1,353 @@
+#include "simd/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "kernel/kernel_function.h"
+#include "prob/pairwise_coupling.h"
+#include "simd/simd_math.h"
+#include "sparse/csr_matrix.h"
+#include "sparse/ops.h"
+
+namespace gmpsvm {
+namespace {
+
+using simd::SimdOps;
+using simd::SimdTier;
+
+// Every tier this CPU can execute; the scalar reference is always first so
+// the loop body can diff each vector tier against it.
+std::vector<SimdTier> SupportedTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (simd::TierSupported(SimdTier::kAvx2)) tiers.push_back(SimdTier::kAvx2);
+  if (simd::TierSupported(SimdTier::kNeon)) tiers.push_back(SimdTier::kNeon);
+  return tiers;
+}
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// Randomized lengths deliberately cover 0, 1, sub-lane sizes, odd tails and
+// multi-block spans so every tier exercises its main loop and tail handling.
+const int64_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 63};
+
+TEST(SimdDispatchTest, TierFromStringRoundTrips) {
+  for (const char* name : {"auto", "scalar", "avx2", "neon"}) {
+    Result<SimdTier> tier = simd::TierFromString(name);
+    ASSERT_TRUE(tier.ok()) << name;
+    EXPECT_STREQ(simd::TierName(tier.value()), name);
+  }
+  EXPECT_FALSE(simd::TierFromString("sse2").ok());
+  EXPECT_FALSE(simd::TierFromString("").ok());
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysSupportedAndDetectedTierRuns) {
+  EXPECT_TRUE(simd::TierSupported(SimdTier::kScalar));
+  EXPECT_TRUE(simd::TierSupported(SimdTier::kAuto));
+  const SimdTier best = simd::DetectBestTier();
+  EXPECT_NE(best, SimdTier::kAuto);
+  EXPECT_TRUE(simd::TierSupported(best));
+  const SimdOps& ops = simd::OpsFor(best);
+  EXPECT_GE(ops.lane_width, 1);
+  const double a[3] = {1.0, 2.0, 3.0};
+  EXPECT_EQ(ops.dot(a, a, 3), 14.0);
+}
+
+TEST(SimdDispatchTest, SetActiveTierValidatesAndOverrides) {
+  ASSERT_TRUE(simd::SetActiveTier(SimdTier::kScalar).ok());
+  EXPECT_EQ(simd::ActiveTier(), SimdTier::kScalar);
+  EXPECT_STREQ(simd::OpsFor(SimdTier::kAuto).name, "scalar");
+  ASSERT_TRUE(simd::SetActiveTier(SimdTier::kAuto).ok());
+  EXPECT_EQ(simd::ActiveTier(), simd::DetectBestTier());
+  // At least one of the vector tiers is impossible on any one CPU.
+  const SimdTier impossible = simd::TierSupported(SimdTier::kAvx2)
+                                  ? SimdTier::kNeon
+                                  : SimdTier::kAvx2;
+  if (!simd::TierSupported(impossible)) {
+    EXPECT_FALSE(simd::SetActiveTier(impossible).ok());
+    EXPECT_EQ(simd::ActiveTier(), simd::DetectBestTier());
+  }
+}
+
+TEST(SimdDispatchTest, DescribeEnvironmentNamesActiveTier) {
+  const std::string env = simd::DescribeEnvironment();
+  EXPECT_NE(env.find("isa="), std::string::npos);
+  EXPECT_NE(env.find("active="), std::string::npos);
+  EXPECT_NE(env.find(simd::OpsFor(SimdTier::kAuto).name), std::string::npos);
+}
+
+TEST(SimdMathTest, ExpMatchesStdExpClosely) {
+  Rng rng(11);
+  double max_rel = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Uniform(-700.0, 700.0);
+    const double got = simd::Exp(x);
+    const double want = std::exp(x);
+    if (want > 0.0 && std::isfinite(want)) {
+      max_rel = std::max(max_rel, std::abs(got - want) / want);
+    }
+  }
+  EXPECT_LT(max_rel, 1e-15);
+  EXPECT_EQ(simd::Exp(0.0), 1.0);
+  EXPECT_EQ(simd::Exp(800.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(simd::Exp(-800.0), 0.0);
+  EXPECT_EQ(simd::Tanh(0.0), 0.0);
+  EXPECT_EQ(simd::Tanh(100.0), 1.0);
+  EXPECT_EQ(simd::Tanh(-100.0), -1.0);
+  EXPECT_EQ(simd::PowInt(2.0, 10), 1024.0);
+  EXPECT_EQ(simd::PowInt(5.0, 0), 1.0);
+}
+
+TEST(SimdTierIdentityTest, DotAndGatherDotBitwiseAcrossTiers) {
+  const std::vector<SimdTier> tiers = SupportedTiers();
+  const SimdOps& ref = simd::OpsFor(SimdTier::kScalar);
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (int64_t n : kLengths) {
+      std::vector<double> a(static_cast<size_t>(n)), b(a), dense(512);
+      std::vector<int32_t> idx(static_cast<size_t>(n));
+      for (auto& v : a) v = rng.Normal();
+      for (auto& v : b) v = rng.Normal();
+      for (auto& v : dense) v = rng.Normal();
+      int32_t last = 0;
+      for (auto& v : idx) {  // strictly increasing CSR-style indices
+        last += 1 + static_cast<int32_t>(rng.Uniform(0.0, 3.0));
+        v = last % 512;
+      }
+      std::sort(idx.begin(), idx.end());
+      const double want_dot = ref.dot(a.data(), b.data(), n);
+      const double want_gather = ref.gather_dot(a.data(), idx.data(), n,
+                                                dense.data());
+      for (SimdTier tier : tiers) {
+        const SimdOps& ops = simd::OpsFor(tier);
+        EXPECT_EQ(ops.dot(a.data(), b.data(), n), want_dot)
+            << ops.name << " n=" << n;
+        EXPECT_EQ(ops.gather_dot(a.data(), idx.data(), n, dense.data()),
+                  want_gather)
+            << ops.name << " n=" << n;
+      }
+      // gather_dot with identity indices IS dot (same reduction tree).
+      std::vector<int32_t> identity(static_cast<size_t>(n));
+      for (int64_t j = 0; j < n; ++j) identity[static_cast<size_t>(j)] =
+          static_cast<int32_t>(j);
+      for (SimdTier tier : tiers) {
+        const SimdOps& ops = simd::OpsFor(tier);
+        EXPECT_EQ(ops.gather_dot(a.data(), identity.data(), n, b.data()),
+                  want_dot)
+            << ops.name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdTierIdentityTest, TransformsBitwiseAcrossTiersAndMatchFromDot) {
+  const std::vector<SimdTier> tiers = SupportedTiers();
+  Rng rng(7);
+  for (int64_t n : kLengths) {
+    std::vector<double> dots(static_cast<size_t>(n)), norms(64);
+    std::vector<int32_t> targets(static_cast<size_t>(n));
+    for (auto& v : dots) v = rng.Normal();
+    for (auto& v : norms) v = rng.Uniform(0.0, 5.0);
+    for (auto& v : targets) {
+      v = static_cast<int32_t>(rng.Uniform(0.0, 64.0)) % 64;
+    }
+    const double norm_row = 1.7, gamma = 0.35, coef0 = 0.25;
+    const int degree = 3;
+
+    // Scalar references straight from FromDot (the arithmetic definition).
+    KernelParams gp;
+    gp.type = KernelType::kGaussian;
+    gp.gamma = gamma;
+    KernelParams pp;
+    pp.type = KernelType::kPolynomial;
+    pp.gamma = gamma;
+    pp.coef0 = coef0;
+    pp.degree = degree;
+    KernelParams sp;
+    sp.type = KernelType::kSigmoid;
+    sp.gamma = gamma;
+    sp.coef0 = coef0;
+    std::vector<double> want_g(static_cast<size_t>(n)),
+        want_p(static_cast<size_t>(n)), want_s(static_cast<size_t>(n));
+    for (int64_t j = 0; j < n; ++j) {
+      const size_t sj = static_cast<size_t>(j);
+      want_g[sj] = KernelFunction(gp).FromDot(
+          dots[sj], norm_row, norms[static_cast<size_t>(targets[sj])]);
+      want_p[sj] = KernelFunction(pp).FromDot(dots[sj], 0, 0);
+      want_s[sj] = KernelFunction(sp).FromDot(dots[sj], 0, 0);
+    }
+
+    for (SimdTier tier : tiers) {
+      const SimdOps& ops = simd::OpsFor(tier);
+      std::vector<double> g = dots, p = dots, s = dots;
+      ops.gaussian_transform(g.data(), norms.data(), targets.data(), n,
+                             norm_row, gamma);
+      ops.poly_transform(p.data(), n, gamma, coef0, degree);
+      ops.sigmoid_transform(s.data(), n, gamma, coef0);
+      EXPECT_TRUE(SameBits(g, want_g)) << ops.name << " gaussian n=" << n;
+      EXPECT_TRUE(SameBits(p, want_p)) << ops.name << " poly n=" << n;
+      EXPECT_TRUE(SameBits(s, want_s)) << ops.name << " sigmoid n=" << n;
+    }
+  }
+}
+
+TEST(SimdTierIdentityTest, CouplingUpdateAndAxpyBitwiseAcrossTiers) {
+  const std::vector<SimdTier> tiers = SupportedTiers();
+  const SimdOps& ref = simd::OpsFor(SimdTier::kScalar);
+  Rng rng(19);
+  for (int64_t n : kLengths) {
+    std::vector<double> qp0(static_cast<size_t>(n)), p0(qp0), qrow(qp0),
+        y0(qp0), x(qp0);
+    for (auto& v : qp0) v = rng.Normal();
+    for (auto& v : p0) v = rng.Uniform(0.0, 1.0);
+    for (auto& v : qrow) v = rng.Normal();
+    for (auto& v : y0) v = rng.Normal();
+    for (auto& v : x) v = rng.Normal();
+    const double diff = 0.037, factor = -1.25;
+
+    std::vector<double> qp_ref = qp0, p_ref = p0, y_ref = y0,
+        m_ref(static_cast<size_t>(n), -3.0);
+    ref.coupling_update(qp_ref.data(), p_ref.data(), qrow.data(), n, diff);
+    ref.axpy_neg(y_ref.data(), x.data(), n, factor);
+    ref.mul_neg(m_ref.data(), qrow.data(), x.data(), n);
+    for (SimdTier tier : tiers) {
+      const SimdOps& ops = simd::OpsFor(tier);
+      std::vector<double> qp = qp0, p = p0, y = y0,
+          m(static_cast<size_t>(n), -3.0);
+      ops.coupling_update(qp.data(), p.data(), qrow.data(), n, diff);
+      ops.axpy_neg(y.data(), x.data(), n, factor);
+      ops.mul_neg(m.data(), qrow.data(), x.data(), n);
+      EXPECT_TRUE(SameBits(qp, qp_ref)) << ops.name << " n=" << n;
+      EXPECT_TRUE(SameBits(p, p_ref)) << ops.name << " n=" << n;
+      EXPECT_TRUE(SameBits(y, y_ref)) << ops.name << " n=" << n;
+      EXPECT_TRUE(SameBits(m, m_ref)) << ops.name << " n=" << n;
+    }
+    if (n > 0) {
+      EXPECT_EQ(m_ref[0], -(qrow[0] * x[0]));
+    }
+  }
+}
+
+// Randomized CSR fixture with empty rows and odd row lengths: row r is empty
+// whenever r % 5 == 0.
+CsrMatrix RandomCsr(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  CsrBuilder builder(cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<int32_t> idx;
+    std::vector<double> val;
+    if (r % 5 != 0) {
+      for (int32_t c = 0; c < cols; ++c) {
+        if (rng.Bernoulli(0.23)) {
+          idx.push_back(c);
+          val.push_back(rng.Normal());
+        }
+      }
+    }
+    builder.AddRow(idx, val);
+  }
+  return ValueOrDie(builder.Finish());
+}
+
+TEST(SimdTierIdentityTest, SparseOpsBitwiseAcrossTiersEndToEnd) {
+  // The five instrumented paths' sparse entry points, scalar vs each vector
+  // tier, on fixtures with empty rows and ragged tails. Outputs AND OpStats
+  // must agree bitwise.
+  CsrMatrix a = RandomCsr(40, 97, 5);
+  CsrMatrix b = RandomCsr(33, 97, 6);
+  std::vector<int32_t> batch, targets, rows;
+  for (int32_t i = 0; i < 40; i += 3) batch.push_back(i);
+  for (int32_t i = 0; i < 33; ++i) targets.push_back(i);
+  for (int32_t i = 0; i < 33; i += 2) rows.push_back(i);
+  std::vector<double> v(static_cast<size_t>(b.cols()));
+  Rng rng(8);
+  for (auto& e : v) e = rng.Normal();
+
+  const SimdOps& ref = simd::OpsFor(SimdTier::kScalar);
+  std::vector<double> want_batch(batch.size() * targets.size());
+  std::vector<double> want_scatter(targets.size());
+  std::vector<double> want_spmv(rows.size());
+  const OpStats sb = BatchRowDots2(a, batch, b, targets, want_batch.data(),
+                                   nullptr, &ref);
+  const OpStats ss = ScatterRowDots(a, 7, b, targets, want_scatter.data(),
+                                    &ref);
+  const OpStats sv = SpMV(b, rows, v, want_spmv.data(), nullptr, &ref);
+
+  for (SimdTier tier : SupportedTiers()) {
+    const SimdOps& ops = simd::OpsFor(tier);
+    std::vector<double> got_batch(want_batch.size(), -1.0);
+    std::vector<double> got_scatter(want_scatter.size(), -1.0);
+    std::vector<double> got_spmv(want_spmv.size(), -1.0);
+    const OpStats gb = BatchRowDots2(a, batch, b, targets, got_batch.data(),
+                                     nullptr, &ops);
+    const OpStats gs = ScatterRowDots(a, 7, b, targets, got_scatter.data(),
+                                      &ops);
+    const OpStats gv = SpMV(b, rows, v, got_spmv.data(), nullptr, &ops);
+    EXPECT_TRUE(SameBits(got_batch, want_batch)) << ops.name;
+    EXPECT_TRUE(SameBits(got_scatter, want_scatter)) << ops.name;
+    EXPECT_TRUE(SameBits(got_spmv, want_spmv)) << ops.name;
+    EXPECT_EQ(gb.flops, sb.flops);
+    EXPECT_EQ(gs.flops, ss.flops);
+    EXPECT_EQ(gs.bytes_read, ss.bytes_read);
+    EXPECT_EQ(gs.bytes_written, ss.bytes_written);
+    EXPECT_EQ(gv.flops, sv.flops);
+  }
+}
+
+TEST(SimdTierIdentityTest, CouplingSolvesBitwiseAcrossTiers) {
+  Rng rng(23);
+  for (int k : {2, 3, 5, 9}) {
+    std::vector<double> r(static_cast<size_t>(k) * k, 0.0);
+    for (int s = 0; s < k; ++s) {
+      for (int t = s + 1; t < k; ++t) {
+        const double p = rng.Uniform(0.02, 0.98);
+        r[static_cast<size_t>(s) * k + t] = p;
+        r[static_cast<size_t>(t) * k + s] = 1.0 - p;
+      }
+    }
+    for (CouplingMethod method :
+         {CouplingMethod::kGaussianElimination, CouplingMethod::kIterative}) {
+      CouplingOptions ref_opts;
+      ref_opts.method = method;
+      ref_opts.simd = SimdTier::kScalar;
+      Result<std::vector<double>> want = CoupleProbabilities(r, k, ref_opts);
+      ASSERT_TRUE(want.ok());
+      for (SimdTier tier : SupportedTiers()) {
+        CouplingOptions opts = ref_opts;
+        opts.simd = tier;
+        Result<std::vector<double>> got = CoupleProbabilities(r, k, opts);
+        ASSERT_TRUE(got.ok());
+        EXPECT_TRUE(SameBits(got.value(), want.value()))
+            << simd::TierName(tier) << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SimdPathStatsTest, RecordsCallsElementsAndFlops) {
+  simd::ResetPathStats();
+  CsrMatrix a = RandomCsr(12, 31, 3);
+  std::vector<int32_t> batch = {1, 2}, targets = {3, 4, 6};
+  std::vector<double> out(batch.size() * targets.size());
+  const OpStats stats = BatchRowDots(a, batch, targets, out.data());
+  const simd::PathStatsSnapshot snap =
+      simd::PathStats(simd::SimdPath::kBatchRowDots);
+  EXPECT_EQ(snap.calls, 1);
+  EXPECT_EQ(snap.flops, stats.flops);
+  EXPECT_GT(snap.elements, 0);
+  simd::ResetPathStats();
+  EXPECT_EQ(simd::PathStats(simd::SimdPath::kBatchRowDots).calls, 0);
+}
+
+}  // namespace
+}  // namespace gmpsvm

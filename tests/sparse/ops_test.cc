@@ -189,6 +189,72 @@ TEST(ParallelOpsTest, PoolDoesNotChangeResultsOrStats) {
   }
 }
 
+TEST(ParallelOpsTest, OpStatsBitwiseIdenticalAcrossPoolSizes) {
+  // Satellite check for the SIMD tier: aggregated OpStats (and outputs) must
+  // be byte-identical for pool sizes {0, 1, 4} — no pool, a degenerate pool
+  // that runs serial, and a real 4-thread pool — on BatchRowDots and SpMV.
+  CsrMatrix x = RandomSparse(90, 48, 0.25, 33);
+  std::vector<int32_t> batch, targets;
+  for (int32_t i = 0; i < 90; i += 2) batch.push_back(i);
+  for (int32_t i = 0; i < 90; i += 3) targets.push_back(i);
+  std::vector<double> vec(static_cast<size_t>(x.cols()));
+  for (size_t i = 0; i < vec.size(); ++i) {
+    vec[i] = 0.5 * static_cast<double>(i % 7) - 1.5;
+  }
+
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  ThreadPool* const pools[] = {nullptr, &pool1, &pool4};
+
+  std::vector<std::vector<double>> dots_out;
+  std::vector<OpStats> dots_stats;
+  std::vector<std::vector<double>> spmv_out;
+  std::vector<OpStats> spmv_stats;
+  for (ThreadPool* pool : pools) {
+    dots_out.emplace_back(batch.size() * targets.size(), -7.0);
+    dots_stats.push_back(BatchRowDots(x, batch, targets,
+                                      dots_out.back().data(), pool));
+    spmv_out.emplace_back(batch.size(), -7.0);
+    spmv_stats.push_back(SpMV(x, batch, vec, spmv_out.back().data(), pool));
+  }
+  for (size_t i = 1; i < 3; ++i) {
+    EXPECT_EQ(0, std::memcmp(dots_out[0].data(), dots_out[i].data(),
+                             dots_out[0].size() * sizeof(double)))
+        << "BatchRowDots output, pool variant " << i;
+    EXPECT_EQ(dots_stats[0].flops, dots_stats[i].flops);
+    EXPECT_EQ(dots_stats[0].bytes_read, dots_stats[i].bytes_read);
+    EXPECT_EQ(dots_stats[0].bytes_written, dots_stats[i].bytes_written);
+    EXPECT_EQ(0, std::memcmp(spmv_out[0].data(), spmv_out[i].data(),
+                             spmv_out[0].size() * sizeof(double)))
+        << "SpMV output, pool variant " << i;
+    EXPECT_EQ(spmv_stats[0].flops, spmv_stats[i].flops);
+    EXPECT_EQ(spmv_stats[0].bytes_read, spmv_stats[i].bytes_read);
+    EXPECT_EQ(spmv_stats[0].bytes_written, spmv_stats[i].bytes_written);
+  }
+}
+
+TEST(ScatterRowDotsTest, StatsMatchSingleRowBatch) {
+  // ScatterRowDots must report the same OpStats as a one-row BatchRowDots2
+  // over the same targets: flops = 2*nnz of the touched target rows,
+  // bytes_read covering both the scattered row and the target rows.
+  CsrMatrix a = RandomSparse(20, 40, 0.3, 44);
+  CsrMatrix b = RandomSparse(30, 40, 0.2, 45);
+  std::vector<int32_t> targets;
+  for (int32_t i = 0; i < 30; i += 2) targets.push_back(i);
+  const std::vector<int32_t> batch = {7};
+
+  std::vector<double> scatter(targets.size(), -1.0);
+  std::vector<double> batched(targets.size(), -2.0);
+  OpStats s = ScatterRowDots(a, 7, b, targets, scatter.data());
+  OpStats t = BatchRowDots2(a, batch, b, targets, batched.data());
+  EXPECT_EQ(0, std::memcmp(scatter.data(), batched.data(),
+                           scatter.size() * sizeof(double)));
+  EXPECT_EQ(s.flops, t.flops);
+  EXPECT_EQ(s.bytes_read, t.bytes_read);
+  EXPECT_EQ(s.bytes_written, t.bytes_written);
+  EXPECT_GT(s.flops, 0.0);
+}
+
 TEST(OpStatsTest, Accumulates) {
   OpStats a{10, 20, 30};
   OpStats b{1, 2, 3};
