@@ -1,20 +1,37 @@
-// Cluster scaling: simulated training makespan vs device count.
+// Cluster scaling: simulated training makespan vs device count, node count,
+// and intra-pair shard count.
 //
-// Sweeps 1/2/4/8 homogeneous P100-class devices over a Table-2 proxy
-// dataset (default MNIST; override with --datasets=...), training with the
-// cluster pair scheduler + ClusterTrainer and predicting through the sharded
-// ClusterPredict path. The model and probabilities are byte-identical at
-// every device count (the cluster determinism contract); what changes — and
-// what this bench reports — is the makespan and the per-device utilization.
+// Section 1 sweeps 1/2/4/8 homogeneous P100-class devices over a Table-2
+// proxy dataset (default MNIST; override with --datasets=...), training with
+// the cluster pair scheduler + ClusterTrainer and predicting through the
+// sharded ClusterPredict path. The model and probabilities are byte-identical
+// at every device count (the cluster determinism contract); what changes —
+// and what this bench reports — is the makespan and per-device utilization.
 // Expect strictly decreasing makespan 1 -> 4 devices; 8 devices on the
 // smaller proxies starts to show scheduling slack (fewer pairs per device
 // than the LPT bins need to balance).
 //
-// --json output lands one row per (dataset, device count) with the device
-// count encoded in the impl column ("GMP-SVM cluster x4"); CI uploads it as
-// BENCH_cluster.json.
+// Section 2 holds 4 devices fixed and regroups them into 1/2/4 simulated
+// nodes with forced intra-pair sharding: the solution never changes, but the
+// allreduce traffic migrates from the NVLink-class intra-node links onto the
+// network-class inter-node links and the merge seconds grow — the network
+// cost model in action (docs/cost_model.md).
+//
+// Section 3 trains ONE oversized pair (a 2-class problem) at 1/2/4 instance
+// shards. Whole-pair scheduling cannot use a second device at all there;
+// sharding must cut the makespan strictly as the group grows, and the binary
+// FAILS if it does not. Like the matching cluster_determinism_test, this
+// section models graph-captured launches and an on-package link so the
+// divisible per-round work dominates the fixed per-round costs — outside
+// that regime the latency floor wins and sharding stops paying
+// (docs/scaling.md).
+//
+// --json output lands one row per sweep point with the sweep coordinate
+// encoded in the impl column ("GMP-SVM cluster x4", "GMP-SVM nodes x2",
+// "GMP-SVM shard x4"); CI uploads it as BENCH_cluster.json.
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_common.h"
@@ -22,6 +39,8 @@
 #include "cluster/cluster_predictor.h"
 #include "cluster/cluster_trainer.h"
 #include "common/string_util.h"
+#include "data/synthetic.h"
+#include "dist/topology.h"
 
 using namespace gmpsvm;         // NOLINT
 using namespace gmpsvm::bench;  // NOLINT
@@ -37,6 +56,9 @@ int main(int argc, char** argv) {
   TablePrinter table({"Dataset", "Devices", "Makespan (sim)", "Speedup",
                       "Predict (sim)", "Min util", "Resched"});
   std::vector<JsonRow> json_rows;
+  SyntheticSpec nodes_spec;
+  ExecutorModel nodes_model;
+  bool have_nodes_spec = false;
 
   for (const auto& spec : SelectSpecs(args, DatasetFilter::kMulticlassOnly)) {
     Dataset train = ValueOrDie(GenerateSynthetic(spec));
@@ -45,6 +67,11 @@ int main(int argc, char** argv) {
     ExecutorModel device_model =
         ScaleModel(ExecutorModel::TeslaP100(), WorldScale(spec));
     device_model.host_threads = args.host_threads;
+    if (!have_nodes_spec) {
+      nodes_spec = spec;
+      nodes_model = device_model;
+      have_nodes_spec = true;
+    }
 
     double base_makespan = 0.0;
     for (int n : {1, 2, 4, 8}) {
@@ -99,7 +126,117 @@ int main(int argc, char** argv) {
   std::printf(
       "\nModel and probabilities are byte-identical at every device count;\n"
       "only the makespan changes (docs/scaling.md).\n");
+
+  // --- Section 2: node topology sweep at 4 devices, forced sharding --------
+  std::printf(
+      "\nNODE TOPOLOGY: 4 devices regrouped as N nodes, sharding forced\n\n");
+  TablePrinter node_table({"Dataset", "Nodes", "Makespan (sim)", "Sharded",
+                           "Merge (sim)", "Intra bytes", "Inter bytes"});
+  if (have_nodes_spec) {
+    Dataset train = ValueOrDie(GenerateSynthetic(nodes_spec));
+    for (int nodes : {1, 2, 4}) {
+      cluster::SimCluster devices =
+          cluster::SimCluster::HomogeneousNodes(nodes, 4 / nodes, nodes_model);
+      cluster::ClusterTrainOptions options;
+      options.train = GmpOptionsFor(nodes_spec);
+      options.schedule.max_shards_per_pair = 4;
+      options.schedule.shard_oversize_factor = 0.0;
+      cluster::ClusterTrainReport report;
+      MpSvmModel model =
+          ValueOrDie(cluster::ClusterTrainer(options).Train(train, &devices,
+                                                            &report));
+      (void)model;
+      node_table.AddRow({
+          nodes_spec.name,
+          StrPrintf("%d", nodes),
+          Sec(report.makespan_sim_seconds),
+          StrPrintf("%d", report.pairs_sharded),
+          Sec(report.dist.merge_seconds),
+          StrPrintf("%lld", static_cast<long long>(report.dist.intra_node_bytes)),
+          StrPrintf("%lld", static_cast<long long>(report.dist.inter_node_bytes)),
+      });
+      JsonRow row;
+      row.dataset = nodes_spec.name;
+      row.impl = StrPrintf("GMP-SVM nodes x%d", nodes);
+      row.model = nodes_model.name;
+      row.train_sim = report.makespan_sim_seconds;
+      row.train_wall = report.wall_seconds;
+      json_rows.push_back(std::move(row));
+    }
+  }
+  node_table.Print();
+  std::printf(
+      "\nSame model bytes on every topology; more nodes move the allreduce\n"
+      "traffic onto the slower inter-node links (docs/cost_model.md).\n");
+
+  // --- Section 3: oversized single-pair shard sweep (gated) ----------------
+  std::printf(
+      "\nOVERSIZED PAIR: one 2-class problem, 1/2/4 instance shards\n\n");
+  SyntheticSpec pair_spec;
+  pair_spec.name = "oversized-pair";
+  pair_spec.num_classes = 2;
+  pair_spec.cardinality = 1200;
+  pair_spec.dim = 8;
+  pair_spec.density = 1.0;
+  pair_spec.separation = 2.0;
+  pair_spec.seed = 9;
+  Dataset pair_train = ValueOrDie(GenerateSynthetic(pair_spec));
+  TablePrinter shard_table(
+      {"Shards", "Makespan (sim)", "Speedup", "Allreduces", "Merge (sim)"});
+  double base_pair_makespan = 0.0;
+  double prev_pair_makespan = 0.0;
+  bool shard_gate_ok = true;
+  for (int shards : {1, 2, 4}) {
+    ExecutorModel model = ExecutorModel::TeslaP100();
+    model.launch_overhead_sec = 2e-7;  // graph-captured launches
+    model.host_threads = args.host_threads;
+    cluster::SimCluster devices = cluster::SimCluster::Homogeneous(shards, model);
+    dist::LinkModel fast_intra;
+    fast_intra.bandwidth_bytes_per_sec = 300e9;
+    fast_intra.latency_seconds = 1e-7;  // on-package link
+    GMP_CHECK_OK(devices.SetTopology(dist::ClusterTopology::Contiguous(
+        1, shards, fast_intra, dist::NetworkClassLink())));
+    cluster::ClusterTrainOptions options;
+    options.train.kernel.gamma = 0.3;
+    options.train.batch.working_set.ws_size = 32;
+    options.train.batch.working_set.q = 16;
+    options.schedule.max_shards_per_pair = shards;
+    if (shards > 1) options.schedule.shard_oversize_factor = 0.0;
+    cluster::ClusterTrainReport report;
+    MpSvmModel model_out = ValueOrDie(
+        cluster::ClusterTrainer(options).Train(pair_train, &devices, &report));
+    (void)model_out;
+    if (shards == 1) base_pair_makespan = report.makespan_sim_seconds;
+    if (shards > 1 && report.makespan_sim_seconds >= prev_pair_makespan) {
+      shard_gate_ok = false;
+    }
+    prev_pair_makespan = report.makespan_sim_seconds;
+    shard_table.AddRow({
+        StrPrintf("%d", shards),
+        Sec(report.makespan_sim_seconds),
+        Speedup(base_pair_makespan / report.makespan_sim_seconds),
+        StrPrintf("%lld", static_cast<long long>(report.dist.allreduces)),
+        Sec(report.dist.merge_seconds),
+    });
+    JsonRow row;
+    row.dataset = pair_spec.name;
+    row.impl = StrPrintf("GMP-SVM shard x%d", shards);
+    row.model = model.name;
+    row.train_sim = report.makespan_sim_seconds;
+    row.train_wall = report.wall_seconds;
+    json_rows.push_back(std::move(row));
+  }
+  shard_table.Print();
   WriteBenchJson(args, "cluster_scaling", json_rows);
   DumpObservability(args);
+  if (!shard_gate_ok) {
+    std::printf(
+        "\nFAIL: sharded makespan did not decrease strictly with the shard\n"
+        "count (docs/scaling.md).\n");
+    return 1;
+  }
+  std::printf(
+      "\nSharded makespans decrease strictly 1 -> 4 shards; the merge cost\n"
+      "is the price the scheduler's network model weighs (docs/cost_model.md).\n");
   return 0;
 }

@@ -2,6 +2,7 @@
 // backed by GMP-SVM on the simulated device. Works on LibSVM-format files.
 //
 //   svm_tool train [-c C] [-g gamma] [-e eps] [-b cv_folds] [--devices N]
+//       [--nodes N] [--max-shards M] [--link-gbps X] [--link-latency-us Y]
 //       [--metrics-out m.prom] [--trace-out t.json]
 //       [--checkpoint-dir d] [--resume] [--chaos-seed s] [--skip-degraded]
 //       <train> <model>
@@ -34,6 +35,14 @@
 // validated but the results are identical at any N by construction.
 // Checkpoint/resume are single-device concepts; combining them with
 // --devices > 1 is a usage error. Unknown flags are usage errors (exit 2).
+//
+// --nodes N (train only) groups the devices into N simulated nodes
+// (contiguous groups; 1 <= N <= devices). --max-shards M lets the scheduler
+// split an oversized pair's instances across up to M devices
+// (dist/dist_solver.h); --link-gbps / --link-latency-us configure the
+// inter-node link the allreduce cost model prices (docs/cost_model.md).
+// Models and probabilities stay byte-identical for every topology; only the
+// simulated makespan moves. Out-of-range values are usage errors (exit 2).
 //
 // Exit codes: 0 success; 1 fatal error; 2 usage; 3 degraded completion (the
 // run finished but some pairs were skipped as degraded, or some chaos serve
@@ -83,7 +92,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  svm_tool train [-c C] [-g gamma] [-e eps] [-b folds]\n"
-               "      [--host-threads N] [--devices N] [--metrics-out m.prom]\n"
+               "      [--host-threads N] [--devices N] [--nodes N]\n"
+               "      [--max-shards M] [--link-gbps X] [--link-latency-us Y]\n"
+               "      [--metrics-out m.prom]\n"
                "      [--trace-out t.json] [--checkpoint-dir d] [--resume]\n"
                "      [--chaos-seed s] [--skip-degraded] <data> <model>\n"
                "  svm_tool predict [--host-threads N] [--devices N]\n"
@@ -119,6 +130,11 @@ int Usage() {
                "cluster; models and probabilities are byte-identical for\n"
                "every device count (docs/scaling.md). --devices must be >= 1\n"
                "and excludes --checkpoint-dir/--resume when > 1.\n"
+               "--nodes groups train's devices into simulated nodes\n"
+               "(1 <= nodes <= devices); --max-shards >= 1 bounds intra-pair\n"
+               "instance sharding; --link-gbps > 0 and --link-latency-us >= 0\n"
+               "set the inter-node link (defaults 12.5 GB/s, 5 us). Models\n"
+               "are byte-identical for every topology (docs/scaling.md).\n"
                "--cascade eliminate enables the class-elimination prediction\n"
                "cascade (docs/cascade.md); --cascade exact (the default) is\n"
                "byte-identical to the pre-cascade predictor.\n"
@@ -321,6 +337,8 @@ int GridCommand(int argc, char** argv) {
 int TrainCommand(int argc, char** argv) {
   double c = 1.0, gamma = 0.5, eps = 1e-3;
   int cv_folds = 0, host_threads = 1, devices = 1;
+  int nodes = 1, max_shards = 1;
+  double link_gbps = 12.5, link_latency_us = 5.0;
   bool resume = false, skip_degraded = false, chaos = false;
   uint64_t chaos_seed = 0;
   std::string metrics_out, trace_out, checkpoint_dir;
@@ -354,6 +372,19 @@ int TrainCommand(int argc, char** argv) {
       chaos_seed = static_cast<uint64_t>(std::atoll(argv[++arg]));
     } else if (std::strcmp(argv[arg], "--devices") == 0) {
       if (!ParseDevicesFlag(argc, argv, &arg, &devices)) return Usage();
+    } else if (std::strcmp(argv[arg], "--nodes") == 0 && arg + 1 < argc) {
+      nodes = std::atoi(argv[++arg]);
+      if (nodes < 1) return Usage();
+    } else if (std::strcmp(argv[arg], "--max-shards") == 0 && arg + 1 < argc) {
+      max_shards = std::atoi(argv[++arg]);
+      if (max_shards < 1) return Usage();
+    } else if (std::strcmp(argv[arg], "--link-gbps") == 0 && arg + 1 < argc) {
+      link_gbps = std::atof(argv[++arg]);
+      if (!(link_gbps > 0.0)) return Usage();
+    } else if (std::strcmp(argv[arg], "--link-latency-us") == 0 &&
+               arg + 1 < argc) {
+      link_latency_us = std::atof(argv[++arg]);
+      if (!(link_latency_us >= 0.0)) return Usage();
     } else if (argv[arg][0] == '-') {
       return Usage();
     } else if (npos < 2) {
@@ -368,6 +399,10 @@ int TrainCommand(int argc, char** argv) {
   // Checkpoint/resume are single-device session concepts (the cluster
   // trainer's Validate rejects them too); fail fast as a usage error.
   if (devices > 1 && (resume || !checkpoint_dir.empty())) return Usage();
+  // Node topology constraints: nodes group devices, so a run cannot have
+  // more nodes than devices, and a shard group never exceeds the device
+  // count. Rejecting here (exit 2) beats a late InvalidArgument.
+  if (nodes > devices || max_shards > devices) return Usage();
 
   auto file = ReadLibsvmFile(positional[0]);
   if (!file.ok()) {
@@ -399,10 +434,26 @@ int TrainCommand(int argc, char** argv) {
   if (devices > 1) {
     cluster::SimCluster cluster_devices =
         cluster::SimCluster::Homogeneous(devices, device_model);
+    dist::LinkModel inter = dist::NetworkClassLink();
+    inter.bandwidth_bytes_per_sec = link_gbps * 1e9;
+    inter.latency_seconds = link_latency_us * 1e-6;
+    GMP_CHECK_OK(cluster_devices.SetTopology(dist::ClusterTopology::Contiguous(
+        nodes, devices, dist::NvlinkClassLink(), inter)));
+    if (nodes > 1 || max_shards > 1) {
+      std::printf(
+          "topology: %d node%s x %d devices, inter-node link %.1f GB/s + "
+          "%.1f us, max %d shard%s/pair\n",
+          nodes, nodes == 1 ? "" : "s", devices, link_gbps, link_latency_us,
+          max_shards, max_shards == 1 ? "" : "s");
+    }
     obs::TraceRecorder recorder;
     if (!trace_out.empty()) cluster_devices.SetSpanRecorder(&recorder);
     cluster::ClusterTrainOptions cluster_options;
     cluster_options.train = options;
+    cluster_options.schedule.max_shards_per_pair = max_shards;
+    // The flag is an explicit request to exercise the sharded path, so skip
+    // the oversize cost comparison (factor 0 forces the shard decision).
+    if (max_shards > 1) cluster_options.schedule.shard_oversize_factor = 0.0;
     if (chaos) {
       cluster_options.fault = fault::FaultPlan::Chaos(chaos_seed);
       cluster_options.fault_metrics = &metrics;
@@ -429,10 +480,22 @@ int TrainCommand(int argc, char** argv) {
                   d, u.pairs_trained, u.sim_seconds, 100.0 * u.utilization,
                   u.lost ? " [lost]" : "");
     }
-    if (report.devices_lost > 0) {
-      std::printf("recovery: %d devices lost, %lld pairs rescheduled\n",
-                  report.devices_lost,
-                  static_cast<long long>(report.pairs_rescheduled));
+    if (report.pairs_sharded > 0) {
+      std::printf(
+          "sharding: %d pairs sharded, %lld allreduces (%.3f sim-s merge, "
+          "%lld intra + %lld inter bytes)\n",
+          report.pairs_sharded, static_cast<long long>(report.dist.allreduces),
+          report.dist.merge_seconds,
+          static_cast<long long>(report.dist.intra_node_bytes),
+          static_cast<long long>(report.dist.inter_node_bytes));
+    }
+    if (report.devices_lost > 0 || report.nodes_lost > 0) {
+      std::printf(
+          "recovery: %d nodes lost, %d devices lost, %lld pairs rescheduled, "
+          "%lld shards rescheduled\n",
+          report.nodes_lost, report.devices_lost,
+          static_cast<long long>(report.pairs_rescheduled),
+          static_cast<long long>(report.shards_rescheduled));
     }
     if (report.merged.pair_retries > 0 || report.merged.pairs_degraded > 0) {
       std::printf("recovery: %lld pair retries, %lld pairs degraded\n",
@@ -1300,6 +1363,16 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "bench-env") == 0) {
     if (argc != 2) return Usage();
     std::printf("%s\n", simd::DescribeEnvironment().c_str());
+    const dist::LinkModel intra = dist::NvlinkClassLink();
+    const dist::LinkModel inter = dist::NetworkClassLink();
+    std::printf(
+        "node topology: single node by default; train --nodes N groups\n"
+        "  --devices into N contiguous nodes (docs/cost_model.md)\n"
+        "  intra-node link: %.1f GB/s, %.1f us latency (NVLink class)\n"
+        "  inter-node link: %.1f GB/s, %.1f us latency (network class;\n"
+        "  override with --link-gbps / --link-latency-us)\n",
+        intra.bandwidth_bytes_per_sec / 1e9, intra.latency_seconds * 1e6,
+        inter.bandwidth_bytes_per_sec / 1e9, inter.latency_seconds * 1e6);
     return 0;
   }
   if (std::strcmp(argv[1], "train") == 0) return TrainCommand(argc - 2, argv + 2);

@@ -1,11 +1,16 @@
-// SimCluster: N independent simulated devices behind one handle.
+// SimCluster: N independent simulated devices behind one handle, grouped
+// into simulated nodes by a dist::ClusterTopology.
 //
 // Each device is a full SimExecutor with its own clock, counters, memory
 // budget, streams, and (when the trainer attaches one) its own shared
 // kernel-block cache — exactly the single-device substrate, multiplied.
-// There is NO modeled interconnect between devices: a pair problem trains
-// entirely on one device, and every device pays for its own host->device
-// copy of the data it touches over its own PCIe link (docs/cost_model.md).
+// Whole-pair training never moves data between devices: a pair problem
+// trains entirely on one device, and every device pays for its own
+// host->device copy of the data it touches over its own PCIe link. The
+// topology's per-link bandwidth/latency model only enters when the trainer
+// shards a pair's instances across devices: the distributed solver's merges
+// are priced over intra-node and inter-node links (docs/cost_model.md).
+// The default topology is a single node holding every device.
 //
 // Tracing: one recorder can observe all devices. Lanes are banded per device
 // — device d's stream spans land in [d * band, (d + 1) * band) — so a merged
@@ -20,6 +25,7 @@
 
 #include "device/executor.h"
 #include "device/sim_model.h"
+#include "dist/topology.h"
 #include "obs/span.h"
 
 namespace gmpsvm::cluster {
@@ -33,13 +39,32 @@ class SimCluster {
   // next to a CPU substrate) — the pair scheduler normalizes by speed().
   explicit SimCluster(std::vector<ExecutorModel> models);
 
-  // n identical devices.
+  // n identical devices on one node.
   static SimCluster Homogeneous(int n, const ExecutorModel& model);
+
+  // nodes * devices_per_node identical devices split contiguously across
+  // `nodes` SimNodes, with the given link models (defaults: NVLink-class
+  // within a node, 100 Gb/s network between nodes).
+  static SimCluster HomogeneousNodes(
+      int nodes, int devices_per_node, const ExecutorModel& model,
+      dist::LinkModel intra = dist::NvlinkClassLink(),
+      dist::LinkModel inter = dist::NetworkClassLink());
 
   SimCluster(SimCluster&&) noexcept = default;
   SimCluster& operator=(SimCluster&&) noexcept = default;
 
   int num_devices() const { return static_cast<int>(devices_.size()); }
+
+  // --- Node topology --------------------------------------------------------
+
+  const dist::ClusterTopology& topology() const { return topology_; }
+
+  // Replaces the topology; it must validate and map exactly this cluster's
+  // devices.
+  Status SetTopology(dist::ClusterTopology topology);
+
+  int num_nodes() const { return topology_.num_nodes; }
+  int node_of(int device) const { return topology_.node_of(device); }
 
   SimExecutor* device(int d) { return devices_[static_cast<size_t>(d)].get(); }
   const SimExecutor* device(int d) const {
@@ -67,6 +92,7 @@ class SimCluster {
 
  private:
   std::vector<std::unique_ptr<SimExecutor>> devices_;
+  dist::ClusterTopology topology_;
 };
 
 }  // namespace gmpsvm::cluster

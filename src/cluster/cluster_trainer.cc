@@ -5,8 +5,12 @@
 #include <memory>
 #include <thread>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/sigmoid_cv.h"
+#include "fault/retry.h"
+#include "prob/platt.h"
 
 namespace gmpsvm::cluster {
 namespace {
@@ -33,6 +37,202 @@ uint64_t DeviceFaultSeed(uint64_t plan_seed, int device) {
   return SplitMix64(plan_seed ^ SplitMix64(0xD00Dull + static_cast<uint64_t>(device)));
 }
 
+// Seed for node m's loss draw (independent of the pair and device streams).
+uint64_t NodeFaultSeed(uint64_t plan_seed, int node) {
+  return SplitMix64(plan_seed ^ SplitMix64(0x40DEull + static_cast<uint64_t>(node)));
+}
+
+// Device-origin phase span helper (same shape mp_trainer.cc uses for its
+// pair phases; kept local because both copies are file-scope details).
+void RecordPhaseSpan(SimExecutor* executor, StreamId stream, std::string name,
+                     double start, double end) {
+  obs::SpanRecorder* recorder = executor->span_recorder();
+  if (recorder == nullptr || end <= start) return;
+  obs::SpanEvent span;
+  span.name = std::move(name);
+  span.origin = obs::SpanEvent::Origin::kDevice;
+  span.lane = executor->lane_base() + stream;
+  span.start_seconds = start;
+  span.end_seconds = end;
+  span.is_phase = true;
+  recorder->RecordSpan(span);
+}
+
+// Phase A: train one sharded pair across its shard group with the
+// distributed solver, then fit the sigmoid on the coordinator. Mirrors the
+// whole-pair path (SolveGmpPairImpl + RunPairWithRetry in mp_trainer.cc)
+// step for step so the outcome — checkpoint, stats, retry/degrade behaviour
+// — is byte-identical to training the pair whole on one device.
+Result<PairTrainOutcome> TrainShardedPair(
+    const Dataset& dataset, const MpTrainOptions& options,
+    const dist::ClusterTopology& topology, SimCluster* cluster,
+    const ShardedPair& sharded,
+    const PairFaultInjectorFactory& injector_factory,
+    dist::DistStats* dist_stats) {
+  const auto pairs = dataset.ClassPairs();
+  const int s = pairs[sharded.pair].first;
+  const int t = pairs[sharded.pair].second;
+
+  BinaryProblem problem = dataset.MakePairProblem(s, t, options.c, options.kernel);
+  if (!options.class_weights.empty()) {
+    problem.weight_pos = options.class_weights[static_cast<size_t>(s)];
+    problem.weight_neg = options.class_weights[static_cast<size_t>(t)];
+  }
+  const int64_t n = problem.n();
+
+  // Never more shards than rows; the scheduler already caps this, but loss
+  // re-forming may have shrunk the group below the cap it was built for.
+  const size_t n_shards =
+      std::min(sharded.devices.size(), static_cast<size_t>(std::max<int64_t>(n, 1)));
+  const std::vector<std::pair<int64_t, int64_t>> ranges =
+      dist::ContiguousShardRanges(n, static_cast<int>(n_shards));
+
+  std::vector<dist::Shard> shards(n_shards);
+  for (size_t j = 0; j < n_shards; ++j) {
+    const int d = sharded.devices[j];
+    shards[j].executor = cluster->device(d);
+    shards[j].stream = kDefaultStream;
+    shards[j].device = d;
+    shards[j].begin = ranges[j].first;
+    shards[j].end = ranges[j].second;
+    shards[j].executor->SynchronizeAll();
+  }
+  SimExecutor* const coord = shards[0].executor;
+  const StreamId coord_stream = shards[0].stream;
+
+  // Each shard pays host->device transfer for its instance slice: the
+  // slice's share of the full feature matrix (pair rows are dataset rows).
+  const double dataset_rows = static_cast<double>(std::max<int64_t>(
+      static_cast<int64_t>(dataset.size()), 1));
+  for (const dist::Shard& shard : shards) {
+    const double fraction =
+        static_cast<double>(shard.end - shard.begin) / dataset_rows;
+    const double load_t0 = shard.executor->StreamTime(shard.stream);
+    shard.executor->Transfer(
+        shard.stream,
+        static_cast<double>(dataset.features().ByteSize()) * fraction,
+        TransferDirection::kHostToDevice);
+    RecordPhaseSpan(shard.executor, shard.stream, "data_load", load_t0,
+                    shard.executor->StreamTime(shard.stream));
+  }
+
+  KernelComputer computer(&dataset.features(), options.kernel);
+  const dist::DistSmoSolver dist_solver(options.batch, &topology);
+
+  // The pair's injector lives on the coordinator only — exactly the
+  // single-device consult sequence (dist_solver.h).
+  fault::FaultInjector* const base_injector = coord->fault_injector();
+  std::unique_ptr<fault::FaultInjector> pair_injector;
+  if (injector_factory != nullptr) {
+    pair_injector = injector_factory(sharded.pair);
+    coord->SetFaultInjector(pair_injector.get());
+  }
+
+  PairTrainOutcome outcome;
+  outcome.pair_index = sharded.pair;
+
+  const auto attempt = [&]() -> Result<PairCheckpoint> {
+    SolverStats stats;
+    dist::DistStats attempt_dist;
+    const double smo_t0 = coord->StreamTime(coord_stream);
+    Result<BinarySolution> solved =
+        dist_solver.Solve(problem, computer, shards, &stats, &attempt_dist);
+    // Work done by failed attempts still counts toward the pair.
+    outcome.stats.Merge(stats);
+    dist_stats->Merge(attempt_dist);
+    if (!solved.ok()) return solved.status();
+    const BinarySolution& solution = *solved;
+    RecordPhaseSpan(coord, coord_stream, StrPrintf("smo %dv%d", s, t), smo_t0,
+                    coord->StreamTime(coord_stream));
+
+    std::vector<double> v;
+    if (options.sigmoid_cv_folds >= 2) {
+      // CV folds re-solve sub-problems; those run whole on the coordinator
+      // through a plain solver — the same calls the whole-pair path makes.
+      BatchSmoSolver plain(options.batch);
+      GMP_ASSIGN_OR_RETURN(
+          v, CrossValidatedDecisionValues(
+                 problem, computer,
+                 [&](const BinaryProblem& sub, SimExecutor* e, StreamId str) {
+                   return plain.Solve(sub, computer, e, str, nullptr);
+                 },
+                 options.sigmoid_cv_folds, /*seed=*/1u, coord, coord_stream));
+    } else {
+      // v_i = f_i + y_i + b (Equation 3 vs Equation 11).
+      v.resize(solution.f.size());
+      for (size_t i = 0; i < v.size(); ++i) {
+        v[i] = solution.f[i] + static_cast<double>(problem.y[i]) +
+               solution.bias;
+      }
+    }
+    const double sigmoid_t0 = coord->StreamTime(coord_stream);
+    GMP_ASSIGN_OR_RETURN(
+        SigmoidParams sigmoid,
+        FitSigmoid(v, problem.y, options.platt, coord, coord_stream,
+                   options.platt_parallel_candidates));
+    RecordPhaseSpan(coord, coord_stream, StrPrintf("sigmoid %dv%d", s, t),
+                    sigmoid_t0, coord->StreamTime(coord_stream));
+    outcome.sigmoid_seconds +=
+        coord->StreamTime(coord_stream) - sigmoid_t0;
+    outcome.sigmoid_done = true;
+
+    PairCheckpoint pair;
+    pair.class_s = s;
+    pair.class_t = t;
+    pair.bias = solution.bias;
+    pair.sigmoid = sigmoid;
+    for (int64_t i = 0; i < problem.n(); ++i) {
+      const double a = solution.alpha[static_cast<size_t>(i)];
+      if (a <= 0.0) continue;
+      pair.sv_rows.push_back(problem.rows[static_cast<size_t>(i)]);
+      pair.sv_coef.push_back(
+          a * static_cast<double>(problem.y[static_cast<size_t>(i)]));
+    }
+    return pair;
+  };
+
+  // Same retry/degrade policy as RunPairWithRetry, backoff charged to the
+  // coordinator with the same (s, t) seed.
+  const fault::RetryPolicy& policy = options.pair_retry;
+  Status failure = Status::OK();
+  for (int att = 1;; ++att) {
+    Result<PairCheckpoint> result = attempt();
+    if (result.ok()) {
+      outcome.checkpoint = std::move(result).value();
+      break;
+    }
+    if (!fault::IsTransientFault(result.status())) {
+      failure = result.status();
+      break;
+    }
+    if (att >= policy.max_attempts) {
+      if (options.pair_failure_policy == PairFailurePolicy::kFailFast) {
+        failure = Status::Unavailable(StrPrintf(
+            "pair %dv%d failed after %d attempts: %s", s, t, att,
+            result.status().message().c_str()));
+        break;
+      }
+      GMP_LOG(Warning) << "pair " << s << "v" << t << " degraded after "
+                       << att << " attempts: " << result.status().message();
+      outcome.checkpoint.class_s = s;
+      outcome.checkpoint.class_t = t;
+      outcome.checkpoint.degraded = true;
+      break;
+    }
+    ++outcome.retries;
+    const uint64_t seed =
+        (static_cast<uint64_t>(s) << 32) | static_cast<uint64_t>(t);
+    coord->AdvanceStream(coord_stream, fault::BackoffSeconds(policy, att, seed),
+                         "retry_backoff");
+  }
+
+  if (injector_factory != nullptr) coord->SetFaultInjector(base_injector);
+  for (const dist::Shard& shard : shards) shard.executor->SynchronizeAll();
+  if (!failure.ok()) return failure;
+  outcome.degraded = outcome.checkpoint.degraded;
+  return outcome;
+}
+
 }  // namespace
 
 Status ClusterTrainOptions::Validate(int num_classes) const {
@@ -46,6 +246,23 @@ Status ClusterTrainOptions::Validate(int num_classes) const {
     return Status::InvalidArgument(
         StrPrintf("affinity_discount must be in [0, 0.5), got %g",
                   schedule.affinity_discount));
+  }
+  if (schedule.max_shards_per_pair < 1) {
+    return Status::InvalidArgument(
+        StrPrintf("max_shards_per_pair must be >= 1, got %d",
+                  schedule.max_shards_per_pair));
+  }
+  if (!(schedule.shard_oversize_factor >= 0.0)) {
+    return Status::InvalidArgument(
+        StrPrintf("shard_oversize_factor must be >= 0, got %g",
+                  schedule.shard_oversize_factor));
+  }
+  if (schedule.max_shards_per_pair > 1 &&
+      train.batch.working_set.drop_policy !=
+          WorkingSetConfig::DropPolicy::kOldest) {
+    return Status::InvalidArgument(
+        "intra-pair sharding requires the kOldest working-set drop policy "
+        "(the distributed refresh cannot reproduce kLeastViolating)");
   }
   if (fault.has_value()) {
     GMP_RETURN_NOT_OK(fault->Validate());
@@ -78,6 +295,44 @@ void ClusterTrainReport::PublishTo(obs::MetricsRegistry* registry) const {
       ->GetCounter("gmpsvm_cluster_devices_lost_total",
                    "Cluster devices lost to injected device-loss faults.")
       ->Add(static_cast<double>(devices_lost));
+  registry
+      ->GetGauge("gmpsvm_cluster_nodes", "Nodes in the training cluster.")
+      ->Set(static_cast<double>(nodes));
+  registry
+      ->GetCounter("gmpsvm_cluster_nodes_lost_total",
+                   "Cluster nodes lost to injected node-loss faults.")
+      ->Add(static_cast<double>(nodes_lost));
+  registry
+      ->GetGauge("gmpsvm_cluster_pairs_sharded",
+                 "Pairs trained via intra-pair instance sharding.")
+      ->Set(static_cast<double>(pairs_sharded));
+  registry
+      ->GetCounter("gmpsvm_cluster_shards_rescheduled_total",
+                   "Shard slots vacated by lost devices/nodes whose pairs "
+                   "re-formed on the survivors.")
+      ->Add(static_cast<double>(shards_rescheduled));
+  registry
+      ->GetCounter("gmpsvm_dist_allreduces_total",
+                   "Allreduce merges performed by sharded pair solves.")
+      ->Add(static_cast<double>(dist.allreduces));
+  registry
+      ->GetCounter("gmpsvm_dist_allreduce_rounds_total",
+                   "Total recursive-doubling rounds across allreduce merges.")
+      ->Add(static_cast<double>(dist.allreduce_rounds));
+  registry
+      ->GetGauge("gmpsvm_dist_merge_sim_seconds",
+                 "Simulated seconds sharded solves spent in merges.")
+      ->Set(dist.merge_seconds);
+  registry
+      ->GetCounter("gmpsvm_dist_link_bytes_total",
+                   "Bytes moved by shard merges, per link class.",
+                   {{"link", "intra_node"}})
+      ->Add(dist.intra_node_bytes);
+  registry
+      ->GetCounter("gmpsvm_dist_link_bytes_total",
+                   "Bytes moved by shard merges, per link class.",
+                   {{"link", "inter_node"}})
+      ->Add(dist.inter_node_bytes);
   for (size_t d = 0; d < devices.size(); ++d) {
     const obs::Labels labels = {{"device", std::to_string(d)}};
     registry
@@ -105,15 +360,33 @@ Result<MpSvmModel> ClusterTrainer::Train(const Dataset& dataset,
   }
   Stopwatch wall;
   const int n_devices = cluster->num_devices();
+  const dist::ClusterTopology& topology = cluster->topology();
   const std::vector<std::pair<int, int>> pairs = dataset.ClassPairs();
 
   std::vector<size_t> all_pairs(pairs.size());
   for (size_t p = 0; p < pairs.size(); ++p) all_pairs[p] = p;
 
+  // Node-loss draws: once per non-primary node, from a stream that depends
+  // only on the plan seed and the node index. Node 0 never dies; losing a
+  // node loses every device on it.
+  std::vector<bool> node_lost(static_cast<size_t>(topology.num_nodes), false);
+  int nodes_lost = 0;
+  if (options_.fault.has_value() && options_.fault->node_loss_prob > 0.0) {
+    for (int m = 1; m < topology.num_nodes; ++m) {
+      fault::FaultPlan node_plan = *options_.fault;
+      node_plan.seed = NodeFaultSeed(options_.fault->seed, m);
+      fault::FaultInjector node_injector(node_plan, options_.fault_metrics);
+      if (node_injector.ShouldInject(fault::Site::kNodeLoss)) {
+        node_lost[static_cast<size_t>(m)] = true;
+        ++nodes_lost;
+      }
+    }
+  }
+
   // Device-loss draws: once per non-primary device, from a stream that
-  // depends only on the plan seed and the device index. Device 0 never dies.
+  // depends only on the plan seed and the device index (never the node
+  // grouping, so draws match across topologies). Device 0 never dies.
   std::vector<bool> lost(static_cast<size_t>(n_devices), false);
-  int devices_lost = 0;
   if (options_.fault.has_value() && options_.fault->device_loss_prob > 0.0) {
     for (int d = 1; d < n_devices; ++d) {
       fault::FaultPlan device_plan = *options_.fault;
@@ -122,13 +395,54 @@ Result<MpSvmModel> ClusterTrainer::Train(const Dataset& dataset,
                                            options_.fault_metrics);
       if (device_injector.ShouldInject(fault::Site::kDeviceLoss)) {
         lost[static_cast<size_t>(d)] = true;
-        ++devices_lost;
       }
     }
   }
+  int devices_lost = 0;
+  for (int d = 1; d < n_devices; ++d) {
+    if (node_lost[static_cast<size_t>(topology.node_of(d))]) {
+      lost[static_cast<size_t>(d)] = true;
+    }
+    if (lost[static_cast<size_t>(d)]) ++devices_lost;
+  }
 
-  PairAssignment assignment = SchedulePairs(
-      dataset, all_pairs, cluster->speeds(), {}, options_.schedule);
+  ScheduleOptions schedule = options_.schedule;
+  schedule.topology = &topology;
+  PairAssignment assignment =
+      SchedulePairs(dataset, all_pairs, cluster->speeds(), {}, schedule);
+
+  // Shard groups re-form on the survivors of any lost devices/nodes: with
+  // >= 2 members left the pair stays sharded; with one it trains whole
+  // there; with none it falls back to device 0 (which never dies). The
+  // re-formed solve is byte-identical, so losses never perturb the model.
+  int64_t shards_rescheduled = 0;
+  {
+    std::vector<ShardedPair> kept;
+    for (ShardedPair& sp : assignment.sharded_pairs) {
+      std::vector<int> survivors;
+      for (int d : sp.devices) {
+        if (!lost[static_cast<size_t>(d)]) survivors.push_back(d);
+      }
+      shards_rescheduled +=
+          static_cast<int64_t>(sp.devices.size() - survivors.size());
+      if (survivors.size() >= 2) {
+        sp.devices = std::move(survivors);
+        kept.push_back(std::move(sp));
+        continue;
+      }
+      const int target = survivors.size() == 1 ? survivors[0] : 0;
+      std::vector<size_t>& queue =
+          assignment.device_pairs[static_cast<size_t>(target)];
+      queue.insert(std::upper_bound(queue.begin(), queue.end(), sp.pair),
+                   sp.pair);
+      const int ps = pairs[sp.pair].first;
+      const int pt = pairs[sp.pair].second;
+      const double speed = cluster->speed(target);
+      assignment.device_load[static_cast<size_t>(target)] +=
+          EstimatePairCost(dataset, ps, pt) / (speed > 0.0 ? speed : 1.0);
+    }
+    assignment.sharded_pairs = std::move(kept);
+  }
 
   // A lost device fails at a pair boundary after completing the first half
   // of its queue; it keeps the completed pairs and the orphaned remainder is
@@ -154,9 +468,13 @@ Result<MpSvmModel> ClusterTrainer::Train(const Dataset& dataset,
               std::numeric_limits<double>::infinity();
         }
       }
+      // Orphans reschedule whole — no second-guessing the shard decision
+      // mid-recovery.
+      ScheduleOptions resched_options = schedule;
+      resched_options.max_shards_per_pair = 1;
       const PairAssignment resched =
           SchedulePairs(dataset, orphans, cluster->speeds(),
-                        std::move(initial), options_.schedule);
+                        std::move(initial), resched_options);
       for (int d = 0; d < n_devices; ++d) {
         if (lost[static_cast<size_t>(d)]) continue;
         std::vector<size_t>& queue =
@@ -203,9 +521,23 @@ Result<MpSvmModel> ClusterTrainer::Train(const Dataset& dataset,
         dev->counters().kernel_values_reused;
   }
 
-  // One thread per device: each device is an independent simulator, so this
-  // is wall-clock parallelism only — simulated results are identical to
-  // running the devices one after another.
+  // Phase A: sharded pairs, sequentially in pair order. Each solve spans
+  // several devices, so these cannot overlap the per-device threads below;
+  // they run first and leave every participant synchronized.
+  dist::DistStats dist_stats;
+  std::vector<PairTrainOutcome> sharded_outcomes;
+  sharded_outcomes.reserve(assignment.sharded_pairs.size());
+  for (const ShardedPair& sp : assignment.sharded_pairs) {
+    GMP_ASSIGN_OR_RETURN(
+        PairTrainOutcome outcome,
+        TrainShardedPair(dataset, options_.train, topology, cluster, sp,
+                         injector_factory, &dist_stats));
+    sharded_outcomes.push_back(std::move(outcome));
+  }
+
+  // Phase B — one thread per device: each device is an independent
+  // simulator, so this is wall-clock parallelism only — simulated results
+  // are identical to running the devices one after another.
   using DeviceResult = Result<std::vector<PairTrainOutcome>>;
   std::vector<DeviceResult> device_results(
       static_cast<size_t>(n_devices), DeviceResult(std::vector<PairTrainOutcome>{}));
@@ -230,7 +562,8 @@ Result<MpSvmModel> ClusterTrainer::Train(const Dataset& dataset,
     }
   }
 
-  // Re-key outcomes by global pair index.
+  // Re-key outcomes by global pair index. Sharded pairs report their
+  // coordinator as the training device.
   std::vector<PairTrainOutcome> by_pair(pairs.size());
   std::vector<int> pair_device(pairs.size(), -1);
   for (int d = 0; d < n_devices; ++d) {
@@ -238,6 +571,11 @@ Result<MpSvmModel> ClusterTrainer::Train(const Dataset& dataset,
       pair_device[outcome.pair_index] = d;
       by_pair[outcome.pair_index] = std::move(outcome);
     }
+  }
+  for (size_t i = 0; i < sharded_outcomes.size(); ++i) {
+    PairTrainOutcome& outcome = sharded_outcomes[i];
+    pair_device[outcome.pair_index] = assignment.sharded_pairs[i].devices[0];
+    by_pair[outcome.pair_index] = std::move(outcome);
   }
   for (size_t p = 0; p < pairs.size(); ++p) {
     if (pair_device[p] < 0) {
@@ -265,6 +603,11 @@ Result<MpSvmModel> ClusterTrainer::Train(const Dataset& dataset,
     report->wall_seconds = wall.ElapsedSeconds();
     report->pairs_rescheduled = pairs_rescheduled;
     report->devices_lost = devices_lost;
+    report->nodes = topology.num_nodes;
+    report->nodes_lost = nodes_lost;
+    report->pairs_sharded = static_cast<int>(assignment.sharded_pairs.size());
+    report->shards_rescheduled = shards_rescheduled;
+    report->dist = dist_stats;
     report->pair_device = std::move(pair_device);
 
     // Merge per-pair statistics in global ClassPairs() order — the same

@@ -1,30 +1,49 @@
-// Cluster training: shard the k(k-1)/2 pair problems across devices.
+// Cluster training: shard the k(k-1)/2 pair problems across devices and, for
+// oversized pairs, shard a single pair's instances across several devices.
 //
-// The trainer schedules pairs with the cost-model-aware pair scheduler,
-// trains each device's subset through TrainGmpPairSubset (one std::thread
-// per device — devices are independent simulators, so this is pure
-// wall-clock parallelism), and stitches the per-pair results back together
-// in global ClassPairs() order with AssembleModelFromPairs.
+// The trainer schedules pairs with the cost-model-aware pair scheduler.
+// Pairs the scheduler marked for intra-pair sharding train first (Phase A):
+// each runs once through dist::DistSmoSolver across its shard group, merges
+// priced by the cluster's node topology. The remaining whole pairs then
+// train through TrainGmpPairSubset (one std::thread per device — devices are
+// independent simulators, so this is pure wall-clock parallelism; Phase B).
+// Results are stitched back together in global ClassPairs() order with
+// AssembleModelFromPairs.
 //
 // Determinism contract (extends PR 4): the model, predicted probabilities,
-// and per-pair COUNTER statistics are byte-identical for devices=1 vs
-// devices=N at any host_threads, clean or under a fault plan; only the
-// simulated makespan and wall clock change. Two mechanisms make that hold:
+// and per-pair COUNTER statistics are byte-identical for nodes=1/devices=1
+// vs any nodes x devices topology at any host_threads, clean or under a
+// fault plan; only the simulated makespan and wall clock change. Three
+// mechanisms make that hold:
 //   * pair solutions are schedule-invariant (exact kernel math — see
 //     mp_trainer.h), so the assignment never changes the numbers;
+//   * a sharded pair's solve is byte-identical to the single-device solve —
+//     solution AND counters — for any shard count or placement
+//     (dist/dist_solver.h), so sharding never changes the numbers either;
 //   * chaos runs use one fault injector PER PAIR, seeded from the plan seed
 //     and the pair index, so a pair sees the same fault sequence whatever
-//     device trains it. (Per-pair sim-time attribution still depends on the
-//     stream shares of the run, and with share_kernel_blocks on, cache
-//     hit/miss counters depend on co-location — those are the documented
-//     schedule-dependent quantities.)
+//     device (or shard group, via the coordinator) trains it. (Per-pair
+//     sim-time attribution still depends on the stream shares of the run,
+//     and with share_kernel_blocks on, cache hit/miss counters depend on
+//     co-location — those are the documented schedule-dependent quantities.
+//     Sharded pairs always solve through the direct row source, never the
+//     shared block cache.)
 //
 // Device loss (fault.device_loss_prob / Site::kDeviceLoss): each non-primary
 // device draws once at the start of the run; a lost device completes the
-// first half of its queue at a pair boundary, keeps those pairs, and its
-// orphaned remainder is rescheduled LPT onto the survivors. Device 0 never
-// dies, so progress is always possible. Every pair still trains exactly once
-// with its own injector, which is why loss does not perturb the model.
+// first half of its whole-pair queue at a pair boundary, keeps those pairs,
+// and its orphaned remainder is rescheduled LPT onto the survivors. Device 0
+// never dies, so progress is always possible. Every pair still trains
+// exactly once with its own injector, which is why loss does not perturb the
+// model.
+//
+// Node loss (fault.node_loss_prob / Site::kNodeLoss): each non-primary node
+// draws once at the start of the run; losing a node loses every device on
+// it. Shard groups that lose members re-form on the survivors — still ≥2
+// left: the pair stays sharded on them; exactly 1: it trains whole there;
+// none: it trains whole on device 0. Node 0 never dies. Orphaned shards are
+// counted in shards_rescheduled, and because the re-formed solve is still
+// byte-identical, chaos runs recover the exact clean model.
 //
 // Out of scope (rejected by Validate): checkpoint/resume and
 // interrupt_after_pairs — both are single-device session concepts; train on
@@ -42,12 +61,17 @@
 #include "cluster/cluster.h"
 #include "cluster/pair_scheduler.h"
 #include "core/mp_trainer.h"
+#include "dist/dist_solver.h"
 #include "fault/fault_injector.h"
 
 namespace gmpsvm::cluster {
 
 struct ClusterTrainOptions {
   MpTrainOptions train;
+
+  // schedule.topology is ignored — the trainer always prices merges with the
+  // cluster's own topology. Intra-pair sharding (max_shards_per_pair > 1)
+  // requires the working set's kOldest drop policy (see dist_solver.h).
   ScheduleOptions schedule;
 
   // Optional chaos plan; see the header comment for how it is split into
@@ -89,14 +113,26 @@ struct ClusterTrainReport {
   // schedule-invariant when share_kernel_blocks is off; see mp_trainer.h).
   std::vector<PairTrainOutcome> pair_outcomes;
 
-  // Which device each pair trained on, in ClassPairs() order.
+  // Which device each pair trained on (the coordinator, for sharded pairs),
+  // in ClassPairs() order.
   std::vector<int> pair_device;
 
   int64_t pairs_rescheduled = 0;
   int devices_lost = 0;
 
-  // Publishes merged (gmpsvm_train_*) plus gmpsvm_cluster_* gauges, the
-  // per-device series labeled {device=...}.
+  // Node topology and intra-pair sharding.
+  int nodes = 1;
+  int nodes_lost = 0;
+  int pairs_sharded = 0;
+  // Shard slots vacated by lost devices/nodes whose pairs re-formed on the
+  // survivors.
+  int64_t shards_rescheduled = 0;
+  // Communication accounting summed over every sharded solve.
+  dist::DistStats dist;
+
+  // Publishes merged (gmpsvm_train_*) plus gmpsvm_cluster_* gauges (the
+  // per-device series labeled {device=...}) and the gmpsvm_dist_* transfer
+  // series (per-link byte counters labeled {link=intra_node|inter_node}).
   void PublishTo(obs::MetricsRegistry* registry) const;
 };
 

@@ -8,7 +8,7 @@ namespace {
 constexpr const char* kSiteNames[kNumFaultSites] = {
     "device_submit",  "device_transfer", "device_alloc",  "kernel_row_batch",
     "buffer_evict",   "model_swap",      "latency_spike", "train_interrupt",
-    "device_loss",    "delta_parse",     "canary",
+    "device_loss",    "delta_parse",     "canary",        "node_loss",
 };
 
 Status CheckProb(const char* field, double p) {
@@ -51,6 +51,8 @@ double FaultPlan::ProbFor(Site site) const {
       return delta_parse_fail_prob;
     case Site::kCanary:
       return canary_fail_prob;
+    case Site::kNodeLoss:
+      return node_loss_prob;
   }
   return 0.0;
 }
@@ -66,6 +68,7 @@ Status FaultPlan::Validate() const {
   GMP_RETURN_NOT_OK(CheckProb("device_loss_prob", device_loss_prob));
   GMP_RETURN_NOT_OK(CheckProb("delta_parse_fail_prob", delta_parse_fail_prob));
   GMP_RETURN_NOT_OK(CheckProb("canary_fail_prob", canary_fail_prob));
+  GMP_RETURN_NOT_OK(CheckProb("node_loss_prob", node_loss_prob));
   if (!(latency_spike_seconds >= 0.0)) {
     return Status::InvalidArgument(
         StrPrintf("latency_spike_seconds must be >= 0, got %g",
@@ -93,6 +96,9 @@ FaultPlan FaultPlan::Chaos(uint64_t seed) {
   plan.device_loss_prob = 0.4;
   plan.delta_parse_fail_prob = 0.2;
   plan.canary_fail_prob = 0.2;
+  // One non-primary node in a 2-node chaos run dies often enough to exercise
+  // orphan-shard rescheduling; node 0 is never consulted.
+  plan.node_loss_prob = 0.4;
   plan.max_consecutive_per_site = 2;
   return plan;
 }

@@ -47,8 +47,10 @@ enum class Site : int {
                        // rescheduled onto the surviving devices
   kDeltaParse,         // reading a dataset delta file fails transiently
   kCanary,             // a canary comparison batch fails transiently
+  kNodeLoss,           // a whole simulated node dies; every device on it is
+                       // lost and its pairs/shards are rescheduled
 };
-inline constexpr int kNumFaultSites = 11;
+inline constexpr int kNumFaultSites = 12;
 
 // Stable lowercase name for `site`, used as the {site=...} metric label.
 const char* SiteName(Site site);
@@ -71,6 +73,10 @@ struct FaultPlan {
   // fail transiently (kUnavailable); both are retried under RetryPolicy.
   double delta_parse_fail_prob = 0.0;
   double canary_fail_prob = 0.0;
+  // Consulted once per non-primary node at the start of a multi-node cluster
+  // training run (node 0 never dies, so progress is always possible). Losing
+  // a node loses every device on it.
+  double node_loss_prob = 0.0;
 
   // Simulated seconds a latency spike adds to the stream it hits.
   double latency_spike_seconds = 1e-4;

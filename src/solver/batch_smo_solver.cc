@@ -25,16 +25,12 @@ TaskCost VectorPassCost(int64_t n, double flops_per_item, double bytes_per_item)
   return cost;
 }
 
-// One LibSVM-style alpha update for the pair (u, l); returns the alpha deltas.
-struct PairUpdate {
-  double d_alpha_u = 0.0;
-  double d_alpha_l = 0.0;
-};
+}  // namespace
 
-PairUpdate UpdatePair(int32_t u, int32_t l, std::span<const int8_t> y,
-                      double c_u_bound, double c_l_bound, double k_uu,
-                      double k_ll, double k_ul, std::span<const double> f,
-                      std::span<double> alpha) {
+SmoPairDelta SmoUpdatePair(int32_t u, int32_t l, std::span<const int8_t> y,
+                           double c_u_bound, double c_l_bound, double k_uu,
+                           double k_ll, double k_ul, std::span<const double> f,
+                           std::span<double> alpha) {
   const double old_au = alpha[u];
   const double old_al = alpha[l];
   const double g_u = y[u] * f[u];
@@ -98,10 +94,8 @@ PairUpdate UpdatePair(int32_t u, int32_t l, std::span<const int8_t> y,
       }
     }
   }
-  return PairUpdate{a_u - old_au, a_l - old_al};
+  return SmoPairDelta{a_u - old_au, a_l - old_al};
 }
-
-}  // namespace
 
 Status BatchSmoOptions::Validate() const {
   if (working_set.ws_size < 2) {
@@ -428,10 +422,10 @@ Result<BinarySolution> BatchSmoSolver::SolveImpl(const BinaryProblem& problem,
       if (l < 0 || ws_low_max - f_u < std::max(options_.eps * 0.5, 0.0)) break;
 
       const double* row_l = row_ptr[static_cast<size_t>(l)];
-      const PairUpdate upd =
-          UpdatePair(u, l, y, cvec[static_cast<size_t>(u)],
-                     cvec[static_cast<size_t>(l)], diag[static_cast<size_t>(u)],
-                     diag[static_cast<size_t>(l)], row_u[l], f, alpha);
+      const SmoPairDelta upd =
+          SmoUpdatePair(u, l, y, cvec[static_cast<size_t>(u)],
+                        cvec[static_cast<size_t>(l)], diag[static_cast<size_t>(u)],
+                        diag[static_cast<size_t>(l)], row_u[l], f, alpha);
       delta_alpha[static_cast<size_t>(u)] += upd.d_alpha_u;
       delta_alpha[static_cast<size_t>(l)] += upd.d_alpha_l;
 

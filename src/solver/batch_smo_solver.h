@@ -21,6 +21,7 @@
 #define GMPSVM_SOLVER_BATCH_SMO_SOLVER_H_
 
 #include <cstdint>
+#include <span>
 
 #include "device/executor.h"
 #include "kernel/kernel_computer.h"
@@ -77,6 +78,21 @@ struct BatchSmoOptions {
   // WorkingSetSelector clamps them to the problem size.
   Status Validate() const;
 };
+
+// Alpha deltas of one two-variable SMO update.
+struct SmoPairDelta {
+  double d_alpha_u = 0.0;
+  double d_alpha_l = 0.0;
+};
+
+// One LibSVM-style two-variable update for the working-set pair (u, l):
+// steps alpha[u]/alpha[l] along the constrained Newton direction and clips to
+// the box. Shared by the batched solver's inner loop and the distributed
+// solver (src/dist), which must replicate its arithmetic bit for bit.
+SmoPairDelta SmoUpdatePair(int32_t u, int32_t l, std::span<const int8_t> y,
+                           double c_u_bound, double c_l_bound, double k_uu,
+                           double k_ll, double k_ul, std::span<const double> f,
+                           std::span<double> alpha);
 
 class BatchSmoSolver {
  public:

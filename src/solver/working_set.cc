@@ -21,9 +21,14 @@ const std::vector<int32_t>& WorkingSetSelector::Update(std::span<const double> f
                                                        std::span<const int8_t> y,
                                                        std::span<const double> c) {
   // Sort all instances by optimality indicator ascending (the paper sorts f
-  // and picks from both ends).
-  std::sort(sorted_.begin(), sorted_.end(),
-            [&f](int32_t a, int32_t b) { return f[a] < f[b]; });
+  // and picks from both ends). Ties break on the index so the order is a
+  // TOTAL order: the distributed refresh reproduces this exact sequence from
+  // per-shard candidate lists, which a tie order depending on the previous
+  // sort's layout would make impossible.
+  std::sort(sorted_.begin(), sorted_.end(), [&f](int32_t a, int32_t b) {
+    if (f[a] != f[b]) return f[a] < f[b];
+    return a < b;
+  });
 
   if (members_.empty()) {
     Admit(ws_size_, f, alpha, y, c);
@@ -34,6 +39,121 @@ const std::vector<int32_t>& WorkingSetSelector::Update(std::span<const double> f
   Drop(refresh, f, alpha, y, c);
   const int added = Admit(ws_size_ - static_cast<int>(members_.size()), f, alpha, y, c);
   (void)added;
+  return members_;
+}
+
+namespace {
+
+// The total orders the shard lists and the merged admit scan share with
+// Update()'s full sort. `low` order is the exact reverse of the `up` order,
+// matching Admit()'s reversed iteration over the ascending sort.
+struct UpOrder {
+  std::span<const double> f;
+  bool operator()(int32_t a, int32_t b) const {
+    if (f[a] != f[b]) return f[a] < f[b];
+    return a < b;
+  }
+};
+struct LowOrder {
+  std::span<const double> f;
+  bool operator()(int32_t a, int32_t b) const {
+    if (f[a] != f[b]) return f[a] > f[b];
+    return a > b;
+  }
+};
+
+}  // namespace
+
+int WorkingSetSelector::BeginDistributedRefresh() {
+  GMP_DCHECK(drop_policy_ == WorkingSetConfig::DropPolicy::kOldest);
+  if (!members_.empty()) {
+    const int refresh = std::min<int>(q_, static_cast<int>(members_.size()));
+    Drop(refresh, {}, {}, {}, {});
+  }
+  return ws_size_ - static_cast<int>(members_.size());
+}
+
+WorkingSetSelector::ShardCandidates WorkingSetSelector::CollectShardCandidates(
+    int64_t begin, int64_t end, int needed, std::span<const double> f,
+    std::span<const double> alpha, std::span<const int8_t> y,
+    std::span<const double> c) const {
+  ShardCandidates out;
+  if (needed <= 0) return out;
+  for (int64_t i = begin; i < end; ++i) {
+    const auto idx = static_cast<int32_t>(i);
+    if (member_set_.count(idx) != 0) continue;
+    if (InUpSet(y[i], alpha[i], c[i])) out.up.push_back(idx);
+    if (InLowSet(y[i], alpha[i], c[i])) out.low.push_back(idx);
+  }
+  std::sort(out.up.begin(), out.up.end(), UpOrder{f});
+  if (static_cast<int>(out.up.size()) > needed) {
+    out.up.resize(static_cast<size_t>(needed));
+  }
+  std::sort(out.low.begin(), out.low.end(), LowOrder{f});
+  if (static_cast<int>(out.low.size()) > needed) {
+    out.low.resize(static_cast<size_t>(needed));
+  }
+  return out;
+}
+
+const std::vector<int32_t>& WorkingSetSelector::FinishDistributedRefresh(
+    std::span<const ShardCandidates> shards, std::span<const double> f,
+    std::span<const double> alpha, std::span<const int8_t> y,
+    std::span<const double> c) {
+  const int count = ws_size_ - static_cast<int>(members_.size());
+  if (count <= 0) return members_;
+
+  // Merge the shard lists into one globally ordered sequence per side. Shard
+  // ranges are disjoint and the order is total, so the merged sequence is
+  // the full sort restricted to the shard-collected candidates.
+  std::vector<int32_t> up;
+  std::vector<int32_t> low;
+  for (const ShardCandidates& shard : shards) {
+    up.insert(up.end(), shard.up.begin(), shard.up.end());
+    low.insert(low.end(), shard.low.begin(), shard.low.end());
+  }
+  std::sort(up.begin(), up.end(), UpOrder{f});
+  std::sort(low.begin(), low.end(), LowOrder{f});
+
+  // From here the admit scan mirrors Admit() over the merged sequences.
+  const int half = count / 2;
+  int added = 0;
+  const auto admit = [this](int32_t i) {
+    members_.push_back(i);
+    member_set_.insert(i);
+    insertion_order_.push_back(i);
+  };
+
+  int up_added = 0;
+  for (size_t k = 0; k < up.size() && up_added < half; ++k) {
+    const int32_t i = up[k];
+    if (member_set_.count(i) != 0) continue;
+    if (!InUpSet(y[i], alpha[i], c[i])) continue;
+    admit(i);
+    ++up_added;
+    ++added;
+  }
+
+  const int low_target = count - up_added;
+  int low_added = 0;
+  for (size_t k = 0; k < low.size() && low_added < low_target; ++k) {
+    const int32_t i = low[k];
+    if (member_set_.count(i) != 0) continue;
+    if (!InLowSet(y[i], alpha[i], c[i])) continue;
+    admit(i);
+    ++low_added;
+    ++added;
+  }
+
+  if (added < count) {
+    for (size_t k = 0; k < up.size() && added < count; ++k) {
+      const int32_t i = up[k];
+      if (member_set_.count(i) != 0) continue;
+      if (!InUpSet(y[i], alpha[i], c[i])) continue;
+      admit(i);
+      ++added;
+    }
+  }
   return members_;
 }
 

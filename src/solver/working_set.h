@@ -57,6 +57,48 @@ class WorkingSetSelector {
 
   const std::vector<int32_t>& working_set() const { return members_; }
 
+  // --- Distributed refresh (src/dist) ---------------------------------------
+  //
+  // The distributed solver selects the same working set as Update() without
+  // any shard looking at instances outside its contiguous range:
+  //   1. BeginDistributedRefresh() drops the stale members (bookkeeping only
+  //      under kOldest) and returns how many new violators the merge needs;
+  //   2. each shard calls CollectShardCandidates() over its own range and
+  //      gets back its top `needed` eligible non-members per side, ordered by
+  //      the same total order (f, index) the full sort uses;
+  //   3. FinishDistributedRefresh() merges the shard lists in that total
+  //      order and admits exactly as Update()'s full-sort scan would.
+  // Any instance the full scan admits ranks within the top `needed` eligible
+  // candidates of its own shard on the relevant side, so the merged selection
+  // equals the full-sort selection for every shard partition (working_set_test
+  // checks the equivalence). Requires DropPolicy::kOldest: kLeastViolating's
+  // nth_element tie behaviour is not reproducible from shard-local data.
+
+  // Per-shard candidate lists for one distributed refresh.
+  struct ShardCandidates {
+    std::vector<int32_t> up;   // eligible non-members, ascending (f, index)
+    std::vector<int32_t> low;  // eligible non-members, descending (f, index)
+  };
+
+  // Drops this refresh's stale members and returns the number of new
+  // violators to admit (ws_size on the first call). kOldest only.
+  int BeginDistributedRefresh();
+
+  // Collects the shard [begin, end)'s top `needed` eligible non-member
+  // candidates per side. Pure: does not change the selector.
+  ShardCandidates CollectShardCandidates(int64_t begin, int64_t end, int needed,
+                                         std::span<const double> f,
+                                         std::span<const double> alpha,
+                                         std::span<const int8_t> y,
+                                         std::span<const double> c) const;
+
+  // Merges the shard candidate lists and admits new members exactly as
+  // Update() would. Returns the new working set.
+  const std::vector<int32_t>& FinishDistributedRefresh(
+      std::span<const ShardCandidates> shards, std::span<const double> f,
+      std::span<const double> alpha, std::span<const int8_t> y,
+      std::span<const double> c);
+
   // Effective (clamped) configuration.
   int ws_size() const { return ws_size_; }
   int q() const { return q_; }

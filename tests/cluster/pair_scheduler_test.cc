@@ -159,6 +159,123 @@ TEST(PairSchedulerTest, DeterministicForFixedInputs) {
   EXPECT_EQ(a.device_load, b.device_load);
 }
 
+// --- Intra-pair sharding ----------------------------------------------------
+
+ScheduleOptions ShardingOptions(const dist::ClusterTopology* topology,
+                                int max_shards) {
+  ScheduleOptions options;
+  options.affinity_discount = 0.0;
+  options.max_shards_per_pair = max_shards;
+  options.shard_oversize_factor = 0.0;  // every pair counts as oversized
+  options.topology = topology;
+  return options;
+}
+
+TEST(PairSchedulerTest, OversizedPairShardsAcrossDevices) {
+  // A single dominant pair on idle equal devices: splitting halves the
+  // bottleneck, so the scheduler shards it instead of placing it whole.
+  Dataset dataset = MakeDatasetWithClassSizes({100, 100});
+  const dist::ClusterTopology topology = dist::ClusterTopology::SingleNode(2);
+  PairAssignment a = SchedulePairs(dataset, AllPairs(dataset), {1.0, 1.0}, {},
+                                   ShardingOptions(&topology, 2));
+  ASSERT_EQ(a.sharded_pairs.size(), 1u);
+  EXPECT_EQ(a.sharded_pairs[0].pair, 0u);
+  EXPECT_EQ(a.sharded_pairs[0].devices, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(a.device_pairs[0].empty());
+  EXPECT_TRUE(a.device_pairs[1].empty());
+  // Both members carry half the pair plus the merge estimate.
+  EXPECT_GT(a.device_load[0], 0.0);
+  EXPECT_NEAR(a.device_load[0], a.device_load[1], 1e-9);
+}
+
+TEST(PairSchedulerTest, DefaultOptionsNeverShard) {
+  Dataset dataset = MakeDatasetWithClassSizes({100, 100});
+  PairAssignment a = SchedulePairs(dataset, AllPairs(dataset), {1.0, 1.0});
+  EXPECT_TRUE(a.sharded_pairs.empty());
+  EXPECT_EQ(a.device_pairs[0].size() + a.device_pairs[1].size(), 1u);
+}
+
+TEST(PairSchedulerTest, ShardGroupPrefersOneNodeWhenInterLinkIsSlow) {
+  // 2 nodes x 2 devices with a pathologically slow inter-node link. The
+  // globally least-loaded pair of devices straddles the nodes (1 and 2), but
+  // the merge estimate across the slow link makes node 1's {2, 3} cheaper.
+  Dataset dataset = MakeDatasetWithClassSizes({200, 200});
+  dist::LinkModel slow;
+  slow.bandwidth_bytes_per_sec = 1e3;
+  slow.latency_seconds = 1.0;
+  const dist::ClusterTopology topology = dist::ClusterTopology::Contiguous(
+      2, 4, dist::NvlinkClassLink(), slow);
+  PairAssignment a = SchedulePairs(dataset, AllPairs(dataset),
+                                   {1.0, 1.0, 1.0, 1.0},
+                                   {0.5, 0.2, 0.3, 0.4},
+                                   ShardingOptions(&topology, 2));
+  ASSERT_EQ(a.sharded_pairs.size(), 1u);
+  // Coordinator is the group's least-loaded member.
+  EXPECT_EQ(a.sharded_pairs[0].devices, (std::vector<int>{2, 3}));
+}
+
+TEST(PairSchedulerTest, OneDevicePerNodeShardsAcrossNodes) {
+  // Every node holds one device, so no single-node group exists; the global
+  // group spans all nodes and merges are priced over inter-node links.
+  Dataset dataset = MakeDatasetWithClassSizes({100, 100});
+  const dist::ClusterTopology topology = dist::ClusterTopology::Contiguous(
+      4, 4, dist::NvlinkClassLink(), dist::NetworkClassLink());
+  PairAssignment a = SchedulePairs(dataset, AllPairs(dataset),
+                                   {1.0, 1.0, 1.0, 1.0}, {},
+                                   ShardingOptions(&topology, 4));
+  ASSERT_EQ(a.sharded_pairs.size(), 1u);
+  EXPECT_EQ(a.sharded_pairs[0].devices, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PairSchedulerTest, EmptyNodeIsHarmless) {
+  // Node 1 owns no devices; candidate groups just skip it.
+  Dataset dataset = MakeDatasetWithClassSizes({100, 100});
+  dist::ClusterTopology topology;
+  topology.num_nodes = 3;
+  topology.node_of_device = {0, 0, 2, 2};
+  ASSERT_TRUE(topology.Validate().ok());
+  PairAssignment a = SchedulePairs(dataset, AllPairs(dataset),
+                                   {1.0, 1.0, 1.0, 1.0}, {},
+                                   ShardingOptions(&topology, 2));
+  ASSERT_EQ(a.sharded_pairs.size(), 1u);
+  EXPECT_EQ(a.sharded_pairs[0].devices.size(), 2u);
+}
+
+TEST(PairSchedulerTest, LostDeviceExcludedFromShardGroupsAcrossNodes) {
+  // Device 1 (node 0) is lost (+inf load). Node 0 then has a single usable
+  // device, so with a slow inter-node link the group forms on node 1.
+  Dataset dataset = MakeDatasetWithClassSizes({200, 200});
+  dist::LinkModel slow;
+  slow.bandwidth_bytes_per_sec = 1e3;
+  slow.latency_seconds = 1.0;
+  const dist::ClusterTopology topology = dist::ClusterTopology::Contiguous(
+      2, 4, dist::NvlinkClassLink(), slow);
+  const double inf = std::numeric_limits<double>::infinity();
+  PairAssignment a = SchedulePairs(dataset, AllPairs(dataset),
+                                   {1.0, 1.0, 1.0, 1.0}, {0.0, inf, 0.0, 0.0},
+                                   ShardingOptions(&topology, 2));
+  ASSERT_EQ(a.sharded_pairs.size(), 1u);
+  EXPECT_EQ(a.sharded_pairs[0].devices, (std::vector<int>{2, 3}));
+  EXPECT_TRUE(std::isinf(a.device_load[1]));
+}
+
+TEST(PairSchedulerTest, ShardingIsDeterministic) {
+  Dataset dataset = MakeDatasetWithClassSizes({60, 60, 60});
+  const dist::ClusterTopology topology = dist::ClusterTopology::Contiguous(
+      2, 4, dist::NvlinkClassLink(), dist::NetworkClassLink());
+  const ScheduleOptions options = ShardingOptions(&topology, 2);
+  PairAssignment a = SchedulePairs(dataset, AllPairs(dataset),
+                                   {1.0, 1.0, 1.0, 1.0}, {}, options);
+  PairAssignment b = SchedulePairs(dataset, AllPairs(dataset),
+                                   {1.0, 1.0, 1.0, 1.0}, {}, options);
+  EXPECT_EQ(a.device_pairs, b.device_pairs);
+  ASSERT_EQ(a.sharded_pairs.size(), b.sharded_pairs.size());
+  for (size_t i = 0; i < a.sharded_pairs.size(); ++i) {
+    EXPECT_EQ(a.sharded_pairs[i].pair, b.sharded_pairs[i].pair);
+    EXPECT_EQ(a.sharded_pairs[i].devices, b.sharded_pairs[i].devices);
+  }
+}
+
 TEST(PairSchedulerTest, NoDevicesOrNoPairsIsEmpty) {
   Dataset dataset = MakeDatasetWithClassSizes({10, 10});
   PairAssignment none = SchedulePairs(dataset, {}, {1.0, 1.0});

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace gmpsvm {
 namespace {
@@ -219,6 +223,83 @@ TEST_P(WorkingSetSweepTest, SizeAndUniquenessInvariants) {
 INSTANTIATE_TEST_SUITE_P(Sweep, WorkingSetSweepTest,
                          ::testing::Combine(::testing::Values(4, 16, 32, 64, 128),
                                             ::testing::Values(2, 8, 16, 64)));
+
+// --- Distributed refresh ----------------------------------------------------
+
+// Contiguous [begin, end) shard bounds: shard j gets [j*n/S, (j+1)*n/S).
+std::vector<std::pair<int64_t, int64_t>> ShardBounds(int64_t n, int shards) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (int j = 0; j < shards; ++j) {
+    out.emplace_back(j * n / shards, (j + 1) * n / shards);
+  }
+  return out;
+}
+
+// Deterministic mixed solver-like state: a spread of f values, some bound
+// and some free alphas, both labels.
+State MixedState(int n) {
+  State s;
+  for (int i = 0; i < n; ++i) {
+    s.y.push_back((i % 2 == 0) ? int8_t{1} : int8_t{-1});
+    const int phase = i % 4;
+    s.alpha.push_back(phase == 0 ? 0.0 : (phase == 1 ? 1.0 : 0.5));
+    // Irrational stride spreads f without ties; a few duplicates are added
+    // below to exercise the (f, index) tie-break.
+    s.f.push_back(std::fmod(static_cast<double>(i) * 0.7548776662, 3.0) - 1.5);
+  }
+  for (int i = 8; i + 5 < n; i += 9) s.f[i + 5] = s.f[i];  // forced ties
+  s.FinishC();
+  return s;
+}
+
+// The merged shard selection must equal the full-sort selection exactly —
+// same members, same order — for any shard partition, across consecutive
+// refreshes of an evolving state. This is the property the distributed
+// solver's byte-identity proof leans on (dist/dist_solver.h).
+TEST(WorkingSetDistributedRefreshTest, MatchesFullSortForAnyShardCount) {
+  WorkingSetConfig cfg;
+  cfg.ws_size = 16;
+  cfg.q = 6;
+  const int n = 103;  // prime: uneven shard splits
+  for (int shards : {1, 2, 3, 4, 7}) {
+    State s = MixedState(n);
+    WorkingSetSelector full(cfg, n);
+    WorkingSetSelector dist(cfg, n);
+    for (int round = 0; round < 6; ++round) {
+      const std::vector<int32_t> expected = full.Update(s.f, s.alpha, s.y, s.c);
+      const int needed = dist.BeginDistributedRefresh();
+      std::vector<WorkingSetSelector::ShardCandidates> collected;
+      for (const auto& [begin, end] : ShardBounds(n, shards)) {
+        collected.push_back(
+            dist.CollectShardCandidates(begin, end, needed, s.f, s.alpha, s.y, s.c));
+      }
+      const std::vector<int32_t> merged =
+          dist.FinishDistributedRefresh(collected, s.f, s.alpha, s.y, s.c);
+      ASSERT_EQ(merged, expected) << "shards=" << shards << " round=" << round;
+      // Evolve the state the way solver iterations would: perturb f and move
+      // some working-set alphas between free and bound.
+      for (int32_t m : merged) {
+        s.f[static_cast<size_t>(m)] += (m % 3 == 0) ? 0.25 : -0.125;
+        s.alpha[static_cast<size_t>(m)] =
+            (round + m) % 3 == 0 ? 0.0 : ((round + m) % 3 == 1 ? 1.0 : 0.5);
+      }
+    }
+  }
+}
+
+TEST(WorkingSetDistributedRefreshTest, CollectIsPure) {
+  WorkingSetConfig cfg;
+  cfg.ws_size = 8;
+  cfg.q = 4;
+  const int n = 24;
+  State s = MixedState(n);
+  WorkingSetSelector sel(cfg, n);
+  const int needed = sel.BeginDistributedRefresh();
+  const auto once = sel.CollectShardCandidates(0, n, needed, s.f, s.alpha, s.y, s.c);
+  const auto twice = sel.CollectShardCandidates(0, n, needed, s.f, s.alpha, s.y, s.c);
+  EXPECT_EQ(once.up, twice.up);
+  EXPECT_EQ(once.low, twice.low);
+}
 
 }  // namespace
 }  // namespace gmpsvm
